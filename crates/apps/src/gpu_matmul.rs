@@ -1,0 +1,124 @@
+//! The GPU matrix-multiplication application of §IV, as a sweep driver.
+
+use crate::point::DataPoint;
+use crate::runner::MeasurementRunner;
+use enprop_gpusim::{GpuArch, KernelEstimate, TiledDgemm, TiledDgemmConfig};
+use enprop_units::Watts;
+
+/// The application bound to one GPU and one workload definition.
+#[derive(Debug, Clone)]
+pub struct GpuMatMulApp {
+    model: TiledDgemm,
+    /// Total matrix products `G × R` every configuration must compute.
+    pub total_products: usize,
+}
+
+impl GpuMatMulApp {
+    /// Binds the application to an architecture. Every configuration of a
+    /// sweep computes `total_products` products, so all solve the same
+    /// workload (the weak-EP precondition).
+    pub fn new(arch: GpuArch, total_products: usize) -> Self {
+        assert!(total_products >= 1, "need at least one product");
+        Self { model: TiledDgemm::new(arch), total_products }
+    }
+
+    /// The underlying analytic model.
+    pub fn model(&self) -> &TiledDgemm {
+        &self.model
+    }
+
+    /// All valid configurations for matrix size `n`.
+    pub fn configs(&self, n: usize) -> Vec<TiledDgemmConfig> {
+        TiledDgemmConfig::enumerate(self.model.arch(), n, self.total_products)
+    }
+
+    /// Noise-free sweep straight from the analytic model (fast; used by
+    /// benches and shape tests).
+    pub fn sweep_exact(&self, n: usize) -> Vec<DataPoint<TiledDgemmConfig>> {
+        self.configs(n)
+            .into_iter()
+            .map(|cfg| {
+                let e = self.model.estimate(&cfg);
+                DataPoint {
+                    config: cfg,
+                    time: e.time,
+                    dynamic_energy: e.dynamic_energy(),
+                    reps: 1,
+                    converged: true,
+                }
+            })
+            .collect()
+    }
+
+    /// Full-methodology sweep: every configuration is metered through the
+    /// simulated WattsUp with the repeat-until-confidence protocol.
+    pub fn sweep_measured(
+        &self,
+        n: usize,
+        runner: &mut MeasurementRunner,
+    ) -> Vec<DataPoint<TiledDgemmConfig>> {
+        self.configs(n)
+            .into_iter()
+            .map(|cfg| {
+                let e = self.model.estimate(&cfg);
+                let m = runner.measure(e.time, e.steady_power, e.warmup_power, e.warmup_time);
+                DataPoint {
+                    config: cfg,
+                    time: m.time,
+                    dynamic_energy: m.dynamic_energy,
+                    reps: m.reps,
+                    converged: m.converged,
+                }
+            })
+            .collect()
+    }
+
+    /// The analytic profile of one configuration (for Fig. 6-style
+    /// compound/base comparisons).
+    pub fn estimate(&self, cfg: &TiledDgemmConfig) -> KernelEstimate {
+        self.model.estimate(cfg)
+    }
+
+    /// A measurement rig matching the paper's GPU nodes (idle draw of a
+    /// GPU server node).
+    pub fn default_runner(seed: u64) -> MeasurementRunner {
+        MeasurementRunner::new(Watts(110.0), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_solves_same_workload() {
+        let app = GpuMatMulApp::new(GpuArch::p100_pcie(), 8);
+        let pts = app.sweep_exact(2048);
+        assert!(pts.len() > 32, "expected a rich sweep, got {}", pts.len());
+        assert!(pts.iter().all(|p| p.config.products() == 8));
+    }
+
+    #[test]
+    fn measured_sweep_tracks_exact_sweep() {
+        let app = GpuMatMulApp::new(GpuArch::k40c(), 4);
+        // Small BS subset via small n to keep the test fast.
+        let exact = app.sweep_exact(512);
+        let mut runner = GpuMatMulApp::default_runner(5);
+        let measured = app.sweep_measured(512, &mut runner);
+        assert_eq!(exact.len(), measured.len());
+        for (e, m) in exact.iter().zip(&measured) {
+            assert_eq!(e.config, m.config);
+            let rel = (e.dynamic_energy.value() - m.dynamic_energy.value()).abs()
+                / e.dynamic_energy.value();
+            assert!(rel < 0.25, "config {:?}: rel err {rel}", e.config);
+        }
+    }
+
+    #[test]
+    fn fastest_configuration_uses_bs32() {
+        let app = GpuMatMulApp::new(GpuArch::p100_pcie(), 8);
+        let pts = app.sweep_exact(4096);
+        let fastest = pts.iter().min_by(|a, b| a.time.partial_cmp(&b.time).unwrap()).unwrap();
+        assert_eq!(fastest.config.bs, 32);
+    }
+}

@@ -1,0 +1,92 @@
+//! The common shape of one measured experimental point.
+
+use enprop_pareto::BiPoint;
+use enprop_units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One application configuration's measured (time, dynamic-energy) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint<C> {
+    /// The configuration that produced the point.
+    pub config: C,
+    /// Mean execution time over the repetitions.
+    pub time: Seconds,
+    /// Mean dynamic energy over the repetitions.
+    pub dynamic_energy: Joules,
+    /// Repetitions the statistical protocol needed.
+    pub reps: usize,
+    /// Whether the confidence-interval stopping rule was satisfied.
+    pub converged: bool,
+}
+
+impl<C> DataPoint<C> {
+    /// Mean dynamic power of the point.
+    pub fn dynamic_power(&self) -> Watts {
+        self.dynamic_energy / self.time
+    }
+
+    /// Projection onto the bi-objective plane for Pareto analysis.
+    pub fn bi_point(&self) -> BiPoint {
+        BiPoint::new(self.time.value(), self.dynamic_energy.value())
+    }
+
+    /// Maps the configuration payload, keeping the measurements.
+    pub fn map_config<D>(self, f: impl FnOnce(C) -> D) -> DataPoint<D> {
+        DataPoint {
+            config: f(self.config),
+            time: self.time,
+            dynamic_energy: self.dynamic_energy,
+            reps: self.reps,
+            converged: self.converged,
+        }
+    }
+}
+
+/// Extracts the bi-objective cloud of a point set.
+pub fn bi_points<C>(points: &[DataPoint<C>]) -> Vec<BiPoint> {
+    points.iter().map(|p| p.bi_point()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let p = DataPoint {
+            config: "x",
+            time: Seconds(2.0),
+            dynamic_energy: Joules(300.0),
+            reps: 5,
+            converged: true,
+        };
+        assert_eq!(p.dynamic_power(), Watts(150.0));
+        assert_eq!(p.bi_point(), BiPoint::new(2.0, 300.0));
+        let q = p.clone().map_config(|c| c.len());
+        assert_eq!(q.config, 1);
+        assert_eq!(q.time, p.time);
+    }
+
+    #[test]
+    fn cloud_projection() {
+        let pts = vec![
+            DataPoint {
+                config: 1,
+                time: Seconds(1.0),
+                dynamic_energy: Joules(10.0),
+                reps: 3,
+                converged: true,
+            },
+            DataPoint {
+                config: 2,
+                time: Seconds(2.0),
+                dynamic_energy: Joules(5.0),
+                reps: 3,
+                converged: true,
+            },
+        ];
+        let cloud = bi_points(&pts);
+        assert_eq!(cloud.len(), 2);
+        assert_eq!(cloud[1], BiPoint::new(2.0, 5.0));
+    }
+}

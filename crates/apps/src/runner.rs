@@ -1,0 +1,171 @@
+//! The measurement pipeline: kernel profile → power source → simulated
+//! meter → statistical stopping rule.
+//!
+//! This is the software equivalent of the paper's experimental rig: the
+//! node with its WattsUp Pro, the HCLWATTSUP session, and the "repeat
+//! until the 95% confidence interval is within 2.5%" Student-t loop.
+
+use enprop_power::{ConstantLoad, EnergySession, MeterSpec, PiecewiseLoad, SimulatedWattsUp};
+use enprop_stats::protocol::{measure_until_ci, MeasureConfig};
+use enprop_units::{Joules, Seconds, Watts};
+
+/// A measured (time, energy) sample with protocol metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredPoint {
+    /// Mean execution time.
+    pub time: Seconds,
+    /// Mean dynamic energy.
+    pub dynamic_energy: Joules,
+    /// Repetitions used by the stopping rule.
+    pub reps: usize,
+    /// Whether the stopping rule converged.
+    pub converged: bool,
+}
+
+/// The measurement rig: one node, one meter, one protocol.
+#[derive(Debug)]
+pub struct MeasurementRunner {
+    session: EnergySession,
+    protocol: MeasureConfig,
+    /// Relative run-to-run variation of kernel time (cudaEvent jitter and
+    /// true execution variation combined).
+    time_jitter: f64,
+    rng_state: u64,
+}
+
+impl MeasurementRunner {
+    /// Builds the rig: a node with `idle_power`, a WattsUp-like meter, the
+    /// paper's protocol, deterministic under `seed`.
+    pub fn new(idle_power: Watts, seed: u64) -> Self {
+        let meter = SimulatedWattsUp::new(MeterSpec::default(), idle_power, seed);
+        let session = EnergySession::with_baseline_window(meter, Seconds(120.0));
+        Self {
+            session,
+            protocol: MeasureConfig { max_reps: 40, ..MeasureConfig::default() },
+            time_jitter: 0.004,
+            rng_state: seed ^ 0xA076_1D64_78BD_642F,
+        }
+    }
+
+    /// Overrides the statistical protocol.
+    pub fn with_protocol(mut self, protocol: MeasureConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Measures one kernel profile: a steady draw of `steady_power` for
+    /// `time`, with the warm-up component (`warmup_power` for
+    /// `warmup_time`) on top. Returns protocol-converged means.
+    pub fn measure(
+        &mut self,
+        time: Seconds,
+        steady_power: Watts,
+        warmup_power: Watts,
+        warmup_time: Seconds,
+    ) -> MeasuredPoint {
+        assert!(time.value() > 0.0, "kernel time must be positive");
+        assert!(warmup_time <= time, "warm-up cannot outlive the kernel");
+
+        let mut times = Vec::new();
+        let session = &mut self.session;
+        let jitter = self.time_jitter;
+        let rng = &mut self.rng_state;
+        let energy = measure_until_ci(self.protocol, || {
+            // Run-to-run time variation.
+            let f = 1.0 + jitter * gaussian(rng);
+            let t = Seconds(time.value() * f);
+            let wt = warmup_time.min(t);
+            let app = if wt.value() > 0.0 && warmup_power.value() > 0.0 {
+                let mut load = PiecewiseLoad::new();
+                load.push(wt, steady_power + warmup_power);
+                if t > wt {
+                    load.push(t - wt, steady_power);
+                }
+                session.measure(&load).dynamic.value()
+            } else {
+                session.measure(&ConstantLoad::new(steady_power, t)).dynamic.value()
+            };
+            times.push(t.value());
+            app
+        });
+        let mean_time = times.iter().sum::<f64>() / times.len() as f64;
+        MeasuredPoint {
+            time: Seconds(mean_time),
+            dynamic_energy: Joules(energy.mean),
+            reps: energy.reps,
+            converged: energy.converged,
+        }
+    }
+}
+
+/// Box–Muller standard normal on a splitmix stream.
+fn gaussian(state: &mut u64) -> f64 {
+    let u1 = (unit(state)).max(1e-12);
+    let u2 = unit(state);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_close_to_truth() {
+        let mut r = MeasurementRunner::new(Watts(90.0), 7);
+        let m = r.measure(Seconds(60.0), Watts(150.0), Watts::ZERO, Seconds::ZERO);
+        assert!(m.converged);
+        let truth = 150.0 * 60.0;
+        assert!(
+            (m.dynamic_energy.value() - truth).abs() / truth < 0.05,
+            "{m:?} vs {truth}"
+        );
+        assert!((m.time.value() - 60.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn warmup_component_adds_energy() {
+        let mut r1 = MeasurementRunner::new(Watts(90.0), 3);
+        let plain = r1.measure(Seconds(30.0), Watts(150.0), Watts::ZERO, Seconds::ZERO);
+        let mut r2 = MeasurementRunner::new(Watts(90.0), 3);
+        let warm = r2.measure(Seconds(30.0), Watts(150.0), Watts(58.0), Seconds(2.0));
+        let gap = warm.dynamic_energy.value() - plain.dynamic_energy.value();
+        assert!((gap - 116.0).abs() < 60.0, "gap {gap}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m1 = MeasurementRunner::new(Watts(90.0), 11).measure(
+            Seconds(20.0),
+            Watts(120.0),
+            Watts(58.0),
+            Seconds(1.0),
+        );
+        let m2 = MeasurementRunner::new(Watts(90.0), 11).measure(
+            Seconds(20.0),
+            Watts(120.0),
+            Watts(58.0),
+            Seconds(1.0),
+        );
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot outlive")]
+    fn warmup_longer_than_kernel_rejected() {
+        MeasurementRunner::new(Watts(90.0), 1).measure(
+            Seconds(1.0),
+            Watts(100.0),
+            Watts(58.0),
+            Seconds(2.0),
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! The paper's workload grids, one helper per experiment.
+
+/// Fig. 1: 2-D FFT sizes from 125 to 44000 (log-spaced plus the paper's
+/// named endpoints and a few non-smooth sizes that exercise the MKL
+/// factorization sensitivity).
+pub fn fig1_sizes() -> Vec<usize> {
+    let mut sizes = vec![
+        125, 256, 500, 1000, 1940, 2048, 4096, 5120, 8192, 9973, 12288, 16384, 17408, 22000,
+        28672, 32768, 44000,
+    ];
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+/// Fig. 2: the P100 weak-EP illustration size.
+pub const FIG2_N: usize = 18432;
+
+/// Fig. 4: the CPU utilization-study size.
+pub const FIG4_N: usize = 17408;
+
+/// Fig. 6: the non-additivity sweep sizes (5120 up to beyond the
+/// P100 additivity threshold of 15360).
+pub fn fig6_sizes() -> Vec<usize> {
+    vec![5120, 7168, 9216, 10240, 12288, 14336, 15360, 16384, 18432]
+}
+
+/// Fig. 7: the K40c Pareto-study sizes.
+pub fn fig7_sizes() -> Vec<usize> {
+    vec![8704, 10240]
+}
+
+/// Fig. 8: the P100 Pareto-study sizes.
+pub fn fig8_sizes() -> Vec<usize> {
+    vec![10240, 14336]
+}
+
+/// The "wide range of workloads" grid behind the headline
+/// savings/degradation numbers (§I, §V).
+pub fn headline_sizes() -> Vec<usize> {
+    vec![6144, 7168, 8192, 8704, 9216, 10240, 11264, 12288, 13312, 14336, 15360, 16384, 18432]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_sorted_and_in_paper_ranges() {
+        let f1 = fig1_sizes();
+        assert_eq!(*f1.first().unwrap(), 125);
+        assert_eq!(*f1.last().unwrap(), 44000);
+        assert!(f1.windows(2).all(|w| w[0] < w[1]));
+
+        assert!(fig6_sizes().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(fig7_sizes(), vec![8704, 10240]);
+        assert_eq!(fig8_sizes(), vec![10240, 14336]);
+        assert!(headline_sizes().contains(&10240));
+        assert_eq!(FIG2_N, 18432);
+        assert_eq!(FIG4_N, 17408);
+    }
+}

@@ -1,0 +1,16 @@
+//! Bench + regeneration of the mechanism ablations (DESIGN.md's
+//! attribution of each published artifact to one modeled mechanism).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_bench::figures::ablations;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ablations::render());
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("generate", |b| b.iter(ablations::generate));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

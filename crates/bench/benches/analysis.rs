@@ -1,0 +1,93 @@
+//! Microbenchmarks and ablations of the analysis machinery: Pareto-front
+//! computation at cloud scale, the statistical measurement protocol, and
+//! the EP metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enprop_ep::partition::{DiscreteProfile, Partitioner};
+use enprop_ep::ep_metric_area;
+use enprop_units::{Joules, Seconds};
+use enprop_pareto::{front_layers, pareto_front, BiPoint};
+use enprop_stats::protocol::{measure_until_ci, MeasureConfig};
+use enprop_units::{Utilization, Watts};
+
+/// Deterministic synthetic cloud of `n` points.
+fn cloud(n: usize) -> Vec<BiPoint> {
+    let mut state = 0xDEADBEEFu64;
+    let mut unit = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| BiPoint::new(1.0 + unit() * 10.0, 50.0 + unit() * 200.0)).collect()
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pareto_front");
+    for &n in &[100usize, 1000, 10_000] {
+        let pts = cloud(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| pareto_front(pts))
+        });
+    }
+    g.finish();
+
+    let pts = cloud(1000);
+    c.bench_function("pareto_layers/1000", |b| b.iter(|| front_layers(&pts)));
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    // Ablation: protocol cost vs. measurement noise level.
+    let mut g = c.benchmark_group("measure_until_ci");
+    for &noise in &[0.001f64, 0.01, 0.03] {
+        g.bench_with_input(BenchmarkId::from_parameter(noise), &noise, |b, &noise| {
+            b.iter(|| {
+                let mut k = 0.0f64;
+                measure_until_ci(MeasureConfig::default(), || {
+                    k += 1.0;
+                    100.0 * (1.0 + noise * (k * 0.7).sin())
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ep_metric(c: &mut Criterion) {
+    let curve: Vec<(Utilization, Watts)> = (0..=100)
+        .map(|i| {
+            let u = i as f64 / 100.0;
+            (Utilization::new(u), Watts(50.0 + 200.0 * u.sqrt()))
+        })
+        .collect();
+    c.bench_function("ep_metric_area/101pts", |b| b.iter(|| ep_metric_area(&curve)));
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    // Exact bi-objective partitioning scales with chunks × processors;
+    // dominance pruning keeps the DP frontier small.
+    let profile = |name: &str, a: f64, b: f64, q: usize| {
+        DiscreteProfile::from_fn(name, q, move |k| {
+            let kf = k as f64;
+            (Seconds(a * kf * (1.0 + 0.1 * (kf * 0.7).sin())), Joules(b * kf * kf * 0.1 + kf))
+        })
+    };
+    let mut g = c.benchmark_group("partitioner");
+    g.sample_size(10);
+    for &chunks in &[16usize, 48, 96] {
+        let p = Partitioner::new(vec![
+            profile("cpu", 1.0, 2.0, chunks),
+            profile("k40c", 0.6, 3.0, chunks),
+            profile("p100", 0.3, 1.0, chunks),
+        ]);
+        g.bench_with_input(BenchmarkId::from_parameter(chunks), &chunks, |b, &chunks| {
+            b.iter(|| p.solve(chunks))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pareto, bench_protocol, bench_ep_metric, bench_partitioner);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Bench + regeneration of Fig. 1 (strong EP: E_d vs W for the 2-D FFT on
+//! the Haswell CPU, K40c and P100).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_bench::figures::fig1;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig1::render());
+    c.bench_function("fig1/generate", |b| b.iter(fig1::generate));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Bench + regeneration of Fig. 2 (P100 weak EP and Pareto regions at
+//! N = 18432).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_bench::figures::fig2;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig2::render());
+    c.bench_function("fig2/generate", |b| b.iter(fig2::generate));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

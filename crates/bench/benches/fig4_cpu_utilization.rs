@@ -1,0 +1,16 @@
+//! Bench + regeneration of Fig. 4 (CPU dynamic power and performance vs
+//! average utilization at N = 17408, MKL and OpenBLAS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_bench::figures::fig4;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig4::render());
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(20);
+    g.bench_function("generate", |b| b.iter(fig4::generate));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Bench + regeneration of Fig. 6 (dynamic-energy non-additivity in G).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_bench::figures::fig6;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig6::render());
+    c.bench_function("fig6/generate", |b| b.iter(fig6::generate));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

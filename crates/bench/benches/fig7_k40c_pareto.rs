@@ -1,0 +1,13 @@
+//! Bench + regeneration of Fig. 7 (K40c local Pareto fronts at N = 8704
+//! and N = 10240).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_bench::figures::fig7;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig7::render());
+    c.bench_function("fig7/generate", |b| b.iter(fig7::generate));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Bench + regeneration of Fig. 8 (P100 global Pareto fronts at N = 10240
+//! and N = 14336).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_bench::figures::fig8;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig8::render());
+    c.bench_function("fig8/generate", |b| b.iter(fig8::generate));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Bench + regeneration of the headline savings/degradation summary over
+//! the full workload grid (Sec. I / Sec. V).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_bench::figures::headline;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", headline::render());
+    let mut g = c.benchmark_group("headline");
+    g.sample_size(10);
+    g.bench_function("generate", |b| b.iter(headline::generate));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

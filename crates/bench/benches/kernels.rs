@@ -1,0 +1,81 @@
+//! Microbenchmarks of the real compute kernels: the Fig. 3 threadgroup
+//! DGEMM decomposition and the parallel 2-D FFT. These give the toolkit an
+//! executable ground truth for its work accounting on the host machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use enprop_kernels::{dgemm_threadgroups, fft2d_parallel, Complex, Matrix, ThreadgroupConfig};
+
+fn bench_dgemm_threadgroups(c: &mut Criterion) {
+    let n = 256;
+    let a = Matrix::filled(n, n, 1);
+    let b = Matrix::filled(n, n, 2);
+    let flops = 2.0 * (n as f64).powi(3);
+
+    let mut g = c.benchmark_group("dgemm_threadgroups");
+    g.throughput(Throughput::Elements(flops as u64));
+    g.sample_size(10);
+    for &(p, t) in &[(1usize, 1usize), (1, 4), (2, 2), (4, 1), (2, 4)] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("p{p}t{t}")), &(p, t), |bch, _| {
+            bch.iter(|| {
+                let mut cmat = Matrix::square(n);
+                let cfg = ThreadgroupConfig { groups: p, threads_per_group: t, block_size: 32 };
+                dgemm_threadgroups(cfg, &a, &b, &mut cmat)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dgemm_block_size(c: &mut Criterion) {
+    // Ablation: cache-block dimension of the serial kernel (the CPU
+    // analogue of the GPU decision variable BS).
+    let n = 192;
+    let a = Matrix::filled(n, n, 1);
+    let b = Matrix::filled(n, n, 2);
+    let mut g = c.benchmark_group("dgemm_block_size");
+    g.sample_size(10);
+    for &bs in &[4usize, 8, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |bch, &bs| {
+            bch.iter(|| {
+                let mut cmat = Matrix::square(n);
+                enprop_kernels::dgemm_blocked(
+                    1.0,
+                    a.as_slice(),
+                    b.as_slice(),
+                    0.0,
+                    cmat.as_mut_slice(),
+                    n,
+                    n,
+                    n,
+                    bs,
+                );
+                cmat
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft2d(c: &mut Criterion) {
+    let n = 128;
+    let signal: Vec<Complex> = {
+        let re = Matrix::filled(n, n, 7);
+        let im = Matrix::filled(n, n, 8);
+        (0..n * n).map(|k| Complex::new(re.as_slice()[k], im.as_slice()[k])).collect()
+    };
+    let mut g = c.benchmark_group("fft2d_parallel");
+    g.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, &threads| {
+            bch.iter(|| {
+                let mut x = signal.clone();
+                fft2d_parallel(&mut x, n, threads);
+                x
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dgemm_threadgroups, bench_dgemm_block_size, bench_fft2d);
+criterion_main!(benches);

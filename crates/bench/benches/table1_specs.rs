@@ -1,0 +1,12 @@
+//! Bench + regeneration of Table I (platform specifications).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_bench::figures::table1;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table1::render());
+    c.bench_function("table1/generate", |b| b.iter(table1::generate));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Bench + regeneration of the Sec. III two-core theorem table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enprop_bench::figures::theory;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", theory::render());
+    c.bench_function("theory/generate", |b| b.iter(theory::generate));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

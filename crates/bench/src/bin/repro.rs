@@ -1,0 +1,154 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline] [--json DIR] [--measured [SEED]]
+//! ```
+//!
+//! With `--json DIR` each generated artifact is additionally written as a
+//! JSON file (the source of the numbers in `EXPERIMENTS.md`). With
+//! `--measured`, Figs. 7 and 8 are regenerated through the full noisy
+//! measurement methodology (simulated WattsUp + Student-t protocol)
+//! instead of the noise-free analytic model.
+
+use enprop_bench::figures;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut json_dir: Option<String> = None;
+    let mut measured: Option<u64> = None;
+    let mut it = args.into_iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json_dir = Some(it.next().unwrap_or_else(|| usage("missing --json DIR")))
+            }
+            "--measured" => {
+                let seed = it
+                    .peek()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .inspect(|_| {
+                        it.next();
+                    })
+                    .unwrap_or(42);
+                measured = Some(seed);
+            }
+            "-h" | "--help" => usage(""),
+            other => which = other.to_string(),
+        }
+    }
+
+    let artifacts: Vec<&str> = match which.as_str() {
+        "all" => vec![
+            "table1", "fig1", "fig2", "fig4", "fig6", "fig7", "fig8", "theory", "headline",
+            "ablations", "sensitivity",
+        ],
+        one @ ("table1" | "fig1" | "fig2" | "fig4" | "fig6" | "fig7" | "fig8" | "theory"
+        | "headline" | "ablations" | "sensitivity") => vec![one],
+        other => usage(&format!("unknown artifact '{other}'")),
+    };
+
+    for name in artifacts {
+        println!("==================== {} ====================", title(name));
+        let (text, json) = run(name, measured);
+        println!("{text}");
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{name}.json");
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            f.write_all(json.as_bytes()).expect("write json");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn title(name: &str) -> &'static str {
+    match name {
+        "table1" => "Table I: platform specifications",
+        "fig1" => "Fig. 1: strong EP (E_d vs W, 2-D FFT)",
+        "fig2" => "Fig. 2: P100 weak EP and Pareto regions (N = 18432)",
+        "fig4" => "Fig. 4: CPU power/performance vs utilization (N = 17408)",
+        "fig6" => "Fig. 6: dynamic-energy non-additivity in G",
+        "fig7" => "Fig. 7: K40c local Pareto fronts (N = 8704, 10240)",
+        "fig8" => "Fig. 8: P100 global Pareto fronts (N = 10240, 14336)",
+        "theory" => "Sec. III: two-core nonproportionality theorem",
+        "headline" => "Headline savings over the workload grid",
+        "ablations" => "Ablations: which mechanism produces which artifact",
+        "sensitivity" => "Calibration sensitivity: +/-20% parameter sweeps",
+        _ => unreachable!(),
+    }
+}
+
+fn run(name: &str, measured: Option<u64>) -> (String, String) {
+    // Figs. 7/8 optionally run through the full noisy methodology.
+    if let Some(seed) = measured {
+        match name {
+            "fig7" => {
+                let panels = figures::fig7::generate_measured(seed);
+                let text = panels
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "K40c (measured, seed {seed}), N = {}: global front {} pt(s), \
+                             local front {} pt(s), local best {:?}\n",
+                            p.n,
+                            p.global.len(),
+                            p.local.len(),
+                            p.local.best_pair()
+                        )
+                    })
+                    .collect();
+                return (text, to_json(&panels));
+            }
+            "fig8" => {
+                let panels = figures::fig8::generate_measured(seed);
+                let text = panels
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "P100 (measured, seed {seed}), N = {}: global front {} pt(s), \
+                             best {:?}\n",
+                            p.n,
+                            p.global.len(),
+                            p.global.best_pair()
+                        )
+                    })
+                    .collect();
+                return (text, to_json(&panels));
+            }
+            _ => {}
+        }
+    }
+    match name {
+        "table1" => (figures::table1::render(), to_json(&figures::table1::generate())),
+        "fig1" => (figures::fig1::render(), to_json(&figures::fig1::generate())),
+        "fig2" => (figures::fig2::render(), to_json(&figures::fig2::generate())),
+        "fig4" => (figures::fig4::render(), to_json(&figures::fig4::generate())),
+        "fig6" => (figures::fig6::render(), to_json(&figures::fig6::generate())),
+        "fig7" => (figures::fig7::render(), to_json(&figures::fig7::generate())),
+        "fig8" => (figures::fig8::render(), to_json(&figures::fig8::generate())),
+        "theory" => (figures::theory::render(), to_json(&figures::theory::generate())),
+        "headline" => (figures::headline::render(), to_json(&figures::headline::generate())),
+        "ablations" => (figures::ablations::render(), to_json(&figures::ablations::generate())),
+        "sensitivity" => {
+            (figures::sensitivity::render(), to_json(&figures::sensitivity::generate()))
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn to_json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string_pretty(v).expect("serialize artifact")
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline] \
+         [--json DIR] [--measured [SEED]]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,167 @@
+//! Ablations of the calibrated power-model mechanisms.
+//!
+//! `DESIGN.md` attributes each published Pareto feature to one modeled
+//! mechanism. These ablations switch the mechanisms off one at a time and
+//! regenerate the affected artifact, demonstrating the attribution:
+//!
+//! * **auto-boost** (P100) → the multi-point global fronts of Fig. 8;
+//! * **clock-gating ineffectiveness** (K40c, power ∝ occupancy) → the
+//!   non-monotone energy cloud behind Fig. 7's local fronts;
+//! * **the 58 W warm-up component** → Fig. 6's non-additivity.
+
+use super::{front_of, gpu_cloud};
+use enprop_gpusim::{GpuArch, TiledDgemm, TiledDgemmConfig};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one mechanism ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ablation {
+    /// Which mechanism was removed.
+    pub mechanism: String,
+    /// The observable it controls.
+    pub observable: String,
+    /// Value with the mechanism enabled (the calibrated model).
+    pub with: f64,
+    /// Value with the mechanism disabled.
+    pub without: f64,
+}
+
+impl Ablation {
+    /// Whether removing the mechanism moved the observable by at least a
+    /// factor of two in either direction.
+    pub fn mechanism_is_load_bearing(&self) -> bool {
+        self.without < 0.5 * self.with || self.without > 2.0 * self.with
+    }
+}
+
+/// P100 with auto-boost disabled.
+fn p100_no_boost() -> GpuArch {
+    let mut arch = GpuArch::p100_pcie();
+    arch.power.boost_occupancy = 2.0; // unreachable
+    arch.power.boost_speedup = 1.0;
+    arch.power.boost_power_mult = 1.0;
+    arch
+}
+
+/// K40c with perfect clock gating (power follows utilization, not
+/// occupancy).
+fn k40c_gated() -> GpuArch {
+    let mut arch = GpuArch::k40c();
+    arch.power.gating_effectiveness = 1.0;
+    arch
+}
+
+/// A GPU with the warm-up component removed.
+fn without_warmup(mut arch: GpuArch) -> GpuArch {
+    arch.power.warmup_power_w = 0.0;
+    arch.power.warmup_duration_s = 0.0;
+    arch
+}
+
+/// Max energy savings on the global front of the (possibly ablated) arch.
+fn global_savings(arch: GpuArch, n: usize) -> f64 {
+    let cloud = gpu_cloud(arch, n);
+    front_of(&cloud, |_| true).best_pair().map(|(s, _)| s).unwrap_or(0.0)
+}
+
+/// Size of the global Pareto front (1 = the paper's K40c singleton).
+fn global_front_size(arch: GpuArch, n: usize) -> f64 {
+    let cloud = gpu_cloud(arch, n);
+    front_of(&cloud, |_| true).len() as f64
+}
+
+/// G = 4 non-additivity at N = 5120 (BS = 16) for the given arch.
+fn nonadditivity(arch: GpuArch) -> f64 {
+    let model = TiledDgemm::new(arch);
+    let e1 = model
+        .estimate(&TiledDgemmConfig { n: 5120, bs: 16, g: 1, r: 1 })
+        .dynamic_energy()
+        .value();
+    let e4 = model
+        .estimate(&TiledDgemmConfig { n: 5120, bs: 16, g: 4, r: 1 })
+        .dynamic_energy()
+        .value();
+    (4.0 * e1 - e4) / (4.0 * e1)
+}
+
+/// Runs all three ablations.
+pub fn generate() -> Vec<Ablation> {
+    vec![
+        Ablation {
+            mechanism: "P100 auto-boost".into(),
+            observable: "global-front max savings at N = 10240".into(),
+            with: global_savings(GpuArch::p100_pcie(), 10240),
+            without: global_savings(p100_no_boost(), 10240),
+        },
+        Ablation {
+            // With Kepler's occupancy-tracking power the BS = 32 optimum
+            // dominates everything (front size 1, the paper's claim);
+            // granting K40c perfect Pascal-style gating would put slower,
+            // lower-utilization configurations onto the global front.
+            mechanism: "K40c occupancy-power (imperfect clock gating)".into(),
+            observable: "global-front points at N = 10240 (paper: 1)".into(),
+            with: global_front_size(GpuArch::k40c(), 10240),
+            without: global_front_size(k40c_gated(), 10240),
+        },
+        Ablation {
+            mechanism: "58 W warm-up component".into(),
+            observable: "G=4 non-additivity at N = 5120 (P100)".into(),
+            with: nonadditivity(GpuArch::p100_pcie()),
+            without: nonadditivity(without_warmup(GpuArch::p100_pcie())),
+        },
+    ]
+}
+
+/// Renders the ablation table.
+pub fn render() -> String {
+    let rows: Vec<Vec<String>> = generate()
+        .iter()
+        .map(|a| {
+            vec![
+                a.mechanism.clone(),
+                a.observable.clone(),
+                crate::render::pct(a.with),
+                crate::render::pct(a.without),
+                if a.mechanism_is_load_bearing() { "LOAD-BEARING".into() } else { "minor".into() },
+            ]
+        })
+        .collect();
+    crate::render::table(&["mechanism", "observable", "with", "without", "verdict"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boost_creates_p100_front_savings() {
+        let a = &generate()[0];
+        assert!(a.with > 0.35, "with boost: {}", a.with);
+        assert!(a.mechanism_is_load_bearing(), "{a:?}");
+    }
+
+    #[test]
+    fn occupancy_power_keeps_k40c_front_singleton() {
+        let a = &generate()[1];
+        assert_eq!(a.with, 1.0, "calibrated K40c front must be a singleton");
+        assert!(a.without > a.with, "gated K40c should gain front points: {a:?}");
+    }
+
+    #[test]
+    fn warmup_creates_nonadditivity() {
+        let a = &generate()[2];
+        assert!(a.with > 0.05, "with warm-up: {}", a.with);
+        // Without the component only the ±0.4%/group i-cache effect
+        // remains (slightly super-additive).
+        assert!(a.without.abs() < 0.02, "without warm-up: {}", a.without);
+        assert!(a.mechanism_is_load_bearing());
+    }
+
+    #[test]
+    fn render_mentions_all_mechanisms() {
+        let r = render();
+        assert!(r.contains("auto-boost"));
+        assert!(r.contains("clock gating"));
+        assert!(r.contains("warm-up"));
+    }
+}

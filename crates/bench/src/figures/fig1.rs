@@ -1,0 +1,118 @@
+//! Fig. 1: dynamic energy vs. work for the 2-D FFT on all three
+//! processors — the strong-EP violation.
+
+use enprop_apps::{sizes, Fft2dApp, FftPoint, Processor};
+use enprop_ep::{StrongEpReport, StrongEpTest};
+use serde::{Deserialize, Serialize};
+
+/// One processor's Fig. 1 series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Series {
+    /// Processor name.
+    pub processor: String,
+    /// The (N, W, time, E_d) sweep.
+    pub points: Vec<FftPoint>,
+    /// The strong-EP verdict over the sweep.
+    pub strong_ep: StrongEpReport,
+}
+
+/// Generates Fig. 1 for all three processors of Table I.
+pub fn generate() -> Vec<Fig1Series> {
+    Processor::catalog()
+        .into_iter()
+        .map(|proc| {
+            let app = Fft2dApp::new(proc);
+            let points = app.sweep(&sizes::fig1_sizes());
+            let pairs: Vec<_> = points.iter().map(|p| (p.work, p.dynamic_energy)).collect();
+            let strong_ep = StrongEpTest::default().run(&pairs);
+            Fig1Series { processor: app.processor().name(), points, strong_ep }
+        })
+        .collect()
+}
+
+/// Renders the figure's series as text.
+pub fn render() -> String {
+    let mut out = String::new();
+    for s in generate() {
+        out.push_str(&format!(
+            "--- {} --- strong EP {} (max residual {:.1}%, c = {:.3e})\n",
+            s.processor,
+            if s.strong_ep.holds { "HOLDS" } else { "VIOLATED" },
+            s.strong_ep.max_rel_residual * 100.0,
+            s.strong_ep.c,
+        ));
+        let rows: Vec<Vec<String>> = s
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.n.to_string(),
+                    format!("{:.3e}", p.work.value()),
+                    format!("{:.4}", p.time.value()),
+                    format!("{:.1}", p.dynamic_energy.value()),
+                ]
+            })
+            .collect();
+        out.push_str(&crate::render::table(&["N", "W", "time[s]", "E_d[J]"], &rows));
+        // The figure panel: log₁₀ E_d vs log₁₀ W — a straight line of
+        // slope 1 under strong EP; visibly bent here.
+        let pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .filter(|p| p.dynamic_energy.value() > 0.0)
+            .map(|p| (p.work.value().log10(), p.dynamic_energy.value().log10()))
+            .collect();
+        out.push_str(&crate::scatter::scatter(
+            "log10 E_d vs log10 W",
+            "log10 W",
+            "log10 E_d [J]",
+            &[crate::scatter::Series { glyph: '*', points: pts }],
+            64,
+            12,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_processors_violate_strong_ep() {
+        let series = generate();
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert!(!s.strong_ep.holds, "{} unexpectedly satisfies strong EP", s.processor);
+            assert!(s.strong_ep.max_rel_residual > 0.10, "{}", s.processor);
+        }
+    }
+
+    #[test]
+    fn energy_grows_with_work_but_nonlinearly() {
+        for s in generate() {
+            // Overall trend is increasing from the smallest to the largest
+            // size…
+            let first = s.points.first().unwrap();
+            let last = s.points.last().unwrap();
+            assert!(last.dynamic_energy > first.dynamic_energy);
+            // …but energy per work is far from constant.
+            let e_per_w: Vec<f64> = s
+                .points
+                .iter()
+                .map(|p| p.dynamic_energy.value() / p.work.value())
+                .collect();
+            let max = e_per_w.iter().cloned().fold(f64::MIN, f64::max);
+            let min = e_per_w.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(max / min > 1.3, "{}: {}", s.processor, max / min);
+        }
+    }
+
+    #[test]
+    fn render_mentions_violation() {
+        let r = render();
+        assert_eq!(r.matches("VIOLATED").count(), 3);
+        assert!(r.contains("44000"));
+    }
+}

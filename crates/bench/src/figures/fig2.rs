@@ -1,0 +1,135 @@
+//! Fig. 2: the P100 weak-EP illustration at N = 18432 — the full
+//! configuration cloud, its two regions, and the Pareto fronts.
+//!
+//! The paper's four panels: (a) all configurations; (b) the BS ≤ 20 region
+//! where optimizing performance also optimizes energy; (c) the BS ≥ 21
+//! region with a real trade-off; (d) its Pareto front. Quoted numbers: a
+//! 2.5% performance degradation gives 12.5% energy savings on the global
+//! front, and the BS ≤ 30 sub-region offers ~24% savings for ~8%
+//! degradation.
+
+use super::{front_of, gpu_cloud};
+use enprop_apps::point::DataPoint;
+use enprop_apps::sizes::FIG2_N;
+use enprop_ep::{WeakEpReport, WeakEpTest};
+use enprop_gpusim::{GpuArch, TiledDgemmConfig};
+use enprop_pareto::TradeoffAnalysis;
+use enprop_stats::corr::pearson;
+use serde::{Deserialize, Serialize};
+
+/// The generated Fig. 2 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// Matrix size (18432).
+    pub n: usize,
+    /// The full (BS, G, R) cloud.
+    pub cloud: Vec<DataPoint<TiledDgemmConfig>>,
+    /// Weak-EP verdict over the cloud.
+    pub weak_ep: WeakEpReport,
+    /// Pearson correlation of time and energy in the BS ≤ 20 region — the
+    /// "optimizing for performance optimizes for dynamic energy" region.
+    pub low_bs_time_energy_corr: f64,
+    /// Global Pareto front and trade-offs (panel d).
+    pub global: TradeoffAnalysis,
+    /// Front of the BS 21..=32 trade-off region (panel c).
+    pub high_bs_region: TradeoffAnalysis,
+    /// Front of the BS ≤ 30 sub-region the paper quotes 24%/8% for.
+    pub bs_le_30: TradeoffAnalysis,
+}
+
+/// Generates Fig. 2.
+pub fn generate() -> Fig2 {
+    let cloud = gpu_cloud(GpuArch::p100_pcie(), FIG2_N);
+    let energies: Vec<_> = cloud.iter().map(|p| p.dynamic_energy).collect();
+    let weak_ep = WeakEpTest::default().run(&energies);
+
+    let low: Vec<&DataPoint<TiledDgemmConfig>> =
+        cloud.iter().filter(|p| p.config.bs <= 20).collect();
+    let times: Vec<f64> = low.iter().map(|p| p.time.value()).collect();
+    let es: Vec<f64> = low.iter().map(|p| p.dynamic_energy.value()).collect();
+    let low_bs_time_energy_corr = pearson(&times, &es);
+
+    Fig2 {
+        n: FIG2_N,
+        global: front_of(&cloud, |_| true),
+        high_bs_region: front_of(&cloud, |c| c.bs >= 21),
+        bs_le_30: front_of(&cloud, |c| c.bs <= 30),
+        weak_ep,
+        low_bs_time_energy_corr,
+        cloud,
+    }
+}
+
+/// Renders the figure's headline rows as text.
+pub fn render() -> String {
+    let f = generate();
+    let mut out = format!(
+        "P100 PCIe, N = {} ({} configurations)\nweak EP {} (spread {:.1}%)\n\
+         BS<=20 region: corr(time, energy) = {:.3} (monotone => perf-opt is energy-opt)\n",
+        f.n,
+        f.cloud.len(),
+        if f.weak_ep.holds { "HOLDS" } else { "VIOLATED" },
+        f.weak_ep.rel_spread * 100.0,
+        f.low_bs_time_energy_corr,
+    );
+    let front_rows = |t: &TradeoffAnalysis| -> Vec<Vec<String>> {
+        t.front
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.4}", p.point.time),
+                    format!("{:.1}", p.point.energy),
+                    crate::render::pct(p.degradation),
+                    crate::render::pct(p.savings),
+                ]
+            })
+            .collect()
+    };
+    out.push_str(&format!("global Pareto front ({} points):\n", f.global.len()));
+    out.push_str(&crate::render::table(
+        &["time[s]", "E_d[J]", "degradation", "savings"],
+        &front_rows(&f.global),
+    ));
+    out.push_str(&format!("BS<=30 region front ({} points):\n", f.bs_le_30.len()));
+    out.push_str(&crate::render::table(
+        &["time[s]", "E_d[J]", "degradation", "savings"],
+        &front_rows(&f.bs_le_30),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_ep_is_violated() {
+        let f = generate();
+        assert!(!f.weak_ep.holds);
+        assert!(f.weak_ep.rel_spread > 0.3, "{}", f.weak_ep.rel_spread);
+    }
+
+    #[test]
+    fn low_bs_region_is_monotone() {
+        // In BS ≤ 20 performance and energy improve together.
+        let f = generate();
+        assert!(f.low_bs_time_energy_corr > 0.9, "{}", f.low_bs_time_energy_corr);
+    }
+
+    #[test]
+    fn global_front_offers_savings() {
+        let f = generate();
+        assert!(f.global.len() >= 2, "front size {}", f.global.len());
+        let (savings, degradation) = f.global.best_pair().unwrap();
+        assert!(savings > 0.10, "savings {savings}");
+        assert!(degradation < 0.25, "degradation {degradation}");
+    }
+
+    #[test]
+    fn fastest_point_is_bs32() {
+        let f = generate();
+        let idx = f.global.performance_optimal().index;
+        // The front indexes the full cloud in input order.
+        assert_eq!(f.cloud[idx].config.bs, 32);
+    }
+}

@@ -1,0 +1,205 @@
+//! Fig. 4: dynamic power and performance vs. average CPU utilization for
+//! the MKL and OpenBLAS threadgroup DGEMM at N = 17408.
+//!
+//! Reproduced claims: performance is linear in utilization up to a
+//! ~700 Gflop/s plateau; dynamic power starts linear then becomes a
+//! *non-functional* relation of average utilization (points at the same
+//! utilization with different powers — A/B and the C/D lines); the linear
+//! and concave-quadratic trend lines of the prior literature fit poorly.
+
+use enprop_apps::sizes::FIG4_N;
+use enprop_apps::CpuDgemmApp;
+use enprop_cpusim::BlasFlavor;
+use enprop_ep::{WeakEpReport, WeakEpTest};
+use enprop_stats::trend::{FunctionalTest, Plateau, TrendLine};
+use enprop_units::Joules;
+use serde::{Deserialize, Serialize};
+
+/// One configuration's Fig. 4 coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Point {
+    /// Configuration label (`MKL row p=4 t=6`).
+    pub label: String,
+    /// Average CPU utilization (fraction of 48 logical cores).
+    pub avg_utilization: f64,
+    /// Spread (σ) of per-core utilizations.
+    pub utilization_spread: f64,
+    /// Dynamic power, watts.
+    pub dynamic_power: f64,
+    /// Performance, Gflop/s.
+    pub gflops: f64,
+    /// Dynamic energy, joules.
+    pub dynamic_energy: f64,
+}
+
+/// One BLAS flavor's panel pair of Fig. 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Flavor {
+    /// Flavor name.
+    pub flavor: String,
+    /// Every configuration's coordinates.
+    pub points: Vec<Fig4Point>,
+    /// Linear R² of the power-vs-utilization trend (the green line).
+    pub power_linear_r2: f64,
+    /// Whether the quadratic trend (the blue line) is concave.
+    pub power_quadratic_concave: bool,
+    /// Quadratic R² of the power-vs-utilization trend.
+    pub power_quadratic_r2: f64,
+    /// The detected performance plateau (Gflop/s level, onset utilization).
+    pub plateau: Option<(f64, f64)>,
+    /// The non-functionality verdict for power vs. utilization.
+    pub power_non_functional: bool,
+    /// Largest within-utilization-cell relative power spread.
+    pub max_within_spread: f64,
+    /// Weak-EP verdict over the full-workload configurations.
+    pub weak_ep: WeakEpReport,
+}
+
+/// Generates Fig. 4 for both BLAS flavors.
+pub fn generate() -> Vec<Fig4Flavor> {
+    let app = CpuDgemmApp::haswell();
+    [BlasFlavor::IntelMkl, BlasFlavor::OpenBlas]
+        .into_iter()
+        .map(|flavor| {
+            let sweep = app.sweep_exact(FIG4_N, flavor);
+            let points: Vec<Fig4Point> = sweep
+                .iter()
+                .map(|p| Fig4Point {
+                    label: p.point.config.label(),
+                    avg_utilization: p.avg_utilization.fraction(),
+                    utilization_spread: p.utilization_spread,
+                    dynamic_power: p.point.dynamic_power().value(),
+                    gflops: p.gflops,
+                    dynamic_energy: p.point.dynamic_energy.value(),
+                })
+                .collect();
+
+            let us: Vec<f64> = points.iter().map(|p| p.avg_utilization).collect();
+            let ps: Vec<f64> = points.iter().map(|p| p.dynamic_power).collect();
+            let gs: Vec<f64> = points.iter().map(|p| p.gflops).collect();
+
+            let trend = TrendLine::fit(&us, &ps);
+            let plateau = Plateau::detect(&us, &gs, 0.08).map(|pl| (pl.level, pl.onset_x));
+            let functional = FunctionalTest::run(&us, &ps, 20, 0.15);
+
+            // Weak EP over the configurations that use every core (equal
+            // utilization precondition): 48-thread configurations.
+            let full: Vec<Joules> = sweep
+                .iter()
+                .filter(|p| p.point.config.total_threads() == 48)
+                .map(|p| p.point.dynamic_energy)
+                .collect();
+            let weak_ep = WeakEpTest::default().run(&full);
+
+            Fig4Flavor {
+                flavor: flavor.name().to_string(),
+                power_linear_r2: trend.linear.r_squared,
+                power_quadratic_concave: trend
+                    .quadratic
+                    .as_ref()
+                    .map(|q| q.is_concave_quadratic())
+                    .unwrap_or(false),
+                power_quadratic_r2: trend.quadratic.as_ref().map(|q| q.r_squared).unwrap_or(0.0),
+                plateau,
+                power_non_functional: functional.is_non_functional(),
+                max_within_spread: functional.max_within_spread,
+                weak_ep,
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure's headline rows.
+pub fn render() -> String {
+    let mut out = String::new();
+    for f in generate() {
+        out.push_str(&format!(
+            "--- {} DGEMM, N = {FIG4_N} ({} configurations) ---\n",
+            f.flavor,
+            f.points.len()
+        ));
+        if let Some((level, onset)) = f.plateau {
+            out.push_str(&format!(
+                "performance plateau: {level:.0} Gflop/s from {:.0}% utilization\n",
+                onset * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "power vs utilization: linear R² = {:.3}, quadratic (concave: {}) R² = {:.3}\n",
+            f.power_linear_r2, f.power_quadratic_concave, f.power_quadratic_r2
+        ));
+        out.push_str(&format!(
+            "non-functional relationship: {} (same-utilization power spread up to {})\n",
+            f.power_non_functional,
+            crate::render::pct(f.max_within_spread)
+        ));
+        out.push_str(&format!(
+            "weak EP over 48-thread configurations: {} (spread {})\n",
+            if f.weak_ep.holds { "HOLDS" } else { "VIOLATED" },
+            crate::render::pct(f.weak_ep.rel_spread)
+        ));
+        // The two panels: dynamic power and performance vs utilization.
+        let power_pts: Vec<(f64, f64)> =
+            f.points.iter().map(|p| (p.avg_utilization * 100.0, p.dynamic_power)).collect();
+        let perf_pts: Vec<(f64, f64)> =
+            f.points.iter().map(|p| (p.avg_utilization * 100.0, p.gflops)).collect();
+        out.push_str(&crate::scatter::scatter(
+            "dynamic power vs average CPU utilization",
+            "utilization [%]",
+            "dynamic power [W]",
+            &[crate::scatter::Series { glyph: '.', points: power_pts }],
+            64,
+            12,
+        ));
+        out.push_str(&crate::scatter::scatter(
+            "performance vs average CPU utilization",
+            "utilization [%]",
+            "performance [Gflop/s]",
+            &[crate::scatter::Series { glyph: '.', points: perf_pts }],
+            64,
+            12,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_flavors_show_non_functional_power() {
+        for f in generate() {
+            assert!(f.power_non_functional, "{}", f.flavor);
+            assert!(f.max_within_spread > 0.15, "{}: {}", f.flavor, f.max_within_spread);
+        }
+    }
+
+    #[test]
+    fn performance_plateaus_near_700() {
+        for f in generate() {
+            let (level, onset) = f.plateau.unwrap_or_else(|| panic!("{}: no plateau", f.flavor));
+            assert!((550.0..780.0).contains(&level), "{}: {level}", f.flavor);
+            assert!(onset < 0.95, "{}: onset {onset}", f.flavor);
+        }
+    }
+
+    #[test]
+    fn weak_ep_violated_on_equal_utilization_configs() {
+        for f in generate() {
+            assert!(!f.weak_ep.holds, "{}", f.flavor);
+        }
+    }
+
+    #[test]
+    fn trend_lines_fit_poorly() {
+        // Neither the linear nor the concave-quadratic literature trend
+        // captures the scatter.
+        for f in generate() {
+            assert!(f.power_linear_r2 < 0.98, "{}: {}", f.flavor, f.power_linear_r2);
+            assert!(f.power_quadratic_r2 < 0.98, "{}", f.flavor);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Fig. 6: non-additivity of dynamic energy as the group size G grows.
+//!
+//! For each matrix size, the kernel runs with G = 1..4 (at fixed BS and a
+//! single launch). Under additivity the dynamic energy of the G-group
+//! kernel would be `G × E_{G=1}`; the measured energy falls short because
+//! the 58 W warm-up component is paid once per *launch*, not once per
+//! product. The relative gap shrinks as compute energy grows with N and is
+//! negligible beyond N ≈ 15360 on the P100 and N ≈ 10240 on the K40c.
+
+use enprop_apps::sizes;
+use enprop_ep::fixed_component_fit;
+use enprop_gpusim::{GpuArch, TiledDgemm, TiledDgemmConfig};
+use serde::{Deserialize, Serialize};
+
+/// BS used for the G sweep (small enough that every G ≤ 8 is valid).
+pub const FIG6_BS: usize = 16;
+/// The G values the paper plots.
+pub const FIG6_GROUPS: [usize; 4] = [1, 2, 3, 4];
+/// Relative non-additivity below which we call the energies additive.
+pub const ADDITIVE_THRESHOLD: f64 = 0.03;
+
+/// One (N, G) cell of the figure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Matrix size.
+    pub n: usize,
+    /// Group size.
+    pub g: usize,
+    /// Measured (modeled) dynamic energy of the G-group kernel, joules.
+    pub energy: f64,
+    /// The additive prediction `G × E_{G=1}`, joules.
+    pub additive_prediction: f64,
+    /// Relative non-additivity `(prediction − energy) / prediction`.
+    pub nonadditivity: f64,
+    /// Execution time of the G-group kernel, seconds.
+    pub time: f64,
+    /// The additive time prediction `G × t_{G=1}` (times *are* additive).
+    pub additive_time: f64,
+}
+
+/// One GPU's Fig. 6 panel set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Gpu {
+    /// GPU name.
+    pub gpu: String,
+    /// All (N, G) cells.
+    pub rows: Vec<Fig6Row>,
+    /// Smallest sweep size from which G = 4 is additive (within
+    /// [`ADDITIVE_THRESHOLD`]) at this and all larger sizes.
+    pub additive_from_n: Option<usize>,
+    /// The per-launch constant energy recovered by fitting `E(G) =
+    /// slope·G + intercept` at N = 10240, joules.
+    pub fixed_component_energy_j: f64,
+    /// That component's implied constant power, given the active duration
+    /// read off the power trace, watts — the paper reports 58 W.
+    pub implied_component_w: f64,
+}
+
+/// Generates Fig. 6 for both GPUs.
+pub fn generate() -> Vec<Fig6Gpu> {
+    GpuArch::catalog()
+        .into_iter()
+        .map(|arch| {
+            let name = arch.name.clone();
+            let model = TiledDgemm::new(arch);
+            let mut rows = Vec::new();
+            for &n in &sizes::fig6_sizes() {
+                let base =
+                    model.estimate(&TiledDgemmConfig { n, bs: FIG6_BS, g: 1, r: 1 });
+                let (e1, t1) = (base.dynamic_energy().value(), base.time.value());
+                for &g in &FIG6_GROUPS {
+                    let est = model.estimate(&TiledDgemmConfig { n, bs: FIG6_BS, g, r: 1 });
+                    let energy = est.dynamic_energy().value();
+                    let additive_prediction = g as f64 * e1;
+                    rows.push(Fig6Row {
+                        n,
+                        g,
+                        energy,
+                        additive_prediction,
+                        nonadditivity: (additive_prediction - energy) / additive_prediction,
+                        time: est.time.value(),
+                        additive_time: g as f64 * t1,
+                    });
+                }
+            }
+            // Recover the constant component the paper's analysis finds.
+            // Cleanest design: compare k products in ONE launch (R = k —
+            // the repeat loop has no i-cache confounder, unlike textual G)
+            // against k separate launches; the difference is (k−1) copies
+            // of whatever a launch pays exactly once. A linear fit over
+            // several k values confirms a single constant explains it.
+            let probe_n = 10240;
+            let base = TiledDgemmConfig { n: probe_n, bs: FIG6_BS, g: 1, r: 1 };
+            let ks: Vec<f64> = (1..=4).map(|k| k as f64).collect();
+            let gaps: Vec<f64> = (1..=4)
+                .map(|k| {
+                    let separate = model.estimate_launch_sequence(&base, k);
+                    let grouped =
+                        model.estimate(&TiledDgemmConfig { r: k, ..base });
+                    separate.dynamic_energy().value() - grouped.dynamic_energy().value()
+                })
+                .collect();
+            // gap(k) = (k − 1)·E_fix ⇒ slope of gap over k is E_fix.
+            let (intercept, _, r2) = {
+                let (slope, icept, r2) = fixed_component_fit(&ks, &gaps);
+                (slope, icept, r2)
+            };
+            debug_assert!(r2 > 0.999, "constant-component fit should be linear");
+            let active = model.arch().power.warmup_duration_s;
+            let implied_component_w = intercept / active;
+
+            // First size from which G=4 stays additive through the rest of
+            // the sweep.
+            let g4: Vec<&Fig6Row> = rows.iter().filter(|r| r.g == 4).collect();
+            let additive_from_n = g4
+                .iter()
+                .position(|r| r.nonadditivity.abs() <= ADDITIVE_THRESHOLD)
+                .filter(|&i| g4[i..].iter().all(|r| r.nonadditivity.abs() <= ADDITIVE_THRESHOLD))
+                .map(|i| g4[i].n);
+            Fig6Gpu {
+                gpu: name,
+                rows,
+                additive_from_n,
+                fixed_component_energy_j: intercept,
+                implied_component_w,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure's rows.
+pub fn render() -> String {
+    let mut out = String::new();
+    for gpu in generate() {
+        out.push_str(&format!(
+            "--- {} (BS = {FIG6_BS}) --- energies additive from N = {}\n\
+             recovered constant component: {:.1} J per launch => {:.1} W \
+             over its active window (paper: 58 W)\n",
+            gpu.gpu,
+            gpu.additive_from_n.map_or("never".to_string(), |n| n.to_string()),
+            gpu.fixed_component_energy_j,
+            gpu.implied_component_w,
+        ));
+        let rows: Vec<Vec<String>> = gpu
+            .rows
+            .iter()
+            .filter(|r| r.g > 1)
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.g.to_string(),
+                    format!("{:.1}", r.energy),
+                    format!("{:.1}", r.additive_prediction),
+                    crate::render::pct(r.nonadditivity),
+                ]
+            })
+            .collect();
+        out.push_str(&crate::render::table(
+            &["N", "G", "E_d[J]", "G*E_g1[J]", "non-add"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonadditivity_high_at_small_n_and_decays() {
+        for gpu in generate() {
+            let at = |n: usize, g: usize| {
+                gpu.rows
+                    .iter()
+                    .find(|r| r.n == n && r.g == g)
+                    .map(|r| r.nonadditivity)
+                    .unwrap()
+            };
+            assert!(at(5120, 4) > 0.08, "{}: {}", gpu.gpu, at(5120, 4));
+            assert!(at(18432, 4) < ADDITIVE_THRESHOLD, "{}: {}", gpu.gpu, at(18432, 4));
+            assert!(at(5120, 4) > at(10240, 4), "{}", gpu.gpu);
+        }
+    }
+
+    #[test]
+    fn thresholds_match_paper_ordering() {
+        // K40c becomes additive at a smaller N than the P100.
+        let gpus = generate();
+        let k40 = gpus.iter().find(|g| g.gpu.contains("K40c")).unwrap();
+        let p100 = gpus.iter().find(|g| g.gpu.contains("P100")).unwrap();
+        let nk = k40.additive_from_n.expect("K40c additive threshold");
+        let np = p100.additive_from_n.expect("P100 additive threshold");
+        assert!(nk <= np, "K40c {nk} vs P100 {np}");
+        assert!((8192..=12288).contains(&nk), "K40c threshold {nk}");
+        assert!((12288..=18432).contains(&np), "P100 threshold {np}");
+    }
+
+    #[test]
+    fn execution_times_are_additive() {
+        // The paper observes time additivity throughout; the i-cache
+        // penalty keeps ours within 2%.
+        for gpu in generate() {
+            for r in &gpu.rows {
+                let rel = (r.time - r.additive_time).abs() / r.additive_time;
+                assert!(rel < 0.02, "{} N={} G={}: {rel}", gpu.gpu, r.n, r.g);
+            }
+        }
+    }
+
+    #[test]
+    fn recovered_component_is_the_58w_draw() {
+        // The inverse analysis recovers the injected mechanism: the
+        // intercept of E(G), divided by the component's active window,
+        // lands on the paper's 58 W figure.
+        for gpu in generate() {
+            assert!(
+                (gpu.implied_component_w - 58.0).abs() < 4.0,
+                "{}: {} W",
+                gpu.gpu,
+                gpu.implied_component_w
+            );
+        }
+    }
+
+    #[test]
+    fn g1_is_trivially_additive() {
+        for gpu in generate() {
+            for r in gpu.rows.iter().filter(|r| r.g == 1) {
+                assert!(r.nonadditivity.abs() < 1e-12);
+            }
+        }
+    }
+}

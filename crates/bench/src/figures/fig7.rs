@@ -1,0 +1,176 @@
+//! Fig. 7: K40c energy nonproportionality and *local* Pareto fronts at
+//! N = 8704 and N = 10240.
+//!
+//! Reproduced claims: the global Pareto front is a single point (BS = 32
+//! is optimal for both objectives); the BS ≤ 30 nonproportionality region
+//! yields local fronts of ~4–5 points with real energy/performance
+//! trade-offs.
+
+use super::{front_of, gpu_cloud, GPU_TOTAL_PRODUCTS};
+use enprop_apps::point::DataPoint;
+use enprop_apps::{sizes, GpuMatMulApp};
+use enprop_ep::{WeakEpReport, WeakEpTest};
+use enprop_gpusim::{GpuArch, TiledDgemmConfig};
+use enprop_pareto::TradeoffAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// One matrix size's panel column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Panel {
+    /// Matrix size.
+    pub n: usize,
+    /// The full configuration cloud.
+    pub cloud: Vec<DataPoint<TiledDgemmConfig>>,
+    /// Weak-EP verdict.
+    pub weak_ep: WeakEpReport,
+    /// Global front (expected singleton).
+    pub global: TradeoffAnalysis,
+    /// BS of the globally optimal configuration.
+    pub global_optimum_bs: usize,
+    /// Local front of the BS ≤ 30 nonproportionality region.
+    pub local: TradeoffAnalysis,
+}
+
+/// Generates both Fig. 7 panels from the noise-free analytic model.
+pub fn generate() -> Vec<Fig7Panel> {
+    generate_from(|n| gpu_cloud(GpuArch::k40c(), n))
+}
+
+/// Generates both panels through the full measurement methodology:
+/// simulated WattsUp meter, HCLWATTSUP decomposition, and the Student-t
+/// repeat-until-confidence protocol (deterministic under `seed`).
+pub fn generate_measured(seed: u64) -> Vec<Fig7Panel> {
+    let app = GpuMatMulApp::new(GpuArch::k40c(), GPU_TOTAL_PRODUCTS);
+    let mut runner = GpuMatMulApp::default_runner(seed);
+    generate_from(move |n| app.sweep_measured(n, &mut runner))
+}
+
+fn generate_from(
+    mut sweep: impl FnMut(usize) -> Vec<DataPoint<TiledDgemmConfig>>,
+) -> Vec<Fig7Panel> {
+    sizes::fig7_sizes()
+        .into_iter()
+        .map(|n| {
+            let cloud = sweep(n);
+            let energies: Vec<_> = cloud.iter().map(|p| p.dynamic_energy).collect();
+            let global = front_of(&cloud, |_| true);
+            let global_optimum_bs = cloud[global.performance_optimal().index].config.bs;
+            Fig7Panel {
+                n,
+                weak_ep: WeakEpTest::default().run(&energies),
+                local: front_of(&cloud, |c| c.bs <= 30),
+                global,
+                global_optimum_bs,
+                cloud,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure's headline rows.
+pub fn render() -> String {
+    let mut out = String::new();
+    for p in generate() {
+        out.push_str(&format!(
+            "--- K40c, N = {} ({} configurations) --- weak EP {} (spread {})\n",
+            p.n,
+            p.cloud.len(),
+            if p.weak_ep.holds { "HOLDS" } else { "VIOLATED" },
+            crate::render::pct(p.weak_ep.rel_spread)
+        ));
+        out.push_str(&format!(
+            "global front: {} point(s), optimum at BS = {}\n",
+            p.global.len(),
+            p.global_optimum_bs
+        ));
+        let rows: Vec<Vec<String>> = p
+            .local
+            .front
+            .iter()
+            .map(|t| {
+                vec![
+                    format!("BS={} G={}", p.cloud[t.index].config.bs, p.cloud[t.index].config.g),
+                    format!("{:.4}", t.point.time),
+                    format!("{:.1}", t.point.energy),
+                    crate::render::pct(t.degradation),
+                    crate::render::pct(t.savings),
+                ]
+            })
+            .collect();
+        out.push_str(&format!("local front, BS<=30 region ({} points):\n", p.local.len()));
+        out.push_str(&crate::render::table(
+            &["config", "time[s]", "E_d[J]", "degradation", "savings"],
+            &rows,
+        ));
+        // The middle panel: the BS 21..=30 nonproportionality region with
+        // its local front on top.
+        let cloud_pts: Vec<(f64, f64)> = p
+            .cloud
+            .iter()
+            .filter(|d| (21..=30).contains(&d.config.bs))
+            .map(|d| (d.time.value(), d.dynamic_energy.value()))
+            .collect();
+        let front_pts: Vec<(f64, f64)> =
+            p.local.front.iter().map(|t| (t.point.time, t.point.energy)).collect();
+        out.push_str(&crate::scatter::scatter(
+            &format!("E_d vs time, BS 21..=30 region (N = {})", p.n),
+            "time [s]",
+            "dynamic energy [J]",
+            &[
+                crate::scatter::Series { glyph: '.', points: cloud_pts },
+                crate::scatter::Series { glyph: '#', points: front_pts },
+            ],
+            64,
+            14,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_front_is_singleton_at_bs32() {
+        for p in generate() {
+            assert!(p.global.is_singleton(), "N={}: {} points", p.n, p.global.len());
+            assert_eq!(p.global_optimum_bs, 32, "N={}", p.n);
+        }
+    }
+
+    #[test]
+    fn local_fronts_have_multiple_points() {
+        // The paper observes an average of 4 and a maximum of 5 points.
+        for p in generate() {
+            assert!(
+                (2..=8).contains(&p.local.len()),
+                "N={}: local front has {} points",
+                p.n,
+                p.local.len()
+            );
+        }
+        let max = generate().iter().map(|p| p.local.len()).max().unwrap();
+        assert!(max >= 3, "max local front size {max}");
+    }
+
+    #[test]
+    fn local_front_offers_real_savings() {
+        for p in generate() {
+            let (savings, degradation) = p
+                .local
+                .best_pair()
+                .unwrap_or_else(|| panic!("N={}: singleton local front", p.n));
+            assert!(savings > 0.03, "N={}: savings {savings}", p.n);
+            assert!(degradation < 0.40, "N={}: degradation {degradation}", p.n);
+        }
+    }
+
+    #[test]
+    fn weak_ep_violated() {
+        for p in generate() {
+            assert!(!p.weak_ep.holds, "N={}", p.n);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Fig. 8: P100 PCIe energy nonproportionality and *global* Pareto fronts
+//! at N = 10240 and N = 14336.
+//!
+//! Reproduced claims: the global fronts hold 2–3 points, and allowing
+//! ~11% performance degradation buys ~50% dynamic-energy savings.
+
+use super::{front_of, gpu_cloud, GPU_TOTAL_PRODUCTS};
+use enprop_apps::point::DataPoint;
+use enprop_apps::{sizes, GpuMatMulApp};
+use enprop_ep::{WeakEpReport, WeakEpTest};
+use enprop_gpusim::{GpuArch, TiledDgemmConfig};
+use enprop_pareto::TradeoffAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// One matrix size's panel column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Panel {
+    /// Matrix size.
+    pub n: usize,
+    /// The full configuration cloud.
+    pub cloud: Vec<DataPoint<TiledDgemmConfig>>,
+    /// Weak-EP verdict.
+    pub weak_ep: WeakEpReport,
+    /// Global Pareto front and trade-offs.
+    pub global: TradeoffAnalysis,
+}
+
+/// Generates both Fig. 8 panels from the noise-free analytic model.
+pub fn generate() -> Vec<Fig8Panel> {
+    generate_from(|n| gpu_cloud(GpuArch::p100_pcie(), n))
+}
+
+/// Generates both panels through the full measurement methodology
+/// (deterministic under `seed`).
+pub fn generate_measured(seed: u64) -> Vec<Fig8Panel> {
+    let app = GpuMatMulApp::new(GpuArch::p100_pcie(), GPU_TOTAL_PRODUCTS);
+    let mut runner = GpuMatMulApp::default_runner(seed);
+    generate_from(move |n| app.sweep_measured(n, &mut runner))
+}
+
+fn generate_from(
+    mut sweep: impl FnMut(usize) -> Vec<DataPoint<TiledDgemmConfig>>,
+) -> Vec<Fig8Panel> {
+    sizes::fig8_sizes()
+        .into_iter()
+        .map(|n| {
+            let cloud = sweep(n);
+            let energies: Vec<_> = cloud.iter().map(|p| p.dynamic_energy).collect();
+            Fig8Panel {
+                n,
+                weak_ep: WeakEpTest::default().run(&energies),
+                global: front_of(&cloud, |_| true),
+                cloud,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure's headline rows.
+pub fn render() -> String {
+    let mut out = String::new();
+    for p in generate() {
+        out.push_str(&format!(
+            "--- P100 PCIe, N = {} ({} configurations) --- weak EP {} (spread {})\n",
+            p.n,
+            p.cloud.len(),
+            if p.weak_ep.holds { "HOLDS" } else { "VIOLATED" },
+            crate::render::pct(p.weak_ep.rel_spread)
+        ));
+        let rows: Vec<Vec<String>> = p
+            .global
+            .front
+            .iter()
+            .map(|t| {
+                vec![
+                    format!("BS={} G={}", p.cloud[t.index].config.bs, p.cloud[t.index].config.g),
+                    format!("{:.4}", t.point.time),
+                    format!("{:.1}", t.point.energy),
+                    crate::render::pct(t.degradation),
+                    crate::render::pct(t.savings),
+                ]
+            })
+            .collect();
+        out.push_str(&format!("global front ({} points):\n", p.global.len()));
+        out.push_str(&crate::render::table(
+            &["config", "time[s]", "E_d[J]", "degradation", "savings"],
+            &rows,
+        ));
+        // The figure itself: cloud (·) with the front (#) on top, zoomed
+        // to the BS ≥ 21 nonproportionality region like the middle panels.
+        let cloud_pts: Vec<(f64, f64)> = p
+            .cloud
+            .iter()
+            .filter(|d| d.config.bs >= 21)
+            .map(|d| (d.time.value(), d.dynamic_energy.value()))
+            .collect();
+        let front_pts: Vec<(f64, f64)> =
+            p.global.front.iter().map(|t| (t.point.time, t.point.energy)).collect();
+        out.push_str(&crate::scatter::scatter(
+            &format!("E_d vs time, BS >= 21 region (N = {})", p.n),
+            "time [s]",
+            "dynamic energy [J]",
+            &[
+                crate::scatter::Series { glyph: '.', points: cloud_pts },
+                crate::scatter::Series { glyph: '#', points: front_pts },
+            ],
+            64,
+            14,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_fronts_have_two_to_three_points() {
+        for p in generate() {
+            assert!(
+                (2..=4).contains(&p.global.len()),
+                "N={}: {} points",
+                p.n,
+                p.global.len()
+            );
+        }
+    }
+
+    #[test]
+    fn large_savings_for_modest_degradation() {
+        // The paper's N=10240 headline: ~50% savings for ~11% degradation.
+        let p = &generate()[0];
+        assert_eq!(p.n, 10240);
+        let (savings, degradation) = p.global.best_pair().unwrap();
+        assert!(savings > 0.35, "savings {savings}");
+        assert!(degradation < 0.20, "degradation {degradation}");
+    }
+
+    #[test]
+    fn weak_ep_violated_on_both_sizes() {
+        for p in generate() {
+            assert!(!p.weak_ep.holds, "N={}", p.n);
+            assert!(p.weak_ep.rel_spread > 0.3, "N={}", p.n);
+        }
+    }
+
+    #[test]
+    fn fastest_configuration_is_boosted_bs32() {
+        for p in generate() {
+            let best = &p.cloud[p.global.performance_optimal().index];
+            assert_eq!(best.config.bs, 32, "N={}", p.n);
+        }
+    }
+}

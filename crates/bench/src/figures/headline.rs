@@ -1,0 +1,179 @@
+//! The paper's headline numbers over "a wide range of workloads" (§I, §V):
+//! per-GPU average/maximum Pareto-front sizes and the maximum
+//! (energy-savings, performance-degradation) pair.
+//!
+//! Paper values: K40c — local fronts avg 4 / max 5 points, up to 18%
+//! savings at 7% degradation, singleton global front. P100 — global fronts
+//! avg 2 / max 3 points, up to 50% savings at 11% degradation.
+
+use super::{front_of, gpu_cloud};
+use enprop_apps::sizes;
+use enprop_gpusim::GpuArch;
+use serde::{Deserialize, Serialize};
+
+/// One per-size row: `(N, front size, best (savings, degradation), best
+/// within an 11% degradation budget)`.
+pub type SizeRow = (usize, usize, Option<(f64, f64)>, Option<(f64, f64)>);
+
+/// One GPU's summary over the workload grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeadlineGpu {
+    /// GPU name.
+    pub gpu: String,
+    /// Whether the *global* front was a singleton at every size.
+    pub global_always_singleton: bool,
+    /// Per-size `(N, front size, best (savings, degradation), best within
+    /// an 11% degradation budget)` for the front the paper analyzes on
+    /// this GPU (local BS ≤ 30 front for the K40c, global front for the
+    /// P100).
+    pub per_size: Vec<SizeRow>,
+    /// Mean front size.
+    pub avg_front_points: f64,
+    /// Maximum front size.
+    pub max_front_points: usize,
+    /// The maximum savings observed, with the degradation it costs.
+    pub max_savings: Option<(f64, f64)>,
+    /// The paper's exact statistic: the best savings achievable while
+    /// tolerating at most 11% performance degradation, with its cost.
+    pub best_within_11pct: Option<(f64, f64)>,
+}
+
+/// Generates the headline summary for both GPUs.
+pub fn generate() -> Vec<HeadlineGpu> {
+    GpuArch::catalog()
+        .into_iter()
+        .map(|arch| {
+            let is_k40 = arch.name.contains("K40c");
+            let name = arch.name.clone();
+            let mut per_size = Vec::new();
+            let mut global_always_singleton = true;
+            for &n in &sizes::headline_sizes() {
+                let cloud = gpu_cloud(arch.clone(), n);
+                let global = front_of(&cloud, |_| true);
+                if global.len() != 1 {
+                    global_always_singleton = false;
+                }
+                let analyzed =
+                    if is_k40 { front_of(&cloud, |c| c.bs <= 30) } else { global };
+                per_size.push((
+                    n,
+                    analyzed.len(),
+                    analyzed.best_pair(),
+                    analyzed
+                        .max_savings_within(0.11)
+                        .map(|t| (t.savings, t.degradation)),
+                ));
+            }
+            let sizes_count = per_size.len() as f64;
+            let avg_front_points =
+                per_size.iter().map(|(_, l, _, _)| *l as f64).sum::<f64>() / sizes_count;
+            let max_front_points = per_size.iter().map(|(_, l, _, _)| *l).max().unwrap_or(0);
+            let max_savings = per_size
+                .iter()
+                .filter_map(|(_, _, p, _)| *p)
+                .max_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN savings"));
+            let best_within_11pct = per_size
+                .iter()
+                .filter_map(|(_, _, _, p)| *p)
+                .max_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN savings"));
+            HeadlineGpu {
+                gpu: name,
+                global_always_singleton,
+                per_size,
+                avg_front_points,
+                max_front_points,
+                max_savings,
+                best_within_11pct,
+            }
+        })
+        .collect()
+}
+
+/// Renders the headline summary.
+pub fn render() -> String {
+    let mut out = String::new();
+    for g in generate() {
+        out.push_str(&format!("--- {} ---\n", g.gpu));
+        out.push_str(&format!(
+            "global front singleton at every size: {}\n",
+            g.global_always_singleton
+        ));
+        let rows: Vec<Vec<String>> = g
+            .per_size
+            .iter()
+            .map(|(n, len, pair, within)| {
+                vec![
+                    n.to_string(),
+                    len.to_string(),
+                    pair.map_or("-".into(), |(s, d)| {
+                        format!("{} @ {}", crate::render::pct(s), crate::render::pct(d))
+                    }),
+                    within.map_or("-".into(), |(s, d)| {
+                        format!("{} @ {}", crate::render::pct(s), crate::render::pct(d))
+                    }),
+                ]
+            })
+            .collect();
+        out.push_str(&crate::render::table(
+            &["N", "front pts", "savings @ degradation", "within 11% budget"],
+            &rows,
+        ));
+        out.push_str(&format!(
+            "front points: avg {:.1}, max {}; max savings: {}; within 11% budget: {}\n\n",
+            g.avg_front_points,
+            g.max_front_points,
+            g.max_savings.map_or("-".into(), |(s, d)| format!(
+                "{} @ {}",
+                crate::render::pct(s),
+                crate::render::pct(d)
+            )),
+            g.best_within_11pct.map_or("-".into(), |(s, d)| format!(
+                "{} @ {}",
+                crate::render::pct(s),
+                crate::render::pct(d)
+            ))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40c_summary_matches_paper_shape() {
+        let g = &generate()[0];
+        assert!(g.gpu.contains("K40c"));
+        // Global front singleton at every workload (the paper's claim).
+        assert!(g.global_always_singleton);
+        // Local fronts hold several points on average.
+        assert!(g.avg_front_points >= 2.5, "avg {}", g.avg_front_points);
+        assert!(g.max_front_points >= 3, "max {}", g.max_front_points);
+        let (savings, degradation) = g.max_savings.unwrap();
+        assert!(savings > 0.04 && savings < 0.40, "savings {savings}");
+        assert!(degradation < 0.45, "degradation {degradation}");
+    }
+
+    #[test]
+    fn p100_summary_matches_paper_shape() {
+        let g = &generate()[1];
+        assert!(g.gpu.contains("P100"));
+        // Multi-point global fronts…
+        assert!(!g.global_always_singleton);
+        assert!(g.avg_front_points >= 2.0, "avg {}", g.avg_front_points);
+        assert!((2..=4).contains(&g.max_front_points), "max {}", g.max_front_points);
+        // …with large savings for modest degradation (paper: 50% @ 11%).
+        let (savings, degradation) = g.max_savings.unwrap();
+        assert!(savings > 0.35, "savings {savings}");
+        assert!(degradation < 0.25, "degradation {degradation}");
+    }
+
+    #[test]
+    fn p100_beats_k40c_on_savings() {
+        let gs = generate();
+        let k = gs[0].max_savings.unwrap().0;
+        let p = gs[1].max_savings.unwrap().0;
+        assert!(p > k, "P100 {p} vs K40c {k}");
+    }
+}

@@ -1,0 +1,66 @@
+//! One module per reproduced paper artifact.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod headline;
+pub mod sensitivity;
+pub mod table1;
+pub mod theory;
+
+use enprop_apps::point::DataPoint;
+use enprop_apps::GpuMatMulApp;
+use enprop_gpusim::{GpuArch, TiledDgemmConfig};
+use enprop_pareto::{BiPoint, TradeoffAnalysis};
+
+/// Total matrix products every configuration of a GPU sweep computes
+/// (the common workload of Figs. 2, 7, 8; divisible by every G ≤ 8).
+pub const GPU_TOTAL_PRODUCTS: usize = 8;
+
+/// The noise-free configuration cloud of the GPU matmul application.
+pub fn gpu_cloud(arch: GpuArch, n: usize) -> Vec<DataPoint<TiledDgemmConfig>> {
+    GpuMatMulApp::new(arch, GPU_TOTAL_PRODUCTS).sweep_exact(n)
+}
+
+/// Trade-off analysis of the sub-cloud whose configuration satisfies a
+/// predicate (`|_| true` gives the global front). Front-point indices are
+/// remapped to refer into the *original* cloud.
+pub fn front_of(
+    cloud: &[DataPoint<TiledDgemmConfig>],
+    pred: impl Fn(&TiledDgemmConfig) -> bool,
+) -> TradeoffAnalysis {
+    let mut orig = Vec::new();
+    let mut pts: Vec<BiPoint> = Vec::new();
+    for (i, p) in cloud.iter().enumerate() {
+        if pred(&p.config) {
+            orig.push(i);
+            pts.push(p.bi_point());
+        }
+    }
+    let mut analysis = TradeoffAnalysis::of(&pts);
+    for t in &mut analysis.front {
+        t.index = orig[t.index];
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_and_front_helpers() {
+        let cloud = gpu_cloud(GpuArch::k40c(), 2048);
+        assert!(cloud.len() > 40);
+        let global = front_of(&cloud, |_| true);
+        let region = front_of(&cloud, |c| c.bs <= 30);
+        assert!(!global.is_empty());
+        assert!(
+            region.performance_optimal().point.time >= global.performance_optimal().point.time
+        );
+    }
+}

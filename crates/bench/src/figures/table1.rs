@@ -1,0 +1,68 @@
+//! Table I: specifications of the Haswell CPU, K40c and P100 PCIe.
+
+use enprop_cpusim::CpuTopology;
+use enprop_gpusim::GpuArch;
+use serde::{Deserialize, Serialize};
+
+/// One platform's section of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Section {
+    /// Platform heading.
+    pub platform: String,
+    /// `(property, value)` rows.
+    pub rows: Vec<(String, String)>,
+}
+
+/// Generates all of Table I.
+pub fn generate() -> Vec<Table1Section> {
+    let cpu = CpuTopology::haswell_e5_2670v3();
+    let mut out = vec![Table1Section { platform: cpu.name.clone(), rows: cpu.table_rows() }];
+    for gpu in GpuArch::catalog() {
+        out.push(Table1Section { platform: gpu.name.clone(), rows: gpu.table_rows() });
+    }
+    out
+}
+
+/// Renders Table I as text.
+pub fn render() -> String {
+    let mut out = String::new();
+    for section in generate() {
+        out.push_str(&format!("--- {} ---\n", section.platform));
+        let width = section.rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in &section.rows {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_platforms_in_order() {
+        let t = generate();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].platform, "Intel Haswell E5-2670V3");
+        assert_eq!(t[1].platform, "NVIDIA K40c");
+        assert_eq!(t[2].platform, "NVIDIA P100 PCIe");
+    }
+
+    #[test]
+    fn render_contains_paper_values() {
+        let r = render();
+        for needle in [
+            "1200.402",
+            "30720 KB",
+            "64 GB DDR4",
+            "2880 (745 MHz)",
+            "3584 (1328 MHz)",
+            "235 W",
+            "250 W",
+            "(2020.0.4, 0.2.19)",
+        ] {
+            assert!(r.contains(needle), "missing {needle} in\n{r}");
+        }
+    }
+}

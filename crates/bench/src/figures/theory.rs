@@ -1,0 +1,125 @@
+//! §III Eqs. 1–3: the two-core nonproportionality theorem, evaluated on a
+//! grid and verified.
+
+use enprop_ep::{SimpleEpCore, TwoCoreAnalysis};
+use enprop_units::Utilization;
+use serde::{Deserialize, Serialize};
+
+/// One (U, ΔU) row of the theorem table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TheoryRow {
+    /// Base utilization U.
+    pub u: f64,
+    /// Perturbation ΔU.
+    pub delta: f64,
+    /// Eq. 1: balanced energy `2ab`.
+    pub e1: f64,
+    /// Eq. 2: one core raised.
+    pub e2: f64,
+    /// Eq. 3: one raised, one lowered (same average).
+    pub e3: f64,
+    /// Whether `E₃ > E₂ > E₁` holds at this point.
+    pub holds: bool,
+}
+
+/// The theorem evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Theory {
+    /// The simple-EP constants used (`a`, `b`).
+    pub a: f64,
+    /// Time constant.
+    pub b: f64,
+    /// The grid rows.
+    pub rows: Vec<TheoryRow>,
+    /// Whether the ordering held at every grid point.
+    pub all_hold: bool,
+}
+
+/// Evaluates the theorem over a (U, ΔU) grid with a = 3 W, b = 2 s.
+pub fn generate() -> Theory {
+    let (a, b) = (3.0, 2.0);
+    let analysis = TwoCoreAnalysis::new(SimpleEpCore::new(a, b));
+    let mut rows = Vec::new();
+    for iu in 1..=9 {
+        let u = iu as f64 / 10.0;
+        for id in 1..=9 {
+            let delta = id as f64 / 20.0;
+            if delta >= u || u + delta > 1.0 {
+                continue;
+            }
+            let (e1, e2, e3) = analysis.theorem_triple(Utilization::new(u), delta);
+            rows.push(TheoryRow {
+                u,
+                delta,
+                e1: e1.value(),
+                e2: e2.value(),
+                e3: e3.value(),
+                holds: e3 > e2 && e2 > e1,
+            });
+        }
+    }
+    let all_hold = rows.iter().all(|r| r.holds);
+    Theory { a, b, rows, all_hold }
+}
+
+/// Renders the theorem table.
+pub fn render() -> String {
+    let t = generate();
+    let mut out = format!(
+        "Two-core simple-EP model (a = {} W, b = {} s): E1 = 2ab = {}\n",
+        t.a,
+        t.b,
+        2.0 * t.a * t.b
+    );
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.u),
+                format!("{:.2}", r.delta),
+                format!("{:.2}", r.e1),
+                format!("{:.2}", r.e2),
+                format!("{:.2}", r.e3),
+                if r.holds { "E3>E2>E1".into() } else { "VIOLATED".into() },
+            ]
+        })
+        .collect();
+    out.push_str(&crate::render::table(&["U", "dU", "E1[J]", "E2[J]", "E3[J]", "order"], &rows));
+    out.push_str(&format!(
+        "theorem holds at every grid point: {}\n",
+        if t.all_hold { "yes" } else { "NO" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_holds_across_grid() {
+        let t = generate();
+        assert!(t.rows.len() > 20);
+        assert!(t.all_hold);
+    }
+
+    #[test]
+    fn e1_constant_across_grid() {
+        let t = generate();
+        for r in &t.rows {
+            assert!((r.e1 - 12.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn e3_blows_up_as_delta_approaches_u() {
+        let t = generate();
+        // Fix U = 0.5 and check E3 grows with ΔU.
+        let mut prev = 0.0;
+        for r in t.rows.iter().filter(|r| (r.u - 0.5).abs() < 1e-9) {
+            assert!(r.e3 > prev);
+            prev = r.e3;
+        }
+    }
+}

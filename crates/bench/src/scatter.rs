@@ -1,0 +1,120 @@
+//! ASCII scatter plots, so `repro` can *draw* the paper's figures in a
+//! terminal, not just tabulate them.
+
+/// One labeled point series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Glyph used for this series' points.
+    pub glyph: char,
+    /// The (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders one or more series into a `width × height` character canvas
+/// with axis annotations. Later series overwrite earlier ones where they
+/// collide (draw fronts after clouds).
+pub fn scatter(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 6, "canvas too small");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "nothing to plot");
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Degenerate ranges get a ±5% pad.
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_min -= 0.05 * x_min.abs().max(1.0);
+        x_max += 0.05 * x_max.abs().max(1.0);
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_min -= 0.05 * y_min.abs().max(1.0);
+        y_max += 0.05 * y_max.abs().max(1.0);
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            canvas[height - 1 - cy][cx] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for (row_idx, row) in canvas.iter().enumerate() {
+        let y_here = y_max - (y_max - y_min) * row_idx as f64 / (height - 1) as f64;
+        let label = if row_idx == 0 || row_idx == height - 1 || row_idx == height / 2 {
+            format!("{y_here:>10.1}")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&format!("{label} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("{} +{}+\n", " ".repeat(10), "-".repeat(width)));
+    out.push_str(&format!(
+        "{} {:<w$.3}{:>w2$.3}   x: {x_label}, y: {y_label}\n",
+        " ".repeat(10),
+        x_min,
+        x_max,
+        w = width / 2,
+        w2 = width - width / 2,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series { glyph: '.', points: vec![(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)] },
+            Series { glyph: '#', points: vec![(0.0, 0.0), (2.0, 4.0)] },
+        ]
+    }
+
+    #[test]
+    fn plot_contains_glyphs_and_labels() {
+        let p = scatter("demo", "time", "energy", &demo_series(), 40, 10);
+        assert!(p.contains('#'));
+        assert!(p.contains("demo"));
+        assert!(p.contains("x: time, y: energy"));
+        // 1 title + 10 canvas rows + axis + labels.
+        assert_eq!(p.lines().count(), 13);
+    }
+
+    #[test]
+    fn later_series_overwrites() {
+        // The '#' front is drawn on top of the '.' cloud at shared points.
+        let p = scatter("demo", "x", "y", &demo_series(), 40, 10);
+        // Corner points are '#', the middle point stays '.'.
+        assert!(p.matches('#').count() >= 2);
+        assert!(p.contains('.'));
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = vec![Series { glyph: 'o', points: vec![(1.0, 5.0), (1.0, 5.0)] }];
+        let p = scatter("flat", "x", "y", &s, 20, 6);
+        assert!(p.contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_series_rejected() {
+        scatter("empty", "x", "y", &[], 20, 6);
+    }
+}

@@ -1,0 +1,113 @@
+//! JSON round-trips of every artifact the `repro` binary can dump: the
+//! structures must survive serialize → deserialize unchanged, since the
+//! JSON files are the source of record for EXPERIMENTS.md.
+
+use enprop_bench::figures;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+/// Float comparison at JSON round-trip precision (last-ULP differences are
+/// acceptable; structural corruption is not).
+fn close(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-12 * a.abs().max(b.abs())
+}
+
+#[test]
+fn table1_roundtrip() {
+    let v = figures::table1::generate();
+    let back = roundtrip(&v);
+    assert_eq!(format!("{v:?}"), format!("{back:?}"));
+}
+
+#[test]
+fn fig1_roundtrip() {
+    let v = figures::fig1::generate();
+    let back = roundtrip(&v);
+    assert_eq!(v.len(), back.len());
+    for (a, b) in v.iter().zip(&back) {
+        assert_eq!(a.processor, b.processor);
+        assert_eq!(a.points.len(), b.points.len());
+        assert_eq!(a.strong_ep.holds, b.strong_ep.holds);
+        assert!(close(a.strong_ep.c, b.strong_ep.c));
+    }
+}
+
+#[test]
+fn fig6_roundtrip() {
+    let v = figures::fig6::generate();
+    let back = roundtrip(&v);
+    for (a, b) in v.iter().zip(&back) {
+        assert_eq!(a.gpu, b.gpu);
+        assert_eq!(a.additive_from_n, b.additive_from_n);
+        assert!(close(a.implied_component_w, b.implied_component_w));
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!((x.n, x.g), (y.n, y.g));
+            assert!(close(x.energy, y.energy));
+            assert!(close(x.nonadditivity, y.nonadditivity));
+        }
+    }
+}
+
+#[test]
+fn fig8_roundtrip() {
+    let v = figures::fig8::generate();
+    let back = roundtrip(&v);
+    for (a, b) in v.iter().zip(&back) {
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.cloud.len(), b.cloud.len());
+        assert_eq!(a.global.front.len(), b.global.front.len());
+        for (x, y) in a.cloud.iter().zip(&b.cloud) {
+            assert_eq!(x.config, y.config);
+            assert!(close(x.time.value(), y.time.value()));
+            assert!(close(x.dynamic_energy.value(), y.dynamic_energy.value()));
+        }
+        assert_eq!(a.weak_ep.holds, b.weak_ep.holds);
+        assert!(close(a.weak_ep.rel_spread, b.weak_ep.rel_spread));
+    }
+}
+
+#[test]
+fn theory_and_headline_roundtrip() {
+    let t = figures::theory::generate();
+    let tb = roundtrip(&t);
+    assert_eq!(t.rows.len(), tb.rows.len());
+    for (x, y) in t.rows.iter().zip(&tb.rows) {
+        assert!(close(x.e3, y.e3));
+        assert_eq!(x.holds, y.holds);
+    }
+    assert_eq!(t.all_hold, tb.all_hold);
+
+    let h = figures::headline::generate();
+    let hb = roundtrip(&h);
+    for (a, b) in h.iter().zip(&hb) {
+        assert_eq!(a.gpu, b.gpu);
+        assert_eq!(a.per_size.len(), b.per_size.len());
+        let (s1, d1) = a.max_savings.expect("savings present");
+        let (s2, d2) = b.max_savings.expect("savings present");
+        assert!(close(s1, s2) && close(d1, d2));
+    }
+}
+
+#[test]
+fn ablations_and_sensitivity_roundtrip() {
+    let a = figures::ablations::generate();
+    let ab = roundtrip(&a);
+    assert_eq!(a.len(), ab.len());
+    for (x, y) in a.iter().zip(&ab) {
+        assert_eq!(x.mechanism, y.mechanism);
+        assert!(close(x.with, y.with));
+        assert!(close(x.without, y.without));
+    }
+
+    let s = figures::sensitivity::generate();
+    let sb = roundtrip(&s);
+    assert!(close(s.survival_rate, sb.survival_rate));
+    assert_eq!(s.perturbations.len(), sb.perturbations.len());
+}

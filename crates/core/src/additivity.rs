@@ -1,0 +1,217 @@
+//! The theory of energy predictive models: the additivity property and
+//! linear dynamic-energy model construction.
+//!
+//! A *compound application* is the serial execution of two (or more) *base*
+//! applications. If a performance event is to serve as a variable of a
+//! linear energy predictive model, its count for the compound application
+//! must equal the sum of its counts for the base applications — otherwise
+//! the linear model cannot conserve energy across composition. The
+//! additivity *error* quantifies the violation; variables are selected by
+//! low additivity error plus high positive correlation with dynamic energy.
+
+use enprop_stats::corr::pearson;
+use enprop_stats::regress::{LinearFit, MultiLinearFit};
+use serde::{Deserialize, Serialize};
+
+/// Recovers a per-launch *constant energy component* from a compound-size
+/// sweep — the inverse analysis behind the paper's Fig. 6 finding that
+/// "the non-additivity of the dynamic energy … is due to an
+/// energy-expensive component consuming constant dynamic power
+/// consumption of 58 W".
+///
+/// Fitting `E(G) = slope·G + intercept` over group sizes `G`, the slope is
+/// the true per-product energy and the intercept is the energy of
+/// whatever the launch pays exactly once. Dividing the intercept by the
+/// component's observed active duration (read off the power trace) yields
+/// its constant power draw. Returns `(slope, intercept)`; the fit's R²
+/// tells you whether a single constant component explains the data.
+pub fn fixed_component_fit(group_sizes: &[f64], energies: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(group_sizes.len(), energies.len(), "length mismatch");
+    assert!(group_sizes.len() >= 3, "need at least three group sizes");
+    let fit = LinearFit::fit(group_sizes, energies);
+    (fit.slope, fit.intercept, fit.r_squared)
+}
+
+/// Relative additivity error of one event: `|compound − Σ bases| / Σ bases`.
+pub fn additivity_error(base_counts: &[f64], compound_count: f64) -> f64 {
+    assert!(!base_counts.is_empty(), "need at least one base application");
+    let sum: f64 = base_counts.iter().sum();
+    assert!(sum > 0.0, "base counts must sum to a positive value");
+    (compound_count - sum).abs() / sum
+}
+
+/// Additivity assessment of a set of candidate model variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdditivityReport {
+    /// `(variable name, additivity error)` in input order.
+    pub errors: Vec<(String, f64)>,
+    /// The acceptance threshold used by [`AdditivityReport::additive_variables`].
+    pub threshold: f64,
+}
+
+impl AdditivityReport {
+    /// Assesses each named variable given its base counts and compound
+    /// count.
+    pub fn assess(
+        variables: &[(String, Vec<f64>, f64)],
+        threshold: f64,
+    ) -> AdditivityReport {
+        let errors = variables
+            .iter()
+            .map(|(name, bases, compound)| (name.clone(), additivity_error(bases, *compound)))
+            .collect();
+        AdditivityReport { errors, threshold }
+    }
+
+    /// Names of the variables passing the additivity threshold.
+    pub fn additive_variables(&self) -> Vec<&str> {
+        self.errors
+            .iter()
+            .filter(|(_, e)| *e <= self.threshold)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+/// Builds a linear dynamic-energy model over performance events, with
+/// additivity- and correlation-based variable selection.
+#[derive(Debug, Clone)]
+pub struct EnergyModelBuilder {
+    /// Maximum admissible additivity error.
+    pub additivity_threshold: f64,
+    /// Minimum admissible Pearson correlation with dynamic energy.
+    pub correlation_threshold: f64,
+}
+
+/// A fitted linear energy predictive model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Names of the selected variables, in coefficient order.
+    pub variables: Vec<String>,
+    /// The underlying least-squares fit (intercept first).
+    pub fit: MultiLinearFit,
+}
+
+impl Default for EnergyModelBuilder {
+    /// Defaults: ≤ 5% additivity error, ≥ 0.7 correlation.
+    fn default() -> Self {
+        Self { additivity_threshold: 0.05, correlation_threshold: 0.7 }
+    }
+}
+
+impl EnergyModelBuilder {
+    /// Fits a model of `energies` on the candidate variables.
+    ///
+    /// * `candidates` — per variable: name, the per-observation counts, and
+    ///   the variable's additivity error (from a separate compound-run
+    ///   experiment).
+    /// * `energies` — dynamic energy per observation.
+    ///
+    /// Returns `None` when no variable survives selection or the selected
+    /// design is collinear.
+    pub fn build(
+        &self,
+        candidates: &[(String, Vec<f64>, f64)],
+        energies: &[f64],
+    ) -> Option<EnergyModel> {
+        let selected: Vec<&(String, Vec<f64>, f64)> = candidates
+            .iter()
+            .filter(|(_, counts, add_err)| {
+                assert_eq!(counts.len(), energies.len(), "observation count mismatch");
+                *add_err <= self.additivity_threshold
+                    && pearson(counts, energies) >= self.correlation_threshold
+            })
+            .collect();
+        if selected.is_empty() {
+            return None;
+        }
+        let rows: Vec<Vec<f64>> = (0..energies.len())
+            .map(|i| selected.iter().map(|(_, counts, _)| counts[i]).collect())
+            .collect();
+        let fit = MultiLinearFit::fit(&rows, energies)?;
+        Some(EnergyModel {
+            variables: selected.iter().map(|(n, _, _)| n.clone()).collect(),
+            fit,
+        })
+    }
+}
+
+impl EnergyModel {
+    /// Predicts dynamic energy for one observation's selected-variable
+    /// counts (same order as [`EnergyModel::variables`]).
+    pub fn predict(&self, counts: &[f64]) -> f64 {
+        self.fit.predict(counts)
+    }
+
+    /// Goodness of fit.
+    pub fn r_squared(&self) -> f64 {
+        self.fit.r_squared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additivity_error_basics() {
+        assert_eq!(additivity_error(&[10.0, 20.0], 30.0), 0.0);
+        assert!((additivity_error(&[10.0, 20.0], 33.0) - 0.1).abs() < 1e-12);
+        assert!((additivity_error(&[10.0, 20.0], 27.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_selects_additive_variables() {
+        let vars = vec![
+            ("flops".to_string(), vec![100.0, 200.0], 300.0),
+            ("cache_misses".to_string(), vec![50.0, 50.0], 130.0), // 30% error
+        ];
+        let report = AdditivityReport::assess(&vars, 0.05);
+        assert_eq!(report.additive_variables(), vec!["flops"]);
+        assert!(report.errors[1].1 > 0.25);
+    }
+
+    #[test]
+    fn builder_fits_on_good_variable() {
+        // Energy = 5 + 2·flops; flops additive and perfectly correlated.
+        let flops: Vec<f64> = (1..=10).map(|i| i as f64 * 100.0).collect();
+        let energies: Vec<f64> = flops.iter().map(|f| 5.0 + 2.0 * f).collect();
+        let noise: Vec<f64> = (1..=10).map(|i| ((i * 7919) % 13) as f64).collect();
+        let candidates = vec![
+            ("flops".to_string(), flops, 0.01),
+            ("nonadditive".to_string(), energies.clone(), 0.5), // correlated but non-additive
+            ("noise".to_string(), noise, 0.0),                  // additive but uncorrelated
+        ];
+        let model = EnergyModelBuilder::default().build(&candidates, &energies).unwrap();
+        assert_eq!(model.variables, vec!["flops"]);
+        assert!(model.r_squared() > 0.999);
+        assert!((model.predict(&[500.0]) - 1005.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_component_recovered_from_linear_sweep() {
+        // E(G) = 100·G + 17.4 (a 58 W component active for 0.3 s).
+        let gs = [1.0, 2.0, 3.0, 4.0];
+        let es: Vec<f64> = gs.iter().map(|g| 100.0 * g + 17.4).collect();
+        let (slope, intercept, r2) = fixed_component_fit(&gs, &es);
+        assert!((slope - 100.0).abs() < 1e-9);
+        assert!((intercept - 17.4).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-12);
+        // Implied component power at 0.3 s active time:
+        assert!((intercept / 0.3 - 58.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_returns_none_when_nothing_survives() {
+        let energies = vec![1.0, 2.0, 3.0, 4.0];
+        let candidates =
+            vec![("bad".to_string(), vec![4.0, 3.0, 2.0, 1.0], 0.0)]; // anti-correlated
+        assert!(EnergyModelBuilder::default().build(&candidates, &energies).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_base_counts_rejected() {
+        additivity_error(&[0.0, 0.0], 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! One-call bi-objective EP audit of a configuration cloud.
+//!
+//! Bundles the weak-EP verdict, the Pareto trade-off analysis, and the
+//! quality indicators into a single report — the complete §V workflow for
+//! one workload.
+
+use crate::weak::{WeakEpReport, WeakEpTest};
+use enprop_pareto::{hypervolume_2d, knee_point, BiPoint, TradeoffAnalysis};
+use enprop_units::Joules;
+use serde::{Deserialize, Serialize};
+
+/// The audit's combined report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BiObjectiveAudit {
+    /// Weak-EP verdict across the cloud.
+    pub weak_ep: WeakEpReport,
+    /// Pareto front with per-point trade-offs.
+    pub tradeoff: TradeoffAnalysis,
+    /// Dominated hypervolume w.r.t. the cloud's worst corner.
+    pub hypervolume: f64,
+    /// Index (into the cloud) of the knee point, if a front exists.
+    pub knee: Option<usize>,
+    /// Number of configurations audited.
+    pub configurations: usize,
+}
+
+impl BiObjectiveAudit {
+    /// Audits a (time, dynamic-energy) cloud. Panics on fewer than two
+    /// points (weak EP needs at least two configurations).
+    pub fn of(cloud: &[BiPoint]) -> Self {
+        assert!(cloud.len() >= 2, "audit needs at least two configurations");
+        let energies: Vec<Joules> = cloud.iter().map(|p| Joules(p.energy)).collect();
+        let weak_ep = WeakEpTest::default().run(&energies);
+        let tradeoff = TradeoffAnalysis::of(cloud);
+        let worst = BiPoint::new(
+            cloud.iter().map(|p| p.time).fold(f64::MIN, f64::max) * 1.01,
+            cloud.iter().map(|p| p.energy).fold(f64::MIN, f64::max) * 1.01,
+        );
+        Self {
+            weak_ep,
+            hypervolume: hypervolume_2d(cloud, worst),
+            knee: knee_point(cloud),
+            configurations: cloud.len(),
+            tradeoff,
+        }
+    }
+
+    /// The paper's summary sentence for this workload: `None` when the
+    /// performance optimum is also the energy optimum (K40c-style), the
+    /// (savings, degradation) pair otherwise (P100-style).
+    pub fn opportunity(&self) -> Option<(f64, f64)> {
+        self.tradeoff.best_pair()
+    }
+}
+
+impl std::fmt::Display for BiObjectiveAudit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} configurations; weak EP {} (energy spread {:.1}%)",
+            self.configurations,
+            if self.weak_ep.holds { "holds" } else { "VIOLATED" },
+            self.weak_ep.rel_spread * 100.0
+        )?;
+        writeln!(f, "Pareto front: {} point(s)", self.tradeoff.len())?;
+        match self.opportunity() {
+            Some((s, d)) => writeln!(
+                f,
+                "bi-objective opportunity: {:.1}% energy savings @ {:.1}% degradation",
+                s * 100.0,
+                d * 100.0
+            ),
+            None => writeln!(f, "performance-optimal configuration is also energy-optimal"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<BiPoint> {
+        v.iter().map(|&(t, e)| BiPoint::new(t, e)).collect()
+    }
+
+    #[test]
+    fn p100_style_cloud() {
+        let cloud = pts(&[(1.0, 200.0), (1.1, 100.0), (1.5, 150.0), (2.0, 400.0)]);
+        let audit = BiObjectiveAudit::of(&cloud);
+        assert!(!audit.weak_ep.holds);
+        assert_eq!(audit.tradeoff.len(), 2);
+        let (s, d) = audit.opportunity().unwrap();
+        assert!((s - 0.5).abs() < 1e-12);
+        assert!((d - 0.1).abs() < 1e-9);
+        assert!(audit.hypervolume > 0.0);
+        assert!(audit.knee.is_some());
+        let text = audit.to_string();
+        assert!(text.contains("VIOLATED"));
+        assert!(text.contains("50.0% energy savings"));
+    }
+
+    #[test]
+    fn k40c_style_cloud() {
+        // One configuration dominates everything.
+        let cloud = pts(&[(1.0, 100.0), (1.2, 140.0), (1.4, 180.0)]);
+        let audit = BiObjectiveAudit::of(&cloud);
+        assert!(audit.tradeoff.is_singleton());
+        assert_eq!(audit.opportunity(), None);
+        assert!(audit.to_string().contains("also energy-optimal"));
+    }
+
+    #[test]
+    fn proportional_cloud_passes_weak_ep() {
+        let cloud = pts(&[(1.0, 100.0), (1.5, 101.0), (2.0, 99.0)]);
+        let audit = BiObjectiveAudit::of(&cloud);
+        assert!(audit.weak_ep.holds);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_rejected() {
+        BiObjectiveAudit::of(&pts(&[(1.0, 1.0)]));
+    }
+}

@@ -1,0 +1,144 @@
+//! Energy-proportionality metrics from the literature the paper surveys.
+//!
+//! All metrics consume a measured (utilization, power) curve. The *ideal*
+//! energy-proportional curve runs linearly from the idle power at U = 0 to
+//! the measured peak power at U = 1.
+
+use enprop_units::{Utilization, Watts};
+
+/// Ryckbosch et al.'s EP metric: one minus the area between the actual and
+/// ideal power curves divided by the area under the ideal curve. 1.0 means
+/// perfectly proportional; lower values mean larger deviation.
+///
+/// `curve` is a set of (utilization, power) samples that must include (or
+/// bracket) both endpoints; the curve is integrated by the trapezoid rule
+/// after sorting by utilization.
+pub fn ep_metric_area(curve: &[(Utilization, Watts)]) -> f64 {
+    assert!(curve.len() >= 2, "EP metric needs at least two samples");
+    let mut pts: Vec<(f64, f64)> =
+        curve.iter().map(|&(u, p)| (u.fraction(), p.value())).collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN utilization"));
+    let idle = pts.first().expect("non-empty").1;
+    let peak = pts.last().expect("non-empty").1;
+    let span = pts.last().unwrap().0 - pts.first().unwrap().0;
+    assert!(span > 0.0, "curve must span a utilization range");
+    let u0 = pts.first().unwrap().0;
+
+    // Ideal line from (u0, idle) to (u_max, peak).
+    let ideal = |u: f64| idle + (peak - idle) * (u - u0) / span;
+
+    let (mut dev_area, mut ideal_area) = (0.0, 0.0);
+    for w in pts.windows(2) {
+        let du = w[1].0 - w[0].0;
+        let dev0 = (w[0].1 - ideal(w[0].0)).abs();
+        let dev1 = (w[1].1 - ideal(w[1].0)).abs();
+        dev_area += 0.5 * (dev0 + dev1) * du;
+        ideal_area += 0.5 * (ideal(w[0].0) + ideal(w[1].0)) * du;
+    }
+    1.0 - dev_area / ideal_area
+}
+
+/// Barroso & Hölzle's dynamic range: peak power divided by idle power.
+/// Energy-proportional servers want a *large* dynamic range (idle power
+/// near zero).
+pub fn dynamic_range(idle: Watts, peak: Watts) -> f64 {
+    assert!(idle.value() > 0.0, "idle power must be positive");
+    peak.value() / idle.value()
+}
+
+/// The proportionality gap at one utilization: `(P_actual − P_ideal) /
+/// P_peak`, where the ideal is the linear idle→peak curve. Positive values
+/// mean the system draws more than proportional power at that load.
+pub fn proportionality_gap(u: Utilization, actual: Watts, idle: Watts, peak: Watts) -> f64 {
+    assert!(peak > idle, "peak must exceed idle");
+    let ideal = idle.value() + (peak.value() - idle.value()) * u.fraction();
+    (actual.value() - ideal) / peak.value()
+}
+
+/// Hsu & Poole's integrated proportionality metric: one minus the mean
+/// *absolute* proportionality gap over the measured curve (trapezoid
+/// integration over utilization). 1.0 for a perfectly linear idle→peak
+/// curve; smaller for bowed curves.
+pub fn ep_metric_hsu_poole(curve: &[(Utilization, Watts)]) -> f64 {
+    assert!(curve.len() >= 2, "metric needs at least two samples");
+    let mut pts: Vec<(f64, f64)> =
+        curve.iter().map(|&(u, p)| (u.fraction(), p.value())).collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN utilization"));
+    let idle = Watts(pts.first().expect("non-empty").1);
+    let peak = Watts(pts.last().expect("non-empty").1);
+    assert!(peak > idle, "peak must exceed idle");
+    let span = pts.last().unwrap().0 - pts.first().unwrap().0;
+    assert!(span > 0.0, "curve must span a utilization range");
+    let gap = |p: &(f64, f64)| {
+        proportionality_gap(Utilization::new(p.0), Watts(p.1), idle, peak).abs()
+    };
+    let mut integral = 0.0;
+    for w in pts.windows(2) {
+        integral += 0.5 * (gap(&w[0]) + gap(&w[1])) * (w[1].0 - w[0].0);
+    }
+    1.0 - integral / span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(f64, f64)]) -> Vec<(Utilization, Watts)> {
+        points.iter().map(|&(u, p)| (Utilization::new(u), Watts(p))).collect()
+    }
+
+    #[test]
+    fn linear_curve_scores_one() {
+        let c = curve(&[(0.0, 50.0), (0.25, 100.0), (0.5, 150.0), (1.0, 250.0)]);
+        assert!((ep_metric_area(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bowed_curve_scores_below_one() {
+        // Typical server: power jumps early then saturates (concave).
+        let c = curve(&[(0.0, 50.0), (0.25, 180.0), (0.5, 220.0), (1.0, 250.0)]);
+        let m = ep_metric_area(&c);
+        assert!(m < 0.9, "{m}");
+        assert!(m > 0.0);
+    }
+
+    #[test]
+    fn metric_is_symmetric_in_deviation_sign() {
+        let above = curve(&[(0.0, 50.0), (0.5, 200.0), (1.0, 250.0)]);
+        let below = curve(&[(0.0, 50.0), (0.5, 100.0), (1.0, 250.0)]);
+        let ma = ep_metric_area(&above);
+        let mb = ep_metric_area(&below);
+        assert!((ma - mb).abs() < 1e-12, "{ma} vs {mb}");
+    }
+
+    #[test]
+    fn dynamic_range_basics() {
+        assert_eq!(dynamic_range(Watts(50.0), Watts(250.0)), 5.0);
+    }
+
+    #[test]
+    fn proportionality_gap_signs() {
+        let (idle, peak) = (Watts(50.0), Watts(250.0));
+        // At 50% the ideal is 150 W.
+        assert!(proportionality_gap(Utilization::new(0.5), Watts(200.0), idle, peak) > 0.0);
+        assert!(proportionality_gap(Utilization::new(0.5), Watts(100.0), idle, peak) < 0.0);
+        assert_eq!(proportionality_gap(Utilization::new(0.5), Watts(150.0), idle, peak), 0.0);
+    }
+
+    #[test]
+    fn hsu_poole_metric() {
+        let linear = curve(&[(0.0, 50.0), (0.5, 150.0), (1.0, 250.0)]);
+        assert!((ep_metric_hsu_poole(&linear) - 1.0).abs() < 1e-12);
+        let bowed = curve(&[(0.0, 50.0), (0.25, 200.0), (0.5, 230.0), (1.0, 250.0)]);
+        let m = ep_metric_hsu_poole(&bowed);
+        assert!(m < 0.95 && m > 0.0, "{m}");
+        // The two area metrics agree on ordering.
+        assert!(ep_metric_area(&bowed) < ep_metric_area(&linear));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let c = curve(&[(1.0, 250.0), (0.0, 50.0), (0.5, 150.0)]);
+        assert!((ep_metric_area(&c) - 1.0).abs() < 1e-12);
+    }
+}

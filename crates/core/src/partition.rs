@@ -1,0 +1,293 @@
+//! Bi-objective workload partitioning across heterogeneous processors.
+//!
+//! The methodology lineage the paper builds on (Reddy & Lastovetsky;
+//! Khaleghzadeh et al., §II-A) solves this problem: given each processor's
+//! *discrete* time and dynamic-energy functions of workload size,
+//! distribute a workload across the processors so that no other
+//! distribution is better in both execution time (the parallel makespan)
+//! and total dynamic energy. This module implements the exact solver:
+//! a processor-by-processor dynamic program over partial distributions,
+//! pruning dominated (time, energy) states at every step.
+//!
+//! Profiles come from anywhere — measured points, or the toolkit's CPU/GPU
+//! simulators (see the `heterogeneous_partition` example).
+
+use enprop_pareto::{pareto_front, BiPoint};
+use enprop_units::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// One processor's discrete cost profile: entry `k` holds the execution
+/// time and dynamic energy of processing `k` workload chunks
+/// (`k = 0..=granularity`, with entry 0 = zero cost).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteProfile {
+    /// Processor label.
+    pub name: String,
+    /// `costs[k] = (time, energy)` for `k` chunks.
+    pub costs: Vec<(Seconds, Joules)>,
+}
+
+impl DiscreteProfile {
+    /// Builds a profile from a cost function over chunk counts.
+    /// `granularity` is the maximum chunk count the processor can take.
+    pub fn from_fn(
+        name: impl Into<String>,
+        granularity: usize,
+        mut cost: impl FnMut(usize) -> (Seconds, Joules),
+    ) -> Self {
+        assert!(granularity >= 1, "granularity must be at least 1");
+        let mut costs = Vec::with_capacity(granularity + 1);
+        costs.push((Seconds::ZERO, Joules::ZERO));
+        for k in 1..=granularity {
+            let (t, e) = cost(k);
+            assert!(
+                t.value() >= 0.0 && e.value() >= 0.0,
+                "costs must be non-negative ({k} chunks)"
+            );
+            costs.push((t, e));
+        }
+        Self { name: name.into(), costs }
+    }
+
+    /// Maximum chunks this processor can take.
+    pub fn granularity(&self) -> usize {
+        self.costs.len() - 1
+    }
+}
+
+/// One Pareto-optimal distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// Chunks assigned to each processor, in profile order.
+    pub chunks: Vec<usize>,
+    /// Makespan: the slowest processor's time.
+    pub time: Seconds,
+    /// Total dynamic energy across processors.
+    pub energy: Joules,
+}
+
+/// The exact bi-objective partitioner.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    profiles: Vec<DiscreteProfile>,
+}
+
+/// A partial solution during the DP sweep.
+#[derive(Debug, Clone)]
+struct Partial {
+    chunks: Vec<usize>,
+    time: f64,
+    energy: f64,
+}
+
+impl Partitioner {
+    /// Creates a partitioner over the given processor profiles.
+    pub fn new(profiles: Vec<DiscreteProfile>) -> Self {
+        assert!(!profiles.is_empty(), "need at least one processor");
+        Self { profiles }
+    }
+
+    /// The processor profiles.
+    pub fn profiles(&self) -> &[DiscreteProfile] {
+        &self.profiles
+    }
+
+    /// Computes the Pareto-optimal set of distributions of `total_chunks`
+    /// over the processors (every chunk must be assigned). Returns
+    /// distributions sorted by increasing time; empty when the workload
+    /// cannot be placed (total exceeds the summed granularities).
+    pub fn solve(&self, total_chunks: usize) -> Vec<Distribution> {
+        let capacity: usize = self.profiles.iter().map(|p| p.granularity()).sum();
+        if total_chunks > capacity {
+            return Vec::new();
+        }
+
+        // states[w] = non-dominated partials that have assigned w chunks.
+        let mut states: Vec<Vec<Partial>> = vec![Vec::new(); total_chunks + 1];
+        states[0].push(Partial { chunks: Vec::new(), time: 0.0, energy: 0.0 });
+
+        for (p_idx, profile) in self.profiles.iter().enumerate() {
+            let remaining_capacity: usize =
+                self.profiles[p_idx + 1..].iter().map(|p| p.granularity()).sum();
+            let mut next: Vec<Vec<Partial>> = vec![Vec::new(); total_chunks + 1];
+            for (assigned, bucket) in states.iter().enumerate() {
+                for partial in bucket {
+                    for k in 0..=profile.granularity().min(total_chunks - assigned) {
+                        let w = assigned + k;
+                        // Prune branches that cannot place the rest.
+                        if total_chunks - w > remaining_capacity {
+                            continue;
+                        }
+                        let (t, e) = profile.costs[k];
+                        let mut chunks = partial.chunks.clone();
+                        chunks.push(k);
+                        next[w].push(Partial {
+                            chunks,
+                            time: partial.time.max(t.value()),
+                            energy: partial.energy + e.value(),
+                        });
+                    }
+                }
+            }
+            // Dominance-prune each bucket to keep the frontier small.
+            for bucket in &mut next {
+                prune(bucket);
+            }
+            states = next;
+        }
+
+        let mut out: Vec<Distribution> = states[total_chunks]
+            .iter()
+            .map(|p| Distribution {
+                chunks: p.chunks.clone(),
+                time: Seconds(p.time),
+                energy: Joules(p.energy),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .expect("NaN time")
+                .then(a.energy.partial_cmp(&b.energy).expect("NaN energy"))
+        });
+        out
+    }
+}
+
+/// Keeps only non-dominated partials (and one representative per duplicate
+/// objective vector).
+fn prune(bucket: &mut Vec<Partial>) {
+    if bucket.len() <= 1 {
+        return;
+    }
+    let pts: Vec<BiPoint> = bucket.iter().map(|p| BiPoint::new(p.time, p.energy)).collect();
+    let keep = pareto_front(&pts);
+    let mut kept: Vec<Partial> = keep.into_iter().map(|i| bucket[i].clone()).collect();
+    std::mem::swap(bucket, &mut kept);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A processor with linear time `a·k` and energy `b·k`.
+    fn linear(name: &str, q: usize, a: f64, b: f64) -> DiscreteProfile {
+        DiscreteProfile::from_fn(name, q, |k| (Seconds(a * k as f64), Joules(b * k as f64)))
+    }
+
+    /// Brute force over all splits of `total` across the profiles.
+    fn brute_force(profiles: &[DiscreteProfile], total: usize) -> Vec<(f64, f64)> {
+        fn rec(
+            profiles: &[DiscreteProfile],
+            left: usize,
+            time: f64,
+            energy: f64,
+            out: &mut Vec<(f64, f64)>,
+        ) {
+            if profiles.is_empty() {
+                if left == 0 {
+                    out.push((time, energy));
+                }
+                return;
+            }
+            for k in 0..=profiles[0].granularity().min(left) {
+                let (t, e) = profiles[0].costs[k];
+                rec(
+                    &profiles[1..],
+                    left - k,
+                    time.max(t.value()),
+                    energy + e.value(),
+                    out,
+                );
+            }
+        }
+        let mut all = Vec::new();
+        rec(profiles, total, 0.0, 0.0, &mut all);
+        let pts: Vec<BiPoint> = all.iter().map(|&(t, e)| BiPoint::new(t, e)).collect();
+        let mut front: Vec<(f64, f64)> =
+            pareto_front(&pts).into_iter().map(|i| all[i]).collect();
+        front.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        front.dedup();
+        front
+    }
+
+    #[test]
+    fn two_identical_processors_split_evenly_for_time() {
+        let p = Partitioner::new(vec![linear("a", 10, 1.0, 1.0), linear("b", 10, 1.0, 1.0)]);
+        let front = p.solve(10);
+        // Energy is 10 no matter what; the makespan-optimal split is 5/5,
+        // so the front is that single point.
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].chunks, vec![5, 5]);
+        assert_eq!(front[0].time, Seconds(5.0));
+        assert_eq!(front[0].energy, Joules(10.0));
+    }
+
+    #[test]
+    fn fast_hungry_vs_slow_frugal_yields_tradeoff() {
+        // Processor a: fast but energy-hungry; b: slow but frugal.
+        let p = Partitioner::new(vec![linear("fast", 8, 1.0, 10.0), linear("slow", 8, 4.0, 1.0)]);
+        let front = p.solve(8);
+        assert!(front.len() >= 3, "{front:?}");
+        // Extremes: everything on the frugal processor is slowest/cheapest.
+        let cheapest = front.last().unwrap();
+        assert_eq!(cheapest.chunks, vec![0, 8]);
+        // Monotone trade-off along the front.
+        for w in front.windows(2) {
+            assert!(w[1].time > w[0].time);
+            assert!(w[1].energy < w[0].energy);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        // Non-linear, non-monotone energy profiles (nonproportional
+        // processors — the whole point of the paper).
+        let bend = |name: &str, q: usize, seed: u64| {
+            DiscreteProfile::from_fn(name, q, |k| {
+                let kf = k as f64;
+                let wob = ((seed as f64 + kf) * 2.3).sin() * 0.3 + 1.0;
+                (Seconds(kf * wob), Joules(kf * kf * 0.2 * wob + 1.0))
+            })
+        };
+        let profiles = vec![bend("x", 6, 1), bend("y", 5, 2), bend("z", 4, 3)];
+        let p = Partitioner::new(profiles.clone());
+        for total in [1usize, 5, 9, 15] {
+            let solved: Vec<(f64, f64)> = p
+                .solve(total)
+                .iter()
+                .map(|d| (d.time.value(), d.energy.value()))
+                .collect();
+            let expect = brute_force(&profiles, total);
+            assert_eq!(solved, expect, "total = {total}");
+        }
+    }
+
+    #[test]
+    fn chunks_always_sum_to_total() {
+        let p = Partitioner::new(vec![linear("a", 7, 2.0, 3.0), linear("b", 9, 1.5, 5.0)]);
+        for total in 1..=16 {
+            for d in p.solve(total) {
+                assert_eq!(d.chunks.iter().sum::<usize>(), total);
+                assert_eq!(d.chunks.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_workload_returns_empty() {
+        let p = Partitioner::new(vec![linear("a", 3, 1.0, 1.0)]);
+        assert!(p.solve(4).is_empty());
+        assert_eq!(p.solve(3).len(), 1);
+    }
+
+    #[test]
+    fn single_processor_trivial() {
+        let p = Partitioner::new(vec![linear("only", 5, 2.0, 7.0)]);
+        let front = p.solve(4);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].chunks, vec![4]);
+        assert_eq!(front[0].time, Seconds(8.0));
+        assert_eq!(front[0].energy, Joules(28.0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Strong energy proportionality: `E_d = c × W`.
+//!
+//! The strong notion of EP "signifies that `E_d = c × W` for an EP system
+//! where c is a constant and W is the work performed", i.e. dynamic energy
+//! increases *linearly through the origin* with work. The test fits that
+//! model to (work, energy) observations and asks whether the worst
+//! relative departure stays within a tolerance.
+
+use enprop_stats::regress::LinearFit;
+use enprop_units::{Joules, Work};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the strong-EP test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrongEpTest {
+    /// Maximum tolerated relative residual from the `E = c·W` line.
+    ///
+    /// The paper measures to 2.5% precision; the default tolerance of 10%
+    /// is generous — real processors violate it by integer factors.
+    pub tolerance: f64,
+}
+
+impl Default for StrongEpTest {
+    fn default() -> Self {
+        Self { tolerance: 0.10 }
+    }
+}
+
+/// Outcome of the strong-EP test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrongEpReport {
+    /// The fitted proportionality constant `c`.
+    pub c: f64,
+    /// R² of the through-origin fit.
+    pub r_squared: f64,
+    /// Worst relative residual `max |E − c·W| / E`.
+    pub max_rel_residual: f64,
+    /// The tolerance the verdict used.
+    pub tolerance: f64,
+    /// `true` when the system is strongly energy-proportional for these
+    /// observations.
+    pub holds: bool,
+}
+
+impl StrongEpTest {
+    /// Runs the test on paired (work, dynamic-energy) observations.
+    /// Panics with fewer than three points (a line through the origin
+    /// trivially fits one).
+    pub fn run(&self, points: &[(Work, Joules)]) -> StrongEpReport {
+        assert!(points.len() >= 3, "strong-EP test needs at least 3 points");
+        let w: Vec<f64> = points.iter().map(|p| p.0.value()).collect();
+        let e: Vec<f64> = points.iter().map(|p| p.1.value()).collect();
+        assert!(
+            w.iter().all(|v| *v > 0.0) && e.iter().all(|v| *v >= 0.0),
+            "work must be positive and energy non-negative"
+        );
+        let fit = LinearFit::fit_through_origin(&w, &e);
+        let max_rel_residual = fit.max_rel_residual(&w, &e);
+        StrongEpReport {
+            c: fit.slope,
+            r_squared: fit.r_squared,
+            max_rel_residual,
+            tolerance: self.tolerance,
+            holds: max_rel_residual <= self.tolerance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<(Work, Joules)> {
+        v.iter().map(|&(w, e)| (Work(w), Joules(e))).collect()
+    }
+
+    #[test]
+    fn perfectly_proportional_system_passes() {
+        let data = pts(&[(1.0, 3.0), (2.0, 6.0), (5.0, 15.0), (10.0, 30.0)]);
+        let r = StrongEpTest::default().run(&data);
+        assert!(r.holds);
+        assert!((r.c - 3.0).abs() < 1e-12);
+        assert!(r.max_rel_residual < 1e-12);
+        assert!((r.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mild_noise_within_tolerance_passes() {
+        let data = pts(&[(1.0, 3.1), (2.0, 5.9), (5.0, 15.2), (10.0, 29.5)]);
+        let r = StrongEpTest::default().run(&data);
+        assert!(r.holds, "{r:?}");
+    }
+
+    #[test]
+    fn superlinear_energy_fails() {
+        // E ∝ W^1.5 — the kind of curve Fig. 1 shows.
+        let data: Vec<(Work, Joules)> =
+            (1..=10).map(|i| (Work(i as f64), Joules((i as f64).powf(1.5)))).collect();
+        let r = StrongEpTest::default().run(&data);
+        assert!(!r.holds);
+        assert!(r.max_rel_residual > 0.10);
+    }
+
+    #[test]
+    fn offset_energy_fails_through_origin_test() {
+        // E = 10 + W fits a *line* but not a line through the origin:
+        // constant overheads violate strong EP at small work.
+        let data: Vec<(Work, Joules)> =
+            (1..=10).map(|i| (Work(i as f64), Joules(10.0 + i as f64))).collect();
+        let r = StrongEpTest::default().run(&data);
+        assert!(!r.holds);
+    }
+
+    #[test]
+    fn tolerance_is_respected() {
+        let data = pts(&[(1.0, 3.0), (2.0, 6.0), (4.0, 13.0)]); // ~8% off at 4
+        assert!(!StrongEpTest { tolerance: 0.01 }.run(&data).holds);
+        assert!(StrongEpTest { tolerance: 0.25 }.run(&data).holds);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_points_rejected() {
+        StrongEpTest::default().run(&pts(&[(1.0, 1.0), (2.0, 2.0)]));
+    }
+}

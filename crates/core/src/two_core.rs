@@ -1,0 +1,204 @@
+//! The paper's §III theorem: energy nonproportionality of two homogeneous
+//! cores under the simple EP model.
+//!
+//! Setup: two cores C₁, C₂ follow the *simple EP model* — dynamic power
+//! `P = a·U`, execution time `t = b/U` — and execute one load-balanced
+//! application configuration each (threads don't interact). Both cores
+//! stay powered until the slower one finishes, so each core's dynamic
+//! energy is its power times the *maximum* of the two times.
+//!
+//! Three configurations are compared (Eqs. 1–3):
+//!
+//! 1. both cores at utilization `U` → `E₁ = 2ab`;
+//! 2. C₁ raised to `U + ΔU` → `E₂ = ab·(U+ΔU)/U + ab > E₁`
+//!    (more energy, *no* performance gain);
+//! 3. C₁ raised to `U + ΔU`, C₂ lowered to `U − ΔU` (same average
+//!    utilization) → `E₃ = ab·(1 + (U+ΔU)/(U−ΔU)) > E₂ > E₁`
+//!    (more energy *and* less performance).
+//!
+//! Hence any divergence of per-core utilizations strictly increases
+//! dynamic energy — weak EP cannot survive utilization imbalance, even on
+//! hardware that is perfectly energy-proportional core by core.
+
+use enprop_units::{Joules, Seconds, Utilization, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A core obeying the simple EP model `P = a·U`, `t = b/U`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimpleEpCore {
+    /// Power coefficient `a` (watts at full utilization).
+    pub a: f64,
+    /// Time coefficient `b` (seconds at full utilization).
+    pub b: f64,
+}
+
+impl SimpleEpCore {
+    /// Creates a core model; both constants must be positive.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a > 0.0 && b > 0.0, "model constants must be positive");
+        Self { a, b }
+    }
+
+    /// Dynamic power at utilization `u`.
+    pub fn power(&self, u: Utilization) -> Watts {
+        Watts(self.a * u.fraction())
+    }
+
+    /// Execution time at utilization `u` (infinite at zero utilization).
+    pub fn time(&self, u: Utilization) -> Seconds {
+        Seconds(self.b / u.fraction())
+    }
+}
+
+/// The §III analysis for a pair of identical cores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoCoreAnalysis {
+    /// The shared core model.
+    pub core: SimpleEpCore,
+}
+
+impl TwoCoreAnalysis {
+    /// Creates the analysis.
+    pub fn new(core: SimpleEpCore) -> Self {
+        Self { core }
+    }
+
+    /// Total dynamic energy of a configuration running C₁ at `u1` and C₂
+    /// at `u2`: each core draws its power for the *slower* core's time.
+    pub fn energy(&self, u1: Utilization, u2: Utilization) -> Joules {
+        assert!(
+            u1.fraction() > 0.0 && u2.fraction() > 0.0,
+            "both cores must be utilized"
+        );
+        let t = self.core.time(u1).max(self.core.time(u2));
+        self.core.power(u1) * t + self.core.power(u2) * t
+    }
+
+    /// Eq. (1): the balanced configuration, `E₁ = 2ab`.
+    pub fn e1(&self, _u: Utilization) -> Joules {
+        Joules(2.0 * self.core.a * self.core.b)
+    }
+
+    /// Eq. (2): C₁ raised by ΔU, `E₂ = ab·(U+ΔU)/U + ab`.
+    pub fn e2(&self, u: Utilization, delta: f64) -> Joules {
+        let (a, b) = (self.core.a, self.core.b);
+        let uu = u.fraction();
+        assert!(delta > 0.0 && uu + delta <= 1.0, "need 0 < ΔU ≤ 1 − U");
+        Joules(a * b * (uu + delta) / uu + a * b)
+    }
+
+    /// Eq. (3): C₁ raised and C₂ lowered by ΔU (same average utilization),
+    /// `E₃ = ab·(1 + (U+ΔU)/(U−ΔU))`.
+    pub fn e3(&self, u: Utilization, delta: f64) -> Joules {
+        let (a, b) = (self.core.a, self.core.b);
+        let uu = u.fraction();
+        assert!(delta > 0.0 && uu + delta <= 1.0 && uu - delta > 0.0, "need 0 < ΔU < U");
+        Joules(a * b * (1.0 + (uu + delta) / (uu - delta)))
+    }
+
+    /// The theorem: for any admissible `(U, ΔU)`, `E₃ > E₂ > E₁`.
+    /// Returns the triple for inspection.
+    pub fn theorem_triple(&self, u: Utilization, delta: f64) -> (Joules, Joules, Joules) {
+        (self.e1(u), self.e2(u, delta), self.e3(u, delta))
+    }
+}
+
+/// Generalization to `n` homogeneous cores: total dynamic energy of a
+/// configuration with per-core utilizations `us`, every core powered until
+/// the slowest finishes. Balanced utilization minimizes this for a fixed
+/// utilization *sum* (hence fixed average).
+pub fn n_core_energy(core: SimpleEpCore, us: &[Utilization]) -> Joules {
+    assert!(!us.is_empty(), "need at least one core");
+    assert!(us.iter().all(|u| u.fraction() > 0.0), "all cores must be utilized");
+    let slowest = us
+        .iter()
+        .map(|&u| core.time(u))
+        .fold(Seconds::ZERO, |acc, t| acc.max(t));
+    us.iter().map(|&u| core.power(u) * slowest).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analysis() -> TwoCoreAnalysis {
+        TwoCoreAnalysis::new(SimpleEpCore::new(3.0, 2.0))
+    }
+
+    #[test]
+    fn eq1_balanced_energy_is_2ab() {
+        let an = analysis();
+        assert_eq!(an.e1(Utilization::new(0.5)), Joules(12.0));
+        // Balanced energy is independent of U — the weak-EP ideal.
+        assert_eq!(an.e1(Utilization::new(0.25)), an.e1(Utilization::new(0.9)));
+        // And it matches the general energy function.
+        let u = Utilization::new(0.6);
+        assert!((an.energy(u, u) - an.e1(u)).abs().value() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_matches_general_energy() {
+        let an = analysis();
+        let u = Utilization::new(0.5);
+        let d = 0.2;
+        let general = an.energy(Utilization::new(0.7), u);
+        assert!((an.e2(u, d) - general).abs().value() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_matches_general_energy() {
+        let an = analysis();
+        let u = Utilization::new(0.5);
+        let d = 0.2;
+        let general = an.energy(Utilization::new(0.7), Utilization::new(0.3));
+        assert!((an.e3(u, d) - general).abs().value() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_e3_gt_e2_gt_e1() {
+        let an = analysis();
+        for &(u, d) in &[(0.5, 0.1), (0.5, 0.4), (0.3, 0.05), (0.8, 0.15), (0.6, 0.39)] {
+            let (e1, e2, e3) = an.theorem_triple(Utilization::new(u), d);
+            assert!(e3 > e2, "U={u} ΔU={d}: E3={e3:?} E2={e2:?}");
+            assert!(e2 > e1, "U={u} ΔU={d}: E2={e2:?} E1={e1:?}");
+        }
+    }
+
+    #[test]
+    fn imbalance_never_helps_n_cores() {
+        let core = SimpleEpCore::new(2.0, 1.0);
+        let balanced = vec![Utilization::new(0.5); 6];
+        let e_balanced = n_core_energy(core, &balanced);
+        // Perturb while preserving the average.
+        let perturbed: Vec<Utilization> = [0.3, 0.7, 0.45, 0.55, 0.5, 0.5]
+            .iter()
+            .map(|&u| Utilization::new(u))
+            .collect();
+        let e_perturbed = n_core_energy(core, &perturbed);
+        assert!(e_perturbed > e_balanced);
+    }
+
+    #[test]
+    fn raising_one_core_wastes_energy_without_speedup() {
+        // Eq. 2's point: the application is no faster (the other core still
+        // takes b/U) but energy went up.
+        let an = analysis();
+        let u = Utilization::new(0.5);
+        let t_before = an.core.time(u);
+        let t_after = an.core.time(Utilization::new(0.7)).max(an.core.time(u));
+        assert_eq!(t_before, t_after);
+        assert!(an.e2(u, 0.2) > an.e1(u));
+    }
+
+    #[test]
+    #[should_panic(expected = "ΔU < U")]
+    fn eq3_requires_delta_below_u() {
+        analysis().e3(Utilization::new(0.3), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_model_constants_rejected() {
+        SimpleEpCore::new(0.0, 1.0);
+    }
+}

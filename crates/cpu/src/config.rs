@@ -1,0 +1,153 @@
+//! The CPU application configuration space.
+//!
+//! Fig. 4's data points "represent different application configurations
+//! (type of matrix partitioning, number of thread groups, number of
+//! threads per group) solving the same matrix size", for two BLAS-backed
+//! applications (Intel MKL and OpenBLAS DGEMM).
+
+use serde::{Deserialize, Serialize};
+
+/// How matrices A and C are partitioned among threadgroups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Partitioning {
+    /// Horizontal row bands (the paper's Fig. 3 decomposition).
+    RowWise,
+    /// Square (2-D) blocks.
+    Square,
+}
+
+/// How threads are pinned to cores across the two sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pinning {
+    /// Fill socket 0's cores first, then socket 1 (OS-default affinity).
+    Compact,
+    /// Alternate sockets thread by thread (NUMA-interleaved), spreading
+    /// memory-bandwidth demand across both memory controllers.
+    Scatter,
+}
+
+/// Which BLAS library backs the DGEMM kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlasFlavor {
+    /// Intel MKL.
+    IntelMkl,
+    /// OpenBLAS.
+    OpenBlas,
+}
+
+impl BlasFlavor {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BlasFlavor::IntelMkl => "Intel MKL",
+            BlasFlavor::OpenBlas => "OpenBLAS",
+        }
+    }
+}
+
+/// One application configuration of the threadgroup DGEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuDgemmConfig {
+    /// Matrix partitioning scheme.
+    pub partitioning: Partitioning,
+    /// Thread-to-core pinning policy.
+    pub pinning: Pinning,
+    /// Number of threadgroups `p`.
+    pub groups: usize,
+    /// Threads per group `t`.
+    pub threads_per_group: usize,
+    /// BLAS flavor.
+    pub flavor: BlasFlavor,
+}
+
+impl CpuDgemmConfig {
+    /// Total threads `p × t`.
+    pub fn total_threads(&self) -> usize {
+        self.groups * self.threads_per_group
+    }
+
+    /// Enumerates the configuration sweep for a node with `logical_cores`
+    /// logical CPUs: every `(partitioning, p, t)` with `p × t ≤
+    /// logical_cores`, one thread per core, for one BLAS flavor.
+    pub fn enumerate(logical_cores: usize, flavor: BlasFlavor) -> Vec<CpuDgemmConfig> {
+        let mut out = Vec::new();
+        for partitioning in [Partitioning::RowWise, Partitioning::Square] {
+            for pinning in [Pinning::Compact, Pinning::Scatter] {
+                for groups in 1..=logical_cores {
+                    for threads in 1..=logical_cores {
+                        if groups * threads <= logical_cores {
+                            out.push(CpuDgemmConfig {
+                                partitioning,
+                                pinning,
+                                groups,
+                                threads_per_group: threads,
+                                flavor,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A compact label, e.g. `MKL row/cmp p=4 t=6`.
+    pub fn label(&self) -> String {
+        let part = match self.partitioning {
+            Partitioning::RowWise => "row",
+            Partitioning::Square => "sq",
+        };
+        let pin = match self.pinning {
+            Pinning::Compact => "cmp",
+            Pinning::Scatter => "sct",
+        };
+        let lib = match self.flavor {
+            BlasFlavor::IntelMkl => "MKL",
+            BlasFlavor::OpenBlas => "OpenBLAS",
+        };
+        format!("{lib} {part}/{pin} p={} t={}", self.groups, self.threads_per_group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_respects_core_budget() {
+        let cfgs = CpuDgemmConfig::enumerate(48, BlasFlavor::IntelMkl);
+        assert!(!cfgs.is_empty());
+        assert!(cfgs.iter().all(|c| c.total_threads() <= 48));
+        // Both partitionings appear.
+        assert!(cfgs.iter().any(|c| c.partitioning == Partitioning::RowWise));
+        assert!(cfgs.iter().any(|c| c.partitioning == Partitioning::Square));
+        // Extremes present: 1×1 and 1×48 / 48×1.
+        assert!(cfgs.iter().any(|c| c.groups == 1 && c.threads_per_group == 48));
+        assert!(cfgs.iter().any(|c| c.groups == 48 && c.threads_per_group == 1));
+    }
+
+    #[test]
+    fn enumeration_count_is_sum_of_divisor_bounds() {
+        // For each p, t ranges over 1..=floor(48/p) → Σ floor(48/p), ×2
+        // partitionings.
+        // ×2 partitionings ×2 pinnings.
+        let expect: usize = (1..=48).map(|p| 48 / p).sum::<usize>() * 4;
+        assert_eq!(CpuDgemmConfig::enumerate(48, BlasFlavor::OpenBlas).len(), expect);
+    }
+
+    #[test]
+    fn labels_are_distinct_for_distinct_configs() {
+        let a = CpuDgemmConfig {
+            partitioning: Partitioning::RowWise,
+            pinning: Pinning::Compact,
+            groups: 4,
+            threads_per_group: 6,
+            flavor: BlasFlavor::IntelMkl,
+        };
+        let b = CpuDgemmConfig { groups: 6, threads_per_group: 4, ..a };
+        assert_ne!(a.label(), b.label());
+        assert_eq!(a.label(), "MKL row/cmp p=4 t=6");
+        let c = CpuDgemmConfig { pinning: Pinning::Scatter, ..a };
+        assert_eq!(c.label(), "MKL row/sct p=4 t=6");
+    }
+}

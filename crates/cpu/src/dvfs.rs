@@ -1,0 +1,373 @@
+//! Dynamic voltage and frequency scaling (DVFS).
+//!
+//! DVFS is "the dominant decision variable" of the system-level
+//! energy/performance methods the paper surveys (§II-A), and one of the
+//! hardware mechanisms (§III) that make a multicore CPU's power a complex
+//! function of utilization. This module models P-states with the
+//! `P ∝ f·V²` scaling law and the classic cpufreq governors, and plugs
+//! into [`CpuSimulator`](crate::sim::CpuSimulator) via
+//! [`crate::sim::CpuSimulator::run_dgemm_at`].
+
+use enprop_units::Hertz;
+use serde::{Deserialize, Serialize};
+
+/// One performance state: an operating frequency and its required voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PState {
+    /// Core frequency.
+    pub frequency: Hertz,
+    /// Supply voltage, volts.
+    pub voltage: f64,
+}
+
+impl PState {
+    /// Dynamic-power scale of this state relative to a reference state:
+    /// `f·V² / f_ref·V_ref²` (the CMOS switching-power law).
+    pub fn power_scale(&self, reference: &PState) -> f64 {
+        (self.frequency.value() * self.voltage * self.voltage)
+            / (reference.frequency.value() * reference.voltage * reference.voltage)
+    }
+
+    /// Compute-throughput scale relative to a reference state (linear in
+    /// frequency for core-bound work).
+    pub fn perf_scale(&self, reference: &PState) -> f64 {
+        self.frequency.ratio(reference.frequency)
+    }
+}
+
+/// An ordered table of P-states (ascending frequency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsTable {
+    states: Vec<PState>,
+}
+
+impl DvfsTable {
+    /// Builds a table; states are sorted by frequency. Panics on an empty
+    /// list or non-positive values.
+    pub fn new(mut states: Vec<PState>) -> Self {
+        assert!(!states.is_empty(), "need at least one P-state");
+        assert!(
+            states.iter().all(|s| s.frequency.value() > 0.0 && s.voltage > 0.0),
+            "frequencies and voltages must be positive"
+        );
+        states.sort_by(|a, b| a.frequency.partial_cmp(&b.frequency).expect("NaN frequency"));
+        Self { states }
+    }
+
+    /// The Haswell E5-2670 v3 ladder: 1.2–2.3 GHz in 100 MHz steps (the
+    /// 1200.402 MHz of Table I is this ladder's floor) plus the 3.1 GHz
+    /// single-core turbo, with a linear voltage ramp 0.75–1.05 V.
+    pub fn haswell() -> Self {
+        let mut states = Vec::new();
+        for step in 0..=11 {
+            let f = 1.2e9 + step as f64 * 0.1e9;
+            let voltage = 0.75 + 0.3 * (f - 1.2e9) / (2.3e9 - 1.2e9);
+            states.push(PState { frequency: Hertz(f), voltage });
+        }
+        states.push(PState { frequency: Hertz(3.1e9), voltage: 1.15 });
+        Self::new(states)
+    }
+
+    /// All states, ascending.
+    pub fn states(&self) -> &[PState] {
+        &self.states
+    }
+
+    /// The lowest-frequency state.
+    pub fn min_state(&self) -> &PState {
+        self.states.first().expect("non-empty table")
+    }
+
+    /// The highest-frequency state.
+    pub fn max_state(&self) -> &PState {
+        self.states.last().expect("non-empty table")
+    }
+
+    /// The nominal (max non-turbo) state: the highest state at most
+    /// `nominal_hz`; falls back to the floor.
+    pub fn nominal(&self, nominal_hz: Hertz) -> &PState {
+        self.states
+            .iter()
+            .rev()
+            .find(|s| s.frequency <= nominal_hz)
+            .unwrap_or_else(|| self.min_state())
+    }
+
+    /// The slowest state with frequency ≥ `target`; the max state if none.
+    pub fn at_least(&self, target: Hertz) -> &PState {
+        self.states
+            .iter()
+            .find(|s| s.frequency >= target)
+            .unwrap_or_else(|| self.max_state())
+    }
+
+    /// Index of a state in the ladder (by frequency equality).
+    fn index_of(&self, state: &PState) -> usize {
+        self.states
+            .iter()
+            .position(|s| s.frequency == state.frequency)
+            .expect("state not from this table")
+    }
+
+    /// One step up the ladder (saturating).
+    pub fn step_up(&self, state: &PState) -> &PState {
+        let i = self.index_of(state);
+        &self.states[(i + 1).min(self.states.len() - 1)]
+    }
+
+    /// One step down the ladder (saturating).
+    pub fn step_down(&self, state: &PState) -> &PState {
+        let i = self.index_of(state);
+        &self.states[i.saturating_sub(1)]
+    }
+}
+
+/// A cpufreq-style governor: a policy mapping observed utilization to the
+/// next P-state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Governor {
+    /// Always the maximum frequency.
+    Performance,
+    /// Always the minimum frequency.
+    Powersave,
+    /// A fixed, user-chosen frequency (the slowest state at least this
+    /// fast).
+    Userspace(Hertz),
+    /// The classic ondemand policy: jump to max when utilization exceeds
+    /// `up_threshold`, otherwise step down one state.
+    Ondemand {
+        /// Utilization fraction above which the governor jumps to max.
+        up_threshold: f64,
+    },
+}
+
+/// A stateful governor simulation over a utilization trace.
+#[derive(Debug, Clone)]
+pub struct GovernorSim<'t> {
+    table: &'t DvfsTable,
+    governor: Governor,
+    current: PState,
+}
+
+impl<'t> GovernorSim<'t> {
+    /// Starts the simulation at the table's floor state.
+    pub fn new(table: &'t DvfsTable, governor: Governor) -> Self {
+        Self { table, governor, current: *table.min_state() }
+    }
+
+    /// The current P-state.
+    pub fn current(&self) -> PState {
+        self.current
+    }
+
+    /// Feeds one utilization observation and returns the chosen state.
+    pub fn step(&mut self, utilization: f64) -> PState {
+        self.current = match self.governor {
+            Governor::Performance => *self.table.max_state(),
+            Governor::Powersave => *self.table.min_state(),
+            Governor::Userspace(f) => *self.table.at_least(f),
+            Governor::Ondemand { up_threshold } => {
+                if utilization > up_threshold {
+                    *self.table.max_state()
+                } else {
+                    *self.table.step_down(&self.current)
+                }
+            }
+        };
+        self.current
+    }
+
+    /// Runs the governor over a whole trace, returning the visited states.
+    pub fn run(&mut self, utilizations: &[f64]) -> Vec<PState> {
+        utilizations.iter().map(|&u| self.step(u)).collect()
+    }
+}
+
+/// Energy/time accounting of a governor over a phased utilization trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Total wall time of the trace.
+    pub time: enprop_units::Seconds,
+    /// Dynamic energy consumed over the trace.
+    pub dynamic_energy: enprop_units::Joules,
+    /// The P-state chosen at each tick.
+    pub states: Vec<PState>,
+}
+
+/// Accounts a governor over a utilization trace of fixed-length ticks.
+///
+/// Each tick draws `ref_power · power_scale(state) · utilization` for
+/// `tick` seconds, where `ref_power` is the node's dynamic power at full
+/// utilization in the `reference` state — the simple EP per-state model
+/// with the `f·V²` scaling law on top.
+pub fn account_trace(
+    table: &DvfsTable,
+    governor: Governor,
+    utilizations: &[f64],
+    tick: enprop_units::Seconds,
+    ref_power: enprop_units::Watts,
+    reference: &PState,
+) -> TraceSummary {
+    assert!(tick.value() > 0.0, "tick must be positive");
+    assert!(ref_power.value() >= 0.0, "reference power must be non-negative");
+    let mut sim = GovernorSim::new(table, governor);
+    let mut energy = 0.0;
+    let mut states = Vec::with_capacity(utilizations.len());
+    for &u in utilizations {
+        assert!((0.0..=1.0).contains(&u), "utilization must be in [0, 1]");
+        let state = sim.step(u);
+        energy += ref_power.value() * state.power_scale(reference) * u * tick.value();
+        states.push(state);
+    }
+    TraceSummary {
+        time: tick * utilizations.len() as f64,
+        dynamic_energy: enprop_units::Joules(energy),
+        states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_ladder_shape() {
+        let t = DvfsTable::haswell();
+        assert_eq!(t.states().len(), 13);
+        assert!((t.min_state().frequency.value() - 1.2e9).abs() < 1.0);
+        assert!((t.max_state().frequency.value() - 3.1e9).abs() < 1.0);
+        // Ascending frequencies and voltages.
+        for w in t.states().windows(2) {
+            assert!(w[1].frequency > w[0].frequency);
+            assert!(w[1].voltage >= w[0].voltage);
+        }
+    }
+
+    #[test]
+    fn cube_law_power_scaling() {
+        let t = DvfsTable::haswell();
+        let lo = t.min_state();
+        let hi = t.nominal(Hertz(2.3e9));
+        // f ratio 2.3/1.2 ≈ 1.92; V ratio 1.05/0.75 = 1.4 → power ratio
+        // ≈ 1.92 × 1.96 ≈ 3.76.
+        let scale = hi.power_scale(lo);
+        assert!((3.4..4.1).contains(&scale), "{scale}");
+        // Perf only scales with f.
+        assert!((hi.perf_scale(lo) - 2.3 / 1.2).abs() < 1e-9);
+        // Self-scale is 1.
+        assert!((lo.power_scale(lo) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_and_at_least_lookup() {
+        let t = DvfsTable::haswell();
+        assert!((t.nominal(Hertz(2.3e9)).frequency.value() - 2.3e9).abs() < 1.0);
+        // 2.35 GHz nominal still picks 2.3 (turbo excluded).
+        assert!((t.nominal(Hertz(2.35e9)).frequency.value() - 2.3e9).abs() < 1.0);
+        assert!((t.at_least(Hertz(1.25e9)).frequency.value() - 1.3e9).abs() < 1.0);
+        // Beyond the table → max.
+        assert!((t.at_least(Hertz(9.9e9)).frequency.value() - 3.1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn ladder_stepping_saturates() {
+        let t = DvfsTable::haswell();
+        let top = *t.max_state();
+        assert_eq!(*t.step_up(&top), top);
+        let bottom = *t.min_state();
+        assert_eq!(*t.step_down(&bottom), bottom);
+        assert!(t.step_up(&bottom).frequency > bottom.frequency);
+    }
+
+    #[test]
+    fn performance_and_powersave_governors() {
+        let t = DvfsTable::haswell();
+        let mut perf = GovernorSim::new(&t, Governor::Performance);
+        assert_eq!(perf.step(0.1), *t.max_state());
+        let mut save = GovernorSim::new(&t, Governor::Powersave);
+        assert_eq!(save.step(0.99), *t.min_state());
+    }
+
+    #[test]
+    fn ondemand_jumps_up_and_steps_down() {
+        let t = DvfsTable::haswell();
+        let mut g = GovernorSim::new(&t, Governor::Ondemand { up_threshold: 0.8 });
+        // A burst jumps straight to max.
+        assert_eq!(g.step(0.95), *t.max_state());
+        // Idle steps walk down one state at a time.
+        let after_one = g.step(0.1);
+        assert!(after_one.frequency < t.max_state().frequency);
+        let after_two = g.step(0.1);
+        assert!(after_two.frequency < after_one.frequency);
+        // Eventually reaches and stays at the floor.
+        for _ in 0..20 {
+            g.step(0.1);
+        }
+        assert_eq!(g.current(), *t.min_state());
+    }
+
+    #[test]
+    fn governor_trace() {
+        let t = DvfsTable::haswell();
+        let mut g = GovernorSim::new(&t, Governor::Ondemand { up_threshold: 0.5 });
+        let states = g.run(&[0.9, 0.9, 0.2, 0.2, 0.9]);
+        assert_eq!(states.len(), 5);
+        assert_eq!(states[0], *t.max_state());
+        assert!(states[3].frequency < states[1].frequency);
+        assert_eq!(states[4], *t.max_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_table_rejected() {
+        DvfsTable::new(vec![]);
+    }
+
+    #[test]
+    fn trace_accounting_orders_governors() {
+        use enprop_units::{Hertz, Seconds, Watts};
+        let t = DvfsTable::haswell();
+        let nominal = *t.nominal(Hertz(2.3e9));
+        // Mostly-idle trace with a burst in the middle.
+        let load: Vec<f64> = (0..30)
+            .map(|i| if (10..13).contains(&i) { 0.95 } else { 0.1 })
+            .collect();
+        let run = |gov| account_trace(&t, gov, &load, Seconds(1.0), Watts(80.0), &nominal);
+        let perf = run(Governor::Performance);
+        let save = run(Governor::Powersave);
+        let ond = run(Governor::Ondemand { up_threshold: 0.8 });
+        // At this accounting level (same utilization trace), energy orders
+        // strictly by the voltage/frequency the governor chooses.
+        assert!(save.dynamic_energy < ond.dynamic_energy);
+        assert!(ond.dynamic_energy < perf.dynamic_energy);
+        // Ondemand rode the burst at max frequency…
+        assert_eq!(ond.states[10], *t.max_state());
+        // …and walked back down afterwards.
+        assert!(ond.states[20].frequency < t.max_state().frequency);
+        assert_eq!(perf.time, Seconds(30.0));
+    }
+
+    #[test]
+    fn trace_accounting_scales_with_utilization() {
+        use enprop_units::{Hertz, Seconds, Watts};
+        let t = DvfsTable::haswell();
+        let nominal = *t.nominal(Hertz(2.3e9));
+        let busy = account_trace(
+            &t,
+            Governor::Performance,
+            &[1.0; 10],
+            Seconds(1.0),
+            Watts(50.0),
+            &nominal,
+        );
+        let half = account_trace(
+            &t,
+            Governor::Performance,
+            &[0.5; 10],
+            Seconds(1.0),
+            Watts(50.0),
+            &nominal,
+        );
+        assert!((busy.dynamic_energy.value() - 2.0 * half.dynamic_energy.value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,186 @@
+//! CPU side of the strong-EP study (Fig. 1): an analytic Intel-MKL-style
+//! 2-D FFT execution model.
+//!
+//! The paper's Fig. 1 CPU curve is strongly non-linear in the work
+//! `W = 5 N² log₂ N`. Two mechanisms dominate on a real node and are both
+//! modeled:
+//!
+//! * **cache regimes** — signals that fit the L3 complex run at high flop
+//!   efficiency; larger signals pay DRAM-bandwidth-bound row/column passes;
+//! * **size smoothness** — FFT cost depends on N's factorization: MKL
+//!   handles smooth sizes (2ᵃ3ᵇ5ᶜ7ᵈ) near peak and degrades on sizes with
+//!   large prime factors, which makes energy-vs-work jagged across the
+//!   paper's N = 125…44000 sweep.
+
+use crate::topology::CpuTopology;
+use enprop_units::{Joules, Seconds, Watts, Work};
+
+/// The paper's work measure: `W = 5 N² log₂ N`.
+pub fn fft2d_work(n: usize) -> Work {
+    let nf = n as f64;
+    Work(5.0 * nf * nf * nf.log2())
+}
+
+/// Largest prime factor of `n` (trial division; fine for the sweep sizes).
+pub fn largest_prime_factor(mut n: usize) -> usize {
+    assert!(n >= 2, "needs n >= 2");
+    let mut largest = 1;
+    let mut d = 2;
+    while d * d <= n {
+        while n.is_multiple_of(d) {
+            largest = d;
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        largest = n;
+    }
+    largest
+}
+
+/// Relative FFT kernel efficiency of size `n` based on its smoothness:
+/// 1.0 for 7-smooth sizes, dropping toward 0.3 for sizes dominated by a
+/// large prime factor.
+pub fn smoothness_efficiency(n: usize) -> f64 {
+    let lpf = largest_prime_factor(n) as f64;
+    if lpf <= 7.0 {
+        1.0
+    } else {
+        (7.0 / lpf).powf(0.35).max(0.3)
+    }
+}
+
+/// Execution estimate of one CPU 2-D FFT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuFftEstimate {
+    /// Wall-clock time of the transform.
+    pub time: Seconds,
+    /// Dynamic power over the run.
+    pub power: Watts,
+    /// Dynamic energy of the run.
+    pub energy: Joules,
+}
+
+/// The model bound to one node.
+#[derive(Debug, Clone)]
+pub struct CpuFft2d {
+    topo: CpuTopology,
+}
+
+/// Peak-flops fraction a cache-resident multithreaded FFT achieves.
+const FFT_COMPUTE_EFF: f64 = 0.30;
+/// Bytes moved per signal element per full 2-D transform (row pass +
+/// column pass + transposes, complex doubles).
+const PASS_TRAFFIC_MULT: f64 = 6.0;
+
+impl CpuFft2d {
+    /// Binds the model to a node.
+    pub fn new(topo: CpuTopology) -> Self {
+        Self { topo }
+    }
+
+    /// The model for the paper's Haswell node.
+    pub fn haswell() -> Self {
+        Self::new(CpuTopology::haswell_e5_2670v3())
+    }
+
+    /// Predicts one `N × N` complex 2-D FFT run with one thread per core.
+    pub fn estimate(&self, n: usize) -> CpuFftEstimate {
+        assert!(n >= 2, "FFT size must be at least 2");
+        let nf = n as f64;
+        let flops = fft2d_work(n).value();
+
+        let eff = FFT_COMPUTE_EFF * smoothness_efficiency(n);
+        let compute_time = flops / (self.topo.peak_flops() * eff);
+
+        let signal_bytes = 16.0 * nf * nf;
+        let l3_total = self.topo.l3.value() * self.topo.sockets as f64;
+        let cache_mult = if signal_bytes <= l3_total { 4.0 } else { 1.0 };
+        let mem_time =
+            signal_bytes * PASS_TRAFFIC_MULT / (self.topo.memory_bandwidth.value() * cache_mult);
+
+        let t = compute_time.max(mem_time) + 5.0e-5;
+        let s_mem = mem_time / compute_time.max(mem_time);
+
+        // All physical cores busy (stall-inclusive utilization ≈ 1); power
+        // varies with how memory-bound the phase mix is.
+        let pm = &self.topo.power;
+        let cores = self.topo.physical_cores() as f64;
+        let power = cores * pm.core_w * (1.0 + pm.smt_bonus)
+            + pm.uncore_w * s_mem
+            + pm.dtlb_w * 0.3 * s_mem;
+
+        CpuFftEstimate {
+            time: Seconds(t),
+            power: Watts(power),
+            energy: Watts(power) * Seconds(t),
+        }
+    }
+
+    /// Dynamic energy per unit work — constant under strong EP.
+    pub fn energy_per_work(&self, n: usize) -> f64 {
+        self.estimate(n).energy.value() / fft2d_work(n).value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_factorization_helper() {
+        assert_eq!(largest_prime_factor(2), 2);
+        assert_eq!(largest_prime_factor(1024), 2);
+        assert_eq!(largest_prime_factor(125), 5);
+        assert_eq!(largest_prime_factor(44000), 11);
+        assert_eq!(largest_prime_factor(17408), 17);
+        assert_eq!(largest_prime_factor(97), 97);
+    }
+
+    #[test]
+    fn smooth_sizes_are_efficient() {
+        assert_eq!(smoothness_efficiency(4096), 1.0);
+        assert_eq!(smoothness_efficiency(3000), 1.0); // 2³·3·5³
+        assert!(smoothness_efficiency(44000) < 1.0); // 11 | 44000
+        assert!(smoothness_efficiency(9973) < smoothness_efficiency(44000)); // prime
+        assert!(smoothness_efficiency(9973) >= 0.3);
+    }
+
+    #[test]
+    fn time_monotone_for_smooth_sizes() {
+        let m = CpuFft2d::haswell();
+        let mut prev = 0.0;
+        for n in [128, 512, 2048, 8192, 32768] {
+            let t = m.estimate(n).time.value();
+            assert!(t > prev, "n={n}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn strong_ep_violated_on_cpu() {
+        let m = CpuFft2d::haswell();
+        let ns = [125, 256, 1000, 1940, 4096, 9973, 16384, 44000];
+        let ratios: Vec<f64> = ns.iter().map(|&n| m.energy_per_work(n)).collect();
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 1.5, "spread {}", max / min);
+    }
+
+    #[test]
+    fn cache_resident_sizes_cheaper_per_work() {
+        let m = CpuFft2d::haswell();
+        // 1024² complex = 16 MB fits the combined 60 MB L3; 8192² does not.
+        assert!(m.energy_per_work(1024) < m.energy_per_work(8192));
+    }
+
+    #[test]
+    fn power_in_sane_envelope() {
+        let m = CpuFft2d::haswell();
+        for n in [125, 1024, 44000] {
+            let p = m.estimate(n).power.value();
+            assert!(p > 40.0 && p < 160.0, "n={n}: {p}");
+        }
+    }
+}

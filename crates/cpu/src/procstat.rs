@@ -1,0 +1,254 @@
+//! `/proc/stat` emulation.
+//!
+//! The paper measures average CPU utilization through `/proc/stat`: "The
+//! first 'cpu' line aggregates the numbers in all of the other 'cpuN'
+//! lines, one line per core. Since the multicore CPU processor has 48
+//! logical cores, there are 49 lines in total." This module renders and
+//! parses that exact format and computes per-core utilization between two
+//! snapshots, the way monitoring tools do.
+
+use enprop_units::{Seconds, Utilization};
+
+/// Jiffy counters of one `cpu`/`cpuN` line (the canonical eight fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuTimes {
+    /// Normal-priority user time.
+    pub user: u64,
+    /// Niced user time.
+    pub nice: u64,
+    /// Kernel time.
+    pub system: u64,
+    /// Idle time.
+    pub idle: u64,
+    /// I/O-wait time.
+    pub iowait: u64,
+    /// Hardware-interrupt time.
+    pub irq: u64,
+    /// Software-interrupt time.
+    pub softirq: u64,
+    /// Involuntary-wait (virtualization) time.
+    pub steal: u64,
+}
+
+impl CpuTimes {
+    /// Total jiffies across all states.
+    pub fn total(&self) -> u64 {
+        self.user + self.nice + self.system + self.idle + self.iowait + self.irq + self.softirq
+            + self.steal
+    }
+
+    /// Busy jiffies (everything but idle and iowait).
+    pub fn busy(&self) -> u64 {
+        self.total() - self.idle - self.iowait
+    }
+
+    /// Field-wise sum.
+    pub fn plus(&self, o: &CpuTimes) -> CpuTimes {
+        CpuTimes {
+            user: self.user + o.user,
+            nice: self.nice + o.nice,
+            system: self.system + o.system,
+            idle: self.idle + o.idle,
+            iowait: self.iowait + o.iowait,
+            irq: self.irq + o.irq,
+            softirq: self.softirq + o.softirq,
+            steal: self.steal + o.steal,
+        }
+    }
+}
+
+/// A `/proc/stat` snapshot: one line per logical CPU.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProcStat {
+    per_cpu: Vec<CpuTimes>,
+}
+
+/// Jiffies per second (`USER_HZ`).
+pub const USER_HZ: f64 = 100.0;
+
+impl ProcStat {
+    /// An all-zero snapshot for `cpus` logical CPUs.
+    pub fn zeroed(cpus: usize) -> Self {
+        Self { per_cpu: vec![CpuTimes::default(); cpus] }
+    }
+
+    /// Builds a snapshot from per-CPU counters.
+    pub fn from_cpus(per_cpu: Vec<CpuTimes>) -> Self {
+        Self { per_cpu }
+    }
+
+    /// Number of logical CPUs.
+    pub fn cpus(&self) -> usize {
+        self.per_cpu.len()
+    }
+
+    /// Per-CPU counters.
+    pub fn per_cpu(&self) -> &[CpuTimes] {
+        &self.per_cpu
+    }
+
+    /// The aggregate `cpu` line: field-wise sum of all `cpuN` lines.
+    pub fn aggregate(&self) -> CpuTimes {
+        self.per_cpu.iter().fold(CpuTimes::default(), |acc, c| acc.plus(c))
+    }
+
+    /// Advances one CPU's counters by `busy`/`idle` seconds (converted to
+    /// jiffies; busy time lands in `user`).
+    pub fn advance(&mut self, cpu: usize, busy: Seconds, idle: Seconds) {
+        assert!(busy.value() >= 0.0 && idle.value() >= 0.0, "times must be non-negative");
+        let t = &mut self.per_cpu[cpu];
+        t.user += (busy.value() * USER_HZ).round() as u64;
+        t.idle += (idle.value() * USER_HZ).round() as u64;
+    }
+
+    /// Renders the `/proc/stat` text: the aggregate `cpu` line followed by
+    /// one `cpuN` line per logical CPU (49 lines for 48 CPUs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let line = |name: &str, t: &CpuTimes| {
+            format!(
+                "{} {} {} {} {} {} {} {} {}\n",
+                name, t.user, t.nice, t.system, t.idle, t.iowait, t.irq, t.softirq, t.steal
+            )
+        };
+        out.push_str(&line("cpu", &self.aggregate()));
+        for (i, t) in self.per_cpu.iter().enumerate() {
+            out.push_str(&line(&format!("cpu{i}"), t));
+        }
+        out
+    }
+
+    /// Parses `/proc/stat` text (the `cpu`/`cpuN` lines; other lines such
+    /// as `intr`/`ctxt` are ignored). Returns `None` on malformed input or
+    /// when the aggregate line disagrees with the per-CPU sum.
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut aggregate: Option<CpuTimes> = None;
+        let mut per_cpu = Vec::new();
+        for line in text.lines() {
+            let mut it = line.split_whitespace();
+            let tag = it.next()?;
+            if !tag.starts_with("cpu") {
+                continue;
+            }
+            let mut nums = [0u64; 8];
+            for slot in nums.iter_mut() {
+                *slot = it.next().and_then(|s| s.parse().ok())?;
+            }
+            let t = CpuTimes {
+                user: nums[0],
+                nice: nums[1],
+                system: nums[2],
+                idle: nums[3],
+                iowait: nums[4],
+                irq: nums[5],
+                softirq: nums[6],
+                steal: nums[7],
+            };
+            if tag == "cpu" {
+                aggregate = Some(t);
+            } else {
+                let idx: usize = tag[3..].parse().ok()?;
+                if idx != per_cpu.len() {
+                    return None; // out-of-order cpuN lines
+                }
+                per_cpu.push(t);
+            }
+        }
+        let stat = Self { per_cpu };
+        match aggregate {
+            Some(agg) if agg == stat.aggregate() => Some(stat),
+            _ => None,
+        }
+    }
+
+    /// Per-CPU utilization between two snapshots:
+    /// `Δbusy / Δtotal` per logical CPU.
+    pub fn utilization_since(&self, earlier: &ProcStat) -> Vec<Utilization> {
+        assert_eq!(self.cpus(), earlier.cpus(), "snapshot CPU count mismatch");
+        self.per_cpu
+            .iter()
+            .zip(&earlier.per_cpu)
+            .map(|(now, then)| {
+                let dt = now.total().saturating_sub(then.total());
+                let db = now.busy().saturating_sub(then.busy());
+                if dt == 0 {
+                    Utilization::IDLE
+                } else {
+                    Utilization::new(db as f64 / dt as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Average CPU utilization between two snapshots — the paper's x-axis.
+    pub fn average_utilization_since(&self, earlier: &ProcStat) -> Utilization {
+        Utilization::mean(&self.utilization_since(earlier))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_one_line_per_cpu_plus_aggregate() {
+        let s = ProcStat::zeroed(48);
+        let text = s.render();
+        assert_eq!(text.lines().count(), 49);
+        assert!(text.starts_with("cpu "));
+        assert!(text.contains("\ncpu47 "));
+    }
+
+    #[test]
+    fn aggregate_sums_cpu_lines() {
+        let mut s = ProcStat::zeroed(4);
+        s.advance(0, Seconds(1.0), Seconds(0.0));
+        s.advance(1, Seconds(0.5), Seconds(0.5));
+        let agg = s.aggregate();
+        assert_eq!(agg.user, 150);
+        assert_eq!(agg.idle, 50);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let mut s = ProcStat::zeroed(8);
+        for i in 0..8 {
+            s.advance(i, Seconds(i as f64), Seconds(8.0 - i as f64));
+        }
+        let parsed = ProcStat::parse(&s.render()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn parse_rejects_inconsistent_aggregate() {
+        let text = "cpu 100 0 0 0 0 0 0 0\ncpu0 10 0 0 0 0 0 0 0\n";
+        assert!(ProcStat::parse(text).is_none());
+    }
+
+    #[test]
+    fn parse_ignores_non_cpu_lines() {
+        let mut s = ProcStat::zeroed(2);
+        s.advance(0, Seconds(1.0), Seconds(1.0));
+        let text = format!("{}intr 12345 0 0\nctxt 999\nbtime 1\n", s.render());
+        assert_eq!(ProcStat::parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn utilization_between_snapshots() {
+        let before = ProcStat::zeroed(2);
+        let mut after = ProcStat::zeroed(2);
+        after.advance(0, Seconds(3.0), Seconds(1.0)); // 75% busy
+        after.advance(1, Seconds(0.0), Seconds(4.0)); // idle
+        let utils = after.utilization_since(&before);
+        assert!((utils[0].fraction() - 0.75).abs() < 1e-9);
+        assert_eq!(utils[1], Utilization::IDLE);
+        let avg = after.average_utilization_since(&before);
+        assert!((avg.fraction() - 0.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_delta_reports_idle() {
+        let s = ProcStat::zeroed(1);
+        assert_eq!(s.utilization_since(&s), vec![Utilization::IDLE]);
+    }
+}

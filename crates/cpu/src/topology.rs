@@ -1,0 +1,167 @@
+//! CPU topology and power-model description (the paper's Table I CPU rows).
+
+use enprop_units::{BytesPerSecond, Hertz, MemBytes};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a multicore CPU node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuTopology {
+    /// Marketing name.
+    pub name: String,
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Hardware threads per physical core (2 = hyper-threading).
+    pub smt: usize,
+    /// Nominal core clock.
+    pub clock: Hertz,
+    /// Peak double-precision flops of one physical core (AVX2 FMA width).
+    pub flops_per_core: f64,
+    /// Aggregate memory bandwidth of the node.
+    pub memory_bandwidth: BytesPerSecond,
+    /// L1 data cache per core.
+    pub l1d: MemBytes,
+    /// L1 instruction cache per core.
+    pub l1i: MemBytes,
+    /// L2 cache per core.
+    pub l2: MemBytes,
+    /// L3 cache per socket.
+    pub l3: MemBytes,
+    /// Total main memory.
+    pub main_memory: MemBytes,
+    /// BLAS library versions, for the Table I rendering.
+    pub blas_versions: String,
+    /// Calibrated dynamic-power model.
+    pub power: CpuPowerModel,
+}
+
+/// Calibrated constants of the node's dynamic-power model
+///
+/// ```text
+/// P = Σ_cores core_w · u_i^core_exponent · (1 + smt_bonus·[both threads busy])
+///   + uncore_w · (achieved bandwidth / peak)
+///   + dtlb_w  · walk_intensity(configuration)
+/// ```
+///
+/// The per-core term is the simple EP model (`P = a·U`) the literature
+/// fits; the uncore and dTLB terms are what break weak EP at the node
+/// level. The dTLB term follows Khokhriakov et al.: page-walk activity is
+/// disproportionately energy-expensive and varies with the application
+/// configuration even at equal utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPowerModel {
+    /// Dynamic power of one fully-utilized physical core.
+    pub core_w: f64,
+    /// Exponent on per-core utilization (1.0 = the simple EP model).
+    pub core_exponent: f64,
+    /// Extra fraction of core power when both SMT threads are busy.
+    pub smt_bonus: f64,
+    /// Uncore (memory controller + interconnect) power at peak bandwidth.
+    pub uncore_w: f64,
+    /// Power of dTLB page-walk activity at maximum walk intensity.
+    pub dtlb_w: f64,
+}
+
+impl CpuTopology {
+    /// Total physical cores.
+    pub fn physical_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total logical cores (`physical × smt`).
+    pub fn logical_cores(&self) -> usize {
+        self.physical_cores() * self.smt
+    }
+
+    /// Peak double-precision throughput of the node, flop/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.physical_cores() as f64 * self.flops_per_core
+    }
+
+    /// The dual-socket Intel Haswell E5-2670 v3 node of Table I, with
+    /// hyper-threading enabled (48 logical cores).
+    pub fn haswell_e5_2670v3() -> Self {
+        Self {
+            name: "Intel Haswell E5-2670V3".into(),
+            sockets: 2,
+            cores_per_socket: 12,
+            smt: 2,
+            // Table I lists the governor-scaled 1200.402 MHz reading; DGEMM
+            // runs near the 2.3 GHz nominal clock which the flop rate uses.
+            clock: Hertz::from_mhz(1200.402),
+            // 2.3 GHz × 16 DP flops/cycle (2× 4-wide FMA).
+            flops_per_core: 2.3e9 * 16.0,
+            memory_bandwidth: BytesPerSecond(136.0e9), // 2 sockets × 68 GB/s
+            l1d: MemBytes::from_kib(32.0),
+            l1i: MemBytes::from_kib(32.0),
+            l2: MemBytes::from_kib(256.0),
+            l3: MemBytes::from_kib(30720.0),
+            main_memory: MemBytes::from_gib(64.0),
+            blas_versions: "(Intel MKL, OpenBLAS) = (2020.0.4, 0.2.19)".into(),
+            power: CpuPowerModel {
+                core_w: 2.6,
+                core_exponent: 1.0,
+                smt_bonus: 0.18,
+                uncore_w: 28.0,
+                dtlb_w: 32.0,
+            },
+        }
+    }
+
+    /// Renders this node's rows of Table I.
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        vec![
+            ("No. of cores per socket".into(), format!("{}", self.cores_per_socket)),
+            ("Socket(s)".into(), format!("{}", self.sockets)),
+            ("CPU MHz".into(), format!("{:.3}", self.clock.mhz())),
+            (
+                "L1d cache, L1i cache".into(),
+                format!(
+                    "{:.0} KB, {:.0} KB",
+                    self.l1d.value() / 1024.0,
+                    self.l1i.value() / 1024.0
+                ),
+            ),
+            (
+                "L2 cache, L3 cache".into(),
+                format!("{:.0} KB, {:.0} KB", self.l2.value() / 1024.0, self.l3.value() / 1024.0),
+            ),
+            (
+                "Total main memory".into(),
+                format!("{:.0} GB DDR4", self.main_memory.value() / (1 << 30) as f64),
+            ),
+            ("(Intel MKL, OpenBLAS) versions".into(), self.blas_versions.clone()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_counts() {
+        let t = CpuTopology::haswell_e5_2670v3();
+        assert_eq!(t.physical_cores(), 24);
+        assert_eq!(t.logical_cores(), 48);
+    }
+
+    #[test]
+    fn peak_flops_near_published() {
+        // 24 cores × 36.8 Gflop/s ≈ 883 Gflop/s.
+        let t = CpuTopology::haswell_e5_2670v3();
+        assert!((t.peak_flops() - 883.2e9).abs() / 883.2e9 < 0.01);
+    }
+
+    #[test]
+    fn table_rows_match_paper() {
+        let rows = CpuTopology::haswell_e5_2670v3().table_rows();
+        assert_eq!(rows[0].1, "12");
+        assert_eq!(rows[1].1, "2");
+        assert_eq!(rows[2].1, "1200.402");
+        assert_eq!(rows[3].1, "32 KB, 32 KB");
+        assert_eq!(rows[4].1, "256 KB, 30720 KB");
+        assert_eq!(rows[5].1, "64 GB DDR4");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the CPU simulator and its /proc/stat surface.
+
+use enprop_cpusim::dvfs::{DvfsTable, PState};
+use enprop_cpusim::{BlasFlavor, CpuDgemmConfig, CpuSimulator, CpuTimes, Partitioning, Pinning, ProcStat};
+use enprop_units::{Hertz, Seconds};
+use proptest::prelude::*;
+
+fn any_config() -> impl Strategy<Value = CpuDgemmConfig> {
+    (1usize..13, 1usize..5, prop::bool::ANY, prop::bool::ANY).prop_map(|(p, t, part, flavor)| {
+        CpuDgemmConfig {
+            partitioning: if part { Partitioning::RowWise } else { Partitioning::Square },
+            pinning: if p % 2 == 0 { Pinning::Compact } else { Pinning::Scatter },
+            groups: p,
+            threads_per_group: t,
+            flavor: if flavor { BlasFlavor::IntelMkl } else { BlasFlavor::OpenBlas },
+        }
+    })
+}
+
+proptest! {
+    /// Simulated runs are always physically sane.
+    #[test]
+    fn run_estimates_sane(cfg in any_config(), n_k in 2usize..12) {
+        let n = n_k * 1024;
+        let sim = CpuSimulator::haswell();
+        let run = sim.run_dgemm(&cfg, n);
+        prop_assert!(run.time.value() > 0.0);
+        prop_assert!(run.gflops > 0.0 && run.gflops < 900.0);
+        prop_assert!(run.dynamic_power.value() > 0.0 && run.dynamic_power.value() < 200.0);
+        prop_assert!(run.dtlb_power <= run.dynamic_power);
+        prop_assert!((0.0..=1.0).contains(&run.bandwidth_share));
+        prop_assert_eq!(run.per_core_util.len(), 48);
+        // Active threads are busier than idle background cores.
+        let avg = run.average_utilization().fraction();
+        prop_assert!(avg > 0.0 && avg <= 1.0);
+    }
+
+    /// Lower P-states are slower and draw less power, for any config.
+    #[test]
+    fn dvfs_ordering(cfg in any_config(), n_k in 2usize..10) {
+        let n = n_k * 1024;
+        let sim = CpuSimulator::haswell();
+        let table = DvfsTable::haswell();
+        let nominal: PState = *table.nominal(Hertz(2.3e9));
+        let slow = sim.run_dgemm_at(&cfg, n, table.min_state(), &nominal);
+        let fast = sim.run_dgemm_at(&cfg, n, &nominal, &nominal);
+        prop_assert!(slow.time >= fast.time);
+        prop_assert!(slow.dynamic_power <= fast.dynamic_power);
+    }
+
+    /// /proc/stat render→parse is the identity for arbitrary jiffies.
+    #[test]
+    fn procstat_roundtrip(
+        jiffies in prop::collection::vec((0u64..1_000_000, 0u64..1_000_000), 1..64)
+    ) {
+        let cpus: Vec<CpuTimes> = jiffies
+            .iter()
+            .map(|&(user, idle)| CpuTimes { user, idle, ..CpuTimes::default() })
+            .collect();
+        let stat = ProcStat::from_cpus(cpus);
+        let parsed = ProcStat::parse(&stat.render()).expect("roundtrip parse");
+        prop_assert_eq!(parsed, stat);
+    }
+
+    /// Utilization recovered from snapshots is exact for grid-aligned
+    /// busy/idle splits.
+    #[test]
+    fn utilization_recovery(
+        splits in prop::collection::vec(0.0f64..1.0, 1..48)
+    ) {
+        let before = ProcStat::zeroed(splits.len());
+        let mut after = before.clone();
+        for (i, &busy_frac) in splits.iter().enumerate() {
+            // 100-second window on the jiffy grid.
+            let busy = (busy_frac * 100.0).round();
+            after.advance(i, Seconds(busy), Seconds(100.0 - busy));
+        }
+        let utils = after.utilization_since(&before);
+        for (u, &busy_frac) in utils.iter().zip(&splits) {
+            let expect = (busy_frac * 100.0).round() / 100.0;
+            prop_assert!((u.fraction() - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Determinism: identical configurations give identical estimates;
+    /// different flavors differ.
+    #[test]
+    fn simulator_determinism(cfg in any_config()) {
+        let sim = CpuSimulator::haswell();
+        let a = sim.run_dgemm(&cfg, 8192);
+        let b = sim.run_dgemm(&cfg, 8192);
+        prop_assert_eq!(a, b);
+    }
+}

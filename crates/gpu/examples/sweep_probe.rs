@@ -1,0 +1,49 @@
+//! Prints the (BS → time, energy, power, occupancy) sweep of the analytic
+//! model for both GPUs — the raw material of the paper's Figs. 2, 7 and 8,
+//! and the tool used to calibrate the power-model constants.
+//!
+//! Run: `cargo run -p enprop-gpusim --example sweep_probe [N]`
+
+use enprop_gpusim::{GpuArch, TiledDgemm, TiledDgemmConfig};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10240);
+    for arch in GpuArch::catalog() {
+        let model = TiledDgemm::new(arch);
+        println!("== {} (N = {n}) ==", model.arch().name);
+        println!("{:>3} {:>10} {:>10} {:>9} {:>6} {:>6} {:>6}", "BS", "time[s]", "E_dyn[J]", "P[W]", "occ", "s_cmp", "boost");
+        let mut best_t = f64::MAX;
+        let mut best_e = f64::MAX;
+        let (mut argt, mut arge) = (0, 0);
+        for bs in 1..=32 {
+            let cfg = TiledDgemmConfig { n, bs, g: 1, r: 1 };
+            if !cfg.is_valid(model.arch()) {
+                continue;
+            }
+            let e = model.estimate(&cfg);
+            let (t, ed) = (e.time.value(), e.dynamic_energy().value());
+            if t < best_t {
+                best_t = t;
+                argt = bs;
+            }
+            if ed < best_e {
+                best_e = ed;
+                arge = bs;
+            }
+            if bs >= 20 || bs % 4 == 0 {
+                println!(
+                    "{:>3} {:>10.4} {:>10.1} {:>9.1} {:>6.3} {:>6.3} {:>6}",
+                    bs,
+                    t,
+                    ed,
+                    e.steady_power.value(),
+                    e.occupancy,
+                    e.compute_share,
+                    e.boosted
+                );
+            }
+        }
+        println!("fastest: BS={argt} ({best_t:.4}s)  frugal: BS={arge} ({best_e:.1}J)");
+        println!();
+    }
+}

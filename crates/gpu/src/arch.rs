@@ -1,0 +1,255 @@
+//! GPU architecture descriptions (the paper's Table I) and per-architecture
+//! power-model constants.
+
+use enprop_units::{BytesPerSecond, Hertz, MemBytes, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a GPU architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuArch {
+    /// Marketing name, e.g. "NVIDIA K40c".
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// CUDA (single-precision) cores per SM.
+    pub cores_per_sm: usize,
+    /// Double-precision units per SM (the paper's kernels are FP64).
+    pub dp_units_per_sm: usize,
+    /// Base core clock.
+    pub clock: Hertz,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: usize,
+    /// Shared memory available per SM.
+    pub shared_mem_per_sm: MemBytes,
+    /// Shared memory available to one block.
+    pub shared_mem_per_block: MemBytes,
+    /// L2 cache size.
+    pub l2_cache: MemBytes,
+    /// Board memory size.
+    pub board_memory: MemBytes,
+    /// Peak DRAM bandwidth.
+    pub dram_bandwidth: BytesPerSecond,
+    /// Thermal design power.
+    pub tdp: Watts,
+    /// CUDA / nvcc versions, for the Table I rendering.
+    pub toolkit: String,
+    /// Calibrated dynamic-power model.
+    pub power: PowerModel,
+}
+
+/// Calibrated constants of the steady-state dynamic-power model
+///
+/// ```text
+/// P = active_base
+///   + compute_w · occ^occ_exponent · (gating·s_comp + (1 − gating))
+///   + memory_w · s_mem
+/// ```
+///
+/// where `occ` is achieved occupancy and `s_comp`/`s_mem` are the compute
+/// and memory utilization shares of the kernel's bottleneck time.
+///
+/// `gating_effectiveness` models how well the architecture clock-gates
+/// stalled pipelines: at 1.0 (Pascal) resident-but-stalled warps draw no
+/// compute power (power follows the *utilization* `s_comp`); at 0.0
+/// (Kepler) resident warps burn scheduler/register power whether or not
+/// they issue, so power follows *occupancy* alone. The Kepler behaviour is
+/// what makes dynamic energy `∝ occ(BS) × t(BS)` — jagged occupancy over
+/// smooth time — producing the paper's non-monotone energy clouds while
+/// `BS = 32` keeps the global time/energy optimum.
+///
+/// Architectures with auto-boost (P100) additionally multiply clock by
+/// `boost_speedup` and power by `boost_power_mult` when occupancy reaches
+/// `boost_occupancy` — the f·V² cube-law cost of the boosted state.
+///
+/// The warm-up component (`warmup_power_w` for at most `warmup_duration_s`
+/// per kernel launch) is the paper's Fig. 6 "energy-expensive component
+/// consuming constant dynamic power consumption of 58 W".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Dynamic floor while any kernel is resident (clock ungating, fetch).
+    pub active_base_w: f64,
+    /// Power of the compute pipeline at full occupancy and saturation.
+    pub compute_w: f64,
+    /// Exponent on occupancy in the compute term.
+    pub occ_exponent: f64,
+    /// Clock-gating effectiveness of stalled compute pipelines ∈ [0, 1].
+    pub gating_effectiveness: f64,
+    /// Power of the memory system at full bandwidth.
+    pub memory_w: f64,
+    /// Occupancy at which auto-boost engages (> 1 disables boost).
+    pub boost_occupancy: f64,
+    /// Clock multiplier in the boosted state.
+    pub boost_speedup: f64,
+    /// Power multiplier in the boosted state.
+    pub boost_power_mult: f64,
+    /// The Fig. 6 constant-power component, watts.
+    pub warmup_power_w: f64,
+    /// Maximum duration of the warm-up draw per kernel launch, seconds.
+    pub warmup_duration_s: f64,
+}
+
+impl GpuArch {
+    /// Peak double-precision throughput: `SMs × DP units × clock × 2` (FMA).
+    pub fn peak_dp_flops(&self) -> f64 {
+        self.num_sms as f64 * self.dp_units_per_sm as f64 * self.clock.value() * 2.0
+    }
+
+    /// The Nvidia K40c of Table I (Kepler GK110B).
+    ///
+    /// 2880 CUDA cores @ 745 MHz over 15 SMX units, 12 GB GDDR5,
+    /// 1536 KB L2, 235 W TDP, 288 GB/s.
+    pub fn k40c() -> Self {
+        Self {
+            name: "NVIDIA K40c".into(),
+            num_sms: 15,
+            cores_per_sm: 192,
+            dp_units_per_sm: 64,
+            clock: Hertz::from_mhz(745.0),
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 1024,
+            registers_per_sm: 65536,
+            shared_mem_per_sm: MemBytes::from_kib(48.0),
+            shared_mem_per_block: MemBytes::from_kib(48.0),
+            l2_cache: MemBytes::from_kib(1536.0),
+            board_memory: MemBytes::from_gib(12.0),
+            dram_bandwidth: BytesPerSecond(288.0e9),
+            tdp: Watts(235.0),
+            toolkit: "(CUDA, nvcc) = (7.5, 7.5.17)".into(),
+            power: PowerModel {
+                // Kepler: no auto-boost; a heavy active floor plus a strong
+                // occupancy-sensitive term. Calibrated so the BS=32
+                // configuration wins both objectives (singleton global
+                // front) while the BS ≤ 30 region shows an 10–20% energy
+                // spread over a 5–10% time spread (Fig. 7).
+                active_base_w: 25.0,
+                compute_w: 150.0,
+                occ_exponent: 2.0,
+                gating_effectiveness: 0.0,
+                memory_w: 20.0,
+                boost_occupancy: 2.0, // disabled
+                boost_speedup: 1.0,
+                boost_power_mult: 1.0,
+                warmup_power_w: 58.0,
+                warmup_duration_s: 0.5,
+            },
+        }
+    }
+
+    /// The Nvidia P100 PCIe of Table I (Pascal GP100).
+    ///
+    /// 3584 CUDA cores @ 1328 MHz over 56 SMs, 12 GB (this SKU) CoWoS HBM2,
+    /// 4096 KB L2, 250 W TDP, 732 GB/s.
+    pub fn p100_pcie() -> Self {
+        Self {
+            name: "NVIDIA P100 PCIe".into(),
+            num_sms: 56,
+            cores_per_sm: 64,
+            dp_units_per_sm: 32,
+            clock: Hertz::from_mhz(1328.0),
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            registers_per_sm: 65536,
+            shared_mem_per_sm: MemBytes::from_kib(64.0),
+            shared_mem_per_block: MemBytes::from_kib(48.0),
+            l2_cache: MemBytes::from_kib(4096.0),
+            board_memory: MemBytes::from_gib(12.0),
+            dram_bandwidth: BytesPerSecond(732.0e9),
+            tdp: Watts(250.0),
+            toolkit: "(CUDA, nvcc) = (10.1, 10.1.243)".into(),
+            power: PowerModel {
+                // Pascal: aggressive auto-boost at full occupancy. The
+                // boosted state trades a small speedup for a large power
+                // multiplier (f·V² cube law plus power-cap inefficiency),
+                // which is what produces the paper's multi-point global
+                // Pareto fronts (Fig. 8: ~50% energy for ~11% time).
+                active_base_w: 15.0,
+                compute_w: 80.0,
+                occ_exponent: 1.3,
+                gating_effectiveness: 1.0,
+                memory_w: 39.0,
+                boost_occupancy: 0.97,
+                boost_speedup: 1.12,
+                boost_power_mult: 2.6,
+                warmup_power_w: 58.0,
+                warmup_duration_s: 0.3,
+            },
+        }
+    }
+
+    /// All architectures the paper evaluates, in Table I order.
+    pub fn catalog() -> Vec<GpuArch> {
+        vec![Self::k40c(), Self::p100_pcie()]
+    }
+
+    /// Renders this architecture's rows of Table I.
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "No. of CUDA cores (Base clock)".into(),
+                format!("{} ({:.0} MHz)", self.num_sms * self.cores_per_sm, self.clock.mhz()),
+            ),
+            (
+                "Total board memory".into(),
+                format!("{:.0} GB", self.board_memory.value() / (1 << 30) as f64),
+            ),
+            ("L2 cache size".into(), format!("{:.0} KB", self.l2_cache.value() / 1024.0)),
+            ("Thermal design power (TDP)".into(), format!("{:.0} W", self.tdp.value())),
+            ("(CUDA, nvcc) versions".into(), self.toolkit.clone()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_core_counts() {
+        let k40 = GpuArch::k40c();
+        assert_eq!(k40.num_sms * k40.cores_per_sm, 2880);
+        let p100 = GpuArch::p100_pcie();
+        assert_eq!(p100.num_sms * p100.cores_per_sm, 3584);
+    }
+
+    #[test]
+    fn peak_dp_matches_datasheets() {
+        // K40c: ~1.43 Tflop/s FP64.
+        let k40 = GpuArch::k40c().peak_dp_flops();
+        assert!((k40 - 1.43e12).abs() / 1.43e12 < 0.01, "{k40:e}");
+        // P100 PCIe at base clock: ~4.76 Tflop/s FP64.
+        let p100 = GpuArch::p100_pcie().peak_dp_flops();
+        assert!((p100 - 4.76e12).abs() / 4.76e12 < 0.01, "{p100:e}");
+    }
+
+    #[test]
+    fn table_rows_render() {
+        let rows = GpuArch::k40c().table_rows();
+        assert_eq!(rows[0].1, "2880 (745 MHz)");
+        assert_eq!(rows[1].1, "12 GB");
+        assert_eq!(rows[2].1, "1536 KB");
+        assert_eq!(rows[3].1, "235 W");
+    }
+
+    #[test]
+    fn catalog_has_both_gpus() {
+        let names: Vec<String> = GpuArch::catalog().into_iter().map(|g| g.name).collect();
+        assert_eq!(names, vec!["NVIDIA K40c".to_string(), "NVIDIA P100 PCIe".to_string()]);
+    }
+
+    #[test]
+    fn k40c_has_no_boost_p100_does() {
+        assert!(GpuArch::k40c().power.boost_occupancy > 1.0);
+        assert!(GpuArch::p100_pcie().power.boost_occupancy <= 1.0);
+        // Both model the 58 W warm-up component.
+        assert_eq!(GpuArch::k40c().power.warmup_power_w, 58.0);
+        assert_eq!(GpuArch::p100_pcie().power.warmup_power_w, 58.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! CUPTI-style performance-event readings.
+//!
+//! The paper selects model variables for linear energy-predictive models
+//! from CUPTI events using the *additivity* property, and reports that
+//! "many key events and metrics overflow for large matrix sizes (N > 2048)
+//! and reported inaccurate counts". Both behaviours are modeled: true
+//! counts are derived analytically from the kernel configuration, and the
+//! *reported* value wraps at 2³² like the hardware counters did.
+
+use crate::model::TiledDgemmConfig;
+use serde::{Deserialize, Serialize};
+
+/// The event counters the toolkit exposes for the tiled DGEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CuptiCounter {
+    /// Double-precision flop count.
+    FlopCountDp,
+    /// Shared-memory load transactions (tile reads in the inner product).
+    SharedLoad,
+    /// Shared-memory store transactions (tile fills).
+    SharedStore,
+    /// Global-memory load transactions.
+    GldTransactions,
+    /// Global-memory store transactions.
+    GstTransactions,
+    /// `__syncthreads()` barrier executions (per block).
+    BarrierSync,
+}
+
+impl CuptiCounter {
+    /// Every exposed counter.
+    pub const ALL: [CuptiCounter; 6] = [
+        CuptiCounter::FlopCountDp,
+        CuptiCounter::SharedLoad,
+        CuptiCounter::SharedStore,
+        CuptiCounter::GldTransactions,
+        CuptiCounter::GstTransactions,
+        CuptiCounter::BarrierSync,
+    ];
+
+    /// The CUPTI-style event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CuptiCounter::FlopCountDp => "flop_count_dp",
+            CuptiCounter::SharedLoad => "shared_load",
+            CuptiCounter::SharedStore => "shared_store",
+            CuptiCounter::GldTransactions => "gld_transactions",
+            CuptiCounter::GstTransactions => "gst_transactions",
+            CuptiCounter::BarrierSync => "barrier_sync",
+        }
+    }
+}
+
+/// One counter reading: the true count and the value a 32-bit hardware
+/// counter would report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CuptiReading {
+    /// Which counter.
+    pub counter: CuptiCounter,
+    /// The true (unbounded) event count.
+    pub true_count: u128,
+    /// The reported value: `true_count mod 2³²`.
+    pub reported: u32,
+}
+
+impl CuptiReading {
+    /// Whether the hardware counter wrapped — the paper's "overflow …
+    /// reported inaccurate counts".
+    pub fn overflowed(&self) -> bool {
+        self.true_count > u32::MAX as u128
+    }
+}
+
+/// The full event report of one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CuptiReport {
+    /// One reading per exposed counter.
+    pub readings: Vec<CuptiReading>,
+}
+
+impl CuptiReport {
+    /// Derives the true event counts of one launch of `cfg` analytically
+    /// from the Fig. 5 kernel structure.
+    pub fn of(cfg: &TiledDgemmConfig) -> Self {
+        let tiles = cfg.n.div_ceil(cfg.bs) as u128;
+        let bs = cfg.bs as u128;
+        let blocks = tiles * tiles;
+        let threads = bs * bs;
+        let products = cfg.products() as u128;
+
+        // Per product: every thread runs `tiles` tile steps; each step
+        // fills one element of As and Bs (2 shared stores), reads 2·BS
+        // shared values in the unrolled inner loop, and performs BS FMAs
+        // (2 flops each). Each step issues 2 global loads per thread; the
+        // C write-back is one global load (+=) and one store per thread.
+        let per_thread_steps = tiles;
+        let flops = products * blocks * threads * per_thread_steps * bs * 2;
+        let shared_store = products * blocks * threads * per_thread_steps * 2;
+        let shared_load = products * blocks * threads * per_thread_steps * bs * 2;
+        let gld = products * (blocks * threads * per_thread_steps * 2 + blocks * threads);
+        let gst = products * blocks * threads;
+        // Two barriers per tile step (after fill, after the inner loop),
+        // plus G−1 inter-group barriers per run of a group, counted per block.
+        let barriers = products * blocks * per_thread_steps * 2
+            + (cfg.r as u128) * (cfg.g as u128 - 1) * blocks;
+
+        let reading = |counter, true_count: u128| CuptiReading {
+            counter,
+            true_count,
+            reported: (true_count % (1u128 << 32)) as u32,
+        };
+        Self {
+            readings: vec![
+                reading(CuptiCounter::FlopCountDp, flops),
+                reading(CuptiCounter::SharedLoad, shared_load),
+                reading(CuptiCounter::SharedStore, shared_store),
+                reading(CuptiCounter::GldTransactions, gld),
+                reading(CuptiCounter::GstTransactions, gst),
+                reading(CuptiCounter::BarrierSync, barriers),
+            ],
+        }
+    }
+
+    /// Looks up one counter's reading.
+    pub fn get(&self, counter: CuptiCounter) -> CuptiReading {
+        *self
+            .readings
+            .iter()
+            .find(|r| r.counter == counter)
+            .expect("all counters are always populated")
+    }
+
+    /// True when any counter in the report wrapped.
+    pub fn any_overflow(&self) -> bool {
+        self.readings.iter().any(|r| r.overflowed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, bs: usize, g: usize, r: usize) -> TiledDgemmConfig {
+        TiledDgemmConfig { n, bs, g, r }
+    }
+
+    #[test]
+    fn flop_count_matches_2n3() {
+        // For BS | N there is no padding: flops = products × 2 N³.
+        let rep = CuptiReport::of(&cfg(1024, 16, 1, 1));
+        let flops = rep.get(CuptiCounter::FlopCountDp);
+        assert_eq!(flops.true_count, 2 * 1024u128.pow(3));
+    }
+
+    #[test]
+    fn counts_are_additive_in_g_and_r() {
+        // The additivity property: a compound application's count equals
+        // the sum of its base applications' counts.
+        let base = CuptiReport::of(&cfg(512, 16, 1, 1));
+        let g4 = CuptiReport::of(&cfg(512, 16, 4, 1));
+        let r4 = CuptiReport::of(&cfg(512, 16, 1, 4));
+        for c in CuptiCounter::ALL {
+            if c == CuptiCounter::BarrierSync {
+                continue; // barriers gain the inter-group syncs
+            }
+            assert_eq!(g4.get(c).true_count, 4 * base.get(c).true_count, "{}", c.name());
+            assert_eq!(r4.get(c).true_count, 4 * base.get(c).true_count, "{}", c.name());
+        }
+        // Inter-group barriers make the barrier count super-additive.
+        assert!(
+            g4.get(CuptiCounter::BarrierSync).true_count
+                > 4 * base.get(CuptiCounter::BarrierSync).true_count
+        );
+    }
+
+    #[test]
+    fn overflow_appears_beyond_n_2048() {
+        // The paper: events overflow for N > 2048. flop_count_dp at
+        // N = 2048 is 2·2048³ ≈ 1.7e10 > 2³² — wrapped.
+        let big = CuptiReport::of(&cfg(4096, 32, 1, 1));
+        assert!(big.get(CuptiCounter::FlopCountDp).overflowed());
+        assert!(big.any_overflow());
+        let small = CuptiReport::of(&cfg(256, 16, 1, 1));
+        assert!(!small.get(CuptiCounter::FlopCountDp).overflowed());
+    }
+
+    #[test]
+    fn reported_value_wraps_mod_2_32() {
+        let rep = CuptiReport::of(&cfg(4096, 32, 1, 1));
+        let r = rep.get(CuptiCounter::FlopCountDp);
+        assert_eq!(r.reported as u128, r.true_count % (1u128 << 32));
+        assert_ne!(r.reported as u128, r.true_count);
+    }
+
+    #[test]
+    fn padded_tiles_increase_counts() {
+        // N = 1000, BS = 16 → padded to 1008.
+        let rep = CuptiReport::of(&cfg(1000, 16, 1, 1));
+        let flops = rep.get(CuptiCounter::FlopCountDp).true_count;
+        assert!(flops > 2 * 1000u128.pow(3));
+        assert_eq!(flops, 2 * 1008u128.pow(3));
+    }
+
+    #[test]
+    fn counter_names_are_cupti_style() {
+        assert_eq!(CuptiCounter::FlopCountDp.name(), "flop_count_dp");
+        assert_eq!(CuptiCounter::GldTransactions.name(), "gld_transactions");
+    }
+}

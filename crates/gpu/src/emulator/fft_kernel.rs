@@ -1,0 +1,208 @@
+//! A CUDA-style shared-memory FFT kernel on the emulator — the executable
+//! counterpart of the CUFFT workload in the paper's strong-EP study
+//! (Fig. 1).
+//!
+//! One thread block transforms one row of the `rows × n` signal: the row
+//! is staged into shared memory in bit-reversed order, `log₂ n` butterfly
+//! stages run with a `__syncthreads` barrier between them (each of the
+//! `n/2` threads owns one butterfly per stage), and the spectrum is
+//! written back to global memory. Complex values are stored as
+//! interleaved (re, im) doubles.
+
+use super::exec::{launch, Dim2, ThreadCtx};
+use super::mem::{EmuEvents, EventCounters, GlobalMem};
+
+/// The emulated batched row FFT: `rows` independent transforms of length
+/// `n` (a power of two ≥ 2), the row pass of a 2-D FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmuRowFft {
+    /// Transform length (power of two ≥ 2).
+    pub n: usize,
+    /// Number of rows (thread blocks).
+    pub rows: usize,
+}
+
+impl EmuRowFft {
+    /// Creates the kernel. Panics unless `n` is a power of two ≥ 2.
+    pub fn new(n: usize, rows: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "FFT length must be a power of two >= 2");
+        assert!(rows >= 1, "need at least one row");
+        Self { n, rows }
+    }
+
+    /// Launches the kernel over `data`: `rows × n` complex values as
+    /// interleaved doubles (`2 · rows · n` cells), transformed in place.
+    /// Returns the launch's event counts.
+    pub fn run(&self, data: &GlobalMem) -> EmuEvents {
+        let (n, rows) = (self.n, self.rows);
+        assert_eq!(data.len(), 2 * rows * n, "signal size mismatch");
+
+        let stages = n.trailing_zeros() as usize;
+        let events = EventCounters::new();
+        launch(
+            Dim2::new(1, rows),
+            Dim2::new(n / 2, 1),
+            2 * n, // one complex row in shared memory
+            &events,
+            |ctx: &ThreadCtx<'_>| {
+                let row = ctx.by;
+                let base = 2 * row * n;
+                let tid = ctx.tx;
+
+                // Stage the row into shared memory in bit-reversed order;
+                // each thread loads two elements.
+                for idx in [tid, tid + n / 2] {
+                    let j = (idx.reverse_bits() >> (usize::BITS - stages as u32)) & (n - 1);
+                    let re = ctx.global_load(data, base + 2 * idx);
+                    let im = ctx.global_load(data, base + 2 * idx + 1);
+                    ctx.shared_store(2 * j, re);
+                    ctx.shared_store(2 * j + 1, im);
+                }
+                ctx.sync_threads();
+
+                // Butterfly stages.
+                let mut len = 2usize;
+                while len <= n {
+                    let half = len / 2;
+                    // Thread `tid` owns butterfly `tid`: group g, offset k.
+                    let g = tid / half;
+                    let k = tid % half;
+                    let i0 = g * len + k;
+                    let i1 = i0 + half;
+                    let ang = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                    let (w_re, w_im) = (ang.cos(), ang.sin());
+
+                    let u_re = ctx.shared_load(2 * i0);
+                    let u_im = ctx.shared_load(2 * i0 + 1);
+                    let v_re0 = ctx.shared_load(2 * i1);
+                    let v_im0 = ctx.shared_load(2 * i1 + 1);
+                    let v_re = v_re0 * w_re - v_im0 * w_im;
+                    let v_im = v_re0 * w_im + v_im0 * w_re;
+                    ctx.count_flops(10); // complex mul (6) + 2 complex adds (4)
+
+                    ctx.shared_store(2 * i0, u_re + v_re);
+                    ctx.shared_store(2 * i0 + 1, u_im + v_im);
+                    ctx.shared_store(2 * i1, u_re - v_re);
+                    ctx.shared_store(2 * i1 + 1, u_im - v_im);
+                    ctx.sync_threads();
+                    len <<= 1;
+                }
+
+                // Write the spectrum back; each thread stores two elements.
+                for idx in [tid, tid + n / 2] {
+                    let re = ctx.shared_load(2 * idx);
+                    let im = ctx.shared_load(2 * idx + 1);
+                    ctx.global_store(data, base + 2 * idx, re);
+                    ctx.global_store(data, base + 2 * idx + 1, im);
+                }
+            },
+        );
+        events.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Host reference DFT of one interleaved row.
+    fn dft_row(row: &[f64]) -> Vec<f64> {
+        let n = row.len() / 2;
+        let mut out = vec![0.0; 2 * n];
+        for k in 0..n {
+            let (mut re, mut im) = (0.0, 0.0);
+            for j in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                re += row[2 * j] * c - row[2 * j + 1] * s;
+                im += row[2 * j] * s + row[2 * j + 1] * c;
+            }
+            out[2 * k] = re;
+            out[2 * k + 1] = im;
+        }
+        out
+    }
+
+    fn signal(rows: usize, n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..2 * rows * n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernel_matches_dft_across_sizes() {
+        for &n in &[2usize, 4, 8, 16, 32] {
+            let host = signal(1, n, 7);
+            let dev = GlobalMem::from_slice(&host);
+            EmuRowFft::new(n, 1).run(&dev);
+            let got = dev.to_vec();
+            let expect = dft_row(&host);
+            for (a, b) in got.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-9, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let rows = 4;
+        let n = 8;
+        let host = signal(rows, n, 3);
+        let dev = GlobalMem::from_slice(&host);
+        EmuRowFft::new(n, rows).run(&dev);
+        let got = dev.to_vec();
+        for r in 0..rows {
+            let expect = dft_row(&host[2 * r * n..2 * (r + 1) * n]);
+            for (a, b) in got[2 * r * n..2 * (r + 1) * n].iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-9, "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_counts_match_structure() {
+        let (n, rows) = (16usize, 3usize);
+        let dev = GlobalMem::from_slice(&signal(rows, n, 1));
+        let ev = EmuRowFft::new(n, rows).run(&dev);
+        let stages = 4u64; // log2(16)
+        // 10 flops per butterfly, n/2 butterflies per stage, per row.
+        assert_eq!(ev.flops, rows as u64 * stages * (n as u64 / 2) * 10);
+        // Global traffic: every element read once and written once.
+        assert_eq!(ev.global_loads, (2 * rows * n) as u64);
+        assert_eq!(ev.global_stores, (2 * rows * n) as u64);
+        // Barriers: one after staging + one per stage, per block.
+        assert_eq!(ev.barriers, rows as u64 * (1 + stages));
+    }
+
+    #[test]
+    fn agrees_with_host_fft_library() {
+        // Cross-validate against the real host FFT from enprop-kernels.
+        let n = 64;
+        let host = signal(1, n, 11);
+        let dev = GlobalMem::from_slice(&host);
+        EmuRowFft::new(n, 1).run(&dev);
+        let got = dev.to_vec();
+
+        let mut x: Vec<enprop_kernels::Complex> =
+            (0..n).map(|i| enprop_kernels::Complex::new(host[2 * i], host[2 * i + 1])).collect();
+        enprop_kernels::fft_inplace(&mut x);
+        for (i, c) in x.iter().enumerate() {
+            assert!((got[2 * i] - c.re).abs() < 1e-9);
+            assert!((got[2 * i + 1] - c.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        EmuRowFft::new(12, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Emulated device memories and event counters.
+//!
+//! Both global and shared memory store `f64` values as bit patterns inside
+//! `AtomicU64` cells with relaxed ordering. Kernels written for the
+//! emulator only exchange data across barrier-separated phases (as the
+//! CUDA programming model requires), so relaxed per-cell atomicity plus the
+//! barrier's synchronization is sufficient for well-defined results while
+//! keeping the emulator safe Rust.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Device global memory: a flat array of `f64` cells shared by all blocks.
+#[derive(Debug)]
+pub struct GlobalMem {
+    cells: Vec<AtomicU64>,
+}
+
+impl GlobalMem {
+    /// Allocates zeroed global memory of `len` doubles.
+    pub fn zeroed(len: usize) -> Self {
+        Self { cells: (0..len).map(|_| AtomicU64::new(0f64.to_bits())).collect() }
+    }
+
+    /// Uploads host data.
+    pub fn from_slice(data: &[f64]) -> Self {
+        Self { cells: data.iter().map(|v| AtomicU64::new(v.to_bits())).collect() }
+    }
+
+    /// Number of doubles.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Raw load without event accounting (host-side access).
+    #[inline]
+    pub fn load(&self, idx: usize) -> f64 {
+        f64::from_bits(self.cells[idx].load(Ordering::Relaxed))
+    }
+
+    /// Raw store without event accounting (host-side access).
+    #[inline]
+    pub fn store(&self, idx: usize, v: f64) {
+        self.cells[idx].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Downloads device data back to the host.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.cells.iter().map(|c| f64::from_bits(c.load(Ordering::Relaxed))).collect()
+    }
+}
+
+/// Per-block shared memory (the `__shared__` arrays of Fig. 5).
+#[derive(Debug)]
+pub struct SharedMem {
+    cells: Vec<AtomicU64>,
+}
+
+impl SharedMem {
+    /// Allocates zeroed shared memory of `len` doubles.
+    pub fn zeroed(len: usize) -> Self {
+        Self { cells: (0..len).map(|_| AtomicU64::new(0f64.to_bits())).collect() }
+    }
+
+    /// Number of doubles.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no shared memory was requested.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Raw load (event accounting happens in `ThreadCtx`).
+    #[inline]
+    pub fn load(&self, idx: usize) -> f64 {
+        f64::from_bits(self.cells[idx].load(Ordering::Relaxed))
+    }
+
+    /// Raw store (event accounting happens in `ThreadCtx`).
+    #[inline]
+    pub fn store(&self, idx: usize, v: f64) {
+        self.cells[idx].store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Atomic event counters incremented by kernel threads, mirroring the
+/// CUPTI counters of [`crate::cupti::CuptiCounter`].
+#[derive(Debug, Default)]
+pub struct EventCounters {
+    /// Double-precision flops.
+    pub flops: AtomicU64,
+    /// Shared-memory loads.
+    pub shared_loads: AtomicU64,
+    /// Shared-memory stores.
+    pub shared_stores: AtomicU64,
+    /// Global-memory loads.
+    pub global_loads: AtomicU64,
+    /// Global-memory stores.
+    pub global_stores: AtomicU64,
+    /// Barriers executed (counted once per block).
+    pub barriers: AtomicU64,
+}
+
+/// A plain snapshot of [`EventCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EmuEvents {
+    /// Double-precision flops.
+    pub flops: u64,
+    /// Shared-memory loads.
+    pub shared_loads: u64,
+    /// Shared-memory stores.
+    pub shared_stores: u64,
+    /// Global-memory loads.
+    pub global_loads: u64,
+    /// Global-memory stores.
+    pub global_stores: u64,
+    /// Barriers executed (per block).
+    pub barriers: u64,
+}
+
+impl EventCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots the current counts.
+    pub fn snapshot(&self) -> EmuEvents {
+        EmuEvents {
+            flops: self.flops.load(Ordering::Relaxed),
+            shared_loads: self.shared_loads.load(Ordering::Relaxed),
+            shared_stores: self.shared_stores.load(Ordering::Relaxed),
+            global_loads: self.global_loads.load(Ordering::Relaxed),
+            global_stores: self.global_stores.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl EmuEvents {
+    /// Element-wise sum — the compound-application count of the additivity
+    /// theory.
+    pub fn plus(self, o: EmuEvents) -> EmuEvents {
+        EmuEvents {
+            flops: self.flops + o.flops,
+            shared_loads: self.shared_loads + o.shared_loads,
+            shared_stores: self.shared_stores + o.shared_stores,
+            global_loads: self.global_loads + o.global_loads,
+            global_stores: self.global_stores + o.global_stores,
+            barriers: self.barriers + o.barriers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_roundtrip() {
+        let g = GlobalMem::from_slice(&[1.0, -2.5, 3.25]);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.load(1), -2.5);
+        g.store(1, 7.0);
+        assert_eq!(g.to_vec(), vec![1.0, 7.0, 3.25]);
+    }
+
+    #[test]
+    fn zeroed_memories() {
+        let g = GlobalMem::zeroed(4);
+        assert_eq!(g.to_vec(), vec![0.0; 4]);
+        let s = SharedMem::zeroed(2);
+        assert_eq!(s.load(0), 0.0);
+        s.store(0, 1.5);
+        assert_eq!(s.load(0), 1.5);
+    }
+
+    #[test]
+    fn counters_snapshot_and_sum() {
+        let c = EventCounters::new();
+        c.flops.fetch_add(10, Ordering::Relaxed);
+        c.barriers.fetch_add(2, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.flops, 10);
+        assert_eq!(s.barriers, 2);
+        let sum = s.plus(s);
+        assert_eq!(sum.flops, 20);
+        assert_eq!(sum.global_loads, 0);
+    }
+
+    #[test]
+    fn nan_and_negative_bits_survive() {
+        let g = GlobalMem::zeroed(1);
+        g.store(0, -0.0);
+        assert_eq!(g.load(0).to_bits(), (-0.0f64).to_bits());
+        g.store(0, f64::NAN);
+        assert!(g.load(0).is_nan());
+    }
+}

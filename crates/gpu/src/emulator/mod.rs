@@ -1,0 +1,27 @@
+//! A functional CUDA-style execution emulator.
+//!
+//! The emulator runs kernels the way the paper's GPUs do, structurally: a
+//! grid of thread blocks, each block a 2-D array of threads that share a
+//! per-block scratch memory and synchronize with barrier semantics
+//! (`__syncthreads`). Threads are real OS threads; shared and global memory
+//! are atomic-backed so the emulation is data-race-free in Rust while
+//! preserving CUDA's memory-model obligations (the kernels under study
+//! only communicate through barrier-separated phases).
+//!
+//! Its purpose is *semantic ground truth* at small N:
+//!
+//! * the tiled DGEMM of the paper's Fig. 5 ([`tiled_dgemm`]) is executed
+//!   for every `(BS, G, R)` and validated against a reference matmul;
+//! * every memory access, flop and barrier is counted ([`mem::EventCounters`]),
+//!   and the counts cross-validate the analytic CUPTI model
+//!   ([`crate::cupti::CuptiReport`]) exactly.
+
+pub mod exec;
+pub mod fft_kernel;
+pub mod mem;
+pub mod tiled_dgemm;
+
+pub use exec::{launch, Dim2, ThreadCtx};
+pub use fft_kernel::EmuRowFft;
+pub use mem::{EmuEvents, EventCounters, GlobalMem, SharedMem};
+pub use tiled_dgemm::EmuDgemm;

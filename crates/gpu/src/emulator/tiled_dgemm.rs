@@ -1,0 +1,225 @@
+//! The paper's Fig. 5 kernel, executed functionally on the emulator.
+//!
+//! `dgemmX(C, A, B, N, G, R)` computes `G × R` matrix products
+//! `C += A × B` of two dense `N × N` matrices, with per-block
+//! shared-memory dimension `BS = X`. Each thread block computes one
+//! `BS × BS` sub-matrix `Csub`; each thread one element of it, accumulating
+//! tile sub-products staged through shared memory between `__syncthreads`
+//! barriers.
+
+use super::exec::{launch, Dim2, ThreadCtx};
+use super::mem::{EmuEvents, EventCounters, GlobalMem};
+use crate::model::TiledDgemmConfig;
+
+/// The emulated application: a [`TiledDgemmConfig`] run as a real kernel.
+///
+/// The emulator requires `BS | N` (the CUDA sample the paper builds on
+/// assumes full tiles); the analytic model handles padded tiles instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmuDgemm {
+    cfg: TiledDgemmConfig,
+}
+
+impl EmuDgemm {
+    /// Wraps a configuration. Panics unless `BS | N` and the group size is
+    /// within the Fig. 5 family limits.
+    pub fn new(cfg: TiledDgemmConfig) -> Self {
+        assert!(cfg.bs >= 1 && cfg.bs <= 32, "BS out of range: {}", cfg.bs);
+        assert!(cfg.n.is_multiple_of(cfg.bs), "emulator requires BS | N ({} % {})", cfg.n, cfg.bs);
+        assert!(cfg.g >= 1 && cfg.g <= 8, "G out of range: {}", cfg.g);
+        assert!(cfg.r >= 1, "R must be positive");
+        Self { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> TiledDgemmConfig {
+        self.cfg
+    }
+
+    /// Launches the kernel: `C += (G·R) · A·B`, element count `N²` each.
+    /// Returns the event counts of the launch.
+    pub fn run(&self, a: &GlobalMem, b: &GlobalMem, c: &GlobalMem) -> EmuEvents {
+        let TiledDgemmConfig { n, bs, g, r } = self.cfg;
+        assert_eq!(a.len(), n * n, "A size mismatch");
+        assert_eq!(b.len(), n * n, "B size mismatch");
+        assert_eq!(c.len(), n * n, "C size mismatch");
+
+        let tiles = n / bs;
+        let events = EventCounters::new();
+        launch(
+            Dim2::new(tiles, tiles),
+            Dim2::new(bs, bs),
+            2 * bs * bs,
+            &events,
+            |ctx: &ThreadCtx<'_>| {
+                // `for (int run = 0; run < R; run++) dgemmG{G}(...)`.
+                for _run in 0..r {
+                    for grp in 0..g {
+                        matrix_product(ctx, a, b, c, n, bs);
+                        // Inter-product separator within a group body.
+                        if grp + 1 < g {
+                            ctx.sync_threads();
+                        }
+                    }
+                }
+            },
+        );
+        events.snapshot()
+    }
+}
+
+/// One device matrix product — the body of `dgemmG1` (Fig. 5 lines 1–21).
+fn matrix_product(
+    ctx: &ThreadCtx<'_>,
+    a: &GlobalMem,
+    b: &GlobalMem,
+    c: &GlobalMem,
+    n: usize,
+    bs: usize,
+) {
+    let (bx, by, tx, ty) = (ctx.bx, ctx.by, ctx.tx, ctx.ty);
+    // Shared tiles: As at [0, bs²), Bs at [bs², 2bs²).
+    let as_idx = |row: usize, col: usize| row * bs + col;
+    let bs_idx = |row: usize, col: usize| bs * bs + row * bs + col;
+
+    let a_begin = n * bs * by;
+    let a_end = a_begin + n - 1;
+    let a_step = bs;
+    let b_step = bs * n;
+    let mut csub = 0.0;
+
+    let mut ai = a_begin;
+    let mut bi = bs * bx;
+    while ai <= a_end {
+        // Stage one A tile and one B tile into shared memory.
+        ctx.shared_store(as_idx(ty, tx), ctx.global_load(a, ai + n * ty + tx));
+        ctx.shared_store(bs_idx(ty, tx), ctx.global_load(b, bi + n * ty + tx));
+        ctx.sync_threads();
+        // `#pragma unroll` inner product over the tile.
+        for k in 0..bs {
+            csub += ctx.shared_load(as_idx(ty, k)) * ctx.shared_load(bs_idx(k, tx));
+            ctx.count_flops(2);
+        }
+        ctx.sync_threads();
+        ai += a_step;
+        bi += b_step;
+    }
+    // `C[...] += Csub` — a read-modify-write of one element.
+    let ci = n * bs * by + bs * bx + n * ty + tx;
+    let prev = ctx.global_load(c, ci);
+    ctx.global_store(c, ci, prev + csub);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cupti::{CuptiCounter, CuptiReport};
+
+    /// Deterministic host-side fill (SplitMix64, the kernels crate's
+    /// pattern) without a cross-crate dependency.
+    fn filled(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Host reference: `C + k·A·B`.
+    fn reference(a: &[f64], b: &[f64], c0: &[f64], n: usize, k: f64) -> Vec<f64> {
+        let mut out = c0.to_vec();
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    acc += a[i * n + l] * b[l * n + j];
+                }
+                out[i * n + j] += k * acc;
+            }
+        }
+        out
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    fn run_case(n: usize, bs: usize, g: usize, r: usize) -> (Vec<f64>, Vec<f64>, EmuEvents) {
+        let av = filled(n * n, 1);
+        let bv = filled(n * n, 2);
+        let cv = filled(n * n, 3);
+        let (a, b, c) =
+            (GlobalMem::from_slice(&av), GlobalMem::from_slice(&bv), GlobalMem::from_slice(&cv));
+        let emu = EmuDgemm::new(TiledDgemmConfig { n, bs, g, r });
+        let events = emu.run(&a, &b, &c);
+        let expect = reference(&av, &bv, &cv, n, (g * r) as f64);
+        (c.to_vec(), expect, events)
+    }
+
+    #[test]
+    fn kernel_computes_correct_product_across_bs() {
+        for &(n, bs) in &[(8usize, 1usize), (8, 2), (8, 4), (8, 8), (12, 3), (16, 4)] {
+            let (got, expect, _) = run_case(n, bs, 1, 1);
+            assert!(max_err(&got, &expect) < 1e-10, "n={n} bs={bs}");
+        }
+    }
+
+    #[test]
+    fn g_and_r_accumulate_products() {
+        for &(g, r) in &[(1usize, 3usize), (3, 1), (2, 2)] {
+            let (got, expect, _) = run_case(8, 4, g, r);
+            assert!(max_err(&got, &expect) < 1e-9, "g={g} r={r}");
+        }
+    }
+
+    #[test]
+    fn emulator_events_match_analytic_cupti_model_exactly() {
+        for &(n, bs, g, r) in &[(8usize, 4usize, 1usize, 1usize), (8, 2, 2, 2), (12, 4, 3, 1)] {
+            let (_, _, ev) = run_case(n, bs, g, r);
+            let cfg = TiledDgemmConfig { n, bs, g, r };
+            let rep = CuptiReport::of(&cfg);
+            let check = |counter, got: u64| {
+                assert_eq!(
+                    rep.get(counter).true_count,
+                    got as u128,
+                    "{:?} for n={n} bs={bs} g={g} r={r}",
+                    counter
+                );
+            };
+            check(CuptiCounter::FlopCountDp, ev.flops);
+            check(CuptiCounter::SharedLoad, ev.shared_loads);
+            check(CuptiCounter::SharedStore, ev.shared_stores);
+            check(CuptiCounter::GldTransactions, ev.global_loads);
+            check(CuptiCounter::GstTransactions, ev.global_stores);
+            check(CuptiCounter::BarrierSync, ev.barriers);
+        }
+    }
+
+    #[test]
+    fn event_counts_are_additive_in_workload() {
+        // The additivity property, observed on real executions: a compound
+        // application (G=2) counts the sum of its two base runs (G=1),
+        // modulo the inter-group barrier.
+        let (_, _, base) = run_case(8, 4, 1, 1);
+        let (_, _, compound) = run_case(8, 4, 2, 1);
+        let doubled = base.plus(base);
+        assert_eq!(compound.flops, doubled.flops);
+        assert_eq!(compound.shared_loads, doubled.shared_loads);
+        assert_eq!(compound.global_loads, doubled.global_loads);
+        assert_eq!(compound.global_stores, doubled.global_stores);
+        // Barriers: one extra per block for the group separator.
+        assert_eq!(compound.barriers, doubled.barriers + (8 / 4) * (8 / 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "BS | N")]
+    fn rejects_ragged_tiles() {
+        EmuDgemm::new(TiledDgemmConfig { n: 10, bs: 4, g: 1, r: 1 });
+    }
+}

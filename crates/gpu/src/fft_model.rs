@@ -1,0 +1,148 @@
+//! Analytic 2-D FFT model for the strong-EP study (Fig. 1) on GPUs.
+//!
+//! The paper's strong-EP experiment runs CUFFT 2-D transforms for N from
+//! 125 to 44000 and observes that dynamic energy is a "complex non-linear
+//! function of work". The non-linearity comes from regime changes: at
+//! small N the device is latency-bound and under-occupied (energy per unit
+//! work is high); once the signal spills the L2 cache the transform becomes
+//! DRAM-bound; at large N the kernel settles into a bandwidth-limited
+//! steady state with a different energy slope. The model reproduces those
+//! regimes.
+
+use crate::arch::GpuArch;
+use crate::model::KernelEstimate;
+use enprop_units::{Seconds, Watts, Work};
+
+/// The paper's work measure for an `N × N` 2-D FFT: `W = 5 N² log₂ N`.
+pub fn fft2d_work(n: usize) -> Work {
+    let nf = n as f64;
+    Work(5.0 * nf * nf * nf.log2())
+}
+
+/// Analytic CUFFT-style 2-D FFT execution model on one architecture.
+#[derive(Debug, Clone)]
+pub struct GpuFft2d {
+    arch: GpuArch,
+}
+
+/// FFT achieves roughly this fraction of peak DP flops when compute-bound.
+const FFT_COMPUTE_EFF: f64 = 0.45;
+/// Row+column passes move the signal this many times (reads + writes,
+/// including the transpose steps of the out-of-place row–column method).
+const PASS_TRAFFIC_MULT: f64 = 6.0;
+/// N below which kernels cannot fill the device (latency-bound floor).
+const SATURATION_N: f64 = 2048.0;
+
+impl GpuFft2d {
+    /// Binds the model to an architecture.
+    pub fn new(arch: GpuArch) -> Self {
+        Self { arch }
+    }
+
+    /// The bound architecture.
+    pub fn arch(&self) -> &GpuArch {
+        &self.arch
+    }
+
+    /// Predicts one forward 2-D transform of an `N × N` complex-double
+    /// signal.
+    pub fn estimate(&self, n: usize) -> KernelEstimate {
+        assert!(n >= 2, "FFT size must be at least 2");
+        let arch = &self.arch;
+        let pm = &arch.power;
+        let nf = n as f64;
+
+        // Device fill: small transforms leave SMs idle.
+        let fill = (nf / SATURATION_N).min(1.0);
+
+        let flops = fft2d_work(n).value();
+        let compute_rate = arch.peak_dp_flops() * FFT_COMPUTE_EFF * fill;
+        let compute_time = flops / compute_rate;
+
+        let signal_bytes = 16.0 * nf * nf; // complex double
+        let cache_mult = if signal_bytes <= arch.l2_cache.value() { 3.0 } else { 1.0 };
+        let bandwidth = arch.dram_bandwidth.value() * fill.sqrt() * cache_mult;
+        let mem_time = signal_bytes * PASS_TRAFFIC_MULT / bandwidth;
+
+        let t = compute_time.max(mem_time) + 2.0e-5;
+        let s_comp = compute_time / compute_time.max(mem_time);
+        let s_mem = mem_time / compute_time.max(mem_time);
+
+        let occ = fill; // under-filled device ≈ proportional occupancy
+        let boosted = occ >= pm.boost_occupancy;
+        let gate = pm.gating_effectiveness;
+        let mut power = pm.active_base_w
+            + pm.compute_w * occ.powf(pm.occ_exponent) * (gate * s_comp + (1.0 - gate))
+            + pm.memory_w * s_mem;
+        if boosted {
+            power = (power * pm.boost_power_mult).min(arch.tdp.value() * 0.88);
+        }
+
+        KernelEstimate {
+            time: Seconds(t),
+            steady_power: Watts(power),
+            warmup_power: Watts(pm.warmup_power_w),
+            warmup_time: Seconds(t.min(pm.warmup_duration_s)),
+            occupancy: occ,
+            compute_share: s_comp,
+            memory_share: s_mem,
+            boosted,
+        }
+    }
+
+    /// Dynamic energy per unit work at size `n` — constant under strong EP,
+    /// varying under its violation.
+    pub fn energy_per_work(&self, n: usize) -> f64 {
+        self.estimate(n).dynamic_energy().value() / fft2d_work(n).value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_formula() {
+        assert_eq!(fft2d_work(1024).value(), 5.0 * 1024.0 * 1024.0 * 10.0);
+    }
+
+    #[test]
+    fn time_grows_with_n() {
+        let m = GpuFft2d::new(GpuArch::p100_pcie());
+        let mut prev = 0.0;
+        for n in [128, 512, 2048, 8192, 32768] {
+            let t = m.estimate(n).time.value();
+            assert!(t > prev, "n={n}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn strong_ep_violated_energy_per_work_not_constant() {
+        // Energy per unit work varies by well over the 2.5% measurement
+        // precision across the Fig. 1 size range — strong EP does not hold.
+        for arch in [GpuArch::k40c(), GpuArch::p100_pcie()] {
+            let m = GpuFft2d::new(arch);
+            let ratios: Vec<f64> =
+                [128, 256, 1024, 4096, 16384, 44032].iter().map(|&n| m.energy_per_work(n)).collect();
+            let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+            let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(max / min > 1.5, "{}: spread {}", m.arch().name, max / min);
+        }
+    }
+
+    #[test]
+    fn small_sizes_are_least_efficient() {
+        let m = GpuFft2d::new(GpuArch::k40c());
+        assert!(m.energy_per_work(128) > m.energy_per_work(8192));
+    }
+
+    #[test]
+    fn power_bounded_by_tdp() {
+        let m = GpuFft2d::new(GpuArch::p100_pcie());
+        for n in [128, 1024, 16384, 44032] {
+            let p = m.estimate(n).steady_power.value();
+            assert!(p > 0.0 && p <= m.arch().tdp.value(), "n={n}: {p}");
+        }
+    }
+}

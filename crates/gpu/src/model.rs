@@ -1,0 +1,490 @@
+//! Analytic time/power model of the paper's tiled matrix-multiplication
+//! kernel (Fig. 5) at full problem sizes.
+//!
+//! # Mechanisms
+//!
+//! The model derives kernel time from four first-order effects and
+//! steady-state dynamic power from the calibrated per-architecture
+//! [`PowerModel`](crate::arch::PowerModel):
+//!
+//! * **Occupancy** — resident blocks per SM are the floor of three resource
+//!   ratios ([`Occupancy`]); occupancy is jagged in `BS`, which is what
+//!   spreads the (time, energy) cloud.
+//! * **Coalescing/alignment** — a block row of `BS` doubles spans
+//!   `⌈8·BS/128⌉` 128-byte transactions plus a misalignment overhead when
+//!   `8·BS` is not line-aligned; Kepler pays a larger overhead than Pascal.
+//!   This is why `BS = 32` (and 16) are sweet spots and why the fastest
+//!   configuration on both GPUs uses `BS = 32`.
+//! * **Padded tiles** — `⌈N/BS⌉` tiles compute `(⌈N/BS⌉·BS)³ / N³` of the
+//!   useful flops.
+//! * **Latency hiding** — compute throughput ramps with resident threads
+//!   until the DP pipelines are covered; HBM/GDDR bandwidth ramps with
+//!   memory-level parallelism.
+//!
+//! Auto-boost (P100): when occupancy reaches the boost threshold the core
+//! clock gains `boost_speedup` and dynamic power is multiplied by
+//! `boost_power_mult` (capped at the TDP headroom). The 58 W warm-up
+//! component draws for at most `warmup_duration_s` per kernel launch.
+
+use crate::arch::GpuArch;
+use crate::occupancy::Occupancy;
+use enprop_units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One application configuration of the Fig. 5 kernel: `G × R` products of
+/// two dense `N × N` matrices with per-block shared-memory dimension `BS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TiledDgemmConfig {
+    /// Matrix dimension N.
+    pub n: usize,
+    /// Per-block shared-memory (tile) dimension, 1..=32.
+    pub bs: usize,
+    /// Group size: device matrix-product codes repeated textually, 1..=8.
+    pub g: usize,
+    /// Number of runs of a group.
+    pub r: usize,
+}
+
+/// Shared-memory bytes a `BS` tile pair occupies: `2 × BS² × 8`.
+pub fn shared_bytes(bs: usize) -> usize {
+    2 * bs * bs * 8
+}
+
+/// The per-`BS` limit on the group size `G`.
+///
+/// The paper: "Due to the limited size of the per-block shared memory, only
+/// certain (G, R) combinations are permissible for a given BS". We model the
+/// compiled group budget as 32 KiB of tile state, which reproduces Fig. 5's
+/// kernel family (e.g. `dgemm32` only instantiates G ∈ {1, 2}).
+pub fn max_group(bs: usize) -> usize {
+    let budget = 32 * 1024;
+    (budget / shared_bytes(bs)).clamp(1, 8)
+}
+
+impl TiledDgemmConfig {
+    /// Total matrix products computed: `G × R`.
+    pub fn products(&self) -> usize {
+        self.g * self.r
+    }
+
+    /// Threads per block: `BS²`.
+    pub fn threads_per_block(&self) -> usize {
+        self.bs * self.bs
+    }
+
+    /// Shared-memory bytes per block.
+    pub fn shared_bytes(&self) -> usize {
+        shared_bytes(self.bs)
+    }
+
+    /// Structural validity on an architecture (launchable occupancy, G
+    /// within the group budget, BS within the template family).
+    pub fn is_valid(&self, arch: &GpuArch) -> bool {
+        (1..=32).contains(&self.bs)
+            && (1..=8).contains(&self.g)
+            && self.r >= 1
+            && self.n >= self.bs
+            && self.g <= max_group(self.bs)
+            && Occupancy::compute(arch, self.threads_per_block(), self.shared_bytes()).is_some()
+    }
+
+    /// Enumerates every valid configuration solving the workload of
+    /// `total_products` products of size `n` — the sweep of Figs. 2, 7, 8.
+    pub fn enumerate(arch: &GpuArch, n: usize, total_products: usize) -> Vec<TiledDgemmConfig> {
+        assert!(total_products >= 1, "need at least one product");
+        let mut out = Vec::new();
+        for bs in 1..=32 {
+            if bs > n {
+                continue;
+            }
+            for g in 1..=max_group(bs) {
+                if !total_products.is_multiple_of(g) {
+                    continue;
+                }
+                let cfg = TiledDgemmConfig { n, bs, g, r: total_products / g };
+                if cfg.is_valid(arch) {
+                    out.push(cfg);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Predicted execution profile of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelEstimate {
+    /// Kernel wall time.
+    pub time: Seconds,
+    /// Steady-state dynamic power of the compute/memory subsystems.
+    pub steady_power: Watts,
+    /// The warm-up component's power (0 after `warmup_time`).
+    pub warmup_power: Watts,
+    /// How long the warm-up component draws within this launch.
+    pub warmup_time: Seconds,
+    /// Achieved occupancy fraction.
+    pub occupancy: f64,
+    /// Compute share of the bottleneck time ∈ [0, 1].
+    pub compute_share: f64,
+    /// Memory share of the bottleneck time ∈ [0, 1].
+    pub memory_share: f64,
+    /// Whether the auto-boost state engaged.
+    pub boosted: bool,
+}
+
+impl KernelEstimate {
+    /// Total dynamic energy of the launch (steady + warm-up component).
+    pub fn dynamic_energy(&self) -> Joules {
+        self.steady_power * self.time + self.warmup_power * self.warmup_time
+    }
+
+    /// Mean dynamic power over the launch.
+    pub fn mean_dynamic_power(&self) -> Watts {
+        self.dynamic_energy() / self.time
+    }
+}
+
+/// The analytic model bound to one architecture.
+#[derive(Debug, Clone)]
+pub struct TiledDgemm {
+    arch: GpuArch,
+}
+
+/// Cycles of arithmetic latency the scheduler must cover per DP unit.
+const DP_LATENCY: f64 = 4.0;
+/// Resident threads per SM needed to saturate the DRAM interface.
+const MLP_THREADS: f64 = 512.0;
+/// DRAM transaction (cache line) size in bytes.
+const LINE_BYTES: f64 = 128.0;
+/// Fixed kernel-launch overhead.
+const LAUNCH_OVERHEAD_S: f64 = 2.0e-5;
+/// Per-extra-group instruction-cache time penalty (relative).
+const ICACHE_PENALTY: f64 = 0.004;
+/// L2-resident bandwidth advantage over DRAM.
+const L2_BANDWIDTH_MULT: f64 = 3.0;
+/// Misalignment overhead in bytes per tile row when `8·BS` is not
+/// line-aligned: Kepler (K40c) pays more than Pascal (P100).
+fn misalign_overhead(arch: &GpuArch) -> f64 {
+    if arch.max_blocks_per_sm <= 16 {
+        48.0 // Kepler-class
+    } else {
+        8.0 // Pascal-class
+    }
+}
+
+impl TiledDgemm {
+    /// Binds the model to an architecture.
+    pub fn new(arch: GpuArch) -> Self {
+        Self { arch }
+    }
+
+    /// The bound architecture.
+    pub fn arch(&self) -> &GpuArch {
+        &self.arch
+    }
+
+    /// §IV names two approaches to executing matrix products serially:
+    /// textual grouping inside one kernel (a larger `G`, modeled by
+    /// [`TiledDgemm::estimate`]) and **separate kernel launches**, modeled
+    /// here: `launches` back-to-back launches of `cfg`, each paying its
+    /// own launch overhead *and its own warm-up component* — which is why
+    /// Fig. 6's separate-launch baseline (`G × E_{G=1}`) exceeds the
+    /// grouped kernel's energy at small N.
+    pub fn estimate_launch_sequence(
+        &self,
+        cfg: &TiledDgemmConfig,
+        launches: usize,
+    ) -> KernelEstimate {
+        assert!(launches >= 1, "need at least one launch");
+        let one = self.estimate(cfg);
+        KernelEstimate {
+            time: one.time * launches as f64,
+            warmup_time: one.warmup_time * launches as f64,
+            ..one
+        }
+    }
+
+    /// Predicts the execution profile of `cfg`. Panics when `cfg` is not
+    /// valid for this architecture (check [`TiledDgemmConfig::is_valid`]).
+    pub fn estimate(&self, cfg: &TiledDgemmConfig) -> KernelEstimate {
+        assert!(cfg.is_valid(&self.arch), "invalid config {cfg:?} for {}", self.arch.name);
+        let arch = &self.arch;
+        let pm = &arch.power;
+        let n = cfg.n as f64;
+        let bs = cfg.bs as f64;
+
+        let occ = Occupancy::compute(arch, cfg.threads_per_block(), cfg.shared_bytes())
+            .expect("validated config must have occupancy");
+
+        // ---- Time, per matrix product --------------------------------
+        let tiles = cfg.n.div_ceil(cfg.bs);
+        let padded = (tiles * cfg.bs) as f64;
+        let flops = 2.0 * padded.powi(3);
+
+        // Boost state (engages on occupancy; raises clock, multiplies power).
+        let boosted = occ.fraction >= pm.boost_occupancy;
+        let clock_mult = if boosted { pm.boost_speedup } else { 1.0 };
+
+        // Compute throughput with latency-hiding ramp.
+        let latency_threads = arch.dp_units_per_sm as f64 * DP_LATENCY;
+        let compute_eff = (occ.active_threads_per_sm as f64 / latency_threads).min(1.0);
+        let compute_rate = arch.peak_dp_flops() * compute_eff * clock_mult;
+        let compute_time = flops / compute_rate;
+
+        // Global-memory traffic: every tile step loads two BS×BS tiles per
+        // block; plus one read-modify-write of C.
+        let useful_loads = 2.0 * 8.0 * padded * padded * tiles as f64;
+        let c_traffic = 2.0 * 8.0 * n * n;
+        // Transaction efficiency of one BS-double row segment.
+        let row_bytes = 8.0 * bs;
+        let mut fetched_row = LINE_BYTES * (row_bytes / LINE_BYTES).ceil();
+        if !(row_bytes as u64).is_multiple_of(LINE_BYTES as u64) {
+            fetched_row += misalign_overhead(arch);
+        }
+        let align_eff = (row_bytes / fetched_row).min(1.0);
+        let fetched = useful_loads / align_eff + c_traffic;
+
+        // Bandwidth ramp with memory-level parallelism, and the L2 bonus
+        // when the working set is cache-resident.
+        let mlp_eff = (occ.active_threads_per_sm as f64 / MLP_THREADS).min(1.0);
+        let working_set = 3.0 * 8.0 * n * n;
+        let cache_mult =
+            if working_set <= arch.l2_cache.value() { L2_BANDWIDTH_MULT } else { 1.0 };
+        let bandwidth = arch.dram_bandwidth.value() * mlp_eff * cache_mult;
+        let mem_time = fetched / bandwidth;
+
+        let t_product = compute_time.max(mem_time);
+        let icache = 1.0 + ICACHE_PENALTY * (cfg.g as f64 - 1.0);
+        let time = cfg.products() as f64 * t_product * icache + LAUNCH_OVERHEAD_S;
+
+        // ---- Steady-state dynamic power ------------------------------
+        let s_comp = compute_time / t_product;
+        let s_mem = mem_time / t_product;
+        let gate = pm.gating_effectiveness;
+        let mut power = pm.active_base_w
+            + pm.compute_w
+                * occ.fraction.powf(pm.occ_exponent)
+                * (gate * s_comp + (1.0 - gate))
+            + pm.memory_w * s_mem;
+        if boosted {
+            // Cube-law boosted state, capped at the TDP headroom above the
+            // card's non-kernel draw.
+            let cap = arch.tdp.value() * 0.88;
+            power = (power * pm.boost_power_mult).min(cap);
+        }
+
+        KernelEstimate {
+            time: Seconds(time),
+            steady_power: Watts(power),
+            warmup_power: Watts(pm.warmup_power_w),
+            warmup_time: Seconds(time.min(pm.warmup_duration_s)),
+            occupancy: occ.fraction,
+            compute_share: s_comp,
+            memory_share: s_mem,
+            boosted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, bs: usize, g: usize, r: usize) -> TiledDgemmConfig {
+        TiledDgemmConfig { n, bs, g, r }
+    }
+
+    #[test]
+    fn group_budget_matches_fig5_family() {
+        // Fig. 5: dgemm32 only instantiates G ∈ {1, 2}; small BS allows 8.
+        assert_eq!(max_group(32), 2);
+        assert_eq!(max_group(8), 8);
+        assert_eq!(max_group(1), 8);
+        assert!(max_group(20) >= 4);
+    }
+
+    #[test]
+    fn enumerate_covers_all_bs_and_divides_products() {
+        let arch = GpuArch::p100_pcie();
+        let cfgs = TiledDgemmConfig::enumerate(&arch, 1024, 8);
+        assert!(!cfgs.is_empty());
+        for c in &cfgs {
+            assert!(c.is_valid(&arch));
+            assert_eq!(c.products(), 8);
+        }
+        // Every BS 1..=32 appears (G = 1, R = 8 is always valid).
+        for bs in 1..=32 {
+            assert!(cfgs.iter().any(|c| c.bs == bs), "missing bs = {bs}");
+        }
+        // BS=32 has G ∈ {1, 2} only.
+        let g32: Vec<usize> = cfgs.iter().filter(|c| c.bs == 32).map(|c| c.g).collect();
+        assert_eq!(g32, vec![1, 2]);
+    }
+
+    #[test]
+    fn bs32_is_fastest_on_both_gpus() {
+        for arch in [GpuArch::k40c(), GpuArch::p100_pcie()] {
+            let model = TiledDgemm::new(arch);
+            let t = |bs: usize| model.estimate(&cfg(4096, bs, 1, 1)).time;
+            for bs in [1, 4, 8, 16, 24, 27, 31] {
+                assert!(t(32) < t(bs), "{}: bs={bs}", model.arch().name);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_bs_is_catastrophically_slow() {
+        let model = TiledDgemm::new(GpuArch::p100_pcie());
+        let t1 = model.estimate(&cfg(2048, 1, 1, 1)).time;
+        let t32 = model.estimate(&cfg(2048, 32, 1, 1)).time;
+        assert!(t1.ratio(t32) > 50.0, "ratio {}", t1.ratio(t32));
+    }
+
+    #[test]
+    fn time_scales_linearly_with_products() {
+        let model = TiledDgemm::new(GpuArch::k40c());
+        let t1 = model.estimate(&cfg(4096, 16, 1, 1)).time.value();
+        let t4 = model.estimate(&cfg(4096, 16, 1, 4)).time.value();
+        // Up to launch overhead, R = 4 is 4× R = 1.
+        assert!(((t4 - LAUNCH_OVERHEAD_S) / (t1 - LAUNCH_OVERHEAD_S) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouped_configs_slightly_slower_not_faster() {
+        // G=4,R=1 does the same work as G=1,R=4 plus i-cache pressure.
+        let model = TiledDgemm::new(GpuArch::p100_pcie());
+        let flat = model.estimate(&cfg(4096, 16, 1, 4)).time;
+        let grouped = model.estimate(&cfg(4096, 16, 4, 1)).time;
+        assert!(grouped > flat);
+        assert!(grouped.ratio(flat) < 1.05);
+    }
+
+    #[test]
+    fn p100_boosts_at_full_occupancy_k40c_never() {
+        let p100 = TiledDgemm::new(GpuArch::p100_pcie());
+        assert!(p100.estimate(&cfg(4096, 32, 1, 1)).boosted);
+        assert!(!p100.estimate(&cfg(4096, 27, 1, 1)).boosted);
+        let k40 = TiledDgemm::new(GpuArch::k40c());
+        assert!(!k40.estimate(&cfg(4096, 32, 1, 1)).boosted);
+    }
+
+    #[test]
+    fn boosted_power_stays_under_tdp() {
+        let model = TiledDgemm::new(GpuArch::p100_pcie());
+        let e = model.estimate(&cfg(10240, 32, 1, 1));
+        assert!(e.steady_power.value() <= model.arch().tdp.value());
+        assert!(e.steady_power.value() > 150.0, "{e:?}");
+    }
+
+    #[test]
+    fn shares_partition_bottleneck() {
+        let model = TiledDgemm::new(GpuArch::k40c());
+        let e = model.estimate(&cfg(8704, 24, 1, 1));
+        assert!(e.compute_share <= 1.0 && e.memory_share <= 1.0);
+        assert!((e.compute_share.max(e.memory_share) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_clipped_to_kernel_time() {
+        let model = TiledDgemm::new(GpuArch::p100_pcie());
+        // A tiny kernel finishes before the warm-up window closes.
+        let small = model.estimate(&cfg(256, 32, 1, 1));
+        assert!(small.warmup_time == small.time);
+        // A huge kernel outlives the window.
+        let big = model.estimate(&cfg(16384, 32, 1, 4));
+        assert!(big.warmup_time.value() == model.arch().power.warmup_duration_s);
+        assert!(big.time > big.warmup_time);
+    }
+
+    #[test]
+    fn dynamic_energy_combines_steady_and_warmup() {
+        let model = TiledDgemm::new(GpuArch::k40c());
+        let e = model.estimate(&cfg(8704, 32, 1, 1));
+        let expected = e.steady_power.value() * e.time.value()
+            + e.warmup_power.value() * e.warmup_time.value();
+        assert!((e.dynamic_energy().value() - expected).abs() < 1e-9);
+        assert!(e.mean_dynamic_power().value() >= e.steady_power.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid config")]
+    fn invalid_config_rejected() {
+        let model = TiledDgemm::new(GpuArch::k40c());
+        model.estimate(&cfg(4096, 33, 1, 1));
+    }
+
+    #[test]
+    fn separate_launches_cost_more_than_grouping() {
+        // §IV / Fig. 6: G separate launches pay the warm-up component G
+        // times; the grouped kernel pays it once. At small N the grouped
+        // form is strictly cheaper.
+        let model = TiledDgemm::new(GpuArch::p100_pcie());
+        let base = cfg(5120, 16, 1, 1);
+        let grouped = model.estimate(&cfg(5120, 16, 4, 1));
+        let separate = model.estimate_launch_sequence(&base, 4);
+        assert!(separate.dynamic_energy() > grouped.dynamic_energy());
+        // The separate-launch energy is exactly 4× the single-launch one.
+        let one = model.estimate(&base);
+        assert!(
+            (separate.dynamic_energy().value() - 4.0 * one.dynamic_energy().value()).abs()
+                < 1e-9
+        );
+        // Times are near-additive either way (the paper's observation).
+        assert!(separate.time.ratio(grouped.time) < 1.02);
+    }
+
+    // ---- Calibration shape checks (the paper's headline geometry) ----
+
+    /// Collects (time, energy) for all BS at G=1, R=1.
+    fn sweep(model: &TiledDgemm, n: usize) -> Vec<(usize, f64, f64)> {
+        (1..=32)
+            .map(|bs| {
+                let e = model.estimate(&cfg(n, bs, 1, 1));
+                (bs, e.time.value(), e.dynamic_energy().value())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn k40c_global_front_is_singleton_at_bs32() {
+        let model = TiledDgemm::new(GpuArch::k40c());
+        for n in [8704, 10240] {
+            let pts = sweep(&model, n);
+            let (t32, e32) = pts.iter().find(|p| p.0 == 32).map(|p| (p.1, p.2)).unwrap();
+            for &(bs, t, e) in &pts {
+                if bs != 32 {
+                    assert!(t > t32 && e > e32, "N={n} bs={bs} breaks the singleton front");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k40c_bs_le_30_region_has_real_tradeoff() {
+        // In the BS ≤ 30 region the fastest config must NOT be the most
+        // frugal — the local Pareto front of Fig. 7 needs several points.
+        let model = TiledDgemm::new(GpuArch::k40c());
+        let pts: Vec<(usize, f64, f64)> =
+            sweep(&model, 10240).into_iter().filter(|p| p.0 <= 30).collect();
+        let fastest = pts.iter().cloned().reduce(|a, b| if b.1 < a.1 { b } else { a }).unwrap();
+        let frugal = pts.iter().cloned().reduce(|a, b| if b.2 < a.2 { b } else { a }).unwrap();
+        assert_ne!(fastest.0, frugal.0, "no trade-off in the BS<=30 region");
+        let savings = (fastest.2 - frugal.2) / fastest.2;
+        assert!(savings > 0.04, "local savings too small: {savings}");
+    }
+
+    #[test]
+    fn p100_global_front_has_multiple_points() {
+        let model = TiledDgemm::new(GpuArch::p100_pcie());
+        let pts = sweep(&model, 10240);
+        let fastest = pts.iter().cloned().reduce(|a, b| if b.1 < a.1 { b } else { a }).unwrap();
+        assert_eq!(fastest.0, 32);
+        // Some slower config saves a large fraction of dynamic energy.
+        let best = pts
+            .iter()
+            .filter(|p| p.1 > fastest.1)
+            .map(|p| (fastest.2 - p.2) / fastest.2)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > 0.35, "P100 max savings only {best}");
+    }
+}

@@ -1,0 +1,173 @@
+//! CUDA-style occupancy calculation.
+//!
+//! Occupancy — the fraction of an SM's thread slots that a kernel's
+//! resident blocks can fill — is the primary architectural mechanism behind
+//! the jagged time/power geometry of the paper's (BS, G, R) sweep: the
+//! number of resident blocks is the *floor* of three resource ratios, so
+//! nearby BS values can differ sharply in occupancy.
+
+use crate::arch::GpuArch;
+
+/// Registers per thread the simple tiled kernels of this toolkit compile
+/// to (used when no explicit count is given).
+pub const DEFAULT_REGS_PER_THREAD: usize = 32;
+
+/// The occupancy of one kernel configuration on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: usize,
+    /// Resident threads per SM (`blocks_per_sm × threads_per_block`).
+    pub active_threads_per_sm: usize,
+    /// `active_threads_per_sm / max_threads_per_sm` ∈ (0, 1].
+    pub fraction: f64,
+}
+
+impl Occupancy {
+    /// Computes occupancy for a kernel with `threads_per_block` threads and
+    /// `shared_bytes_per_block` bytes of per-block shared memory, assuming
+    /// [`DEFAULT_REGS_PER_THREAD`] registers per thread.
+    ///
+    /// Returns `None` when the kernel cannot launch at all: more threads
+    /// per block than the hardware limit, or a block's shared memory
+    /// exceeding the per-block limit.
+    pub fn compute(
+        arch: &GpuArch,
+        threads_per_block: usize,
+        shared_bytes_per_block: usize,
+    ) -> Option<Occupancy> {
+        Self::compute_with_regs(
+            arch,
+            threads_per_block,
+            shared_bytes_per_block,
+            DEFAULT_REGS_PER_THREAD,
+        )
+    }
+
+    /// Full occupancy calculation with an explicit per-thread register
+    /// count — resident blocks are the floor of *four* resource ratios:
+    /// the block cap, thread slots, shared memory, and the register file.
+    pub fn compute_with_regs(
+        arch: &GpuArch,
+        threads_per_block: usize,
+        shared_bytes_per_block: usize,
+        regs_per_thread: usize,
+    ) -> Option<Occupancy> {
+        if threads_per_block == 0 || threads_per_block > arch.max_threads_per_block {
+            return None;
+        }
+        if shared_bytes_per_block as f64 > arch.shared_mem_per_block.value() {
+            return None;
+        }
+        let by_threads = arch.max_threads_per_sm / threads_per_block;
+        let by_shared = if shared_bytes_per_block == 0 {
+            usize::MAX
+        } else {
+            (arch.shared_mem_per_sm.value() / shared_bytes_per_block as f64) as usize
+        };
+        let by_regs = if regs_per_thread == 0 {
+            usize::MAX
+        } else {
+            arch.registers_per_sm / (regs_per_thread * threads_per_block)
+        };
+        let blocks = arch.max_blocks_per_sm.min(by_threads).min(by_shared).min(by_regs);
+        if blocks == 0 {
+            return None;
+        }
+        let active = blocks * threads_per_block;
+        Some(Occupancy {
+            blocks_per_sm: blocks,
+            active_threads_per_sm: active,
+            fraction: active as f64 / arch.max_threads_per_sm as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shared memory of the paper's tiled DGEMM: two BS×BS f64 tiles.
+    fn shmem(bs: usize) -> usize {
+        2 * bs * bs * 8
+    }
+
+    #[test]
+    fn k40c_bs32_is_fully_occupied() {
+        let arch = GpuArch::k40c();
+        let o = Occupancy::compute(&arch, 32 * 32, shmem(32)).unwrap();
+        // 1024 threads/block: 2048/1024 = 2 blocks; shared 16 KB → 3 blocks;
+        // limit = 2 → 2048 active = 100%.
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.active_threads_per_sm, 2048);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k40c_bs27_drops_occupancy() {
+        // 729 threads/block → floor(2048/729) = 2 blocks → 1458 threads.
+        let o = Occupancy::compute(&GpuArch::k40c(), 27 * 27, shmem(27)).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.active_threads_per_sm, 1458);
+        assert!((o.fraction - 1458.0 / 2048.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_is_jagged_across_bs() {
+        // The floor effects make occupancy non-monotone in BS — the paper's
+        // cloud geometry depends on this.
+        let arch = GpuArch::p100_pcie();
+        let f = |bs: usize| Occupancy::compute(&arch, bs * bs, shmem(bs)).unwrap().fraction;
+        assert!(f(22) > f(23), "22:{} 23:{}", f(22), f(23));
+        assert!(f(26) > f(27), "26:{} 27:{}", f(26), f(27));
+        assert!(f(32) > f(27));
+    }
+
+    #[test]
+    fn tiny_blocks_limited_by_block_count() {
+        let arch = GpuArch::k40c();
+        // BS=1: one thread per block; 16-block cap → 16 active threads.
+        let o = Occupancy::compute(&arch, 1, shmem(1)).unwrap();
+        assert_eq!(o.blocks_per_sm, 16);
+        assert_eq!(o.active_threads_per_sm, 16);
+        assert!(o.fraction < 0.01);
+    }
+
+    #[test]
+    fn unlaunchable_kernels_rejected() {
+        let arch = GpuArch::k40c();
+        // 33×33 threads exceeds 1024 per block.
+        assert!(Occupancy::compute(&arch, 33 * 33, shmem(33)).is_none());
+        // Shared memory beyond the per-block limit.
+        assert!(Occupancy::compute(&arch, 256, 49 * 1024 + 1).is_none());
+        // Zero threads.
+        assert!(Occupancy::compute(&arch, 0, 0).is_none());
+    }
+
+    #[test]
+    fn register_pressure_limits_occupancy() {
+        let arch = GpuArch::k40c();
+        // At 32 regs/thread the register file (64k) holds exactly the
+        // 2048-thread budget — no extra constraint.
+        let base = Occupancy::compute_with_regs(&arch, 256, 0, 32).unwrap();
+        assert_eq!(base.active_threads_per_sm, 2048);
+        // At 64 regs/thread only 1024 threads fit.
+        let heavy = Occupancy::compute_with_regs(&arch, 256, 0, 64).unwrap();
+        assert_eq!(heavy.active_threads_per_sm, 1024);
+        assert!(heavy.fraction < base.fraction);
+        // A block too register-hungry to launch at all.
+        assert!(Occupancy::compute_with_regs(&arch, 1024, 0, 128).is_none());
+        // Zero means "don't constrain".
+        let free = Occupancy::compute_with_regs(&arch, 256, 0, 0).unwrap();
+        assert_eq!(free.active_threads_per_sm, 2048);
+    }
+
+    #[test]
+    fn zero_shared_memory_unconstrained() {
+        let arch = GpuArch::p100_pcie();
+        let o = Occupancy::compute(&arch, 64, 0).unwrap();
+        // 2048/64 = 32 blocks, hitting the 32-block cap exactly.
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.active_threads_per_sm, 2048);
+    }
+}

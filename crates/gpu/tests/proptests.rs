@@ -1,0 +1,145 @@
+//! Property-based tests of the GPU substrate: emulator correctness on
+//! random configurations, occupancy bounds, and model sanity across the
+//! whole valid configuration space.
+
+use enprop_gpusim::cupti::{CuptiCounter, CuptiReport};
+use enprop_gpusim::emulator::{EmuDgemm, GlobalMem};
+use enprop_gpusim::{GpuArch, Occupancy, TiledDgemm, TiledDgemmConfig};
+use proptest::prelude::*;
+
+/// Deterministic fill for test matrices.
+fn filled(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The emulated kernel computes `C += (G·R)·A·B` for random tiles and
+    /// its events match the analytic CUPTI model exactly.
+    #[test]
+    fn emulator_correct_on_random_configs(
+        tiles in 1usize..4,
+        bs in 1usize..6,
+        g in 1usize..4,
+        r in 1usize..3,
+        seed in 0u64..100,
+    ) {
+        let n = tiles * bs;
+        let host_a = filled(n * n, seed);
+        let host_b = filled(n * n, seed + 1);
+        let host_c = filled(n * n, seed + 2);
+        let (a, b, c) = (
+            GlobalMem::from_slice(&host_a),
+            GlobalMem::from_slice(&host_b),
+            GlobalMem::from_slice(&host_c),
+        );
+        let cfg = TiledDgemmConfig { n, bs, g, r };
+        let events = EmuDgemm::new(cfg).run(&a, &b, &c);
+
+        // Numeric correctness.
+        let k = (g * r) as f64;
+        let got = c.to_vec();
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    acc += host_a[i * n + l] * host_b[l * n + j];
+                }
+                let expect = host_c[i * n + j] + k * acc;
+                prop_assert!((got[i * n + j] - expect).abs() < 1e-9);
+            }
+        }
+
+        // Event-count agreement with the analytic model.
+        let rep = CuptiReport::of(&cfg);
+        prop_assert_eq!(rep.get(CuptiCounter::FlopCountDp).true_count, events.flops as u128);
+        prop_assert_eq!(rep.get(CuptiCounter::SharedLoad).true_count, events.shared_loads as u128);
+        prop_assert_eq!(rep.get(CuptiCounter::SharedStore).true_count, events.shared_stores as u128);
+        prop_assert_eq!(rep.get(CuptiCounter::GldTransactions).true_count, events.global_loads as u128);
+        prop_assert_eq!(rep.get(CuptiCounter::GstTransactions).true_count, events.global_stores as u128);
+        prop_assert_eq!(rep.get(CuptiCounter::BarrierSync).true_count, events.barriers as u128);
+    }
+}
+
+proptest! {
+    /// Occupancy never exceeds the SM limits and shrinks (weakly) when the
+    /// kernel asks for more shared memory.
+    #[test]
+    fn occupancy_bounds(tpb in 1usize..1025, shmem_kib in 0usize..49) {
+        for arch in [GpuArch::k40c(), GpuArch::p100_pcie()] {
+            if let Some(o) = Occupancy::compute(&arch, tpb, shmem_kib * 1024) {
+                prop_assert!(o.blocks_per_sm >= 1);
+                prop_assert!(o.blocks_per_sm <= arch.max_blocks_per_sm);
+                prop_assert!(o.active_threads_per_sm <= arch.max_threads_per_sm);
+                prop_assert!(o.fraction > 0.0 && o.fraction <= 1.0);
+                // More shared memory never raises occupancy.
+                if let Some(o2) = Occupancy::compute(&arch, tpb, (shmem_kib + 1) * 1024) {
+                    prop_assert!(o2.blocks_per_sm <= o.blocks_per_sm);
+                }
+            }
+        }
+    }
+
+    /// Every valid configuration yields a finite, positive estimate with
+    /// power below TDP and shares that partition the bottleneck.
+    #[test]
+    fn model_sane_on_all_valid_configs(
+        bs in 1usize..33,
+        g in 1usize..9,
+        r in 1usize..5,
+        n_k in 1usize..8,
+    ) {
+        let n = n_k * 1024;
+        for arch in [GpuArch::k40c(), GpuArch::p100_pcie()] {
+            let cfg = TiledDgemmConfig { n, bs, g, r };
+            let model = TiledDgemm::new(arch);
+            if !cfg.is_valid(model.arch()) {
+                continue;
+            }
+            let e = model.estimate(&cfg);
+            prop_assert!(e.time.value() > 0.0 && e.time.is_finite());
+            prop_assert!(e.steady_power.value() > 0.0);
+            prop_assert!(e.steady_power.value() <= model.arch().tdp.value());
+            prop_assert!(e.warmup_time <= e.time);
+            prop_assert!((e.compute_share.max(e.memory_share) - 1.0).abs() < 1e-9);
+            prop_assert!(e.dynamic_energy().value() > 0.0);
+        }
+    }
+
+    /// Adding repetitions strictly increases time and energy.
+    #[test]
+    fn more_work_costs_more(bs in 4usize..33, r in 1usize..4) {
+        let arch = GpuArch::p100_pcie();
+        let model = TiledDgemm::new(arch);
+        let base = TiledDgemmConfig { n: 2048, bs, g: 1, r };
+        let more = TiledDgemmConfig { r: r + 1, ..base };
+        if base.is_valid(model.arch()) && more.is_valid(model.arch()) {
+            let a = model.estimate(&base);
+            let b = model.estimate(&more);
+            prop_assert!(b.time > a.time);
+            prop_assert!(b.dynamic_energy() > a.dynamic_energy());
+        }
+    }
+
+    /// Reported CUPTI values always equal the truth modulo 2³².
+    #[test]
+    fn cupti_wrap_consistent(n in 64usize..3000, bs in 1usize..33, g in 1usize..9) {
+        let cfg = TiledDgemmConfig { n, bs, g, r: 1 };
+        let rep = CuptiReport::of(&cfg);
+        for r in &rep.readings {
+            prop_assert_eq!(r.reported as u128, r.true_count % (1u128 << 32));
+            prop_assert_eq!(r.overflowed(), r.true_count > u32::MAX as u128);
+        }
+    }
+}

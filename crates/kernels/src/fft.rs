@@ -1,0 +1,207 @@
+//! Iterative radix-2 complex FFT.
+//!
+//! The strong-EP study's workload is a 2-D discrete Fourier transform of an
+//! `N × N` complex signal matrix, with work accounted as `5 N² log₂ N`.
+//! This module provides the 1-D building block.
+
+/// A complex number (re, im).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+/// In-place forward FFT. Length must be a power of two.
+pub fn fft_inplace(x: &mut [Complex]) {
+    transform(x, -1.0);
+}
+
+/// In-place inverse FFT (including the 1/n normalization).
+pub fn ifft_inplace(x: &mut [Complex]) {
+    transform(x, 1.0);
+    let inv = 1.0 / x.len() as f64;
+    for v in x.iter_mut() {
+        *v = v.scale(inv);
+    }
+}
+
+/// Cooley–Tukey iterative radix-2 with bit-reversal permutation.
+/// `sign` is −1 for the forward transform, +1 for the inverse.
+fn transform(x: &mut [Complex], sign: f64) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in x.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive O(n²) DFT, the correctness reference.
+pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = acc + v * Complex::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize, seed: u64) -> Vec<Complex> {
+        let m = crate::matrix::Matrix::filled(2, n, seed);
+        (0..n).map(|i| Complex::new(m.get(0, i), m.get(1, i))).collect()
+    }
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).norm_sq().sqrt())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
+            let sig = signal(n, 5);
+            let reference = dft_naive(&sig);
+            let mut x = sig.clone();
+            fft_inplace(&mut x);
+            assert!(max_err(&x, &reference) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let sig = signal(256, 9);
+        let mut x = sig.clone();
+        fft_inplace(&mut x);
+        ifft_inplace(&mut x);
+        assert!(max_err(&x, &sig) < 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let sig = signal(512, 13);
+        let time_energy: f64 = sig.iter().map(|c| c.norm_sq()).sum();
+        let mut x = sig.clone();
+        fft_inplace(&mut x);
+        let freq_energy: f64 = x.iter().map(|c| c.norm_sq()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let a = signal(64, 1);
+        let b = signal(64, 2);
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let (mut fa, mut fb, mut fs) = (a, b, sum);
+        fft_inplace(&mut fa);
+        fft_inplace(&mut fb);
+        fft_inplace(&mut fs);
+        let combined: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fs, &combined) < 1e-9);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut x);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft_inplace(&mut x);
+    }
+}

@@ -1,0 +1,154 @@
+//! Dense row-major `f64` matrices for the compute kernels.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a square zero matrix.
+    pub fn square(n: usize) -> Self {
+        Self::zeros(n, n)
+    }
+
+    /// Deterministically fills a matrix with values in roughly [−1, 1]
+    /// derived from `seed` via SplitMix64 — reproducible without an RNG
+    /// dependency.
+    pub fn filled(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        let mut state = seed;
+        for v in &mut m.data {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            *v = (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// The backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The backing row-major slice, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// A contiguous row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Splits the matrix into `parts` contiguous horizontal bands of rows,
+    /// as mutable slices — the Fig. 3 decomposition of A and C. The first
+    /// `rows % parts` bands get one extra row.
+    pub fn row_bands_mut(&mut self, parts: usize) -> Vec<&mut [f64]> {
+        assert!(parts >= 1 && parts <= self.rows, "invalid band count");
+        let base = self.rows / parts;
+        let extra = self.rows % parts;
+        let cols = self.cols;
+        let mut out = Vec::with_capacity(parts);
+        let mut rest: &mut [f64] = &mut self.data;
+        for k in 0..parts {
+            let rows_here = base + usize::from(k < extra);
+            let (band, tail) = rest.split_at_mut(rows_here * cols);
+            out.push(band);
+            rest = tail;
+        }
+        out
+    }
+
+    /// Largest absolute element-wise difference to another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_is_deterministic_and_bounded() {
+        let a = Matrix::filled(8, 8, 3);
+        let b = Matrix::filled(8, 8, 3);
+        let c = Matrix::filled(8, 8, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix::square(4);
+        m.set(2, 3, 7.5);
+        assert_eq!(m.get(2, 3), 7.5);
+        assert_eq!(m.row(2)[3], 7.5);
+    }
+
+    #[test]
+    fn row_bands_cover_matrix() {
+        let mut m = Matrix::zeros(10, 4);
+        let bands = m.row_bands_mut(3);
+        // 10 rows over 3 bands → 4, 3, 3.
+        assert_eq!(bands[0].len(), 4 * 4);
+        assert_eq!(bands[1].len(), 3 * 4);
+        assert_eq!(bands[2].len(), 3 * 4);
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_equal() {
+        let a = Matrix::filled(5, 5, 1);
+        assert_eq!(a.max_abs_diff(&a.clone()), 0.0);
+        let mut b = a.clone();
+        b.set(0, 0, a.get(0, 0) + 0.25);
+        assert!((a.max_abs_diff(&b) - 0.25).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,120 @@
+//! ε-dominance: sparse approximate fronts for expensive sweeps.
+//!
+//! The paper notes that "determining a global Pareto front by exhaustively
+//! obtaining the data points for all the application configurations can be
+//! expensive and may not be feasible in dynamic environments with time
+//! constraints". An ε-front keeps only points that improve on every kept
+//! point by at least a relative ε in some objective — a principled way to
+//! thin a front (or to compare fronts from subsampled sweeps).
+
+use crate::front::{pareto_front, BiPoint};
+
+/// True when `a` ε-dominates `b`: `a` is no worse than `b` relaxed by a
+/// relative ε in both objectives, `a ≤ (1 + ε)·b` component-wise
+/// (Laumanns et al.'s multiplicative ε-dominance).
+pub fn epsilon_dominates(a: &BiPoint, b: &BiPoint, eps: f64) -> bool {
+    assert!(eps >= 0.0, "epsilon must be non-negative");
+    let f = 1.0 + eps;
+    a.time <= b.time * f && a.energy <= b.energy * f
+}
+
+/// The ε-Pareto front: a subset of the exact front such that every exact
+/// front point is ε-dominated by some kept point. Returns indices into
+/// `points`, sorted by increasing time. `eps = 0` reduces to the exact
+/// front.
+pub fn epsilon_front(points: &[BiPoint], eps: f64) -> Vec<usize> {
+    assert!(eps >= 0.0, "epsilon must be non-negative");
+    let exact = pareto_front(points);
+    if eps == 0.0 {
+        return exact;
+    }
+    let mut kept: Vec<usize> = Vec::new();
+    for &i in &exact {
+        let covered = kept.iter().any(|&k| epsilon_dominates(&points[k], &points[i], eps));
+        if !covered {
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+/// Zitzler's coverage metric `C(A, B)`: the fraction of points in `b`
+/// weakly dominated by some point of `a`. `C(A, B) = 1` means A covers B
+/// entirely; the metric is *not* symmetric.
+pub fn coverage(a: &[BiPoint], b: &[BiPoint]) -> f64 {
+    assert!(!b.is_empty(), "coverage needs a non-empty B");
+    let covered = b
+        .iter()
+        .filter(|q| a.iter().any(|p| p.dominates(q) || *p == **q))
+        .count();
+    covered as f64 / b.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<BiPoint> {
+        v.iter().map(|&(t, e)| BiPoint::new(t, e)).collect()
+    }
+
+    #[test]
+    fn zero_eps_is_exact_front() {
+        let cloud = pts(&[(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (2.5, 9.0)]);
+        assert_eq!(epsilon_front(&cloud, 0.0), pareto_front(&cloud));
+    }
+
+    #[test]
+    fn eps_front_thins_dense_fronts() {
+        // Ten nearly-identical trade-off points 1% apart.
+        let cloud: Vec<BiPoint> = (0..10)
+            .map(|i| BiPoint::new(1.0 + 0.01 * i as f64, 2.0 - 0.01 * i as f64))
+            .collect();
+        let exact = pareto_front(&cloud);
+        assert_eq!(exact.len(), 10);
+        let sparse = epsilon_front(&cloud, 0.10);
+        assert!(sparse.len() < exact.len());
+        assert!(!sparse.is_empty());
+        // Every exact point is ε-covered by some kept point.
+        for &i in &exact {
+            assert!(
+                sparse.iter().any(|&k| epsilon_dominates(&cloud[k], &cloud[i], 0.10)),
+                "point {i} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn eps_front_preserves_distant_points() {
+        let cloud = pts(&[(1.0, 100.0), (10.0, 1.0)]);
+        assert_eq!(epsilon_front(&cloud, 0.1).len(), 2);
+    }
+
+    #[test]
+    fn epsilon_dominance_strictness() {
+        let a = BiPoint::new(1.0, 1.0);
+        let b = BiPoint::new(1.05, 1.05);
+        // a beats b outright, so it ε-dominates at any ε.
+        assert!(epsilon_dominates(&a, &b, 0.0));
+        // b ε-dominates a only once ε covers the 5% gap.
+        assert!(!epsilon_dominates(&b, &a, 0.01));
+        assert!(epsilon_dominates(&b, &a, 0.05));
+    }
+
+    #[test]
+    fn coverage_metric() {
+        let strong = pts(&[(1.0, 1.0)]);
+        let weak = pts(&[(2.0, 2.0), (3.0, 1.5)]);
+        assert_eq!(coverage(&strong, &weak), 1.0);
+        assert_eq!(coverage(&weak, &strong), 0.0);
+        // Self-coverage is 1 (weak dominance includes equality).
+        assert_eq!(coverage(&weak, &weak), 1.0);
+    }
+
+    #[test]
+    fn coverage_partial() {
+        let a = pts(&[(1.0, 5.0)]);
+        let b = pts(&[(2.0, 6.0), (0.5, 1.0)]);
+        assert!((coverage(&a, &b) - 0.5).abs() < 1e-12);
+    }
+}

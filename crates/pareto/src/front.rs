@@ -1,0 +1,241 @@
+//! Pareto-front computation (all objectives minimized).
+
+use serde::{Deserialize, Serialize};
+
+/// A bi-objective point: execution time and dynamic energy, both minimized.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BiPoint {
+    /// Execution time (seconds, or any monotone performance cost).
+    pub time: f64,
+    /// Dynamic energy (joules).
+    pub energy: f64,
+}
+
+impl BiPoint {
+    /// Creates a point.
+    pub fn new(time: f64, energy: f64) -> Self {
+        Self { time, energy }
+    }
+
+    /// True when `self` dominates `other`: no worse in both objectives and
+    /// strictly better in at least one.
+    pub fn dominates(&self, other: &BiPoint) -> bool {
+        self.time <= other.time
+            && self.energy <= other.energy
+            && (self.time < other.time || self.energy < other.energy)
+    }
+}
+
+/// Computes the (minimizing) Pareto front of a 2-D point cloud.
+///
+/// Returns the indices of the non-dominated points sorted by increasing
+/// time. Duplicate points are kept once (the first occurrence wins).
+/// `O(n log n)`.
+///
+/// # Example
+/// ```
+/// use enprop_pareto::{pareto_front, BiPoint};
+/// let pts = [
+///     BiPoint::new(1.0, 9.0), // fast, hungry  -> on front
+///     BiPoint::new(2.0, 4.0), // tradeoff      -> on front
+///     BiPoint::new(2.5, 6.0), // dominated by (2.0, 4.0)
+///     BiPoint::new(4.0, 1.0), // slow, frugal  -> on front
+/// ];
+/// assert_eq!(pareto_front(&pts), vec![0, 1, 3]);
+/// ```
+pub fn pareto_front(points: &[BiPoint]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    // Sort by time asc, then energy asc so the scan keeps the cheapest among
+    // time ties, then drop exact duplicates of kept points.
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .time
+            .partial_cmp(&points[b].time)
+            .expect("NaN time")
+            .then(points[a].energy.partial_cmp(&points[b].energy).expect("NaN energy"))
+    });
+    let mut front = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    let mut last_kept: Option<BiPoint> = None;
+    for &i in &idx {
+        let p = points[i];
+        if let Some(k) = last_kept {
+            if p == k {
+                continue; // exact duplicate of a front point
+            }
+        }
+        if p.energy < best_energy {
+            // A time-tied point with equal energy would be a duplicate
+            // (handled above); with higher energy it is dominated.
+            front.push(i);
+            best_energy = p.energy;
+            last_kept = Some(p);
+        }
+    }
+    front
+}
+
+/// True when `points[i]` is not dominated by any other point.
+pub fn is_non_dominated(points: &[BiPoint], i: usize) -> bool {
+    points
+        .iter()
+        .enumerate()
+        .all(|(j, p)| j == i || !p.dominates(&points[i]))
+}
+
+/// Successive non-dominated layers ("non-dominated sorting").
+///
+/// Layer 0 is the global Pareto front; layer 1 is the front of the remaining
+/// points, and so on. The paper's *local* Pareto fronts — "solutions that
+/// are less optimal than the solutions in the global Pareto front" — are
+/// exactly the deeper layers (or fronts of configuration sub-regions, which
+/// callers obtain by slicing the input).
+pub fn front_layers(points: &[BiPoint]) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..points.len()).collect();
+    let mut layers = Vec::new();
+    while !remaining.is_empty() {
+        let sub: Vec<BiPoint> = remaining.iter().map(|&i| points[i]).collect();
+        let local = pareto_front(&sub);
+        let layer: Vec<usize> = local.iter().map(|&k| remaining[k]).collect();
+        let keep: std::collections::HashSet<usize> = layer.iter().copied().collect();
+        remaining.retain(|i| !keep.contains(i));
+        // Exact duplicates of layer points never enter any layer via
+        // `pareto_front`; sweep them into the same layer so the peeling
+        // terminates.
+        remaining.retain(|&i| {
+            let dup = layer.iter().any(|&l| points[l] == points[i]);
+            !dup
+        });
+        layers.push(layer);
+    }
+    layers
+}
+
+/// General k-objective Pareto front (all objectives minimized), `O(n²k)`.
+///
+/// Each row of `points` is one solution's objective vector; rows must share
+/// a length. Returns indices of non-dominated rows in input order.
+pub fn pareto_front_kd(points: &[Vec<f64>]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let k = points[0].len();
+    assert!(points.iter().all(|p| p.len() == k), "ragged objective vectors");
+    let dominates = |a: &[f64], b: &[f64]| {
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+    };
+    let mut out = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if j != i && (dominates(q, p) || (q == p && j < i)) {
+                continue 'outer;
+            }
+        }
+        out.push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<BiPoint> {
+        v.iter().map(|&(t, e)| BiPoint::new(t, e)).collect()
+    }
+
+    #[test]
+    fn single_point_is_front() {
+        assert_eq!(pareto_front(&pts(&[(1.0, 1.0)])), vec![0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(pareto_front(&[]), Vec::<usize>::new());
+        assert!(front_layers(&[]).is_empty());
+    }
+
+    #[test]
+    fn dominated_points_excluded() {
+        let p = pts(&[(1.0, 5.0), (2.0, 6.0), (3.0, 4.0), (0.5, 10.0)]);
+        let f = pareto_front(&p);
+        assert_eq!(f, vec![3, 0, 2]);
+    }
+
+    #[test]
+    fn all_on_front_when_strictly_tradeoff() {
+        let p = pts(&[(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)]);
+        assert_eq!(pareto_front(&p).len(), 4);
+    }
+
+    #[test]
+    fn duplicates_kept_once() {
+        let p = pts(&[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]);
+        assert_eq!(pareto_front(&p).len(), 1);
+    }
+
+    #[test]
+    fn time_tie_keeps_lower_energy() {
+        let p = pts(&[(1.0, 5.0), (1.0, 3.0)]);
+        assert_eq!(pareto_front(&p), vec![1]);
+    }
+
+    #[test]
+    fn front_members_are_non_dominated() {
+        let p = pts(&[(3.0, 3.0), (1.0, 5.0), (5.0, 1.0), (2.0, 4.0), (4.0, 4.0)]);
+        let f = pareto_front(&p);
+        for &i in &f {
+            assert!(is_non_dominated(&p, i));
+        }
+        // And non-members are dominated (no duplicates here).
+        for i in 0..p.len() {
+            if !f.contains(&i) {
+                assert!(!is_non_dominated(&p, i), "point {i} should be dominated");
+            }
+        }
+    }
+
+    #[test]
+    fn layers_partition_the_cloud() {
+        let p = pts(&[(1.0, 4.0), (2.0, 3.0), (2.0, 5.0), (3.0, 4.0), (4.0, 6.0)]);
+        let layers = front_layers(&p);
+        let total: usize = layers.iter().map(|l| l.len()).sum();
+        assert_eq!(total, p.len());
+        // Layer 0 is the global front.
+        assert_eq!(layers[0], pareto_front(&p));
+        // Layers get "worse": every point in layer k+1 is dominated by some
+        // point in layer <= k.
+        for w in 1..layers.len() {
+            for &i in &layers[w] {
+                let dominated = layers[..w]
+                    .iter()
+                    .flatten()
+                    .any(|&j| p[j].dominates(&p[i]) || p[j] == p[i]);
+                assert!(dominated, "layer {w} point {i} not dominated by earlier layers");
+            }
+        }
+    }
+
+    #[test]
+    fn kd_front_matches_2d_on_two_objectives() {
+        let p2 = pts(&[(3.0, 3.0), (1.0, 5.0), (5.0, 1.0), (2.0, 4.0), (4.0, 4.0)]);
+        let pk: Vec<Vec<f64>> = p2.iter().map(|p| vec![p.time, p.energy]).collect();
+        let mut a = pareto_front(&p2);
+        let mut b = pareto_front_kd(&pk);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kd_front_three_objectives() {
+        let pts = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 1.0, 3.0],
+            vec![2.0, 2.0, 4.0], // dominated by the first two? strictly: [1,2,3] <= [2,2,4] and < → dominated.
+            vec![3.0, 3.0, 1.0],
+        ];
+        let f = pareto_front_kd(&pts);
+        assert_eq!(f, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,82 @@
+//! The dominated-hypervolume quality indicator for 2-D fronts.
+
+use crate::front::{pareto_front, BiPoint};
+
+/// Area dominated by the front of `points` with respect to a reference
+/// point (both objectives minimized; the reference must be weakly worse
+/// than every front point, or the contribution of points beyond it is
+/// clipped to zero).
+///
+/// Larger is better; 0 when no point improves on the reference.
+pub fn hypervolume_2d(points: &[BiPoint], reference: BiPoint) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let front = pareto_front(points);
+    let mut hv = 0.0;
+    // Front is sorted by time ascending / energy descending; sweep left to
+    // right, each point contributes a rectangle up to the previous point's
+    // energy level.
+    let mut prev_energy = reference.energy;
+    for &i in &front {
+        let p = points[i];
+        if p.time >= reference.time || p.energy >= prev_energy {
+            continue;
+        }
+        hv += (reference.time - p.time) * (prev_energy - p.energy);
+        prev_energy = p.energy;
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_rectangle() {
+        let hv = hypervolume_2d(&[BiPoint::new(1.0, 1.0)], BiPoint::new(3.0, 4.0));
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_point_adds_nothing() {
+        let base = hypervolume_2d(&[BiPoint::new(1.0, 1.0)], BiPoint::new(3.0, 3.0));
+        let with_dom = hypervolume_2d(
+            &[BiPoint::new(1.0, 1.0), BiPoint::new(2.0, 2.0)],
+            BiPoint::new(3.0, 3.0),
+        );
+        assert!((base - with_dom).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tradeoff_points_union_area() {
+        // Points (1,2) and (2,1), ref (3,3):
+        // union = rect(1..3 x 2..3) [area 2] + rect(2..3 x 1..2) [area 1]
+        //       + shared? Sweep: (1,2): (3-1)*(3-2)=2; (2,1): (3-2)*(2-1)=1 → 3.
+        let hv = hypervolume_2d(
+            &[BiPoint::new(1.0, 2.0), BiPoint::new(2.0, 1.0)],
+            BiPoint::new(3.0, 3.0),
+        );
+        assert!((hv - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_beyond_reference_is_clipped() {
+        let hv = hypervolume_2d(&[BiPoint::new(5.0, 5.0)], BiPoint::new(3.0, 3.0));
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn empty_cloud() {
+        assert_eq!(hypervolume_2d(&[], BiPoint::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn more_front_points_never_decrease_hv() {
+        let reference = BiPoint::new(10.0, 10.0);
+        let small = vec![BiPoint::new(2.0, 5.0)];
+        let big = vec![BiPoint::new(2.0, 5.0), BiPoint::new(4.0, 2.0), BiPoint::new(1.0, 8.0)];
+        assert!(hypervolume_2d(&big, reference) >= hypervolume_2d(&small, reference));
+    }
+}

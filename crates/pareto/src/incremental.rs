@@ -1,0 +1,198 @@
+//! Online Pareto-front maintenance and budgeted front search.
+//!
+//! The paper motivates local fronts by noting that "determining a global
+//! Pareto front by exhaustively obtaining the data points for all the
+//! application configurations can be expensive and may not be feasible in
+//! dynamic environments with time constraints". [`FrontTracker`] maintains
+//! a front as points stream in (one measured configuration at a time);
+//! [`adaptive_front`] turns that into a stopping rule — evaluate
+//! configurations until `patience` consecutive evaluations fail to improve
+//! the front.
+
+use crate::front::BiPoint;
+
+/// An online (minimizing) 2-D Pareto front.
+///
+/// Points are inserted one at a time; the tracker keeps the current
+/// non-dominated set sorted by increasing time, tagged with caller ids.
+#[derive(Debug, Clone, Default)]
+pub struct FrontTracker {
+    /// Front entries `(point, id)`, sorted by time asc / energy desc.
+    entries: Vec<(BiPoint, usize)>,
+}
+
+impl FrontTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a point; returns `true` when the front changed (the point
+    /// entered, possibly evicting dominated members). Duplicates of
+    /// existing front points do not change the front.
+    pub fn insert(&mut self, point: BiPoint, id: usize) -> bool {
+        // Dominated (or duplicated) by an existing member?
+        if self
+            .entries
+            .iter()
+            .any(|(p, _)| p.dominates(&point) || *p == point)
+        {
+            return false;
+        }
+        // Evict members the new point dominates.
+        self.entries.retain(|(p, _)| !point.dominates(p));
+        let pos = self
+            .entries
+            .partition_point(|(p, _)| p.time < point.time);
+        self.entries.insert(pos, (point, id));
+        true
+    }
+
+    /// The current front, sorted by increasing time.
+    pub fn front(&self) -> &[(BiPoint, usize)] {
+        &self.entries
+    }
+
+    /// Number of front points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no point has entered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Outcome of a budgeted front search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The front found, as `(point, index into the candidate order)`.
+    pub front: Vec<(BiPoint, usize)>,
+    /// Candidates actually evaluated.
+    pub evaluations: usize,
+    /// Whether the search stopped early (patience exhausted) rather than
+    /// exhausting the candidates.
+    pub stopped_early: bool,
+}
+
+/// Evaluates candidates in order until `patience` consecutive evaluations
+/// leave the front unchanged (or candidates run out). The oracle maps a
+/// candidate index to its measured objectives — typically one full metered
+/// application run, which is exactly the expensive step worth saving.
+pub fn adaptive_front(
+    candidates: usize,
+    mut oracle: impl FnMut(usize) -> BiPoint,
+    patience: usize,
+) -> SearchResult {
+    assert!(patience >= 1, "patience must be at least 1");
+    let mut tracker = FrontTracker::new();
+    let mut stale = 0usize;
+    let mut evaluations = 0usize;
+    for i in 0..candidates {
+        let p = oracle(i);
+        evaluations += 1;
+        if tracker.insert(p, i) {
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= patience {
+                return SearchResult {
+                    front: tracker.front().to_vec(),
+                    evaluations,
+                    stopped_early: true,
+                };
+            }
+        }
+    }
+    SearchResult { front: tracker.front().to_vec(), evaluations, stopped_early: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::front::pareto_front;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<BiPoint> {
+        v.iter().map(|&(t, e)| BiPoint::new(t, e)).collect()
+    }
+
+    #[test]
+    fn tracker_matches_batch_front() {
+        let cloud = pts(&[
+            (3.0, 3.0),
+            (1.0, 5.0),
+            (5.0, 1.0),
+            (2.0, 4.0),
+            (4.0, 4.0),
+            (2.0, 4.0), // duplicate
+        ]);
+        let mut tracker = FrontTracker::new();
+        for (i, &p) in cloud.iter().enumerate() {
+            tracker.insert(p, i);
+        }
+        let batch: Vec<BiPoint> =
+            pareto_front(&cloud).into_iter().map(|i| cloud[i]).collect();
+        let online: Vec<BiPoint> = tracker.front().iter().map(|(p, _)| *p).collect();
+        assert_eq!(online, batch);
+    }
+
+    #[test]
+    fn insert_reports_changes() {
+        let mut t = FrontTracker::new();
+        assert!(t.is_empty());
+        assert!(t.insert(BiPoint::new(2.0, 2.0), 0));
+        assert!(!t.insert(BiPoint::new(3.0, 3.0), 1)); // dominated
+        assert!(!t.insert(BiPoint::new(2.0, 2.0), 2)); // duplicate
+        assert!(t.insert(BiPoint::new(1.0, 4.0), 3)); // new trade-off
+        assert!(t.insert(BiPoint::new(0.5, 0.5), 4)); // dominates everything
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.front()[0].1, 4);
+    }
+
+    #[test]
+    fn adaptive_search_stops_early_on_stale_tail() {
+        // The front is settled by the first three candidates; the rest are
+        // dominated. With patience 5 the search stops long before 100.
+        let cloud: Vec<BiPoint> = (0..100)
+            .map(|i| match i {
+                0 => BiPoint::new(1.0, 5.0),
+                1 => BiPoint::new(2.0, 3.0),
+                2 => BiPoint::new(4.0, 1.0),
+                _ => BiPoint::new(5.0 + i as f64, 6.0),
+            })
+            .collect();
+        let r = adaptive_front(cloud.len(), |i| cloud[i], 5);
+        assert!(r.stopped_early);
+        assert_eq!(r.evaluations, 8); // 3 improving + 5 stale
+        assert_eq!(r.front.len(), 3);
+    }
+
+    #[test]
+    fn exhaustive_when_patience_never_met() {
+        // Strictly improving stream: every candidate enters the front.
+        let r = adaptive_front(20, |i| BiPoint::new(i as f64, 100.0 - i as f64), 3);
+        assert!(!r.stopped_early);
+        assert_eq!(r.evaluations, 20);
+        assert_eq!(r.front.len(), 20);
+    }
+
+    #[test]
+    fn search_front_is_subset_of_true_front() {
+        // Whatever the stopping point, everything reported is mutually
+        // non-dominated.
+        let cloud: Vec<BiPoint> = (0..60)
+            .map(|i| {
+                let x = (i as f64 * 0.37).sin() * 5.0 + 6.0;
+                let y = (i as f64 * 0.53).cos() * 5.0 + 6.0;
+                BiPoint::new(x, y)
+            })
+            .collect();
+        let r = adaptive_front(cloud.len(), |i| cloud[i], 4);
+        for (a, _) in &r.front {
+            for (b, _) in &r.front {
+                assert!(a == b || !a.dominates(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Knee-point selection: the front point with the best "bang for the buck".
+
+use crate::front::{pareto_front, BiPoint};
+
+/// Returns the index (into `points`) of the knee of the Pareto front: the
+/// front point at maximum perpendicular distance from the chord joining the
+/// front's two extreme points, after normalizing both objectives to [0, 1].
+///
+/// For fronts with fewer than three points the fastest point is returned
+/// (there is no interior to bend).
+pub fn knee_point(points: &[BiPoint]) -> Option<usize> {
+    if points.is_empty() {
+        return None;
+    }
+    let front = pareto_front(points);
+    if front.len() < 3 {
+        return Some(front[0]);
+    }
+    let first = points[front[0]];
+    let last = points[*front.last().expect("non-empty front")];
+    let t_span = (last.time - first.time).max(f64::MIN_POSITIVE);
+    let e_span = (first.energy - last.energy).max(f64::MIN_POSITIVE);
+    // Normalized chord endpoints: (0, 1) → (1, 0).
+    let mut best = front[0];
+    let mut best_d = f64::NEG_INFINITY;
+    for &i in &front {
+        let x = (points[i].time - first.time) / t_span;
+        let y = (points[i].energy - last.energy) / e_span;
+        // Distance from the line x + y = 1 (up to the constant √2).
+        let d = 1.0 - x - y;
+        if d > best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_gives_none() {
+        assert_eq!(knee_point(&[]), None);
+    }
+
+    #[test]
+    fn tiny_front_gives_fastest() {
+        let pts = [BiPoint::new(2.0, 1.0), BiPoint::new(1.0, 3.0)];
+        assert_eq!(knee_point(&pts), Some(1));
+    }
+
+    #[test]
+    fn sharp_knee_is_found() {
+        // An L-shaped front: the corner (1.1, 1.1) is the obvious knee.
+        let pts = [
+            BiPoint::new(1.0, 10.0),
+            BiPoint::new(1.1, 1.1),
+            BiPoint::new(10.0, 1.0),
+        ];
+        assert_eq!(knee_point(&pts), Some(1));
+    }
+
+    #[test]
+    fn knee_ignores_dominated_points() {
+        let pts = [
+            BiPoint::new(1.0, 10.0),
+            BiPoint::new(5.0, 9.0), // dominated by the knee
+            BiPoint::new(1.5, 2.0),
+            BiPoint::new(10.0, 1.0),
+        ];
+        assert_eq!(knee_point(&pts), Some(2));
+    }
+}

@@ -1,0 +1,166 @@
+//! Trade-off analysis over a Pareto front — the paper's headline numbers.
+//!
+//! Given the front of (time, energy) points, every front point is described
+//! relative to the *performance-optimal* solution (minimum time): its
+//! **performance degradation** `(t − t_min)/t_min` and its **dynamic energy
+//! savings** `(e_perf_opt − e)/e_perf_opt`. Statements like *"allowing 11%
+//! performance degradation provides 50% dynamic energy saving"* are then
+//! direct lookups.
+
+use crate::front::{pareto_front, BiPoint};
+use serde::{Deserialize, Serialize};
+
+/// One front point's trade-off relative to the performance-optimal solution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tradeoff {
+    /// Index of the point in the original cloud.
+    pub index: usize,
+    /// The point itself.
+    pub point: BiPoint,
+    /// Relative performance degradation vs. the fastest front point (≥ 0).
+    pub degradation: f64,
+    /// Relative dynamic-energy savings vs. the fastest front point
+    /// (≥ 0 on a true front; 0 for the fastest point itself).
+    pub savings: f64,
+}
+
+/// The full trade-off analysis of a point cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffAnalysis {
+    /// Front points with their trade-offs, sorted by increasing time.
+    pub front: Vec<Tradeoff>,
+}
+
+impl TradeoffAnalysis {
+    /// Computes the Pareto front of `points` and the trade-off of each front
+    /// point. Panics on an empty cloud.
+    pub fn of(points: &[BiPoint]) -> Self {
+        assert!(!points.is_empty(), "trade-off analysis needs points");
+        let front_idx = pareto_front(points);
+        let fastest = points[front_idx[0]];
+        let front = front_idx
+            .into_iter()
+            .map(|i| {
+                let p = points[i];
+                Tradeoff {
+                    index: i,
+                    point: p,
+                    degradation: (p.time - fastest.time) / fastest.time,
+                    savings: (fastest.energy - p.energy) / fastest.energy,
+                }
+            })
+            .collect();
+        Self { front }
+    }
+
+    /// Number of points in the front (the paper reports "the observed
+    /// average and maximum points in the Pareto fronts").
+    pub fn len(&self) -> usize {
+        self.front.len()
+    }
+
+    /// True when the front is a single point — i.e. "the performance-optimal
+    /// solution is also optimal for dynamic energy" (K40c's global front).
+    pub fn is_singleton(&self) -> bool {
+        self.front.len() == 1
+    }
+
+    /// Returns true if the front is empty (cannot happen for non-empty input).
+    pub fn is_empty(&self) -> bool {
+        self.front.is_empty()
+    }
+
+    /// The performance-optimal front point.
+    pub fn performance_optimal(&self) -> &Tradeoff {
+        &self.front[0]
+    }
+
+    /// The energy-optimal front point (last on a 2-D front).
+    pub fn energy_optimal(&self) -> &Tradeoff {
+        self.front.last().expect("non-empty front")
+    }
+
+    /// The best (largest) energy savings achievable while tolerating at most
+    /// `max_degradation` relative performance loss; `None` if no front point
+    /// other than the fastest qualifies with positive savings.
+    ///
+    /// `max_savings_within(0.11)` on the P100 N=10240 front answers the
+    /// paper's "allowing 11% performance degradation provides 50% dynamic
+    /// energy saving".
+    pub fn max_savings_within(&self, max_degradation: f64) -> Option<&Tradeoff> {
+        self.front
+            .iter()
+            .filter(|t| t.degradation <= max_degradation && t.savings > 0.0)
+            .max_by(|a, b| a.savings.partial_cmp(&b.savings).expect("NaN savings"))
+    }
+
+    /// The maximum savings on the front and the degradation it costs, i.e.
+    /// the paper's "(savings, degradation)" pair such as (50%, 11%).
+    /// `None` when the front is a singleton.
+    pub fn best_pair(&self) -> Option<(f64, f64)> {
+        self.front
+            .iter()
+            .filter(|t| t.savings > 0.0)
+            .max_by(|a, b| a.savings.partial_cmp(&b.savings).expect("NaN savings"))
+            .map(|t| (t.savings, t.degradation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<BiPoint> {
+        v.iter().map(|&(t, e)| BiPoint::new(t, e)).collect()
+    }
+
+    #[test]
+    fn singleton_front() {
+        // One point dominates all others.
+        let a = TradeoffAnalysis::of(&pts(&[(1.0, 1.0), (2.0, 2.0), (3.0, 1.5)]));
+        assert!(a.is_singleton());
+        assert!(!a.is_empty());
+        assert_eq!(a.best_pair(), None);
+        assert!(a.max_savings_within(1.0).is_none());
+    }
+
+    #[test]
+    fn paper_style_pair() {
+        // Fastest point: t=1.0, e=100; frugal point: t=1.11, e=50.
+        let a = TradeoffAnalysis::of(&pts(&[(1.0, 100.0), (1.11, 50.0), (1.5, 90.0)]));
+        assert_eq!(a.len(), 2);
+        let (sav, deg) = a.best_pair().unwrap();
+        assert!((sav - 0.5).abs() < 1e-12);
+        assert!((deg - 0.11).abs() < 1e-12);
+        // Within an 11% budget (plus float headroom) the 50% saving is reachable…
+        assert!(a.max_savings_within(0.1101).is_some());
+        // …but not within a 5% budget.
+        assert!(a.max_savings_within(0.05).is_none());
+    }
+
+    #[test]
+    fn degradation_and_savings_monotone_along_front() {
+        let a = TradeoffAnalysis::of(&pts(&[
+            (1.0, 10.0),
+            (1.2, 8.0),
+            (1.5, 6.0),
+            (2.0, 5.0),
+            (1.1, 9.5), // on front too
+        ]));
+        for w in a.front.windows(2) {
+            assert!(w[0].degradation <= w[1].degradation);
+            assert!(w[0].savings <= w[1].savings);
+        }
+        assert_eq!(a.performance_optimal().degradation, 0.0);
+        assert_eq!(a.performance_optimal().savings, 0.0);
+        assert!(a.energy_optimal().savings > 0.0);
+    }
+
+    #[test]
+    fn savings_relative_to_fastest_not_global_max() {
+        let a = TradeoffAnalysis::of(&pts(&[(1.0, 100.0), (2.0, 25.0)]));
+        let eo = a.energy_optimal();
+        assert!((eo.savings - 0.75).abs() < 1e-12);
+        assert!((eo.degradation - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! HCLWATTSUP-style energy sessions.
+//!
+//! HCLWATTSUP determines an application's dynamic energy in three steps:
+//! capture the node's idle baseline, integrate total power over the run,
+//! then report `E_dynamic = E_total − P_idle × t`. [`EnergySession`]
+//! reproduces exactly that workflow against the simulated meter.
+
+use crate::source::PowerSource;
+use crate::wattsup::SimulatedWattsUp;
+use enprop_units::{Joules, Seconds, Watts};
+
+/// The decomposition of one measured run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReading {
+    /// Run length.
+    pub duration: Seconds,
+    /// Integrated total node energy over the run.
+    pub total: Joules,
+    /// Static (idle-floor) energy: baseline power × duration.
+    pub static_energy: Joules,
+    /// Dynamic energy: total − static (clamped at zero: sensor noise can
+    /// push a tiny run's total below the baseline).
+    pub dynamic: Joules,
+}
+
+impl EnergyReading {
+    /// Average dynamic power over the run.
+    pub fn dynamic_power(&self) -> Watts {
+        self.dynamic / self.duration
+    }
+}
+
+/// A measurement session bound to one simulated meter.
+///
+/// # Example
+/// ```
+/// use enprop_power::{EnergySession, SimulatedWattsUp, MeterSpec, ConstantLoad};
+/// use enprop_units::{Watts, Seconds};
+///
+/// let meter = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 42);
+/// let mut session = EnergySession::with_baseline_window(meter, Seconds(120.0));
+/// let app = ConstantLoad::new(Watts(150.0), Seconds(60.0));
+/// let r = session.measure(&app);
+/// // Dynamic energy ≈ 150 W × 60 s = 9 kJ (within meter noise).
+/// assert!((r.dynamic.value() - 9000.0).abs() < 200.0);
+/// ```
+#[derive(Debug)]
+pub struct EnergySession {
+    meter: SimulatedWattsUp,
+    baseline: Watts,
+}
+
+impl EnergySession {
+    /// Opens a session, capturing the idle baseline over `window` the way
+    /// HCLWATTSUP does before any application run.
+    pub fn with_baseline_window(mut meter: SimulatedWattsUp, window: Seconds) -> Self {
+        let trace = meter.record_idle(window);
+        let baseline = trace.mean_power().expect("baseline window too short");
+        Self { meter, baseline }
+    }
+
+    /// The captured idle baseline.
+    pub fn baseline(&self) -> Watts {
+        self.baseline
+    }
+
+    /// Measures one application run and decomposes its energy.
+    pub fn measure(&mut self, app: &dyn PowerSource) -> EnergyReading {
+        let trace = self.meter.record(app);
+        let duration = trace.duration();
+        let total = trace.energy();
+        let static_energy = self.baseline * duration;
+        let dynamic = Joules((total - static_energy).value().max(0.0));
+        EnergyReading { duration, total, static_energy, dynamic }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{CompositeLoad, ConstantLoad, PiecewiseLoad};
+    use crate::wattsup::MeterSpec;
+
+    fn quiet_session(idle: f64) -> EnergySession {
+        let spec = MeterSpec { noise_sd_w: 0.0, resolution_w: 0.0, ..MeterSpec::default() };
+        let meter = SimulatedWattsUp::new(spec, Watts(idle), 5);
+        EnergySession::with_baseline_window(meter, Seconds(10.0))
+    }
+
+    #[test]
+    fn decomposition_identity() {
+        let mut s = quiet_session(90.0);
+        let app = ConstantLoad::new(Watts(150.0), Seconds(20.0));
+        let r = s.measure(&app);
+        assert!((r.total - r.static_energy - r.dynamic).abs().value() < 1e-9);
+        assert!((r.dynamic.value() - 150.0 * 20.0).abs() < 1e-6, "{:?}", r);
+        assert!((r.dynamic_power().value() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_matches_idle_floor_without_noise() {
+        let s = quiet_session(87.5);
+        assert!((s.baseline().value() - 87.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_clamped_non_negative() {
+        // Miscalibrated meter underreads the run: dynamic would go negative.
+        let spec =
+            MeterSpec { noise_sd_w: 0.0, resolution_w: 0.0, gain: 1.0, ..MeterSpec::default() };
+        let meter = SimulatedWattsUp::new(spec, Watts(100.0), 5);
+        let mut s = EnergySession::with_baseline_window(meter, Seconds(10.0));
+        struct Nothing;
+        impl PowerSource for Nothing {
+            fn power_at(&self, _t: Seconds) -> Watts {
+                Watts::ZERO
+            }
+            fn duration(&self) -> Seconds {
+                Seconds(5.0)
+            }
+        }
+        let r = s.measure(&Nothing);
+        assert!(r.dynamic.value() >= 0.0);
+        assert!(r.dynamic.value() < 1.0);
+    }
+
+    #[test]
+    fn warmup_component_visible_in_dynamic_energy() {
+        // Compute at 150 W for 10 s plus a 58 W component for the first 2 s —
+        // the paper's Fig. 6 mechanism.
+        let mut s = quiet_session(90.0);
+        let compute = ConstantLoad::new(Watts(150.0), Seconds(10.0));
+        let warm = PiecewiseLoad::from_segments(vec![(Seconds(2.0), Watts(58.0))]);
+        let app = CompositeLoad::new(compute, warm);
+        let r = s.measure(&app);
+        let expected = 150.0 * 10.0 + 58.0 * 2.0;
+        assert!((r.dynamic.value() - expected).abs() < 60.0, "{:?}", r);
+    }
+
+    #[test]
+    fn noisy_session_close_to_truth() {
+        let meter = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 11);
+        let mut s = EnergySession::with_baseline_window(meter, Seconds(300.0));
+        let app = ConstantLoad::new(Watts(150.0), Seconds(100.0));
+        let r = s.measure(&app);
+        assert!((r.dynamic.value() - 15000.0).abs() / 15000.0 < 0.02, "{:?}", r);
+    }
+}

@@ -1,0 +1,186 @@
+//! The simulated WattsUp Pro meter.
+//!
+//! The physical device reports whole-node power once per second with 0.1 W
+//! display resolution and a small sensor error. The simulation reproduces
+//! those characteristics so that downstream statistics face realistic
+//! measurement conditions.
+
+use crate::source::PowerSource;
+use crate::trace::PowerTrace;
+use enprop_units::{Seconds, Watts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Characteristics of the meter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeterSpec {
+    /// Samples per second (WattsUp Pro: 1 Hz).
+    pub sample_hz: f64,
+    /// Reading quantization step in watts (WattsUp Pro: 0.1 W).
+    pub resolution_w: f64,
+    /// Gaussian sensor noise standard deviation, in watts.
+    pub noise_sd_w: f64,
+    /// Multiplicative calibration error (1.0 = perfectly calibrated).
+    pub gain: f64,
+}
+
+impl Default for MeterSpec {
+    /// WattsUp-Pro-like defaults: 1 Hz, 0.1 W steps, 0.5 W noise, unit gain.
+    fn default() -> Self {
+        Self { sample_hz: 1.0, resolution_w: 0.1, noise_sd_w: 0.5, gain: 1.0 }
+    }
+}
+
+/// A deterministic, seedable simulation of a WattsUp Pro watching one node.
+///
+/// The node is characterized by its idle power (drawn even when no
+/// application runs); applications are [`PowerSource`]s whose draw adds on
+/// top of the idle floor.
+#[derive(Debug)]
+pub struct SimulatedWattsUp {
+    spec: MeterSpec,
+    idle_power: Watts,
+    rng: StdRng,
+}
+
+impl SimulatedWattsUp {
+    /// Creates a meter for a node with the given idle floor.
+    pub fn new(spec: MeterSpec, idle_power: Watts, seed: u64) -> Self {
+        assert!(spec.sample_hz > 0.0, "sample rate must be positive");
+        assert!(spec.resolution_w >= 0.0, "resolution must be non-negative");
+        assert!(idle_power.value() >= 0.0, "idle power must be non-negative");
+        Self { spec, idle_power, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The node's idle floor as configured.
+    pub fn idle_power(&self) -> Watts {
+        self.idle_power
+    }
+
+    /// The meter characteristics.
+    pub fn spec(&self) -> MeterSpec {
+        self.spec
+    }
+
+    /// Records the node idling for `window` — the baseline-capture phase of
+    /// an HCLWATTSUP session.
+    pub fn record_idle(&mut self, window: Seconds) -> PowerTrace {
+        struct Nothing(Seconds);
+        impl PowerSource for Nothing {
+            fn power_at(&self, _t: Seconds) -> Watts {
+                Watts::ZERO
+            }
+            fn duration(&self) -> Seconds {
+                self.0
+            }
+        }
+        self.record(&Nothing(window))
+    }
+
+    /// Records the node running `app`, sampling idle + app power at the
+    /// meter's rate from t = 0 through the app's completion (final partial
+    /// interval included by sampling at the exact end time).
+    pub fn record(&mut self, app: &dyn PowerSource) -> PowerTrace {
+        let period = 1.0 / self.spec.sample_hz;
+        let d = app.duration().value();
+        assert!(d > 0.0, "application must run for positive time");
+        let mut trace = PowerTrace::new();
+        let mut t = 0.0;
+        while t < d {
+            let p = self.read_at(app, Seconds(t));
+            trace.push(Seconds(t), p);
+            t += period;
+        }
+        let p = self.read_at(app, Seconds(d));
+        trace.push(Seconds(d), p);
+        trace
+    }
+
+    /// One noisy, quantized reading of idle + app power.
+    fn read_at(&mut self, app: &dyn PowerSource, t: Seconds) -> Watts {
+        let truth = (self.idle_power + app.power_at(t)).value();
+        let noisy = truth * self.spec.gain + self.gaussian() * self.spec.noise_sd_w;
+        let q = if self.spec.resolution_w > 0.0 {
+            (noisy / self.spec.resolution_w).round() * self.spec.resolution_w
+        } else {
+            noisy
+        };
+        Watts(q.max(0.0))
+    }
+
+    /// Box–Muller standard normal draw.
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ConstantLoad;
+
+    fn quiet_spec() -> MeterSpec {
+        MeterSpec { noise_sd_w: 0.0, ..MeterSpec::default() }
+    }
+
+    #[test]
+    fn noiseless_meter_reads_truth() {
+        let mut m = SimulatedWattsUp::new(quiet_spec(), Watts(90.0), 1);
+        let app = ConstantLoad::new(Watts(110.0), Seconds(10.0));
+        let trace = m.record(&app);
+        // 1 Hz over 10 s → samples at 0..=10.
+        assert_eq!(trace.len(), 11);
+        for s in trace.samples() {
+            assert!((s.power.value() - 200.0).abs() < 1e-9, "{:?}", s);
+        }
+        assert!((trace.energy().value() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_recording_reads_floor() {
+        let mut m = SimulatedWattsUp::new(quiet_spec(), Watts(90.0), 1);
+        let trace = m.record_idle(Seconds(5.0));
+        assert!((trace.mean_power().unwrap().value() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantization_rounds_to_resolution() {
+        let spec = MeterSpec { noise_sd_w: 0.0, resolution_w: 0.5, ..MeterSpec::default() };
+        let mut m = SimulatedWattsUp::new(spec, Watts(0.0), 1);
+        let app = ConstantLoad::new(Watts(100.26), Seconds(2.0));
+        let trace = m.record(&app);
+        for s in trace.samples() {
+            let rem = (s.power.value() / 0.5).fract();
+            assert!(rem.abs() < 1e-9 || (rem - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let app = ConstantLoad::new(Watts(100.0), Seconds(30.0));
+        let t1 = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 7).record(&app);
+        let t2 = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 7).record(&app);
+        let t3 = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 8).record(&app);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn noisy_mean_converges_to_truth() {
+        let app = ConstantLoad::new(Watts(100.0), Seconds(3000.0));
+        let mut m = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 42);
+        let mean = m.record(&app).mean_power().unwrap().value();
+        assert!((mean - 190.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn gain_error_scales_readings() {
+        let spec = MeterSpec { noise_sd_w: 0.0, gain: 1.05, resolution_w: 0.0, ..quiet_spec() };
+        let mut m = SimulatedWattsUp::new(spec, Watts(100.0), 1);
+        let app = ConstantLoad::new(Watts(100.0), Seconds(2.0));
+        let trace = m.record(&app);
+        assert!((trace.samples()[0].power.value() - 210.0).abs() < 1e-9);
+    }
+}

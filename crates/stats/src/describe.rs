@@ -1,0 +1,142 @@
+//! Descriptive statistics over `f64` samples.
+
+/// A one-pass summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased (n−1) sample variance; 0 for n < 2.
+    pub variance: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Panics on an empty slice.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "Summary::of requires a non-empty sample");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let variance = if n < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Self { n, mean, variance, min, max }
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean, `s / √n`.
+    pub fn sem(&self) -> f64 {
+        self.sd() / (self.n as f64).sqrt()
+    }
+
+    /// Coefficient of variation `s / |mean|`; infinite for a zero mean with
+    /// nonzero spread, 0 for a constant-zero sample.
+    ///
+    /// Weak EP says dynamic energy is *constant* across configurations; its
+    /// violation is quantified by the CV of per-configuration energies.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.variance == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.sd() / self.mean.abs()
+        }
+    }
+
+    /// Relative range `(max − min) / min`, the worst-case spread used for
+    /// "X% higher energy than the minimum" statements.
+    pub fn rel_range(&self) -> f64 {
+        if self.min == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.max - self.min) / self.min
+        }
+    }
+}
+
+/// The `q`-th quantile (`0 ≤ q ≤ 1`) by linear interpolation on the sorted
+/// sample. Panics on an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile requires a non-empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1], got {q}");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median, i.e. the 0.5 quantile.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance with n−1 = 7: Σ(x−5)² = 32 → 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.sd(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn cv_and_rel_range() {
+        let s = Summary::of(&[10.0, 12.0]);
+        assert!((s.rel_range() - 0.2).abs() < 1e-12);
+        assert!(s.cv() > 0.0);
+        let z = Summary::of(&[0.0, 0.0]);
+        assert_eq!(z.cv(), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sem_shrinks_with_n() {
+        let small = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let big_data: Vec<f64> = (0..100).map(|i| 1.0 + (i % 4) as f64).collect();
+        let big = Summary::of(&big_data);
+        assert!(big.sem() < small.sem());
+    }
+}

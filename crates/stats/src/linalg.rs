@@ -1,0 +1,254 @@
+//! A small dense linear-algebra kernel: row-major matrices and LU
+//! factorization with partial pivoting, sized for normal-equation systems of
+//! regression problems (tens of unknowns, not thousands).
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major slice. Panics on a size mismatch.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Self { rows, cols, data: data.to_vec() }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut y = vec![0.0; self.rows];
+        for (i, out) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *out = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Matrix product `A B`.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in mul");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose `Aᵀ`.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Solves `A x = b` for square `A` via LU with partial pivoting.
+    /// Returns `None` when `A` is (numerically) singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = lu[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    lu.swap(col * n + j, pivot_row * n + j);
+                }
+                perm.swap(col, pivot_row);
+            }
+            // Eliminate below.
+            let pivot = lu[col * n + col];
+            for row in (col + 1)..n {
+                let factor = lu[row * n + col] / pivot;
+                lu[row * n + col] = factor;
+                for j in (col + 1)..n {
+                    lu[row * n + j] -= factor * lu[col * n + j];
+                }
+            }
+        }
+
+        // Forward substitution with permuted rhs (L has unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[perm[i]];
+            for j in 0..i {
+                acc -= lu[i * n + j] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= lu[i * n + j] * x[j];
+            }
+            x[i] = acc / lu[i * n + i];
+        }
+        Some(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Solves the least-squares problem `min ‖X β − y‖₂` via the normal
+/// equations `XᵀX β = Xᵀy`. Returns `None` when `XᵀX` is singular
+/// (collinear regressors).
+pub fn least_squares(x: &Matrix, y: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(x.rows(), y.len(), "row count of X must match y length");
+    let xt = x.transpose();
+    let xtx = xt.mul(x);
+    let xty = xt.mul_vec(y);
+    xtx.solve(&xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn solve_small_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        vec_close(&x, &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Matrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        vec_close(&x, &[3.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        vec_close(&a.solve(&b).unwrap(), &b, 1e-15);
+    }
+
+    #[test]
+    fn mul_and_transpose() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let at = a.transpose();
+        assert_eq!(at.rows(), 3);
+        assert_eq!(at[(0, 1)], 4.0);
+        let ata = at.mul(&a);
+        assert_eq!(ata.rows(), 3);
+        assert_eq!(ata[(0, 0)], 17.0); // 1² + 4².
+        vec_close(&a.mul_vec(&[1.0, 1.0, 1.0]), &[6.0, 15.0], 1e-12);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // y = 2 + 3x sampled exactly.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut design = Matrix::zeros(4, 2);
+        let mut y = vec![0.0; 4];
+        for (i, &x) in xs.iter().enumerate() {
+            design[(i, 0)] = 1.0;
+            design[(i, 1)] = x;
+            y[i] = 2.0 + 3.0 * x;
+        }
+        let beta = least_squares(&design, &y).unwrap();
+        vec_close(&beta, &[2.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    fn larger_random_like_system_roundtrips() {
+        // Build a well-conditioned 6×6 system and verify A·solve(A,b) = b.
+        let n = 6;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 7 + j * 3 + 1) % 11) as f64 + if i == j { 15.0 } else { 0.0 };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+        let x = a.solve(&b).unwrap();
+        vec_close(&a.mul_vec(&x), &b, 1e-9);
+    }
+}

@@ -1,0 +1,262 @@
+//! The paper's experimental measurement protocol.
+//!
+//! > "For each data point reported in this work, the application is run
+//! > repeatedly until the sample mean lies in the 95% confidence interval,
+//! > and a precision of 0.025 (2.5%) is achieved. For this purpose,
+//! > Student's t-test is used assuming that the individual observations are
+//! > independent and their population follows the normal distribution. The
+//! > validity of these assumptions is verified using Pearson's chi-squared
+//! > test."
+//!
+//! [`measure_until_ci`] implements the stopping rule; [`PearsonChiSquared`]
+//! implements the normality verification.
+
+use crate::describe::Summary;
+use crate::dist::{ChiSquared, Normal, StudentT};
+use crate::running::Running;
+
+/// Parameters of the CI stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureConfig {
+    /// Confidence level of the interval (paper: 0.95).
+    pub confidence: f64,
+    /// Required relative half-width of the CI (paper: 0.025 = 2.5%).
+    pub precision: f64,
+    /// Minimum number of repetitions before testing the rule.
+    pub min_reps: usize,
+    /// Hard cap on repetitions (a measurement that cannot converge is
+    /// reported as non-converged rather than looping forever).
+    pub max_reps: usize,
+}
+
+impl Default for MeasureConfig {
+    /// The paper's settings: 95% confidence, 2.5% precision, at least 3 and
+    /// at most 1000 repetitions.
+    fn default() -> Self {
+        Self { confidence: 0.95, precision: 0.025, min_reps: 3, max_reps: 1000 }
+    }
+}
+
+/// The outcome of a repeated measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Sample mean of the observations.
+    pub mean: f64,
+    /// Half-width of the final confidence interval.
+    pub ci_half_width: f64,
+    /// Number of repetitions performed.
+    pub reps: usize,
+    /// Whether the precision target was met within `max_reps`.
+    pub converged: bool,
+    /// The raw observations, for post-hoc checks (normality etc.).
+    pub samples: Vec<f64>,
+}
+
+impl Measurement {
+    /// Relative half-width `ci_half_width / |mean|` (∞ for a zero mean).
+    pub fn rel_precision(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ci_half_width / self.mean.abs()
+        }
+    }
+
+    /// Runs the Pearson χ² normality check on the collected samples.
+    /// Returns `None` when there are too few samples to bin meaningfully.
+    pub fn normality_check(&self, bins: usize) -> Option<PearsonChiSquared> {
+        PearsonChiSquared::test_normality(&self.samples, bins)
+    }
+}
+
+/// Repeatedly invokes `observe` until the Student-t confidence interval of
+/// the sample mean is narrower than `cfg.precision × mean`, or `max_reps`
+/// is hit.
+///
+/// `observe` is called once per repetition and returns one observation
+/// (e.g. one timed, energy-metered application run).
+///
+/// # Example
+/// ```
+/// use enprop_stats::protocol::{measure_until_ci, MeasureConfig};
+/// let mut k = 0.0_f64;
+/// let m = measure_until_ci(MeasureConfig::default(), || {
+///     k += 1.0;
+///     100.0 + (k * 0.37).sin() // small deterministic jitter
+/// });
+/// assert!(m.converged);
+/// assert!(m.rel_precision() <= 0.025);
+/// ```
+pub fn measure_until_ci<F: FnMut() -> f64>(cfg: MeasureConfig, mut observe: F) -> Measurement {
+    assert!(cfg.min_reps >= 2, "need at least two observations for a CI");
+    assert!(cfg.max_reps >= cfg.min_reps, "max_reps must be >= min_reps");
+    let mut samples = Vec::with_capacity(cfg.min_reps);
+    let mut running = Running::new();
+    loop {
+        let x = observe();
+        samples.push(x);
+        running.push(x);
+        if samples.len() < cfg.min_reps {
+            continue;
+        }
+        let t_crit =
+            StudentT::new((running.count() - 1) as f64).two_sided_critical(cfg.confidence);
+        let half = t_crit * running.sem();
+        let mean = running.mean();
+        let ok = mean != 0.0 && half <= cfg.precision * mean.abs();
+        if ok || samples.len() >= cfg.max_reps {
+            return Measurement {
+                mean,
+                ci_half_width: half,
+                reps: samples.len(),
+                converged: ok,
+                samples,
+            };
+        }
+    }
+}
+
+/// Pearson's χ² goodness-of-fit test against a normal distribution whose
+/// parameters are estimated from the sample.
+///
+/// The sample is partitioned into `bins` equal-probability cells of the
+/// fitted normal; the statistic is `Σ (Oᵢ − Eᵢ)² / Eᵢ` with
+/// `df = bins − 3` (two parameters estimated, one constraint).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PearsonChiSquared {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub df: usize,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+}
+
+impl PearsonChiSquared {
+    /// Runs the test. Returns `None` if `bins < 4`, the sample is smaller
+    /// than `5 × bins` (expected counts would be too small for the χ²
+    /// approximation), or the sample is constant.
+    pub fn test_normality(samples: &[f64], bins: usize) -> Option<Self> {
+        if bins < 4 || samples.len() < 5 * bins {
+            return None;
+        }
+        let s = Summary::of(samples);
+        if s.sd() == 0.0 {
+            return None;
+        }
+        let fitted = Normal::new(s.mean, s.sd());
+        // Equal-probability bin edges.
+        let mut edges = Vec::with_capacity(bins - 1);
+        for i in 1..bins {
+            edges.push(fitted.inv_cdf(i as f64 / bins as f64));
+        }
+        let mut observed = vec![0usize; bins];
+        for &x in samples {
+            let idx = edges.partition_point(|&e| e < x);
+            observed[idx] += 1;
+        }
+        let expected = samples.len() as f64 / bins as f64;
+        let statistic: f64 = observed
+            .iter()
+            .map(|&o| {
+                let d = o as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        let df = bins - 3;
+        let p_value = ChiSquared::new(df as f64).sf(statistic);
+        Some(Self { statistic, df, p_value })
+    }
+
+    /// True when normality is *not* rejected at significance `alpha`.
+    pub fn is_consistent_with_normal(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream (xorshift) for reproducible tests.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next_f64(&mut self) -> f64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        }
+        /// Box–Muller standard normal.
+        fn next_normal(&mut self) -> f64 {
+            let u1 = self.next_f64().max(1e-12);
+            let u2 = self.next_f64();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+
+    #[test]
+    fn protocol_converges_on_low_noise() {
+        let mut rng = XorShift(42);
+        let m = measure_until_ci(MeasureConfig::default(), || 100.0 + rng.next_normal() * 0.5);
+        assert!(m.converged);
+        assert!(m.rel_precision() <= 0.025);
+        assert!((m.mean - 100.0).abs() < 1.0);
+        assert!(m.reps >= 3);
+    }
+
+    #[test]
+    fn protocol_needs_more_reps_for_noisier_data() {
+        let mut rng1 = XorShift(7);
+        let quiet = measure_until_ci(MeasureConfig::default(), || 100.0 + rng1.next_normal() * 0.2);
+        let mut rng2 = XorShift(7);
+        let noisy = measure_until_ci(MeasureConfig::default(), || 100.0 + rng2.next_normal() * 8.0);
+        assert!(noisy.reps > quiet.reps, "{} !> {}", noisy.reps, quiet.reps);
+    }
+
+    #[test]
+    fn protocol_reports_non_convergence() {
+        let mut rng = XorShift(3);
+        let cfg = MeasureConfig { max_reps: 5, ..MeasureConfig::default() };
+        // Mean ~0 with large noise: the relative-precision rule cannot hold.
+        let m = measure_until_ci(cfg, || rng.next_normal() * 100.0);
+        assert!(!m.converged);
+        assert_eq!(m.reps, 5);
+    }
+
+    #[test]
+    fn protocol_handles_constant_observable() {
+        let m = measure_until_ci(MeasureConfig::default(), || 42.0);
+        assert!(m.converged);
+        assert_eq!(m.mean, 42.0);
+        assert_eq!(m.ci_half_width, 0.0);
+        assert_eq!(m.reps, 3);
+    }
+
+    #[test]
+    fn chi_squared_accepts_normal_data() {
+        let mut rng = XorShift(123);
+        let samples: Vec<f64> = (0..500).map(|_| 10.0 + rng.next_normal()).collect();
+        let t = PearsonChiSquared::test_normality(&samples, 10).unwrap();
+        assert!(t.is_consistent_with_normal(0.05), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn chi_squared_rejects_bimodal_data() {
+        let mut rng = XorShift(99);
+        let samples: Vec<f64> = (0..500)
+            .map(|i| if i % 2 == 0 { -5.0 } else { 5.0 } + rng.next_normal() * 0.3)
+            .collect();
+        let t = PearsonChiSquared::test_normality(&samples, 10).unwrap();
+        assert!(!t.is_consistent_with_normal(0.05), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn chi_squared_refuses_tiny_samples() {
+        assert!(PearsonChiSquared::test_normality(&[1.0, 2.0, 3.0], 10).is_none());
+        let constant = vec![5.0; 100];
+        assert!(PearsonChiSquared::test_normality(&constant, 10).is_none());
+    }
+}

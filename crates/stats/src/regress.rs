@@ -1,0 +1,276 @@
+//! Ordinary least-squares regression: simple linear, polynomial, and
+//! multiple linear (for energy-predictive models over performance events).
+
+use crate::linalg::{least_squares, Matrix};
+
+/// Result of a simple linear fit `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept term.
+    pub intercept: f64,
+    /// Slope term.
+    pub slope: f64,
+    /// Coefficient of determination R² ∈ [0, 1] (1 for a perfect fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits `y = a + b x` by least squares. Panics on fewer than two points
+    /// or mismatched lengths; returns a zero-slope fit for constant `x`.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+        assert!(xs.len() >= 2, "linear fit needs at least two points");
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+        let intercept = my - slope * mx;
+        let fit = Self { intercept, slope, r_squared: 0.0 };
+        let r_squared = r_squared(ys, &xs.iter().map(|&x| fit.predict(x)).collect::<Vec<_>>());
+        Self { r_squared, ..fit }
+    }
+
+    /// Fits `y = c x` (through the origin) — the strong-EP hypothesis
+    /// `E_d = c × W`.
+    pub fn fit_through_origin(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+        assert!(!xs.is_empty(), "fit needs at least one point");
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+        let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+        let fit = Self { intercept: 0.0, slope, r_squared: 0.0 };
+        let r_squared = r_squared(ys, &xs.iter().map(|&x| fit.predict(x)).collect::<Vec<_>>());
+        Self { r_squared, ..fit }
+    }
+
+    /// Predicted value at `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Maximum relative residual `max |y − ŷ| / |y|` over the data — the
+    /// worst-case departure from linearity.
+    pub fn max_rel_residual(&self, xs: &[f64], ys: &[f64]) -> f64 {
+        xs.iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                if y == 0.0 {
+                    0.0
+                } else {
+                    ((y - self.predict(x)) / y).abs()
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Result of a polynomial fit `y ≈ Σ coeffs[k]·x^k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// Coefficients in ascending-power order.
+    pub coeffs: Vec<f64>,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+impl PolyFit {
+    /// Fits a polynomial of the given degree. Returns `None` when the
+    /// Vandermonde normal equations are singular (e.g. duplicate x values
+    /// with degree ≥ points). Normalizes x to [−1, 1] internally for
+    /// conditioning but reports coefficients in the original coordinates
+    /// only through [`PolyFit::predict`].
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Option<Self> {
+        assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+        assert!(xs.len() > degree, "need more points than the degree");
+        let n = xs.len();
+        let mut design = Matrix::zeros(n, degree + 1);
+        for (i, &x) in xs.iter().enumerate() {
+            let mut pow = 1.0;
+            for j in 0..=degree {
+                design[(i, j)] = pow;
+                pow *= x;
+            }
+        }
+        let coeffs = least_squares(&design, ys)?;
+        let preds: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                let mut acc = 0.0;
+                let mut pow = 1.0;
+                for &c in &coeffs {
+                    acc += c * pow;
+                    pow *= x;
+                }
+                acc
+            })
+            .collect();
+        let r2 = r_squared(ys, &preds);
+        Some(Self { coeffs, r_squared: r2 })
+    }
+
+    /// Predicted value at `x` (Horner evaluation).
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// True when the quadratic term is negative — the "polynomial concave
+    /// trend line" reported for power-vs-utilization in the EP literature.
+    pub fn is_concave_quadratic(&self) -> bool {
+        self.coeffs.len() == 3 && self.coeffs[2] < 0.0
+    }
+}
+
+/// Result of a multiple linear regression `y ≈ β₀ + Σ βⱼ xⱼ`.
+///
+/// This is the shape of linear *energy predictive models*: dynamic energy
+/// regressed on performance-event counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiLinearFit {
+    /// β coefficients: intercept first, then one per regressor column.
+    pub beta: Vec<f64>,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+impl MultiLinearFit {
+    /// Fits `y` on the rows of `xs` (each row = one observation's regressor
+    /// vector). Returns `None` on collinear regressors.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Option<Self> {
+        assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+        assert!(!xs.is_empty(), "fit needs observations");
+        let k = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == k), "ragged regressor rows");
+        assert!(xs.len() > k, "need more observations than regressors");
+        let mut design = Matrix::zeros(xs.len(), k + 1);
+        for (i, row) in xs.iter().enumerate() {
+            design[(i, 0)] = 1.0;
+            for (j, &v) in row.iter().enumerate() {
+                design[(i, j + 1)] = v;
+            }
+        }
+        let beta = least_squares(&design, ys)?;
+        let preds: Vec<f64> = xs
+            .iter()
+            .map(|row| beta[0] + row.iter().zip(&beta[1..]).map(|(x, b)| x * b).sum::<f64>())
+            .collect();
+        let r2 = r_squared(ys, &preds);
+        Some(Self { beta, r_squared: r2 })
+    }
+
+    /// Predicted value for a regressor vector.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len() + 1, self.beta.len(), "regressor length mismatch");
+        self.beta[0] + row.iter().zip(&self.beta[1..]).map(|(x, b)| x * b).sum::<f64>()
+    }
+}
+
+/// Coefficient of determination of predictions against observations.
+/// Defined as `1 − SS_res / SS_tot`; reported as 1 for a constant `y`
+/// perfectly predicted and 0 for a constant `y` mispredicted.
+pub fn r_squared(ys: &[f64], preds: &[f64]) -> f64 {
+    assert_eq!(ys.len(), preds.len(), "length mismatch in r_squared");
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let ss_res: f64 = ys.iter().zip(preds).map(|(y, p)| (y - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_exact() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 - 2.0 * x).collect();
+        let f = LinearFit::fit(&xs, &ys);
+        assert!((f.intercept - 5.0).abs() < 1e-12);
+        assert!((f.slope + 2.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!(f.max_rel_residual(&xs, &ys) < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_noisy_r2_below_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.1, 3.9, 6.2, 7.8, 10.3];
+        let f = LinearFit::fit(&xs, &ys);
+        assert!(f.r_squared > 0.99 && f.r_squared < 1.0);
+        assert!((f.slope - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn through_origin_fit() {
+        let xs = [1.0, 2.0, 4.0];
+        let ys = [3.0, 6.0, 12.0];
+        let f = LinearFit::fit_through_origin(&xs, &ys);
+        assert_eq!(f.intercept, 0.0);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_x_gives_flat_fit() {
+        let f = LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(f.slope, 0.0);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poly_fit_recovers_quadratic() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x - 0.5 * x * x).collect();
+        let f = PolyFit::fit(&xs, &ys, 2).unwrap();
+        assert!((f.coeffs[0] - 1.0).abs() < 1e-8);
+        assert!((f.coeffs[1] - 2.0).abs() < 1e-8);
+        assert!((f.coeffs[2] + 0.5).abs() < 1e-8);
+        assert!(f.is_concave_quadratic());
+        assert!((f.predict(3.0) - (1.0 + 6.0 - 4.5)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn poly_fit_convex_not_flagged_concave() {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let f = PolyFit::fit(&xs, &ys, 2).unwrap();
+        assert!(!f.is_concave_quadratic());
+    }
+
+    #[test]
+    fn multi_linear_fit_exact() {
+        // y = 1 + 2a − 3b.
+        let xs: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i % 4) as f64, (i / 4) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
+        let f = MultiLinearFit::fit(&xs, &ys).unwrap();
+        assert!((f.beta[0] - 1.0).abs() < 1e-9);
+        assert!((f.beta[1] - 2.0).abs() < 1e-9);
+        assert!((f.beta[2] + 3.0).abs() < 1e-9);
+        assert!((f.predict(&[2.0, 1.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_linear_collinear_detected() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(MultiLinearFit::fit(&xs, &ys).is_none());
+    }
+
+    #[test]
+    fn r_squared_edge_cases() {
+        assert_eq!(r_squared(&[1.0, 1.0], &[1.0, 1.0]), 1.0);
+        assert_eq!(r_squared(&[1.0, 1.0], &[0.0, 2.0]), 0.0);
+    }
+}

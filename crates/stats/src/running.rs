@@ -1,0 +1,178 @@
+//! Welford's online algorithm: numerically stable incremental mean and
+//! variance, so the measurement protocol can update its confidence
+//! interval in O(1) per observation instead of re-summarizing the sample.
+
+use crate::describe::Summary;
+
+/// An incrementally updated sample summary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Running {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Current mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (0 for an empty accumulator).
+    pub fn sem(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sd() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Converts to a [`Summary`]. Panics on an empty accumulator.
+    pub fn summary(&self) -> Summary {
+        assert!(self.n > 0, "summary of an empty accumulator");
+        Summary {
+            n: self.n,
+            mean: self.mean,
+            variance: self.variance(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Merges two accumulators (Chan's parallel combination) — useful for
+    /// per-thread accumulation.
+    pub fn merge(&self, other: &Running) -> Running {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        Running { n, mean, m2, min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+}
+
+impl FromIterator<f64> for Running {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut r = Running::new();
+        for x in iter {
+            r.push(x);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_batch_summary() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let r: Running = xs.iter().copied().collect();
+        let s = Summary::of(&xs);
+        assert_eq!(r.count(), s.n);
+        assert!((r.mean() - s.mean).abs() < 1e-12);
+        assert!((r.variance() - s.variance).abs() < 1e-12);
+        assert_eq!(r.summary().min, s.min);
+        assert_eq!(r.summary().max, s.max);
+        assert!((r.sem() - s.sem()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut r = Running::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.sem(), 0.0);
+        r.push(5.0);
+        assert_eq!(r.mean(), 5.0);
+        assert_eq!(r.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(17);
+        let ra: Running = a.iter().copied().collect();
+        let rb: Running = b.iter().copied().collect();
+        let merged = ra.merge(&rb);
+        let full: Running = xs.iter().copied().collect();
+        assert_eq!(merged.count(), full.count());
+        assert!((merged.mean() - full.mean()).abs() < 1e-12);
+        assert!((merged.variance() - full.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let r: Running = [1.0, 2.0, 3.0].into_iter().collect();
+        let e = Running::new();
+        assert_eq!(r.merge(&e), r);
+        assert_eq!(e.merge(&r), r);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case: tiny variance on a huge
+        // mean. The naive Σx² formula fails here; Welford does not.
+        let base = 1.0e9;
+        let r: Running = (0..1000).map(|i| base + (i % 3) as f64).collect();
+        let expect_var = {
+            let xs: Vec<f64> = (0..1000).map(|i| (i % 3) as f64).collect();
+            Summary::of(&xs).variance
+        };
+        assert!((r.variance() - expect_var).abs() < 1e-6, "{}", r.variance());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty accumulator")]
+    fn empty_summary_panics() {
+        Running::new().summary();
+    }
+}

@@ -1,0 +1,286 @@
+//! Special functions: ln-gamma, regularized incomplete gamma and beta,
+//! and the error function.
+//!
+//! Implementations follow the classical series / continued-fraction
+//! formulations (Abramowitz & Stegun; Numerical Recipes) with double
+//! precision accuracy sufficient for inference at the paper's 95%/2.5%
+//! precision levels (absolute error well below 1e-10 over the tested
+//! domains).
+
+/// Relative convergence tolerance for series and continued fractions.
+const EPS: f64 = 1.0e-14;
+/// A number near the smallest representable, used to avoid division by zero
+/// in the Lentz continued-fraction algorithm.
+const FPMIN: f64 = 1.0e-300;
+/// Iteration cap for series/continued fractions.
+const MAX_ITER: usize = 500;
+
+/// Natural log of the gamma function, `ln Γ(x)` for `x > 0`.
+///
+/// Lanczos approximation (g = 7, 9 coefficients); relative error < 2e-10.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a,x) / Γ(a)`.
+///
+/// `P(a, ·)` is the CDF of a Gamma(a, 1) variable; `ChiSquared(k).cdf(x) =
+/// P(k/2, x/2)`.
+pub fn reg_gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid args to reg_gamma_p: a={a} x={x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cont_frac(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+pub fn reg_gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid args to reg_gamma_q: a={a} x={x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cont_frac(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, accurate for `x < a + 1`.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of `Q(a, x)`, accurate for `x ≥ a + 1`.
+fn gamma_cont_frac(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `x ∈ [0, 1]`.
+///
+/// `I_x(a, b)` is the CDF of a Beta(a, b) variable and yields the Student-t
+/// CDF via `I_{ν/(ν+t²)}(ν/2, 1/2)`.
+pub fn reg_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "invalid shape args to reg_beta: a={a} b={b}");
+    assert!((0.0..=1.0).contains(&x), "reg_beta requires x in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction directly when it converges fast, otherwise
+    // its symmetry transform.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cont_frac(a, b, x) / a
+    } else {
+        1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b
+    }
+}
+
+/// Lentz continued fraction for the incomplete beta function.
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Error function `erf(x)`, via the incomplete gamma function.
+pub fn erf(x: f64) -> f64 {
+    if x >= 0.0 {
+        reg_gamma_p(0.5, x * x)
+    } else {
+        -reg_gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        reg_gamma_q(0.5, x * x)
+    } else {
+        1.0 + reg_gamma_p(0.5, x * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, &f) in facts.iter().enumerate() {
+            close(ln_gamma((i + 1) as f64), f64::ln(f), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π.
+        close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-10);
+        // Γ(3/2) = √π / 2.
+        close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn incomplete_gamma_known_values() {
+        // P(1, x) = 1 − e^{−x} (exponential CDF).
+        for &x in &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            close(reg_gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-12);
+        }
+        // Complementarity.
+        for &(a, x) in &[(0.5, 0.3), (2.0, 2.0), (5.0, 3.0), (10.0, 20.0)] {
+            close(reg_gamma_p(a, x) + reg_gamma_q(a, x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_known_values() {
+        // I_x(1, 1) = x (uniform CDF).
+        for &x in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            close(reg_beta(1.0, 1.0, x), x, 1e-12);
+        }
+        // I_x(2, 2) = 3x² − 2x³.
+        for &x in &[0.2, 0.5, 0.8] {
+            close(reg_beta(2.0, 2.0, x), 3.0 * x * x - 2.0 * x * x * x, 1e-10);
+        }
+        // Symmetry: I_x(a, b) = 1 − I_{1−x}(b, a).
+        close(reg_beta(3.0, 5.0, 0.3), 1.0 - reg_beta(5.0, 3.0, 0.7), 1e-12);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-14);
+        close(erf(1.0), 0.8427007929497149, 1e-10);
+        close(erf(-1.0), -0.8427007929497149, 1e-10);
+        close(erf(2.0), 0.9953222650189527, 1e-10);
+        close(erfc(1.0), 1.0 - 0.8427007929497149, 1e-10);
+        close(erfc(-1.0), 1.0 + 0.8427007929497149, 1e-10);
+    }
+
+    #[test]
+    fn monotonicity_of_cdf_building_blocks() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 * 0.2;
+            let p = reg_gamma_p(3.0, x);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+}

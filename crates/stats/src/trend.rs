@@ -1,0 +1,204 @@
+//! Trend analysis for (utilization, power) and (utilization, performance)
+//! scatters — the analytical tools behind the paper's Fig. 4.
+//!
+//! Three questions are asked of such a scatter:
+//!
+//! 1. What are the *trend lines*? (The EP literature reports linear [Fan et
+//!    al.] and concave-polynomial [Wong & Annavaram] power curves; Fig. 4
+//!    overlays both.) → [`TrendLine`].
+//! 2. Does performance *plateau*? (Fig. 4's performance is "linear until the
+//!    peak performance of 700 GFLOPs before plateauing".) → [`Plateau`].
+//! 3. Is the relation even a *function*? (The paper's key observation:
+//!    points with the same average utilization have different dynamic
+//!    powers, a *non-functional* relationship.) → [`FunctionalTest`].
+
+use crate::regress::{LinearFit, PolyFit};
+
+/// A fitted trend line: both the linear and the concave-quadratic candidate,
+/// with their goodness of fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendLine {
+    /// Linear trend `y = a + b x` (the green line of Fig. 4).
+    pub linear: LinearFit,
+    /// Quadratic trend (the blue line of Fig. 4); `None` when the fit is
+    /// degenerate.
+    pub quadratic: Option<PolyFit>,
+}
+
+impl TrendLine {
+    /// Fits both candidate trends to the scatter.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        let linear = LinearFit::fit(xs, ys);
+        let quadratic = if xs.len() > 3 { PolyFit::fit(xs, ys, 2) } else { None };
+        Self { linear, quadratic }
+    }
+
+    /// The better-fitting trend's R².
+    pub fn best_r_squared(&self) -> f64 {
+        let q = self.quadratic.as_ref().map(|p| p.r_squared).unwrap_or(f64::NEG_INFINITY);
+        self.linear.r_squared.max(q)
+    }
+}
+
+/// Detected saturation of `y` as `x` grows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plateau {
+    /// The x value at which the plateau begins.
+    pub onset_x: f64,
+    /// The plateau level (mean of y beyond the onset).
+    pub level: f64,
+}
+
+impl Plateau {
+    /// Detects a plateau in a scatter: scanning candidate onsets, finds the
+    /// earliest x beyond which y stays within `tolerance` (relative) of the
+    /// mean tail level, while the head still rises. Returns `None` when `y`
+    /// never flattens (or there are too few points).
+    ///
+    /// `tolerance` is relative (e.g. 0.1 = ±10% band).
+    pub fn detect(xs: &[f64], ys: &[f64], tolerance: f64) -> Option<Plateau> {
+        assert_eq!(xs.len(), ys.len(), "length mismatch in Plateau::detect");
+        if xs.len() < 6 {
+            return None;
+        }
+        // Sort by x.
+        let mut pts: Vec<(f64, f64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN x"));
+        let n = pts.len();
+        // Candidate onsets: require at least 3 tail points and 2 head points.
+        for start in 2..=(n - 3) {
+            let tail = &pts[start..];
+            let level = tail.iter().map(|p| p.1).sum::<f64>() / tail.len() as f64;
+            if level == 0.0 {
+                continue;
+            }
+            let flat = tail.iter().all(|p| ((p.1 - level) / level).abs() <= tolerance);
+            // The head must end clearly below the plateau level, otherwise
+            // the whole series is flat and "plateau" is meaningless.
+            let head_rises = pts[0].1 < level * (1.0 - tolerance);
+            if flat && head_rises {
+                return Some(Plateau { onset_x: pts[start].0, level });
+            }
+        }
+        None
+    }
+}
+
+/// Tests whether a scatter `y(x)` is consistent with a *functional*
+/// relationship, i.e. whether points with (nearly) the same `x` have
+/// (nearly) the same `y`.
+///
+/// The x axis is partitioned into `bins` equal-width cells; within each cell
+/// holding ≥ 2 points, the relative y spread `(max − min)/max` is computed.
+/// A relationship is declared non-functional when some cell's spread exceeds
+/// `spread_threshold`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalTest {
+    /// Largest within-cell relative y spread observed.
+    pub max_within_spread: f64,
+    /// The x cell (center) where the largest spread occurs.
+    pub worst_x: f64,
+    /// The threshold used for the verdict.
+    pub spread_threshold: f64,
+}
+
+impl FunctionalTest {
+    /// Runs the test. Panics on length mismatch; requires ≥ 2 points.
+    pub fn run(xs: &[f64], ys: &[f64], bins: usize, spread_threshold: f64) -> Self {
+        assert_eq!(xs.len(), ys.len(), "length mismatch in FunctionalTest");
+        assert!(xs.len() >= 2 && bins >= 1, "need data and at least one bin");
+        let xmin = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let xmax = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((xmax - xmin) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut cells: Vec<Vec<f64>> = vec![Vec::new(); bins];
+        for (&x, &y) in xs.iter().zip(ys) {
+            let idx = (((x - xmin) / width) as usize).min(bins - 1);
+            cells[idx].push(y);
+        }
+        let mut max_within_spread = 0.0;
+        let mut worst_x = xmin;
+        for (i, cell) in cells.iter().enumerate() {
+            if cell.len() < 2 {
+                continue;
+            }
+            let lo = cell.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = cell.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if hi == 0.0 {
+                continue;
+            }
+            let spread = (hi - lo) / hi.abs();
+            if spread > max_within_spread {
+                max_within_spread = spread;
+                worst_x = xmin + (i as f64 + 0.5) * width;
+            }
+        }
+        Self { max_within_spread, worst_x, spread_threshold }
+    }
+
+    /// True when the scatter is *not* a function of x: some cell's y values
+    /// disagree beyond the threshold.
+    pub fn is_non_functional(&self) -> bool {
+        self.max_within_spread > self.spread_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trendline_prefers_quadratic_for_concave_data() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 100.0 * x * (2.0 - x)).collect();
+        let t = TrendLine::fit(&xs, &ys);
+        let q = t.quadratic.as_ref().unwrap();
+        assert!(q.is_concave_quadratic());
+        assert!(q.r_squared > t.linear.r_squared);
+        assert!(t.best_r_squared() > 0.999);
+    }
+
+    #[test]
+    fn plateau_detected_in_saturating_curve() {
+        // Linear rise to 700 at x = 0.5, flat after.
+        let xs: Vec<f64> = (1..=40).map(|i| i as f64 / 40.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 700.0 * (2.0 * x).min(1.0)).collect();
+        let p = Plateau::detect(&xs, &ys, 0.05).unwrap();
+        assert!((p.level - 700.0).abs() / 700.0 < 0.05, "level {}", p.level);
+        assert!(p.onset_x < 0.65, "onset {}", p.onset_x);
+    }
+
+    #[test]
+    fn no_plateau_in_strictly_rising_curve() {
+        let xs: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        assert!(Plateau::detect(&xs, &ys, 0.05).is_none());
+    }
+
+    #[test]
+    fn plateau_requires_enough_points() {
+        assert!(Plateau::detect(&[1.0, 2.0], &[1.0, 1.0], 0.1).is_none());
+    }
+
+    #[test]
+    fn functional_scatter_passes() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 10.0 + 5.0 * x).collect();
+        let t = FunctionalTest::run(&xs, &ys, 10, 0.2);
+        assert!(!t.is_non_functional(), "spread {}", t.max_within_spread);
+    }
+
+    #[test]
+    fn non_functional_scatter_detected() {
+        // Two "branches" at the same x — the Fig. 4 situation.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..25 {
+            let x = 0.5 + (i % 5) as f64 * 0.01;
+            xs.push(x);
+            ys.push(if i % 2 == 0 { 100.0 } else { 160.0 });
+        }
+        let t = FunctionalTest::run(&xs, &ys, 5, 0.2);
+        assert!(t.is_non_functional());
+        assert!(t.max_within_spread > 0.3);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the statistical substrate.
+
+use enprop_stats::describe::{quantile, Summary};
+use enprop_stats::dist::{ChiSquared, Normal, StudentT};
+use enprop_stats::linalg::Matrix;
+use enprop_stats::protocol::{measure_until_ci, MeasureConfig};
+use enprop_stats::regress::{LinearFit, PolyFit};
+use enprop_stats::special::{ln_gamma, reg_beta, reg_gamma_p, reg_gamma_q};
+use proptest::prelude::*;
+
+proptest! {
+    /// Γ(x+1) = x·Γ(x), in log form.
+    #[test]
+    fn gamma_recurrence(x in 0.1f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    /// P(a, x) + Q(a, x) = 1 and both lie in [0, 1].
+    #[test]
+    fn incomplete_gamma_complement(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+        let p = reg_gamma_p(a, x);
+        let q = reg_gamma_q(a, x);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&q));
+        prop_assert!((p + q - 1.0).abs() < 1e-10);
+    }
+
+    /// P(a, ·) is monotone non-decreasing.
+    #[test]
+    fn incomplete_gamma_monotone(a in 0.1f64..20.0, x in 0.0f64..50.0, dx in 0.01f64..5.0) {
+        prop_assert!(reg_gamma_p(a, x + dx) >= reg_gamma_p(a, x) - 1e-12);
+    }
+
+    /// I_x(a, b) = 1 − I_{1−x}(b, a).
+    #[test]
+    fn incomplete_beta_symmetry(a in 0.1f64..20.0, b in 0.1f64..20.0, x in 0.0f64..1.0) {
+        let lhs = reg_beta(a, b, x);
+        let rhs = 1.0 - reg_beta(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+        prop_assert!((0.0..=1.0).contains(&lhs));
+    }
+
+    /// Normal CDF is monotone and symmetric about the mean.
+    #[test]
+    fn normal_cdf_shape(mean in -50.0f64..50.0, sd in 0.01f64..20.0, d in 0.0f64..40.0) {
+        let n = Normal::new(mean, sd);
+        prop_assert!((n.cdf(mean + d) + n.cdf(mean - d) - 1.0).abs() < 1e-10);
+        prop_assert!(n.cdf(mean + d) >= n.cdf(mean) - 1e-12);
+    }
+
+    /// The t critical value shrinks toward the normal's as df grows.
+    #[test]
+    fn t_critical_decreasing_in_df(df in 1.0f64..200.0) {
+        let t1 = StudentT::new(df).two_sided_critical(0.95);
+        let t2 = StudentT::new(df + 10.0).two_sided_critical(0.95);
+        prop_assert!(t2 <= t1 + 1e-9);
+        prop_assert!(t1 >= 1.9599); // never below the normal limit
+    }
+
+    /// χ² quantile inverts the CDF.
+    #[test]
+    fn chi2_quantile_inverts(df in 0.5f64..60.0, p in 0.01f64..0.99) {
+        let c = ChiSquared::new(df);
+        let x = c.inv_cdf(p);
+        prop_assert!((c.cdf(x) - p).abs() < 1e-6);
+    }
+
+    /// LU solve: A·solve(A, b) ≈ b for diagonally dominant A.
+    #[test]
+    fn lu_solve_roundtrip(
+        n in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let mut a = Matrix::zeros(n, n);
+        let mut s = seed;
+        let mut unit = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = unit() - 0.5 + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|_| unit() * 10.0 - 5.0).collect();
+        let x = a.solve(&b).expect("diagonally dominant matrices are invertible");
+        let back = a.mul_vec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    /// A linear fit recovers the generating line exactly from exact data.
+    #[test]
+    fn linear_fit_recovery(
+        intercept in -100.0f64..100.0,
+        slope in -100.0f64..100.0,
+        n in 3usize..40,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+        let f = LinearFit::fit(&xs, &ys);
+        prop_assert!((f.intercept - intercept).abs() < 1e-6);
+        prop_assert!((f.slope - slope).abs() < 1e-6);
+    }
+
+    /// Polynomial prediction at training points matches the targets for an
+    /// interpolating degree.
+    #[test]
+    fn poly_interpolates(coefs in prop::collection::vec(-5.0f64..5.0, 1..5)) {
+        let degree = coefs.len() - 1;
+        let xs: Vec<f64> = (0..=degree + 2).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| coefs.iter().rev().fold(0.0, |acc, &c| acc * x + c))
+            .collect();
+        let fit = PolyFit::fit(&xs, &ys, degree).expect("well-posed fit");
+        for (&x, &y) in xs.iter().zip(&ys) {
+            prop_assert!((fit.predict(x) - y).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..40), q in 0.0f64..1.0) {
+        let s = Summary::of(&xs);
+        let v = quantile(&xs, q);
+        prop_assert!(v >= s.min - 1e-12 && v <= s.max + 1e-12);
+        if q <= 0.9 {
+            prop_assert!(quantile(&xs, q + 0.1) >= v - 1e-12);
+        }
+    }
+
+    /// The protocol's converged mean is within its own confidence interval
+    /// of the true constant for bounded noise.
+    #[test]
+    fn protocol_mean_near_truth(truth in 1.0f64..1000.0, seed in 0u64..200) {
+        let mut s = seed;
+        let mut unit = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let m = measure_until_ci(MeasureConfig::default(), || {
+            truth * (1.0 + 0.01 * (unit() - 0.5))
+        });
+        prop_assert!(m.converged);
+        prop_assert!((m.mean - truth).abs() / truth < 0.02);
+    }
+}

@@ -1,0 +1,85 @@
+//! Engineering-prefix formatting shared by all quantity types.
+
+/// Formats a scalar with an SI engineering prefix (…, m, none, k, M, G, T, P)
+/// and a unit suffix, e.g. `1.500 kJ` or `250.000 mW`.
+///
+/// Values are scaled so the mantissa lies in `[1, 1000)` where possible;
+/// zero, NaN and infinities are printed without a prefix.
+#[derive(Debug, Clone, Copy)]
+pub struct EngFormat {
+    value: f64,
+    unit: &'static str,
+}
+
+/// `(threshold, divisor, prefix)` triples from largest to smallest.
+const PREFIXES: &[(f64, f64, &str)] = &[
+    (1.0e15, 1.0e15, "P"),
+    (1.0e12, 1.0e12, "T"),
+    (1.0e9, 1.0e9, "G"),
+    (1.0e6, 1.0e6, "M"),
+    (1.0e3, 1.0e3, "k"),
+    (1.0, 1.0, ""),
+    (1.0e-3, 1.0e-3, "m"),
+    (1.0e-6, 1.0e-6, "µ"),
+    (1.0e-9, 1.0e-9, "n"),
+];
+
+impl EngFormat {
+    /// Wraps `value` (in base units) tagged with `unit` for display.
+    pub fn new(value: f64, unit: &'static str) -> Self {
+        Self { value, unit }
+    }
+
+    /// Writes the formatted quantity into `f`.
+    pub fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.value;
+        if v == 0.0 || !v.is_finite() {
+            return write!(f, "{:.3} {}", v, self.unit);
+        }
+        let mag = v.abs();
+        for &(threshold, divisor, prefix) in PREFIXES {
+            if mag >= threshold {
+                return write!(f, "{:.3} {}{}", v / divisor, prefix, self.unit);
+            }
+        }
+        write!(f, "{:.3e} {}", v, self.unit)
+    }
+}
+
+impl std::fmt::Display for EngFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        EngFormat::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: f64, u: &'static str) -> String {
+        EngFormat::new(v, u).to_string()
+    }
+
+    #[test]
+    fn prefixes() {
+        assert_eq!(s(1.0, "J"), "1.000 J");
+        assert_eq!(s(999.0, "J"), "999.000 J");
+        assert_eq!(s(1000.0, "J"), "1.000 kJ");
+        assert_eq!(s(2.5e6, "W"), "2.500 MW");
+        assert_eq!(s(7.0e11, "flop/s"), "700.000 Gflop/s");
+        assert_eq!(s(1.0e-3, "s"), "1.000 ms");
+        assert_eq!(s(2.0e-6, "s"), "2.000 µs");
+        assert_eq!(s(3.0e-9, "s"), "3.000 ns");
+    }
+
+    #[test]
+    fn zero_and_negative() {
+        assert_eq!(s(0.0, "J"), "0.000 J");
+        assert_eq!(s(-1500.0, "J"), "-1.500 kJ");
+    }
+
+    #[test]
+    fn tiny_falls_back_to_scientific() {
+        assert_eq!(s(5.0e-12, "s"), "5.000e-12 s");
+    }
+}

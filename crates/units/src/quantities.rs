@@ -1,0 +1,356 @@
+//! The scalar quantity newtypes and their dimensional arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Defines an `f64` newtype quantity with same-type linear arithmetic
+/// (`+`, `-`, scalar `*`/`/`, `Sum`) and a dimensionless `ratio`.
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// The underlying scalar value in base units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Dimensionless ratio `self / other`.
+            #[inline]
+            pub fn ratio(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// True if the value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                crate::display::EngFormat::new(self.0, $unit).fmt(f)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Energy in joules. Obtained from [`Watts`] × [`Seconds`].
+    Joules,
+    "J"
+);
+quantity!(
+    /// Power in watts. Obtained from [`Joules`] ÷ [`Seconds`].
+    Watts,
+    "W"
+);
+quantity!(
+    /// Wall-clock time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// A count of floating-point operations.
+    Flops,
+    "flop"
+);
+quantity!(
+    /// Floating-point throughput (flop/s).
+    FlopsPerSecond,
+    "flop/s"
+);
+quantity!(
+    /// Application *work* in the paper's abstract units (e.g. `5 N² log₂ N`
+    /// for the 2-D FFT). Work is proportional to, but not identical to,
+    /// [`Flops`]: strong EP is stated against work.
+    Work,
+    "wu"
+);
+quantity!(
+    /// A number of bytes (memory footprint or traffic volume).
+    MemBytes,
+    "B"
+);
+quantity!(
+    /// Memory bandwidth in bytes per second.
+    BytesPerSecond,
+    "B/s"
+);
+quantity!(
+    /// A clock frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+// ---- Cross-type dimensional arithmetic -------------------------------------
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Div<Seconds> for Flops {
+    type Output = FlopsPerSecond;
+    #[inline]
+    fn div(self, rhs: Seconds) -> FlopsPerSecond {
+        FlopsPerSecond(self.0 / rhs.0)
+    }
+}
+
+impl Div<FlopsPerSecond> for Flops {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: FlopsPerSecond) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Seconds> for FlopsPerSecond {
+    type Output = Flops;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Flops {
+        Flops(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for MemBytes {
+    type Output = BytesPerSecond;
+    #[inline]
+    fn div(self, rhs: Seconds) -> BytesPerSecond {
+        BytesPerSecond(self.0 / rhs.0)
+    }
+}
+
+impl Div<BytesPerSecond> for MemBytes {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: BytesPerSecond) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Seconds> for BytesPerSecond {
+    type Output = MemBytes;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> MemBytes {
+        MemBytes(self.0 * rhs.0)
+    }
+}
+
+impl FlopsPerSecond {
+    /// Convenience accessor in Gflop/s (the unit of the paper's Fig. 4).
+    #[inline]
+    pub fn gflops(self) -> f64 {
+        self.0 / 1.0e9
+    }
+
+    /// Builds a rate from a Gflop/s value.
+    #[inline]
+    pub fn from_gflops(g: f64) -> Self {
+        Self(g * 1.0e9)
+    }
+}
+
+impl Hertz {
+    /// Builds a frequency from megahertz (Table I lists clock in MHz).
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self(mhz * 1.0e6)
+    }
+
+    /// The frequency in megahertz.
+    #[inline]
+    pub fn mhz(self) -> f64 {
+        self.0 / 1.0e6
+    }
+}
+
+impl MemBytes {
+    /// Builds a size from kibibytes.
+    #[inline]
+    pub fn from_kib(kib: f64) -> Self {
+        Self(kib * 1024.0)
+    }
+
+    /// Builds a size from gibibytes.
+    #[inline]
+    pub fn from_gib(gib: f64) -> Self {
+        Self(gib * 1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_ops() {
+        let a = Joules(2.0) + Joules(3.0) - Joules(1.0);
+        assert_eq!(a, Joules(4.0));
+        assert_eq!(a * 2.0, Joules(8.0));
+        assert_eq!(2.0 * a, Joules(8.0));
+        assert_eq!(a / 4.0, Joules(1.0));
+        assert_eq!(-a, Joules(-4.0));
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Joules = [Joules(1.0), Joules(2.5)].into_iter().sum();
+        assert_eq!(total, Joules(3.5));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Watts(3.0).max(Watts(5.0)), Watts(5.0));
+        assert_eq!(Watts(3.0).min(Watts(5.0)), Watts(3.0));
+        assert_eq!(Watts(-3.0).abs(), Watts(3.0));
+    }
+
+    #[test]
+    fn bandwidth_roundtrip() {
+        let bytes = MemBytes(64.0e9);
+        let bw = bytes / Seconds(2.0);
+        assert_eq!(bw, BytesPerSecond(32.0e9));
+        assert_eq!(bw * Seconds(2.0), bytes);
+        assert_eq!(bytes / bw, Seconds(2.0));
+    }
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(Hertz::from_mhz(745.0).mhz(), 745.0);
+        assert_eq!(MemBytes::from_kib(2.0), MemBytes(2048.0));
+        assert_eq!(MemBytes::from_gib(1.0), MemBytes(1073741824.0));
+        assert_eq!(FlopsPerSecond::from_gflops(1.5).gflops(), 1.5);
+    }
+
+    #[test]
+    fn energy_time_power_triangle() {
+        let e = Joules(1000.0);
+        let p = Watts(250.0);
+        assert_eq!(e / p, Seconds(4.0));
+        assert_eq!(p * (e / p), e);
+    }
+}

@@ -1,0 +1,157 @@
+//! Utilization: the fraction of time a core (or an average over cores) is
+//! busy. The simple EP model of the paper is stated in terms of utilization:
+//! `P_d = a × U`, `t = b / U`.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A utilization level in `[0, 1]`.
+///
+/// Constructed via [`Utilization::new`] (clamping) or
+/// [`Utilization::from_percent`]. Averages over cores use
+/// [`Utilization::mean`], matching the paper's "average CPU utilization
+/// = the average of the utilizations of the individual cores".
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Utilization(f64);
+
+impl Utilization {
+    /// A fully idle core.
+    pub const IDLE: Self = Self(0.0);
+    /// A fully busy core.
+    pub const FULL: Self = Self(1.0);
+
+    /// Creates a utilization, clamping into `[0, 1]`. NaN clamps to 0.
+    pub fn new(fraction: f64) -> Self {
+        if fraction.is_nan() {
+            Self(0.0)
+        } else {
+            Self(fraction.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Creates a utilization from a percentage (`0..=100`), clamping.
+    pub fn from_percent(pct: f64) -> Self {
+        Self::new(pct / 100.0)
+    }
+
+    /// The utilization as a fraction in `[0, 1]`.
+    #[inline]
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The utilization as a percentage in `[0, 100]`.
+    #[inline]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Mean utilization over a set of cores; `0` for an empty set.
+    pub fn mean(cores: &[Utilization]) -> Utilization {
+        if cores.is_empty() {
+            return Self::IDLE;
+        }
+        let total: f64 = cores.iter().map(|u| u.0).sum();
+        Self::new(total / cores.len() as f64)
+    }
+
+    /// Population standard deviation of per-core utilizations.
+    ///
+    /// The paper's central observation is that configurations with the *same
+    /// mean* utilization but different *spread* consume different dynamic
+    /// power; this statistic quantifies the spread.
+    pub fn std_dev(cores: &[Utilization]) -> f64 {
+        if cores.len() < 2 {
+            return 0.0;
+        }
+        let m = Self::mean(cores).0;
+        let var: f64 = cores.iter().map(|u| (u.0 - m).powi(2)).sum::<f64>() / cores.len() as f64;
+        var.sqrt()
+    }
+
+    /// Saturating addition of a delta (used by the two-core analysis where a
+    /// configuration "increases only the utilization of C₁ by ΔU").
+    pub fn shifted(self, delta: f64) -> Self {
+        Self::new(self.0 + delta)
+    }
+}
+
+impl Add for Utilization {
+    type Output = f64;
+    /// Sum of utilizations is a plain scalar (it can exceed 1; e.g. Rivoire
+    /// et al. speak of "CPU utilization up to 500%" meaning 5 cores).
+    fn add(self, rhs: Self) -> f64 {
+        self.0 + rhs.0
+    }
+}
+
+impl Sub for Utilization {
+    type Output = f64;
+    fn sub(self, rhs: Self) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Mul<f64> for Utilization {
+    type Output = f64;
+    fn mul(self, rhs: f64) -> f64 {
+        self.0 * rhs
+    }
+}
+
+impl Div for Utilization {
+    type Output = f64;
+    fn div(self, rhs: Self) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl std::fmt::Display for Utilization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}%", self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping() {
+        assert_eq!(Utilization::new(1.5), Utilization::FULL);
+        assert_eq!(Utilization::new(-0.5), Utilization::IDLE);
+        assert_eq!(Utilization::new(f64::NAN), Utilization::IDLE);
+        assert_eq!(Utilization::from_percent(50.0).fraction(), 0.5);
+    }
+
+    #[test]
+    fn mean_and_spread() {
+        let cores = [Utilization::new(0.2), Utilization::new(0.8)];
+        assert_eq!(Utilization::mean(&cores).fraction(), 0.5);
+        assert!((Utilization::std_dev(&cores) - 0.3).abs() < 1e-12);
+
+        let flat = [Utilization::new(0.5), Utilization::new(0.5)];
+        assert_eq!(Utilization::mean(&flat).fraction(), 0.5);
+        assert_eq!(Utilization::std_dev(&flat), 0.0);
+    }
+
+    #[test]
+    fn empty_mean_is_idle() {
+        assert_eq!(Utilization::mean(&[]), Utilization::IDLE);
+        assert_eq!(Utilization::std_dev(&[]), 0.0);
+        assert_eq!(Utilization::std_dev(&[Utilization::FULL]), 0.0);
+    }
+
+    #[test]
+    fn shifted_saturates() {
+        assert_eq!(Utilization::new(0.9).shifted(0.5), Utilization::FULL);
+        assert_eq!(Utilization::new(0.1).shifted(-0.5), Utilization::IDLE);
+        assert!((Utilization::new(0.4).shifted(0.2).fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Utilization::new(0.425).to_string(), "42.5%");
+    }
+}

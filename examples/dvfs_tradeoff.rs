@@ -1,0 +1,67 @@
+//! DVFS energy/performance trade-off on the simulated Haswell node: the
+//! *system-level* decision variable of the bi-objective methods the paper
+//! surveys (§II-A), alongside the paper's application-level variables.
+//!
+//! Sweeps the P-state ladder for a fixed 24-thread DGEMM, audits the
+//! resulting (time, dynamic-energy) cloud, and traces the ondemand
+//! governor reacting to a bursty utilization profile.
+//!
+//! ```text
+//! cargo run --release --example dvfs_tradeoff
+//! ```
+
+use enprop::cpusim::{BlasFlavor, CpuDgemmConfig, CpuSimulator, Partitioning, Pinning};
+use enprop::cpusim::dvfs::{DvfsTable, Governor, GovernorSim};
+use enprop::ep::BiObjectiveAudit;
+use enprop::pareto::BiPoint;
+use enprop::units::Hertz;
+
+fn main() {
+    let sim = CpuSimulator::haswell();
+    let table = DvfsTable::haswell();
+    let nominal = *table.nominal(Hertz(2.3e9));
+    let cfg = CpuDgemmConfig {
+        partitioning: Partitioning::RowWise,
+        pinning: Pinning::Scatter,
+        groups: 1,
+        threads_per_group: 24,
+        flavor: BlasFlavor::IntelMkl,
+    };
+    let n = 8192;
+
+    println!("P-state sweep, MKL DGEMM p=1 t=24, N = {n}:");
+    println!("{:>9} {:>7} {:>10} {:>9} {:>10}", "freq", "V", "time[s]", "P_d[W]", "E_d[J]");
+    let mut cloud = Vec::new();
+    for state in table.states() {
+        let run = sim.run_dgemm_at(&cfg, n, state, &nominal);
+        println!(
+            "{:>7.2}G {:>7.2} {:>10.3} {:>9.1} {:>10.1}",
+            state.frequency.value() / 1e9,
+            state.voltage,
+            run.time.value(),
+            run.dynamic_power.value(),
+            run.dynamic_energy().value()
+        );
+        cloud.push(BiPoint::new(run.time.value(), run.dynamic_energy().value()));
+    }
+
+    let audit = BiObjectiveAudit::of(&cloud);
+    println!("\n{audit}");
+    println!(
+        "(dynamic energy alone favours low frequency; with a static floor the\n\
+         optimum moves up the ladder — the race-to-idle effect)"
+    );
+
+    // Governor trace over a bursty load.
+    println!("\nondemand governor over a bursty utilization trace:");
+    let mut gov = GovernorSim::new(&table, Governor::Ondemand { up_threshold: 0.8 });
+    let load = [0.1, 0.2, 0.95, 0.9, 0.3, 0.2, 0.1, 0.85, 0.1, 0.1];
+    for (tick, &u) in load.iter().enumerate() {
+        let s = gov.step(u);
+        println!(
+            "  t={tick}: util {:>4.0}% → {:.1} GHz",
+            u * 100.0,
+            s.frequency.value() / 1e9
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Fits the paper's energy-predictive models end to end:
+//!
+//! 1. the GPU linear dynamic-energy model over CUPTI events, with
+//!    additivity-based variable selection — and the §V-C failure mode
+//!    where 32-bit counter overflow (N > 2048) corrupts the methodology;
+//! 2. the CPU qualitative model (Khokhriakov et al.): dynamic power from
+//!    average utilization + dTLB page-walk intensity, with the ablation
+//!    showing the dTLB term carries the nonproportionality.
+//!
+//! ```text
+//! cargo run --release --example energy_model_fit
+//! ```
+
+use enprop::apps::{cpu_qualitative_model, gpu_energy_model};
+use enprop::gpusim::GpuArch;
+
+fn main() {
+    println!("== GPU linear dynamic-energy model (P100, BS sweep) ==");
+    for (n, label) in [(1024usize, "N = 1024 (counters fit in 32 bits)"), (4096, "N = 4096 (counters overflow)")] {
+        println!("-- {label} --");
+        for use_reported in [false, true] {
+            let study = gpu_energy_model(GpuArch::p100_pcie(), n, use_reported);
+            let kind = if use_reported { "reported (u32)" } else { "true" };
+            match &study.model {
+                Some(m) => println!(
+                    "  {kind:>14} counts: model over {:?}, R² = {:.3}",
+                    m.variables,
+                    m.r_squared()
+                ),
+                None => println!("  {kind:>14} counts: no variable survived selection"),
+            }
+        }
+        let study = gpu_energy_model(GpuArch::p100_pcie(), n, false);
+        println!(
+            "  additivity errors: {}",
+            study
+                .additivity_errors
+                .iter()
+                .map(|(name, e)| format!("{name} {:.1}%", e * 100.0))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    println!("\n== CPU qualitative model (Haswell, MKL sweep, N = 8192) ==");
+    let study = cpu_qualitative_model(8192);
+    println!(
+        "  power ~ util + dTLB walks:  R² = {:.3}  (β = {:.1} + {:.1}·util + {:.1}·walk)",
+        study.full_r2, study.beta[0], study.beta[1], study.beta[2]
+    );
+    println!("  power ~ util only:          R² = {:.3}", study.utilization_only_r2);
+    println!(
+        "  → the dTLB term explains {:.1} percentage points of variance: the\n    disproportionately energy-expensive activity behind weak-EP violation.",
+        (study.full_r2 - study.utilization_only_r2) * 100.0
+    );
+}

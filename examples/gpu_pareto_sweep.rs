@@ -1,0 +1,70 @@
+//! The full Figs. 7/8 workflow: sweep the (BS, G, R) space on both GPUs
+//! through the *complete measurement methodology* — simulated WattsUp
+//! meter, HCLWATTSUP-style dynamic-energy decomposition, and the paper's
+//! Student-t repeat-until-confidence protocol — then compute global and
+//! local Pareto fronts.
+//!
+//! ```text
+//! cargo run --release --example gpu_pareto_sweep [N]
+//! ```
+
+use enprop::apps::{GpuMatMulApp, MeasurementRunner};
+use enprop::gpusim::GpuArch;
+use enprop::pareto::{BiPoint, TradeoffAnalysis};
+use enprop::units::Watts;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10240);
+
+    for arch in GpuArch::catalog() {
+        let name = arch.name.clone();
+        let app = GpuMatMulApp::new(arch, 8);
+        let mut runner = MeasurementRunner::new(Watts(110.0), 42);
+        let points = app.sweep_measured(n, &mut runner);
+
+        let converged = points.iter().filter(|p| p.converged).count();
+        let reps: usize = points.iter().map(|p| p.reps).sum();
+        println!("== {name}, N = {n} ==");
+        println!(
+            "{} configurations measured, {} converged to 95%/2.5% precision, {} total runs",
+            points.len(),
+            converged,
+            reps
+        );
+
+        let cloud: Vec<BiPoint> = points.iter().map(|p| p.bi_point()).collect();
+        let global = TradeoffAnalysis::of(&cloud);
+        println!("global Pareto front: {} point(s)", global.len());
+        for t in &global.front {
+            let cfg = &points[t.index].config;
+            println!(
+                "  BS={:<2} G={}  {:.3}s  {:.0}J  (+{:.1}% / −{:.1}%)",
+                cfg.bs,
+                cfg.g,
+                t.point.time,
+                t.point.energy,
+                t.degradation * 100.0,
+                t.savings * 100.0
+            );
+        }
+
+        // The K40c-style local front: restrict to the BS ≤ 30 region.
+        let local_pts: Vec<BiPoint> = points
+            .iter()
+            .filter(|p| p.config.bs <= 30)
+            .map(|p| p.bi_point())
+            .collect();
+        let local = TradeoffAnalysis::of(&local_pts);
+        if let Some((savings, degradation)) = local.best_pair() {
+            println!(
+                "local front (BS ≤ 30): {} points, up to {:.1}% savings @ {:.1}% degradation",
+                local.len(),
+                savings * 100.0,
+                degradation * 100.0
+            );
+        } else {
+            println!("local front (BS ≤ 30): singleton — no trade-off in this region");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,98 @@
+//! Bi-objective workload distribution across the paper's full testbed —
+//! the Haswell CPU, the K40c and the P100 together (the hybrid setting of
+//! Khaleghzadeh et al. that the paper's Fig. 1 platforms come from).
+//!
+//! Each processor's discrete time/energy profile is produced by its
+//! simulator (each at its own energy-optimal configuration); the exact
+//! partitioner then computes every Pareto-optimal way to split the
+//! workload between them.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_partition [CHUNKS]
+//! ```
+
+use enprop::apps::GpuMatMulApp;
+use enprop::cpusim::{BlasFlavor, CpuDgemmConfig, CpuSimulator, Partitioning, Pinning};
+use enprop::ep::{DiscreteProfile, Partitioner};
+use enprop::gpusim::GpuArch;
+
+/// One workload chunk = one N×N matrix product at this size.
+const CHUNK_N: usize = 4096;
+
+fn main() {
+    let total: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    // CPU profile: the threadgroup DGEMM at its best configuration.
+    let sim = CpuSimulator::haswell();
+    let cpu_cfg = CpuDgemmConfig {
+        partitioning: Partitioning::Square,
+        pinning: Pinning::Scatter,
+        groups: 1,
+        threads_per_group: 24,
+        flavor: BlasFlavor::IntelMkl,
+    };
+    let cpu_run = sim.run_dgemm(&cpu_cfg, CHUNK_N);
+    let cpu = DiscreteProfile::from_fn("Haswell CPU", total, |k| {
+        (cpu_run.time * k as f64, cpu_run.dynamic_energy() * k as f64)
+    });
+
+    // GPU profiles: each GPU at its energy-optimal (BS, G, R) for one
+    // product, found by a quick sweep.
+    let gpu_profile = |arch: GpuArch, label: &str| {
+        let app = GpuMatMulApp::new(arch, 1);
+        let best = app
+            .sweep_exact(CHUNK_N)
+            .into_iter()
+            .min_by(|a, b| {
+                a.dynamic_energy.partial_cmp(&b.dynamic_energy).expect("NaN energy")
+            })
+            .expect("non-empty sweep");
+        println!(
+            "{label}: energy-optimal config BS={} G={} — {:.3} s, {:.1} J per chunk",
+            best.config.bs,
+            best.config.g,
+            best.time.value(),
+            best.dynamic_energy.value()
+        );
+        let (t, e) = (best.time, best.dynamic_energy);
+        DiscreteProfile::from_fn(label, total, move |k| (t * k as f64, e * k as f64))
+    };
+    println!(
+        "Haswell CPU: p=1 t=24 MKL — {:.3} s, {:.1} J per chunk",
+        cpu_run.time.value(),
+        cpu_run.dynamic_energy().value()
+    );
+    let k40 = gpu_profile(GpuArch::k40c(), "K40c");
+    let p100 = gpu_profile(GpuArch::p100_pcie(), "P100");
+
+    // Exact Pareto-optimal distributions.
+    let partitioner = Partitioner::new(vec![cpu, k40, p100]);
+    let front = partitioner.solve(total);
+    println!(
+        "\n{} Pareto-optimal distributions of {total} chunks (N = {CHUNK_N} each):",
+        front.len()
+    );
+    println!(
+        "{:>5} {:>5} {:>5} {:>10} {:>10}",
+        "CPU", "K40c", "P100", "time[s]", "E_d[J]"
+    );
+    for d in &front {
+        println!(
+            "{:>5} {:>5} {:>5} {:>10.3} {:>10.1}",
+            d.chunks[0],
+            d.chunks[1],
+            d.chunks[2],
+            d.time.value(),
+            d.energy.value()
+        );
+    }
+    if let (Some(fast), Some(frugal)) = (front.first(), front.last()) {
+        let d_t = (frugal.time.value() - fast.time.value()) / fast.time.value();
+        let d_e = (fast.energy.value() - frugal.energy.value()) / fast.energy.value();
+        println!(
+            "\nacross the front: up to {:.0}% energy savings for {:.0}% longer makespan",
+            d_e * 100.0,
+            d_t * 100.0
+        );
+    }
+}

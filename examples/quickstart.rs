@@ -1,0 +1,82 @@
+//! Quickstart: measure a workload's configurations, test energy
+//! proportionality, and extract the energy/performance trade-off.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use enprop::ep::{StrongEpTest, WeakEpTest};
+use enprop::gpusim::{GpuArch, TiledDgemm, TiledDgemmConfig};
+use enprop::pareto::{BiPoint, TradeoffAnalysis};
+use enprop::units::{Joules, Work};
+
+fn main() {
+    // 1. Pick a processor model — here the paper's P100 PCIe — and the
+    //    application: G×R tiled matrix products of size N.
+    let model = TiledDgemm::new(GpuArch::p100_pcie());
+    let n = 10240;
+
+    // 2. Sweep every application configuration solving the same workload.
+    let configs = TiledDgemmConfig::enumerate(model.arch(), n, 8);
+    println!("P100 PCIe, N = {n}: {} configurations solve the workload", configs.len());
+
+    let points: Vec<(TiledDgemmConfig, f64, f64)> = configs
+        .iter()
+        .map(|cfg| {
+            let e = model.estimate(cfg);
+            (*cfg, e.time.value(), e.dynamic_energy().value())
+        })
+        .collect();
+
+    // 3. Weak EP: is dynamic energy a constant across configurations?
+    let energies: Vec<Joules> = points.iter().map(|p| Joules(p.2)).collect();
+    let weak = WeakEpTest::default().run(&energies);
+    println!(
+        "weak EP {} — energies spread over {:.0}% (CV {:.2})",
+        if weak.holds { "holds" } else { "is VIOLATED" },
+        weak.rel_spread * 100.0,
+        weak.cv
+    );
+
+    // 4. Strong EP: does dynamic energy grow linearly with work?
+    //    (Vary the workload at the performance-optimal configuration.)
+    let sweep: Vec<(Work, Joules)> = [2048usize, 4096, 8192, 12288, 16384]
+        .iter()
+        .map(|&nn| {
+            let e = model.estimate(&TiledDgemmConfig { n: nn, bs: 32, g: 1, r: 1 });
+            (Work(2.0 * (nn as f64).powi(3)), e.dynamic_energy())
+        })
+        .collect();
+    let strong = StrongEpTest::default().run(&sweep);
+    println!(
+        "strong EP {} — worst departure from E = c·W is {:.0}%",
+        if strong.holds { "holds" } else { "is VIOLATED" },
+        strong.max_rel_residual * 100.0
+    );
+
+    // 5. Nonproportionality is an opportunity: compute the Pareto front
+    //    and read off the paper's headline trade-off.
+    let cloud: Vec<BiPoint> = points.iter().map(|p| BiPoint::new(p.1, p.2)).collect();
+    let analysis = TradeoffAnalysis::of(&cloud);
+    println!("\nglobal Pareto front ({} points):", analysis.len());
+    for t in &analysis.front {
+        let cfg = points[t.index].0;
+        println!(
+            "  BS={:<2} G={} R={}  time {:.3}s  E_d {:.0}J  (+{:.1}% time → −{:.1}% energy)",
+            cfg.bs,
+            cfg.g,
+            cfg.r,
+            t.point.time,
+            t.point.energy,
+            t.degradation * 100.0,
+            t.savings * 100.0
+        );
+    }
+    if let Some((savings, degradation)) = analysis.best_pair() {
+        println!(
+            "\ntolerating {:.0}% performance degradation saves {:.0}% dynamic energy",
+            degradation * 100.0,
+            savings * 100.0
+        );
+    }
+}

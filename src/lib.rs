@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! # enprop — energy (non)proportionality analysis toolkit
+//!
+//! Meta-crate re-exporting the `enprop` workspace. See the individual crates
+//! for details; `README.md` for a tour.
+pub use enprop_apps as apps;
+pub use enprop_cpusim as cpusim;
+pub use enprop_ep as ep;
+pub use enprop_gpusim as gpusim;
+pub use enprop_kernels as kernels;
+pub use enprop_pareto as pareto;
+pub use enprop_power as power;
+pub use enprop_stats as stats;
+pub use enprop_units as units;

@@ -1,0 +1,123 @@
+//! Cross-validation between independent implementations of the same
+//! quantity: the functional emulator vs. the analytic CUPTI model, the
+//! real kernels vs. the simulators' work accounting, and /proc/stat
+//! round-trips through the application layer.
+
+use enprop::cpusim::{BlasFlavor, CpuDgemmConfig, CpuSimulator, Partitioning, Pinning, ProcStat};
+use enprop::gpusim::cupti::{CuptiCounter, CuptiReport};
+use enprop::gpusim::emulator::{EmuDgemm, GlobalMem};
+use enprop::gpusim::TiledDgemmConfig;
+use enprop::kernels::{dgemm_naive, dgemm_threadgroups, Matrix, ThreadgroupConfig};
+
+/// The emulator's measured event counts equal the analytic CUPTI model on
+/// a grid of configurations — two independent derivations of the Fig. 5
+/// kernel's behaviour.
+#[test]
+fn emulator_counts_equal_analytic_counts_on_grid() {
+    for &(n, bs) in &[(8usize, 2usize), (12, 3), (16, 4), (16, 8), (24, 4)] {
+        for &(g, r) in &[(1usize, 1usize), (2, 1), (1, 3), (2, 2)] {
+            let cfg = TiledDgemmConfig { n, bs, g, r };
+            let a = GlobalMem::from_slice(Matrix::filled(n, n, 1).as_slice());
+            let b = GlobalMem::from_slice(Matrix::filled(n, n, 2).as_slice());
+            let c = GlobalMem::zeroed(n * n);
+            let events = EmuDgemm::new(cfg).run(&a, &b, &c);
+            let analytic = CuptiReport::of(&cfg);
+            assert_eq!(
+                analytic.get(CuptiCounter::FlopCountDp).true_count,
+                events.flops as u128,
+                "flops n={n} bs={bs} g={g} r={r}"
+            );
+            assert_eq!(
+                analytic.get(CuptiCounter::GldTransactions).true_count,
+                events.global_loads as u128,
+                "gld n={n} bs={bs} g={g} r={r}"
+            );
+            assert_eq!(
+                analytic.get(CuptiCounter::BarrierSync).true_count,
+                events.barriers as u128,
+                "barriers n={n} bs={bs} g={g} r={r}"
+            );
+        }
+    }
+}
+
+/// The emulator's numerical result equals the real CPU kernel's result —
+/// the GPU and CPU implementations of the same matrix product agree.
+#[test]
+fn emulator_agrees_with_real_cpu_kernel() {
+    let n = 24;
+    let a = Matrix::filled(n, n, 3);
+    let b = Matrix::filled(n, n, 4);
+
+    // Real threadgroup kernel (one product).
+    let mut c_cpu = Matrix::square(n);
+    dgemm_threadgroups(
+        ThreadgroupConfig { groups: 2, threads_per_group: 2, block_size: 8 },
+        &a,
+        &b,
+        &mut c_cpu,
+    );
+
+    // Emulated GPU kernel (one product).
+    let da = GlobalMem::from_slice(a.as_slice());
+    let db = GlobalMem::from_slice(b.as_slice());
+    let dc = GlobalMem::zeroed(n * n);
+    EmuDgemm::new(TiledDgemmConfig { n, bs: 4, g: 1, r: 1 }).run(&da, &db, &dc);
+    let c_gpu = dc.to_vec();
+
+    let err = c_cpu
+        .as_slice()
+        .iter()
+        .zip(&c_gpu)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    assert!(err < 1e-10, "max err {err}");
+
+    // And both agree with the naive reference.
+    let mut reference = Matrix::square(n);
+    dgemm_naive(1.0, &a, &b, 0.0, &mut reference);
+    assert!(reference.max_abs_diff(&c_cpu) < 1e-10);
+}
+
+/// `/proc/stat` text produced by a simulated run parses back and yields
+/// the run's utilization — the monitoring-tool path the paper uses.
+#[test]
+fn procstat_text_roundtrip_through_simulator() {
+    let sim = CpuSimulator::haswell();
+    let cfg = CpuDgemmConfig {
+        partitioning: Partitioning::RowWise,
+        pinning: Pinning::Compact,
+        groups: 3,
+        threads_per_group: 8,
+        flavor: BlasFlavor::OpenBlas,
+    };
+    let run = sim.run_dgemm(&cfg, 8192);
+    let (before, after) = run.procstat_snapshots();
+
+    // Serialize to the kernel text format and back.
+    let text_before = before.render();
+    let text_after = after.render();
+    assert_eq!(text_after.lines().count(), 49, "48 cpus + aggregate");
+    let parsed_before = ProcStat::parse(&text_before).expect("parse before");
+    let parsed_after = ProcStat::parse(&text_after).expect("parse after");
+
+    let recovered = parsed_after.average_utilization_since(&parsed_before);
+    let truth = run.average_utilization();
+    assert!(
+        (recovered.fraction() - truth.fraction()).abs() < 0.01,
+        "{recovered} vs {truth}"
+    );
+}
+
+/// The analytic model's flop accounting matches the emulator-scale reality:
+/// `2 N³` per product, exactly, whenever BS | N.
+#[test]
+fn flop_accounting_exact_for_divisible_tiles() {
+    for &(n, bs) in &[(16usize, 4usize), (32, 8), (24, 6)] {
+        let rep = CuptiReport::of(&TiledDgemmConfig { n, bs, g: 1, r: 1 });
+        assert_eq!(
+            rep.get(CuptiCounter::FlopCountDp).true_count,
+            2 * (n as u128).pow(3)
+        );
+    }
+}

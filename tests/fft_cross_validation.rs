@@ -1,0 +1,75 @@
+//! Cross-validation of the FFT implementations: the emulated GPU row-FFT
+//! kernel composed into a full 2-D transform must equal the real host
+//! 2-D FFT — the same computation through two completely different
+//! execution substrates (CUDA-style blocks/barriers vs. host threads).
+
+use enprop::gpusim::emulator::{EmuRowFft, GlobalMem};
+use enprop::kernels::{fft2d_serial, Complex, Matrix};
+
+/// Transposes an interleaved complex `n × n` matrix on the host.
+fn transpose_interleaved(data: &mut [f64], n: usize) {
+    for i in 0..n {
+        for j in (i + 1)..n {
+            data.swap(2 * (i * n + j), 2 * (j * n + i));
+            data.swap(2 * (i * n + j) + 1, 2 * (j * n + i) + 1);
+        }
+    }
+}
+
+#[test]
+fn emulated_2d_fft_matches_host_2d_fft() {
+    let n = 16;
+    let re = Matrix::filled(n, n, 21);
+    let im = Matrix::filled(n, n, 22);
+
+    // Host path: the real parallel 2-D FFT.
+    let mut host: Vec<Complex> = (0..n * n)
+        .map(|k| Complex::new(re.as_slice()[k], im.as_slice()[k]))
+        .collect();
+    fft2d_serial(&mut host, n);
+
+    // Emulator path: row pass → transpose → row pass → transpose, with the
+    // row FFTs executed as CUDA-style kernels.
+    let mut interleaved: Vec<f64> = (0..n * n)
+        .flat_map(|k| [re.as_slice()[k], im.as_slice()[k]])
+        .collect();
+    let kernel = EmuRowFft::new(n, n);
+
+    let dev = GlobalMem::from_slice(&interleaved);
+    kernel.run(&dev);
+    interleaved = dev.to_vec();
+    transpose_interleaved(&mut interleaved, n);
+
+    let dev = GlobalMem::from_slice(&interleaved);
+    kernel.run(&dev);
+    interleaved = dev.to_vec();
+    transpose_interleaved(&mut interleaved, n);
+
+    for (k, c) in host.iter().enumerate() {
+        assert!(
+            (interleaved[2 * k] - c.re).abs() < 1e-9,
+            "re mismatch at {k}: {} vs {}",
+            interleaved[2 * k],
+            c.re
+        );
+        assert!((interleaved[2 * k + 1] - c.im).abs() < 1e-9, "im mismatch at {k}");
+    }
+}
+
+#[test]
+fn emulated_fft_work_accounting_matches_paper_scaling() {
+    // The emulator's flop count per 2-D transform grows as Θ(N² log N),
+    // the shape of the paper's W = 5 N² log₂ N work measure.
+    let flops_2d = |n: usize| {
+        let data = vec![0.5; 2 * n * n];
+        let dev = GlobalMem::from_slice(&data);
+        let ev = EmuRowFft::new(n, n).run(&dev);
+        2 * ev.flops // row pass + (identical) column pass
+    };
+    let f8 = flops_2d(8) as f64;
+    let f16 = flops_2d(16) as f64;
+    // Ratio of N² log₂ N terms: (16²·4)/(8²·3) = 1024/192.
+    let expect = (16.0 * 16.0 * 4.0) / (8.0 * 8.0 * 3.0);
+    let got = f16 / f8;
+    assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+}

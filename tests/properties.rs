@@ -1,0 +1,210 @@
+//! Property-based tests of the toolkit's core invariants.
+
+use enprop::ep::{DiscreteProfile, Partitioner, SimpleEpCore, TwoCoreAnalysis};
+use enprop::kernels::{dgemm_blocked, dgemm_naive, fft_inplace, ifft_inplace, Complex, Matrix};
+use enprop::pareto::{
+    front_layers, is_non_dominated, pareto_front, BiPoint, FrontTracker, TradeoffAnalysis,
+};
+use enprop::units::{Joules, Seconds};
+use enprop::stats::describe::Summary;
+use enprop::stats::dist::{Normal, StudentT};
+use enprop::units::Utilization;
+use proptest::prelude::*;
+
+fn cloud_strategy() -> impl Strategy<Value = Vec<BiPoint>> {
+    prop::collection::vec((0.1f64..100.0, 0.1f64..1000.0), 1..60)
+        .prop_map(|v| v.into_iter().map(|(t, e)| BiPoint::new(t, e)).collect())
+}
+
+proptest! {
+    /// Every front member is non-dominated; every non-member with a
+    /// distinct objective vector is dominated.
+    #[test]
+    fn pareto_front_is_exactly_the_non_dominated_set(cloud in cloud_strategy()) {
+        let front = pareto_front(&cloud);
+        prop_assert!(!front.is_empty());
+        for &i in &front {
+            prop_assert!(is_non_dominated(&cloud, i));
+        }
+        for i in 0..cloud.len() {
+            if !front.contains(&i) {
+                let duplicate = front.iter().any(|&j| cloud[j] == cloud[i]);
+                prop_assert!(duplicate || !is_non_dominated(&cloud, i), "point {i}");
+            }
+        }
+    }
+
+    /// Front layers partition the cloud and layer 0 is the front.
+    #[test]
+    fn layers_partition(cloud in cloud_strategy()) {
+        let layers = front_layers(&cloud);
+        let total: usize = layers.iter().map(|l| l.len()).sum();
+        prop_assert_eq!(total, cloud.len());
+        let mut seen: Vec<usize> = layers.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..cloud.len()).collect::<Vec<_>>());
+    }
+
+    /// Trade-offs along a front are monotone: more degradation never means
+    /// less savings.
+    #[test]
+    fn tradeoffs_monotone(cloud in cloud_strategy()) {
+        let analysis = TradeoffAnalysis::of(&cloud);
+        for w in analysis.front.windows(2) {
+            prop_assert!(w[1].degradation >= w[0].degradation);
+            prop_assert!(w[1].savings >= w[0].savings);
+        }
+        prop_assert_eq!(analysis.performance_optimal().degradation, 0.0);
+    }
+
+    /// §III theorem as a property: E₃ > E₂ > E₁ for all admissible
+    /// (a, b, U, ΔU).
+    #[test]
+    fn two_core_theorem(
+        a in 0.1f64..100.0,
+        b in 0.1f64..100.0,
+        u in 0.05f64..0.95,
+        frac in 0.01f64..0.99,
+    ) {
+        let delta = frac * (u.min(1.0 - u) - 1e-6);
+        prop_assume!(delta > 1e-6);
+        let an = TwoCoreAnalysis::new(SimpleEpCore::new(a, b));
+        let (e1, e2, e3) = an.theorem_triple(Utilization::new(u), delta);
+        prop_assert!(e2 > e1);
+        prop_assert!(e3 > e2);
+    }
+
+    /// FFT round-trip is the identity (up to fp error), for any signal.
+    #[test]
+    fn fft_roundtrip(
+        signal in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..6usize)
+            .prop_map(|seed| {
+                // Expand a small seed to a power-of-two length.
+                let len = 1usize << (seed.len() + 2);
+                (0..len)
+                    .map(|i| {
+                        let (re, im) = seed[i % seed.len()];
+                        Complex::new(re + i as f64 * 0.01, im - i as f64 * 0.02)
+                    })
+                    .collect::<Vec<_>>()
+            })
+    ) {
+        let mut x = signal.clone();
+        fft_inplace(&mut x);
+        ifft_inplace(&mut x);
+        for (a, b) in x.iter().zip(&signal) {
+            prop_assert!((a.re - b.re).abs() < 1e-9);
+            prop_assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    /// Blocked DGEMM equals naive DGEMM for arbitrary shapes, block sizes
+    /// and coefficients.
+    #[test]
+    fn blocked_dgemm_correct(
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        bs in 1usize..16,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::filled(m, k, seed);
+        let b = Matrix::filled(k, n, seed + 1);
+        let mut c1 = Matrix::filled(m, n, seed + 2);
+        let mut c2 = c1.clone();
+        dgemm_naive(alpha, &a, &b, beta, &mut c1);
+        dgemm_blocked(alpha, a.as_slice(), b.as_slice(), beta, c2.as_mut_slice(), m, k, n, bs);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-9);
+    }
+
+    /// Student-t CDF is a proper CDF: monotone, symmetric, in [0, 1].
+    #[test]
+    fn student_t_cdf_properties(df in 1.0f64..100.0, x in -50.0f64..50.0) {
+        let t = StudentT::new(df);
+        let c = t.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-10);
+        prop_assert!(t.cdf(x + 0.1) >= c);
+    }
+
+    /// Normal quantile inverts the CDF everywhere.
+    #[test]
+    fn normal_quantile_inverts(mean in -100.0f64..100.0, sd in 0.01f64..50.0, p in 0.001f64..0.999) {
+        let n = Normal::new(mean, sd);
+        prop_assert!((n.cdf(n.inv_cdf(p)) - p).abs() < 1e-9);
+    }
+
+    /// Summary invariants: min ≤ mean ≤ max; sd ≥ 0; constant samples have
+    /// zero variance.
+    #[test]
+    fn summary_invariants(xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.variance >= 0.0);
+    }
+
+    /// The online front tracker agrees with the batch front on any cloud.
+    #[test]
+    fn tracker_equals_batch_front(cloud in cloud_strategy()) {
+        let mut tracker = FrontTracker::new();
+        for (i, &p) in cloud.iter().enumerate() {
+            tracker.insert(p, i);
+        }
+        let batch: Vec<BiPoint> = pareto_front(&cloud).into_iter().map(|i| cloud[i]).collect();
+        let online: Vec<BiPoint> = tracker.front().iter().map(|(p, _)| *p).collect();
+        prop_assert_eq!(online, batch);
+    }
+
+    /// Partitioner invariants on random profiles: distributions assign the
+    /// whole workload, the front is mutually non-dominated and sorted.
+    #[test]
+    fn partitioner_invariants(
+        shape in prop::collection::vec((1usize..7, 0.2f64..4.0, 0.2f64..4.0), 1..4),
+        total_frac in 0.1f64..1.0,
+    ) {
+        let profiles: Vec<DiscreteProfile> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, a, b))| {
+                DiscreteProfile::from_fn(format!("p{i}"), q, |k| {
+                    let kf = k as f64;
+                    (Seconds(a * kf), Joules(b * kf * kf * 0.3 + kf))
+                })
+            })
+            .collect();
+        let capacity: usize = profiles.iter().map(|p| p.granularity()).sum();
+        let total = ((capacity as f64 * total_frac) as usize).max(1);
+        let solver = Partitioner::new(profiles);
+        let front = solver.solve(total);
+        prop_assert!(!front.is_empty());
+        for d in &front {
+            prop_assert_eq!(d.chunks.iter().sum::<usize>(), total);
+        }
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    let dominates = a.time <= b.time
+                        && a.energy <= b.energy
+                        && (a.time < b.time || a.energy < b.energy);
+                    prop_assert!(!dominates, "front member dominated");
+                }
+            }
+        }
+        for w in front.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    /// Utilization mean stays in [min, max] of the inputs.
+    #[test]
+    fn utilization_mean_bounds(us in prop::collection::vec(0.0f64..1.0, 1..50)) {
+        let cores: Vec<Utilization> = us.iter().map(|&u| Utilization::new(u)).collect();
+        let mean = Utilization::mean(&cores).fraction();
+        let lo = us.iter().cloned().fold(1.0f64, f64::min);
+        let hi = us.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(mean >= lo - 1e-12 && mean <= hi + 1e-12);
+        prop_assert!(Utilization::std_dev(&cores) >= 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Failure-injection and robustness tests of the measurement methodology:
+//! what happens when the meter is miscalibrated, noisy beyond spec, or the
+//! protocol budget is squeezed.
+
+use enprop::apps::point::DataPoint;
+use enprop::apps::GpuMatMulApp;
+use enprop::ep::WeakEpTest;
+use enprop::gpusim::{GpuArch, TiledDgemmConfig};
+use enprop::pareto::{BiPoint, TradeoffAnalysis};
+use enprop::power::{ConstantLoad, EnergySession, MeterSpec, SimulatedWattsUp};
+use enprop::stats::protocol::MeasureConfig;
+use enprop::units::{Joules, Seconds, Watts};
+
+/// Sweeps the P100 with a meter whose gain is off by `gain`.
+fn sweep_with_gain(gain: f64, seed: u64) -> Vec<DataPoint<TiledDgemmConfig>> {
+    // Rebuild the runner manually so the gain error can be injected.
+    let spec = MeterSpec { gain, ..MeterSpec::default() };
+    let meter = SimulatedWattsUp::new(spec, Watts(110.0), seed);
+    let mut session = EnergySession::with_baseline_window(meter, Seconds(120.0));
+    let app = GpuMatMulApp::new(GpuArch::p100_pcie(), 4);
+    app.configs(4096)
+        .into_iter()
+        .map(|cfg| {
+            let e = app.estimate(&cfg);
+            let load = ConstantLoad::new(
+                e.steady_power + e.warmup_power * (e.warmup_time.ratio(e.time)),
+                e.time,
+            );
+            let r = session.measure(&load);
+            DataPoint {
+                config: cfg,
+                time: e.time,
+                dynamic_energy: r.dynamic,
+                reps: 1,
+                converged: true,
+            }
+        })
+        .collect()
+}
+
+/// A 5% multiplicative calibration error rescales every reading, so the
+/// *relative* conclusions — weak-EP violation, front membership, savings
+/// percentages — survive.
+#[test]
+fn verdicts_robust_to_meter_gain_error() {
+    let clean = sweep_with_gain(1.0, 9);
+    let biased = sweep_with_gain(1.05, 9);
+
+    let front = |pts: &[DataPoint<TiledDgemmConfig>]| {
+        let cloud: Vec<BiPoint> = pts.iter().map(|p| p.bi_point()).collect();
+        TradeoffAnalysis::of(&cloud)
+    };
+    let f_clean = front(&clean);
+    let f_biased = front(&biased);
+
+    // Same number of front points, same savings within noise.
+    assert_eq!(f_clean.len(), f_biased.len());
+    if let (Some((s1, d1)), Some((s2, d2))) = (f_clean.best_pair(), f_biased.best_pair()) {
+        assert!((s1 - s2).abs() < 0.05, "savings {s1} vs {s2}");
+        assert!((d1 - d2).abs() < 0.02, "degradation {d1} vs {d2}");
+    }
+
+    // Weak EP stays violated either way.
+    for pts in [&clean, &biased] {
+        let energies: Vec<Joules> = pts.iter().map(|p| p.dynamic_energy).collect();
+        assert!(!WeakEpTest::default().run(&energies).holds);
+    }
+}
+
+/// An absolute-energy statement, by contrast, *is* biased by the gain
+/// error — the reason the paper leans on relative savings.
+#[test]
+fn absolute_energies_are_biased_by_gain_error() {
+    let clean = sweep_with_gain(1.0, 9);
+    let biased = sweep_with_gain(1.05, 9);
+    let total =
+        |pts: &[DataPoint<TiledDgemmConfig>]| pts.iter().map(|p| p.dynamic_energy.value()).sum::<f64>();
+    let ratio = total(&biased) / total(&clean);
+    // The node draws idle + app; a 1.05 gain on the total minus an also-
+    // mismeasured baseline inflates dynamic energy noticeably.
+    assert!(ratio > 1.03, "ratio {ratio}");
+}
+
+/// Squeezing the protocol's repetition budget degrades gracefully: the
+/// measurement is flagged as non-converged instead of silently wrong.
+#[test]
+fn protocol_budget_squeeze_flags_nonconvergence() {
+    // A very noisy meter with a tiny repetition budget.
+    let spec = MeterSpec { noise_sd_w: 40.0, ..MeterSpec::default() };
+    let meter = SimulatedWattsUp::new(spec, Watts(110.0), 4);
+    let mut session = EnergySession::with_baseline_window(meter, Seconds(60.0));
+    let cfg = MeasureConfig { max_reps: 3, ..MeasureConfig::default() };
+    let m = enprop::stats::protocol::measure_until_ci(cfg, || {
+        session.measure(&ConstantLoad::new(Watts(20.0), Seconds(5.0))).dynamic.value()
+    });
+    assert!(!m.converged, "should not converge under a 3-rep budget: {m:?}");
+    assert_eq!(m.reps, 3);
+}
