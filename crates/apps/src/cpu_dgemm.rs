@@ -1,5 +1,6 @@
 //! The CPU threadgroup DGEMM application of §III, as a sweep driver.
 
+use crate::parallel::SweepExecutor;
 use crate::point::DataPoint;
 use crate::runner::MeasurementRunner;
 use enprop_cpusim::{BlasFlavor, CpuDgemmConfig, CpuRunEstimate, CpuSimulator};
@@ -74,36 +75,44 @@ impl CpuDgemmApp {
             .collect()
     }
 
-    /// Full-methodology sweep through the simulated meter and protocol.
-    /// `stride` subsamples the (large) configuration space.
+    /// Full-methodology sweep through the simulated meter and protocol,
+    /// fanned out over `exec`'s workers (output bitwise-identical at any
+    /// thread count). `stride` subsamples the (large) configuration space.
     pub fn sweep_measured(
         &self,
         n: usize,
         flavor: BlasFlavor,
-        runner: &mut MeasurementRunner,
+        exec: &SweepExecutor,
         stride: usize,
     ) -> Vec<CpuPoint> {
         assert!(stride >= 1, "stride must be positive");
-        self.configs(flavor)
-            .into_iter()
-            .step_by(stride)
-            .map(|cfg| {
-                let r = self.sim.run_dgemm(&cfg, n);
-                let m = runner.measure(r.time, r.dynamic_power, Watts::ZERO, enprop_units::Seconds::ZERO);
+        let configs: Vec<CpuDgemmConfig> =
+            self.configs(flavor).into_iter().step_by(stride).collect();
+        exec.run_measured(
+            &configs,
+            || Self::default_runner(0),
+            |runner, cfg| {
+                let r = self.sim.run_dgemm(cfg, n);
+                let m = runner.measure(
+                    r.time,
+                    r.dynamic_power,
+                    Watts::ZERO,
+                    enprop_units::Seconds::ZERO,
+                );
                 CpuPoint {
                     avg_utilization: r.average_utilization(),
                     utilization_spread: Utilization::std_dev(&r.per_core_util),
                     gflops: r.gflops,
                     point: DataPoint {
-                        config: cfg,
+                        config: *cfg,
                         time: m.time,
                         dynamic_energy: m.dynamic_energy,
                         reps: m.reps,
                         converged: m.converged,
                     },
                 }
-            })
-            .collect()
+            },
+        )
     }
 
     /// A measurement rig matching the paper's CPU node idle draw.
@@ -147,8 +156,8 @@ mod tests {
     #[test]
     fn measured_sweep_is_subsampled_and_close() {
         let app = CpuDgemmApp::haswell();
-        let mut runner = CpuDgemmApp::default_runner(3);
-        let measured = app.sweep_measured(8192, BlasFlavor::OpenBlas, &mut runner, 37);
+        let exec = SweepExecutor::serial(3);
+        let measured = app.sweep_measured(8192, BlasFlavor::OpenBlas, &exec, 37);
         assert!(!measured.is_empty());
         for p in &measured {
             let exact = app.run(&p.point.config, 8192);
@@ -156,5 +165,19 @@ mod tests {
                 / exact.dynamic_energy().value();
             assert!(rel < 0.3, "config {:?}: rel {rel}", p.point.config);
         }
+    }
+
+    #[test]
+    fn measured_sweep_is_thread_count_invariant() {
+        let app = CpuDgemmApp::haswell();
+        let serial =
+            app.sweep_measured(4096, BlasFlavor::OpenBlas, &SweepExecutor::serial(8), 61);
+        let threaded = app.sweep_measured(
+            4096,
+            BlasFlavor::OpenBlas,
+            &SweepExecutor::new(8).with_threads(3),
+            61,
+        );
+        assert_eq!(serial, threaded);
     }
 }

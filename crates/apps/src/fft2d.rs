@@ -1,6 +1,7 @@
 //! The 2-D FFT application for the strong-EP study (Fig. 1), across all
 //! three processors of Table I.
 
+use crate::parallel::SweepExecutor;
 use crate::runner::MeasurementRunner;
 use enprop_cpusim::fft_model::CpuFft2d;
 use enprop_gpusim::fft_model::GpuFft2d;
@@ -93,15 +94,13 @@ impl Fft2dApp {
 
     /// The size sweep through the full measurement methodology: every
     /// point metered by the simulated WattsUp with the repeat-until-CI
-    /// protocol.
-    pub fn sweep_measured(
-        &self,
-        sizes: &[usize],
-        runner: &mut MeasurementRunner,
-    ) -> Vec<FftPoint> {
-        sizes
-            .iter()
-            .map(|&n| {
+    /// protocol, fanned out over `exec`'s workers (output
+    /// bitwise-identical at any thread count).
+    pub fn sweep_measured(&self, sizes: &[usize], exec: &SweepExecutor) -> Vec<FftPoint> {
+        exec.run_measured(
+            sizes,
+            || self.default_runner(0),
+            |runner, &n| {
                 let work = enprop_gpusim::fft_model::fft2d_work(n);
                 let (time, steady, warm_p, warm_t) = match &self.processor {
                     Processor::Cpu(m) => {
@@ -115,8 +114,18 @@ impl Fft2dApp {
                 };
                 let m = runner.measure(time, steady, warm_p, warm_t);
                 FftPoint { n, work, time: m.time, dynamic_energy: m.dynamic_energy }
-            })
-            .collect()
+            },
+        )
+    }
+
+    /// A measurement rig matching the bound processor's node: the CPU node
+    /// idles at 90 W, the GPU server nodes at 110 W.
+    pub fn default_runner(&self, seed: u64) -> MeasurementRunner {
+        let idle = match &self.processor {
+            Processor::Cpu(_) => enprop_units::Watts(90.0),
+            Processor::Gpu(_) => enprop_units::Watts(110.0),
+        };
+        MeasurementRunner::new(idle, seed)
     }
 }
 
@@ -153,8 +162,7 @@ mod tests {
         ));
         let sizes = [2048usize, 8192, 16384];
         let exact = app.sweep(&sizes);
-        let mut runner = MeasurementRunner::new(enprop_units::Watts(110.0), 13);
-        let measured = app.sweep_measured(&sizes, &mut runner);
+        let measured = app.sweep_measured(&sizes, &SweepExecutor::serial(13));
         for (e, m) in exact.iter().zip(&measured) {
             let rel = (e.dynamic_energy.value() - m.dynamic_energy.value()).abs()
                 / e.dynamic_energy.value();

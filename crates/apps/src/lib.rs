@@ -10,6 +10,8 @@
 //! Pareto/EP analysis.
 //!
 //! * [`runner`] — the measurement pipeline (meter + statistics protocol);
+//! * [`parallel`] — the deterministic parallel sweep executor
+//!   (seed-splitting keeps output bitwise-identical at any thread count);
 //! * [`gpu_matmul`] — the Fig. 5 tiled matrix multiplication over
 //!   `(BS, G, R)` (Figs. 2, 6, 7, 8);
 //! * [`cpu_dgemm`] — the threadgroup DGEMM over (partitioning, p, t,
@@ -21,6 +23,7 @@ pub mod cpu_dgemm;
 pub mod energy_model;
 pub mod fft2d;
 pub mod gpu_matmul;
+pub mod parallel;
 pub mod point;
 pub mod runner;
 pub mod sizes;
@@ -29,5 +32,6 @@ pub use cpu_dgemm::CpuDgemmApp;
 pub use energy_model::{cpu_qualitative_model, gpu_energy_model};
 pub use fft2d::{Fft2dApp, FftPoint, Processor};
 pub use gpu_matmul::GpuMatMulApp;
+pub use parallel::{split_seed, SweepExecutor};
 pub use point::DataPoint;
 pub use runner::MeasurementRunner;

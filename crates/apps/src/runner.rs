@@ -53,6 +53,18 @@ impl MeasurementRunner {
         self
     }
 
+    /// Resets every stochastic component (meter noise, re-captured idle
+    /// baseline, time-jitter stream) so the rig behaves exactly as if it
+    /// had been freshly built with [`MeasurementRunner::new`] under `seed`.
+    ///
+    /// The parallel sweep engine reseeds a worker-local runner with a
+    /// per-configuration seed before each measurement, which is what makes
+    /// sweep output independent of thread count and work order.
+    pub fn reseed(&mut self, seed: u64) {
+        self.session.reseed(seed);
+        self.rng_state = seed ^ 0xA076_1D64_78BD_642F;
+    }
+
     /// Measures one kernel profile: a steady draw of `steady_power` for
     /// `time`, with the warm-up component (`warmup_power` for
     /// `warmup_time`) on top. Returns protocol-converged means.
@@ -156,6 +168,22 @@ mod tests {
             Seconds(1.0),
         );
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn reseed_matches_fresh_runner_bitwise() {
+        let mut used = MeasurementRunner::new(Watts(90.0), 2);
+        used.measure(Seconds(15.0), Watts(130.0), Watts::ZERO, Seconds::ZERO);
+        used.reseed(11);
+        let reseeded =
+            used.measure(Seconds(20.0), Watts(120.0), Watts(58.0), Seconds(1.0));
+        let fresh = MeasurementRunner::new(Watts(90.0), 11).measure(
+            Seconds(20.0),
+            Watts(120.0),
+            Watts(58.0),
+            Seconds(1.0),
+        );
+        assert_eq!(reseeded, fresh);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Serial vs. parallel measured-sweep throughput.
+//!
+//! Benchmarks the full noisy measurement sweep (simulated WattsUp +
+//! Student-t protocol) of the K40c (BS, G, R) space at a small N, once on
+//! a single worker and once over all available cores. Throughput is
+//! reported in configurations/sec; both paths produce bitwise-identical
+//! output (asserted here once before timing).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use enprop_apps::{GpuMatMulApp, SweepExecutor};
+use enprop_gpusim::GpuArch;
+
+const N: usize = 2048;
+
+fn bench(c: &mut Criterion) {
+    let app = GpuMatMulApp::new(GpuArch::k40c(), 8);
+    let serial = SweepExecutor::serial(42);
+    let parallel = SweepExecutor::new(42);
+    let configs = app.sweep_measured(N, &serial).len() as u64;
+    assert_eq!(
+        app.sweep_measured(N, &serial),
+        app.sweep_measured(N, &parallel),
+        "parallel sweep must reproduce the serial output bitwise"
+    );
+
+    let mut g = c.benchmark_group("sweep_measured");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(configs));
+    g.bench_function("serial", |b| b.iter(|| app.sweep_measured(N, &serial)));
+    g.bench_function(format!("parallel/{}", parallel.threads()), |b| {
+        b.iter(|| app.sweep_measured(N, &parallel))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,23 +1,34 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline] [--json DIR] [--measured [SEED]]
+//! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json]
+//!       [--json DIR] [--measured [SEED]] [--threads N]
 //! ```
 //!
 //! With `--json DIR` each generated artifact is additionally written as a
 //! JSON file (the source of the numbers in `EXPERIMENTS.md`). With
 //! `--measured`, Figs. 7 and 8 are regenerated through the full noisy
 //! measurement methodology (simulated WattsUp + Student-t protocol)
-//! instead of the noise-free analytic model.
+//! instead of the noise-free analytic model. `--threads N` sets the sweep
+//! worker count (default: all available cores); the output is
+//! bitwise-identical at any thread count.
+//!
+//! The `bench-json` subcommand times the Fig. 7 measured sweep serially
+//! and in parallel, verifies both produce identical results, and writes
+//! `BENCH_sweep.json` with the configs/sec numbers.
 
+use enprop_apps::{GpuMatMulApp, SweepExecutor};
 use enprop_bench::figures;
+use enprop_gpusim::GpuArch;
 use std::io::Write;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut json_dir: Option<String> = None;
     let mut measured: Option<u64> = None;
+    let mut threads: Option<usize> = None;
     let mut it = args.into_iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -34,9 +45,21 @@ fn main() {
                     .unwrap_or(42);
                 measured = Some(seed);
             }
+            "--threads" => {
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage("--threads requires a positive integer"));
+                threads = Some(n.max(1));
+            }
             "-h" | "--help" => usage(""),
             other => which = other.to_string(),
         }
+    }
+
+    if which == "bench-json" {
+        bench_sweep(threads, json_dir.as_deref());
+        return;
     }
 
     let artifacts: Vec<&str> = match which.as_str() {
@@ -51,7 +74,7 @@ fn main() {
 
     for name in artifacts {
         println!("==================== {} ====================", title(name));
-        let (text, json) = run(name, measured);
+        let (text, json) = run(name, measured, threads);
         println!("{text}");
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create json dir");
@@ -80,12 +103,20 @@ fn title(name: &str) -> &'static str {
     }
 }
 
-fn run(name: &str, measured: Option<u64>) -> (String, String) {
+/// An executor with `seed`, honouring an explicit `--threads` override.
+fn executor(seed: u64, threads: Option<usize>) -> SweepExecutor {
+    match threads {
+        Some(n) => SweepExecutor::new(seed).with_threads(n),
+        None => SweepExecutor::new(seed),
+    }
+}
+
+fn run(name: &str, measured: Option<u64>, threads: Option<usize>) -> (String, String) {
     // Figs. 7/8 optionally run through the full noisy methodology.
     if let Some(seed) = measured {
         match name {
             "fig7" => {
-                let panels = figures::fig7::generate_measured(seed);
+                let panels = figures::fig7::generate_measured_with(&executor(seed, threads));
                 let text = panels
                     .iter()
                     .map(|p| {
@@ -102,7 +133,7 @@ fn run(name: &str, measured: Option<u64>) -> (String, String) {
                 return (text, to_json(&panels));
             }
             "fig8" => {
-                let panels = figures::fig8::generate_measured(seed);
+                let panels = figures::fig8::generate_measured_with(&executor(seed, threads));
                 let text = panels
                     .iter()
                     .map(|p| {
@@ -129,13 +160,85 @@ fn run(name: &str, measured: Option<u64>) -> (String, String) {
         "fig7" => (figures::fig7::render(), to_json(&figures::fig7::generate())),
         "fig8" => (figures::fig8::render(), to_json(&figures::fig8::generate())),
         "theory" => (figures::theory::render(), to_json(&figures::theory::generate())),
-        "headline" => (figures::headline::render(), to_json(&figures::headline::generate())),
-        "ablations" => (figures::ablations::render(), to_json(&figures::ablations::generate())),
+        "headline" => {
+            let h = figures::headline::generate_with(&executor(0, threads));
+            (figures::headline::render(), to_json(&h))
+        }
+        "ablations" => {
+            let a = figures::ablations::generate_with(&executor(0, threads));
+            (figures::ablations::render(), to_json(&a))
+        }
         "sensitivity" => {
-            (figures::sensitivity::render(), to_json(&figures::sensitivity::generate()))
+            let s = figures::sensitivity::generate_with(&executor(0, threads));
+            (figures::sensitivity::render(), to_json(&s))
         }
         _ => unreachable!(),
     }
+}
+
+/// Times the Fig. 7 measured workload (K40c, N = 8704 and 10240) serially
+/// and in parallel, checks bitwise identity, and writes `BENCH_sweep.json`.
+fn bench_sweep(threads: Option<usize>, json_dir: Option<&str>) {
+    #[derive(serde::Serialize)]
+    struct SweepBench {
+        workload: String,
+        configs: usize,
+        threads: usize,
+        serial_secs: f64,
+        parallel_secs: f64,
+        serial_configs_per_sec: f64,
+        parallel_configs_per_sec: f64,
+        speedup: f64,
+        bitwise_identical: bool,
+    }
+
+    let app = GpuMatMulApp::new(GpuArch::k40c(), 8);
+    let sizes = [8704usize, 10240];
+    let serial = SweepExecutor::serial(42);
+    let parallel = executor(42, threads);
+
+    let start = Instant::now();
+    let serial_pts: Vec<_> = sizes.iter().map(|&n| app.sweep_measured(n, &serial)).collect();
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel_pts: Vec<_> = sizes.iter().map(|&n| app.sweep_measured(n, &parallel)).collect();
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    let configs: usize = serial_pts.iter().map(|pts| pts.len()).sum();
+    let bitwise_identical = serial_pts == parallel_pts;
+    let bench = SweepBench {
+        workload: "fig7 measured sweep (K40c, N = 8704 + 10240)".into(),
+        configs,
+        threads: parallel.threads(),
+        serial_secs,
+        parallel_secs,
+        serial_configs_per_sec: configs as f64 / serial_secs,
+        parallel_configs_per_sec: configs as f64 / parallel_secs,
+        speedup: serial_secs / parallel_secs,
+        bitwise_identical,
+    };
+
+    println!(
+        "{} configurations, {} thread(s): serial {:.2}s ({:.0} cfg/s), \
+         parallel {:.2}s ({:.0} cfg/s), speedup {:.2}x, identical: {}",
+        bench.configs,
+        bench.threads,
+        bench.serial_secs,
+        bench.serial_configs_per_sec,
+        bench.parallel_secs,
+        bench.parallel_configs_per_sec,
+        bench.speedup,
+        bench.bitwise_identical
+    );
+    assert!(bitwise_identical, "parallel sweep diverged from serial output");
+
+    let dir = json_dir.unwrap_or(".");
+    std::fs::create_dir_all(dir).expect("create json dir");
+    let path = format!("{dir}/BENCH_sweep.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_sweep.json");
+    f.write_all(to_json(&bench).as_bytes()).expect("write BENCH_sweep.json");
+    eprintln!("wrote {path}");
 }
 
 fn to_json<T: serde::Serialize>(v: &T) -> String {
@@ -147,8 +250,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline] \
-         [--json DIR] [--measured [SEED]]"
+        "usage: repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json] \
+         [--json DIR] [--measured [SEED]] [--threads N]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

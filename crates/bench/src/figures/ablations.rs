@@ -10,6 +10,7 @@
 //! * **the 58 W warm-up component** → Fig. 6's non-additivity.
 
 use super::{front_of, gpu_cloud};
+use enprop_apps::SweepExecutor;
 use enprop_gpusim::{GpuArch, TiledDgemm, TiledDgemmConfig};
 use serde::{Deserialize, Serialize};
 
@@ -84,14 +85,30 @@ fn nonadditivity(arch: GpuArch) -> f64 {
     (4.0 * e1 - e4) / (4.0 * e1)
 }
 
-/// Runs all three ablations.
+/// Runs all three ablations over all available cores.
 pub fn generate() -> Vec<Ablation> {
+    generate_with(&SweepExecutor::new(0))
+}
+
+/// [`generate`] with an explicit executor: the six model evaluations (with
+/// and without each mechanism) fan out over its workers. All evaluations
+/// are noise-free, so the executor seed is irrelevant.
+pub fn generate_with(exec: &SweepExecutor) -> Vec<Ablation> {
+    let tasks: Vec<usize> = (0..6).collect();
+    let vals = exec.map(&tasks, |&task, _seed| match task {
+        0 => global_savings(GpuArch::p100_pcie(), 10240),
+        1 => global_savings(p100_no_boost(), 10240),
+        2 => global_front_size(GpuArch::k40c(), 10240),
+        3 => global_front_size(k40c_gated(), 10240),
+        4 => nonadditivity(GpuArch::p100_pcie()),
+        _ => nonadditivity(without_warmup(GpuArch::p100_pcie())),
+    });
     vec![
         Ablation {
             mechanism: "P100 auto-boost".into(),
             observable: "global-front max savings at N = 10240".into(),
-            with: global_savings(GpuArch::p100_pcie(), 10240),
-            without: global_savings(p100_no_boost(), 10240),
+            with: vals[0],
+            without: vals[1],
         },
         Ablation {
             // With Kepler's occupancy-tracking power the BS = 32 optimum
@@ -100,14 +117,14 @@ pub fn generate() -> Vec<Ablation> {
             // lower-utilization configurations onto the global front.
             mechanism: "K40c occupancy-power (imperfect clock gating)".into(),
             observable: "global-front points at N = 10240 (paper: 1)".into(),
-            with: global_front_size(GpuArch::k40c(), 10240),
-            without: global_front_size(k40c_gated(), 10240),
+            with: vals[2],
+            without: vals[3],
         },
         Ablation {
             mechanism: "58 W warm-up component".into(),
             observable: "G=4 non-additivity at N = 5120 (P100)".into(),
-            with: nonadditivity(GpuArch::p100_pcie()),
-            without: nonadditivity(without_warmup(GpuArch::p100_pcie())),
+            with: vals[4],
+            without: vals[5],
         },
     ]
 }

@@ -8,7 +8,7 @@
 
 use super::{front_of, gpu_cloud, GPU_TOTAL_PRODUCTS};
 use enprop_apps::point::DataPoint;
-use enprop_apps::{sizes, GpuMatMulApp};
+use enprop_apps::{sizes, GpuMatMulApp, SweepExecutor};
 use enprop_ep::{WeakEpReport, WeakEpTest};
 use enprop_gpusim::{GpuArch, TiledDgemmConfig};
 use enprop_pareto::TradeoffAnalysis;
@@ -38,11 +38,17 @@ pub fn generate() -> Vec<Fig7Panel> {
 
 /// Generates both panels through the full measurement methodology:
 /// simulated WattsUp meter, HCLWATTSUP decomposition, and the Student-t
-/// repeat-until-confidence protocol (deterministic under `seed`).
+/// repeat-until-confidence protocol — deterministic under `seed`, fanned
+/// out over all available cores.
 pub fn generate_measured(seed: u64) -> Vec<Fig7Panel> {
+    generate_measured_with(&SweepExecutor::new(seed))
+}
+
+/// [`generate_measured`] with an explicit executor (seed + thread count).
+/// Output is bitwise-identical for any thread count.
+pub fn generate_measured_with(exec: &SweepExecutor) -> Vec<Fig7Panel> {
     let app = GpuMatMulApp::new(GpuArch::k40c(), GPU_TOTAL_PRODUCTS);
-    let mut runner = GpuMatMulApp::default_runner(seed);
-    generate_from(move |n| app.sweep_measured(n, &mut runner))
+    generate_from(move |n| app.sweep_measured(n, exec))
 }
 
 fn generate_from(

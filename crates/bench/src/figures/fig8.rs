@@ -6,7 +6,7 @@
 
 use super::{front_of, gpu_cloud, GPU_TOTAL_PRODUCTS};
 use enprop_apps::point::DataPoint;
-use enprop_apps::{sizes, GpuMatMulApp};
+use enprop_apps::{sizes, GpuMatMulApp, SweepExecutor};
 use enprop_ep::{WeakEpReport, WeakEpTest};
 use enprop_gpusim::{GpuArch, TiledDgemmConfig};
 use enprop_pareto::TradeoffAnalysis;
@@ -30,12 +30,17 @@ pub fn generate() -> Vec<Fig8Panel> {
     generate_from(|n| gpu_cloud(GpuArch::p100_pcie(), n))
 }
 
-/// Generates both panels through the full measurement methodology
-/// (deterministic under `seed`).
+/// Generates both panels through the full measurement methodology —
+/// deterministic under `seed`, fanned out over all available cores.
 pub fn generate_measured(seed: u64) -> Vec<Fig8Panel> {
+    generate_measured_with(&SweepExecutor::new(seed))
+}
+
+/// [`generate_measured`] with an explicit executor (seed + thread count).
+/// Output is bitwise-identical for any thread count.
+pub fn generate_measured_with(exec: &SweepExecutor) -> Vec<Fig8Panel> {
     let app = GpuMatMulApp::new(GpuArch::p100_pcie(), GPU_TOTAL_PRODUCTS);
-    let mut runner = GpuMatMulApp::default_runner(seed);
-    generate_from(move |n| app.sweep_measured(n, &mut runner))
+    generate_from(move |n| app.sweep_measured(n, exec))
 }
 
 fn generate_from(

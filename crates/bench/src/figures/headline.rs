@@ -7,7 +7,7 @@
 //! avg 2 / max 3 points, up to 50% savings at 11% degradation.
 
 use super::{front_of, gpu_cloud};
-use enprop_apps::sizes;
+use enprop_apps::{sizes, SweepExecutor};
 use enprop_gpusim::GpuArch;
 use serde::{Deserialize, Serialize};
 
@@ -38,32 +38,47 @@ pub struct HeadlineGpu {
     pub best_within_11pct: Option<(f64, f64)>,
 }
 
-/// Generates the headline summary for both GPUs.
+/// Generates the headline summary for both GPUs over all available cores.
 pub fn generate() -> Vec<HeadlineGpu> {
-    GpuArch::catalog()
+    generate_with(&SweepExecutor::new(0))
+}
+
+/// [`generate`] with an explicit executor: the `(GPU, N)` grid — every
+/// cloud plus its front analyses — is fanned out over the executor's
+/// workers. The model sweep is noise-free, so the seed is irrelevant here;
+/// only the thread count matters.
+pub fn generate_with(exec: &SweepExecutor) -> Vec<HeadlineGpu> {
+    let catalog = GpuArch::catalog();
+    let grid: Vec<(GpuArch, usize)> = catalog
+        .iter()
+        .flat_map(|arch| {
+            sizes::headline_sizes().into_iter().map(move |n| (arch.clone(), n))
+        })
+        .collect();
+    let cells: Vec<(bool, SizeRow)> = exec.map(&grid, |(arch, n), _seed| {
+        let is_k40 = arch.name.contains("K40c");
+        let cloud = gpu_cloud(arch.clone(), *n);
+        let global = front_of(&cloud, |_| true);
+        let singleton = global.len() == 1;
+        let analyzed = if is_k40 { front_of(&cloud, |c| c.bs <= 30) } else { global };
+        (
+            singleton,
+            (
+                *n,
+                analyzed.len(),
+                analyzed.best_pair(),
+                analyzed.max_savings_within(0.11).map(|t| (t.savings, t.degradation)),
+            ),
+        )
+    });
+    let per_gpu = sizes::headline_sizes().len();
+    catalog
         .into_iter()
-        .map(|arch| {
-            let is_k40 = arch.name.contains("K40c");
+        .zip(cells.chunks(per_gpu))
+        .map(|(arch, rows)| {
             let name = arch.name.clone();
-            let mut per_size = Vec::new();
-            let mut global_always_singleton = true;
-            for &n in &sizes::headline_sizes() {
-                let cloud = gpu_cloud(arch.clone(), n);
-                let global = front_of(&cloud, |_| true);
-                if global.len() != 1 {
-                    global_always_singleton = false;
-                }
-                let analyzed =
-                    if is_k40 { front_of(&cloud, |c| c.bs <= 30) } else { global };
-                per_size.push((
-                    n,
-                    analyzed.len(),
-                    analyzed.best_pair(),
-                    analyzed
-                        .max_savings_within(0.11)
-                        .map(|t| (t.savings, t.degradation)),
-                ));
-            }
+            let global_always_singleton = rows.iter().all(|(singleton, _)| *singleton);
+            let per_size: Vec<SizeRow> = rows.iter().map(|(_, row)| *row).collect();
             let sizes_count = per_size.len() as f64;
             let avg_front_points =
                 per_size.iter().map(|(_, l, _, _)| *l as f64).sum::<f64>() / sizes_count;

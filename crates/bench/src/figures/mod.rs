@@ -15,7 +15,7 @@ pub mod theory;
 use enprop_apps::point::DataPoint;
 use enprop_apps::GpuMatMulApp;
 use enprop_gpusim::{GpuArch, TiledDgemmConfig};
-use enprop_pareto::{BiPoint, TradeoffAnalysis};
+use enprop_pareto::{FrontTracker, TradeoffAnalysis};
 
 /// Total matrix products every configuration of a GPU sweep computes
 /// (the common workload of Figs. 2, 7, 8; divisible by every G ≤ 8).
@@ -27,25 +27,24 @@ pub fn gpu_cloud(arch: GpuArch, n: usize) -> Vec<DataPoint<TiledDgemmConfig>> {
 }
 
 /// Trade-off analysis of the sub-cloud whose configuration satisfies a
-/// predicate (`|_| true` gives the global front). Front-point indices are
-/// remapped to refer into the *original* cloud.
+/// predicate (`|_| true` gives the global front). Front-point indices
+/// refer into the *original* cloud.
+///
+/// Matching points stream through a [`FrontTracker`] (`O(log front)` per
+/// point) instead of being collected and re-sorted by
+/// [`TradeoffAnalysis::of`] — the tracker carries original cloud indices
+/// as ids, so no remapping pass is needed either.
 pub fn front_of(
     cloud: &[DataPoint<TiledDgemmConfig>],
     pred: impl Fn(&TiledDgemmConfig) -> bool,
 ) -> TradeoffAnalysis {
-    let mut orig = Vec::new();
-    let mut pts: Vec<BiPoint> = Vec::new();
+    let mut tracker = FrontTracker::new();
     for (i, p) in cloud.iter().enumerate() {
         if pred(&p.config) {
-            orig.push(i);
-            pts.push(p.bi_point());
+            tracker.insert(p.bi_point(), i);
         }
     }
-    let mut analysis = TradeoffAnalysis::of(&pts);
-    for t in &mut analysis.front {
-        t.index = orig[t.index];
-    }
-    analysis
+    TradeoffAnalysis::from_tracker(&tracker)
 }
 
 #[cfg(test)]

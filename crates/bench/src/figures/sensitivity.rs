@@ -11,6 +11,7 @@
 //! 3. Fig. 6 non-additivity at N = 5120 exceeds 5% and decays by N = 18432.
 
 use super::{front_of, gpu_cloud};
+use enprop_apps::SweepExecutor;
 use enprop_gpusim::{GpuArch, TiledDgemm, TiledDgemmConfig};
 use serde::{Deserialize, Serialize};
 
@@ -92,22 +93,30 @@ fn nonadditivity_decays(arch: GpuArch) -> bool {
     small > 0.05 && large < 0.5 * small
 }
 
-/// Runs the full one-at-a-time ±20% sweep.
+/// Runs the full one-at-a-time ±20% sweep over all available cores.
 pub fn generate() -> Sensitivity {
-    let mut perturbations = Vec::new();
-    for &parameter in &PARAMS {
-        for &factor in &[0.8, 1.2] {
-            let k40 = perturb(GpuArch::k40c(), parameter, factor);
-            let p100 = perturb(GpuArch::p100_pcie(), parameter, factor);
-            perturbations.push(Perturbation {
-                parameter: parameter.to_string(),
-                factor,
-                k40c_singleton: k40c_singleton(k40),
-                p100_tradeoff: p100_tradeoff(p100.clone()),
-                nonadditivity_decays: nonadditivity_decays(p100),
-            });
+    generate_with(&SweepExecutor::new(0))
+}
+
+/// [`generate`] with an explicit executor: the ten perturbations (each
+/// two clouds plus a non-additivity decay check) fan out over its
+/// workers. All evaluations are noise-free, so the seed is irrelevant.
+pub fn generate_with(exec: &SweepExecutor) -> Sensitivity {
+    let grid: Vec<(&str, f64)> = PARAMS
+        .iter()
+        .flat_map(|&parameter| [0.8, 1.2].into_iter().map(move |factor| (parameter, factor)))
+        .collect();
+    let perturbations = exec.map(&grid, |&(parameter, factor), _seed| {
+        let k40 = perturb(GpuArch::k40c(), parameter, factor);
+        let p100 = perturb(GpuArch::p100_pcie(), parameter, factor);
+        Perturbation {
+            parameter: parameter.to_string(),
+            factor,
+            k40c_singleton: k40c_singleton(k40),
+            p100_tradeoff: p100_tradeoff(p100.clone()),
+            nonadditivity_decays: nonadditivity_decays(p100),
         }
-    }
+    });
     let survivors = perturbations.iter().filter(|p| p.all_survive()).count();
     let survival_rate = survivors as f64 / perturbations.len() as f64;
     Sensitivity { perturbations, survival_rate }

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock mean instead of criterion's full statistical machinery.
+//! Results print one line per benchmark: name, mean time per iteration,
+//! and throughput when configured.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier used inside `Bencher::iter` loops.
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Prints the closing summary (no-op in the stub).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// elements/sec or bytes/sec reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        run_bench(&name, self.sample_size.unwrap_or(20), self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        D: ?Sized,
+        F: FnMut(&mut Bencher, &D),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        let mut wrapper = |b: &mut Bencher| f(b, input);
+        run_bench(&name, self.sample_size.unwrap_or(20), self.throughput, &mut wrapper);
+        self
+    }
+
+    /// Finishes the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id from a bare parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording `sample_size` samples (after one warmup call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {name}: no samples");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 / mean.as_secs_f64()),
+        Throughput::Bytes(n) => format!(" ({:.3e} B/s)", n as f64 / mean.as_secs_f64()),
+    });
+    println!("bench {name}: {mean:?}/iter{}", rate.unwrap_or_default());
+}
+
+/// Bundles benchmark functions into one named group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_and_group_run() {
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

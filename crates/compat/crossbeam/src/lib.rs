@@ -1,0 +1,97 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented over
+//! `std::thread::scope` (stable since 1.63). The API contract matches
+//! crossbeam's: the scope closure receives a handle whose `spawn` passes
+//! the scope back into each worker closure (so workers can spawn
+//! siblings), `scope` returns `Err` with the panic payload if any
+//! unjoined child panicked, and `ScopedJoinHandle::join` surfaces
+//! individual panics.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as std_thread;
+
+    /// Payload of a propagated panic.
+    pub type Panic = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle: spawns threads that may borrow from the enclosing
+    /// environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again,
+        /// mirroring crossbeam's signature (`|_| ...` at most call sites).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Handle to one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, Panic> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope handle, joining all spawned threads before
+    /// returning. A panic from an unjoined child (or from `f` itself)
+    /// comes back as `Err`, matching crossbeam rather than std's
+    /// propagation.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Panic>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn child_panic_reported_as_err() {
+        let result = crate::thread::scope(|s| {
+            s.spawn::<_, ()>(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,502 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The registry-backed `serde_derive` (and its `syn`/`quote` dependency
+//! tree) is unavailable in this build environment, so the derives are
+//! implemented as a hand-rolled walk over the raw `proc_macro` token
+//! stream. Supported input shapes — exactly what the workspace declares:
+//!
+//! - structs with named fields (including one type parameter, e.g.
+//!   `DataPoint<C>`; every type parameter gets the corresponding
+//!   Serialize/Deserialize bound),
+//! - tuple structs (a single field serializes transparently, which also
+//!   subsumes `#[serde(transparent)]` newtypes; larger ones as arrays),
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants (externally tagged:
+//!   `"Variant"`, `{"Variant": value}`, `{"Variant": {..fields}}`).
+//!
+//! `#[serde(...)]` attributes are accepted and ignored; the only one used
+//! in-tree is `transparent` on single-field newtypes, whose behaviour is
+//! the default here anyway.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+impl Mode {
+    fn trait_name(self) -> &'static str {
+        match self {
+            Mode::Serialize => "Serialize",
+            Mode::Deserialize => "Deserialize",
+        }
+    }
+}
+
+struct Input {
+    name: String,
+    /// Type-parameter identifiers (lifetimes and const params excluded).
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    NamedFields(Vec<String>),
+    TupleFields(usize),
+    Unit,
+    Variants(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&parsed),
+        Mode::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive stub produced invalid code: {e:?}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i)?;
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!("serde_derive stub: expected struct or enum, found `{keyword}`"));
+    }
+    let name = expect_ident(&tokens, &mut i)?;
+    let generics = parse_generics(&tokens, &mut i)?;
+
+    let body = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedFields(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleFields(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            other => {
+                return Err(format!("serde_derive stub: unsupported struct body: {other:?}"))
+            }
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Variants(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("serde_derive stub: unsupported enum body: {other:?}")),
+        }
+    };
+
+    Ok(Input { name, generics, body })
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1; // '#'
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                *i += 1;
+                continue;
+            }
+        }
+        break;
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("serde_derive stub: expected identifier, found {other:?}")),
+    }
+}
+
+/// Parses `<...>` after the type name, returning type-parameter idents.
+/// Bounds are skipped; lifetimes and const params are ignored.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(Vec::new()),
+    }
+    *i += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    let mut in_lifetime = false;
+    let mut in_const = false;
+    while depth > 0 {
+        let tok = tokens
+            .get(*i)
+            .ok_or_else(|| "serde_derive stub: unterminated generics".to_string())?;
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    at_param_start = true;
+                    in_lifetime = false;
+                    in_const = false;
+                }
+                '\'' if depth == 1 && at_param_start => in_lifetime = true,
+                _ => at_param_start = false,
+            },
+            TokenTree::Ident(id) => {
+                let text = id.to_string();
+                if depth == 1 && at_param_start && !in_lifetime {
+                    if text == "const" {
+                        in_const = true;
+                    } else if !in_const {
+                        params.push(text);
+                    }
+                }
+                at_param_start = false;
+            }
+            _ => at_param_start = false,
+        }
+        *i += 1;
+    }
+    Ok(params)
+}
+
+/// Collects field names from the token stream of a brace-delimited body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!("serde_derive stub: expected `:` after field `{name}`, found {other:?}"))
+            }
+        }
+        fields.push(name);
+        skip_type(&tokens, &mut i);
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping after the top-level `,` (or at the end).
+/// Only angle-bracket depth needs tracking: parens/brackets arrive as groups.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts fields of a paren-delimited tuple body (top-level comma count).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip an explicit discriminant, then the trailing comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(input: &Input, mode: Mode) -> String {
+    let trait_path = format!("::serde::{}", mode.trait_name());
+    if input.generics.is_empty() {
+        format!("impl {trait_path} for {}", input.name)
+    } else {
+        let bounded: Vec<String> =
+            input.generics.iter().map(|g| format!("{g}: {trait_path}")).collect();
+        let plain = input.generics.join(", ");
+        format!("impl<{}> {trait_path} for {}<{plain}>", bounded.join(", "), input.name)
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let header = impl_header(input, Mode::Serialize);
+    let body = match &input.body {
+        Body::NamedFields(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Body::TupleFields(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Body::TupleFields(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Variants(variants) => {
+            let name = &input.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantBody::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vname:?}), ::serde::Serialize::serialize(__f0))])"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Array(::std::vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Object(::std::vec![{}]))])",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n    fn serialize(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let header = impl_header(input, Mode::Deserialize);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedFields(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(__value.field({f:?})?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleFields(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__value)?))"
+        ),
+        Body::TupleFields(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(__value.element({i})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+        }
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Variants(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{})", v.name, v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => None,
+                        VariantBody::Tuple(1) => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(__inner)?))"
+                        )),
+                        VariantBody::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(__inner.element({i})?)?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => ::std::result::Result::Ok({name}::{vname}({}))",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantBody::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(__inner.field({f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of {name}\"))) }},\n\
+                 ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__fields[0];\n\
+                     match __tag.as_str() {{ {payload_arms} __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of {name}\"))) }}\n\
+                 }}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"expected {name} variant, found {{}}\", __other.kind()))),\n\
+                 }}",
+                unit_arms = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                payload_arms = if payload_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", payload_arms.join(", "))
+                },
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n    fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n}}"
+    )
+}

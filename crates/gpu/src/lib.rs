@@ -35,5 +35,5 @@ pub mod occupancy;
 
 pub use arch::{GpuArch, PowerModel};
 pub use cupti::{CuptiCounter, CuptiReading, CuptiReport};
-pub use model::{KernelEstimate, TiledDgemm, TiledDgemmConfig};
+pub use model::{KernelEstimate, ProductProfile, TiledDgemm, TiledDgemmConfig};
 pub use occupancy::Occupancy;

@@ -90,6 +90,9 @@ impl TiledDgemmConfig {
 
     /// Enumerates every valid configuration solving the workload of
     /// `total_products` products of size `n` — the sweep of Figs. 2, 7, 8.
+    ///
+    /// Occupancy is checked once per `BS` (it does not depend on `G` or
+    /// `R`), not once per `(BS, G)` pair as a naive `is_valid` filter would.
     pub fn enumerate(arch: &GpuArch, n: usize, total_products: usize) -> Vec<TiledDgemmConfig> {
         assert!(total_products >= 1, "need at least one product");
         let mut out = Vec::new();
@@ -97,14 +100,16 @@ impl TiledDgemmConfig {
             if bs > n {
                 continue;
             }
+            if Occupancy::compute(arch, bs * bs, shared_bytes(bs)).is_none() {
+                continue;
+            }
             for g in 1..=max_group(bs) {
                 if !total_products.is_multiple_of(g) {
                     continue;
                 }
                 let cfg = TiledDgemmConfig { n, bs, g, r: total_products / g };
-                if cfg.is_valid(arch) {
-                    out.push(cfg);
-                }
+                debug_assert!(cfg.is_valid(arch));
+                out.push(cfg);
             }
         }
         out
@@ -144,10 +149,46 @@ impl KernelEstimate {
     }
 }
 
+/// The per-`(N, BS)` sub-result of the model, shared by every `(G, R)`
+/// variant of a sweep.
+///
+/// `G` and `R` only enter the model through total product count and the
+/// i-cache penalty; everything expensive — occupancy, the latency-hiding
+/// and bandwidth ramps, the per-product bottleneck time, steady-state
+/// power — depends on `(N, BS)` alone. Sweep drivers compute one profile
+/// per distinct `BS` and expand it to all `(G, R)` variants via
+/// [`TiledDgemm::estimate_from_profile`], instead of re-deriving it per
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProductProfile {
+    /// Matrix dimension the profile was computed for.
+    pub n: usize,
+    /// Tile dimension the profile was computed for.
+    pub bs: usize,
+    /// Wall time of one matrix product at `G = 1` (before the i-cache
+    /// penalty and launch overhead).
+    pub t_product: f64,
+    /// Steady-state dynamic power (independent of `G` and `R`).
+    pub steady_power: Watts,
+    /// Achieved occupancy fraction.
+    pub occupancy: f64,
+    /// Compute share of the bottleneck time ∈ [0, 1].
+    pub compute_share: f64,
+    /// Memory share of the bottleneck time ∈ [0, 1].
+    pub memory_share: f64,
+    /// Whether the auto-boost state engaged.
+    pub boosted: bool,
+}
+
 /// The analytic model bound to one architecture.
 #[derive(Debug, Clone)]
 pub struct TiledDgemm {
     arch: GpuArch,
+    /// Occupancy of the `BS × BS` tiled kernel, precomputed per `BS` at
+    /// construction (indexed by `BS`; `None` = unlaunchable). The sweep
+    /// enumerates hundreds of `(BS, G, R)` configurations that share at
+    /// most 32 distinct occupancies, so this is computed exactly once each.
+    occupancy_by_bs: [Option<Occupancy>; 33],
 }
 
 /// Cycles of arithmetic latency the scheduler must cover per DP unit.
@@ -175,12 +216,26 @@ fn misalign_overhead(arch: &GpuArch) -> f64 {
 impl TiledDgemm {
     /// Binds the model to an architecture.
     pub fn new(arch: GpuArch) -> Self {
-        Self { arch }
+        let mut occupancy_by_bs = [None; 33];
+        for (bs, slot) in occupancy_by_bs.iter_mut().enumerate().skip(1) {
+            *slot = Occupancy::compute(&arch, bs * bs, shared_bytes(bs));
+        }
+        Self { arch, occupancy_by_bs }
     }
 
     /// The bound architecture.
     pub fn arch(&self) -> &GpuArch {
         &self.arch
+    }
+
+    /// Cached occupancy of the `BS × BS` tiled kernel (`None` =
+    /// unlaunchable or `BS` outside the template family).
+    pub fn occupancy(&self, bs: usize) -> Option<Occupancy> {
+        if (1..=32).contains(&bs) {
+            self.occupancy_by_bs[bs]
+        } else {
+            None
+        }
     }
 
     /// §IV names two approaches to executing matrix products serially:
@@ -204,21 +259,25 @@ impl TiledDgemm {
         }
     }
 
-    /// Predicts the execution profile of `cfg`. Panics when `cfg` is not
-    /// valid for this architecture (check [`TiledDgemmConfig::is_valid`]).
-    pub fn estimate(&self, cfg: &TiledDgemmConfig) -> KernelEstimate {
-        assert!(cfg.is_valid(&self.arch), "invalid config {cfg:?} for {}", self.arch.name);
+    /// Computes the `(N, BS)` sub-result shared by every `(G, R)` variant:
+    /// the per-product bottleneck time and the steady-state power. Panics
+    /// when `BS` is outside the template family, `N < BS`, or the kernel
+    /// cannot launch.
+    pub fn product_profile(&self, n: usize, bs: usize) -> ProductProfile {
+        assert!(
+            (1..=32).contains(&bs) && n >= bs,
+            "invalid (N, BS) = ({n}, {bs}) for {}",
+            self.arch.name
+        );
         let arch = &self.arch;
         let pm = &arch.power;
-        let n = cfg.n as f64;
-        let bs = cfg.bs as f64;
-
-        let occ = Occupancy::compute(arch, cfg.threads_per_block(), cfg.shared_bytes())
-            .expect("validated config must have occupancy");
+        let occ = self.occupancy(bs).expect("unlaunchable BS must be filtered upstream");
+        let nf = n as f64;
+        let bsf = bs as f64;
 
         // ---- Time, per matrix product --------------------------------
-        let tiles = cfg.n.div_ceil(cfg.bs);
-        let padded = (tiles * cfg.bs) as f64;
+        let tiles = n.div_ceil(bs);
+        let padded = (tiles * bs) as f64;
         let flops = 2.0 * padded.powi(3);
 
         // Boost state (engages on occupancy; raises clock, multiplies power).
@@ -234,9 +293,9 @@ impl TiledDgemm {
         // Global-memory traffic: every tile step loads two BS×BS tiles per
         // block; plus one read-modify-write of C.
         let useful_loads = 2.0 * 8.0 * padded * padded * tiles as f64;
-        let c_traffic = 2.0 * 8.0 * n * n;
+        let c_traffic = 2.0 * 8.0 * nf * nf;
         // Transaction efficiency of one BS-double row segment.
-        let row_bytes = 8.0 * bs;
+        let row_bytes = 8.0 * bsf;
         let mut fetched_row = LINE_BYTES * (row_bytes / LINE_BYTES).ceil();
         if !(row_bytes as u64).is_multiple_of(LINE_BYTES as u64) {
             fetched_row += misalign_overhead(arch);
@@ -247,15 +306,13 @@ impl TiledDgemm {
         // Bandwidth ramp with memory-level parallelism, and the L2 bonus
         // when the working set is cache-resident.
         let mlp_eff = (occ.active_threads_per_sm as f64 / MLP_THREADS).min(1.0);
-        let working_set = 3.0 * 8.0 * n * n;
+        let working_set = 3.0 * 8.0 * nf * nf;
         let cache_mult =
             if working_set <= arch.l2_cache.value() { L2_BANDWIDTH_MULT } else { 1.0 };
         let bandwidth = arch.dram_bandwidth.value() * mlp_eff * cache_mult;
         let mem_time = fetched / bandwidth;
 
         let t_product = compute_time.max(mem_time);
-        let icache = 1.0 + ICACHE_PENALTY * (cfg.g as f64 - 1.0);
-        let time = cfg.products() as f64 * t_product * icache + LAUNCH_OVERHEAD_S;
 
         // ---- Steady-state dynamic power ------------------------------
         let s_comp = compute_time / t_product;
@@ -273,16 +330,51 @@ impl TiledDgemm {
             power = (power * pm.boost_power_mult).min(cap);
         }
 
-        KernelEstimate {
-            time: Seconds(time),
+        ProductProfile {
+            n,
+            bs,
+            t_product,
             steady_power: Watts(power),
-            warmup_power: Watts(pm.warmup_power_w),
-            warmup_time: Seconds(time.min(pm.warmup_duration_s)),
             occupancy: occ.fraction,
             compute_share: s_comp,
             memory_share: s_mem,
             boosted,
         }
+    }
+
+    /// Expands a [`ProductProfile`] to the full estimate of the `(G, R)`
+    /// variant: total product count, the i-cache penalty, launch overhead,
+    /// and the warm-up window clipped to kernel time.
+    pub fn estimate_from_profile(
+        &self,
+        profile: &ProductProfile,
+        g: usize,
+        r: usize,
+    ) -> KernelEstimate {
+        let pm = &self.arch.power;
+        let icache = 1.0 + ICACHE_PENALTY * (g as f64 - 1.0);
+        let time = (g * r) as f64 * profile.t_product * icache + LAUNCH_OVERHEAD_S;
+        KernelEstimate {
+            time: Seconds(time),
+            steady_power: profile.steady_power,
+            warmup_power: Watts(pm.warmup_power_w),
+            warmup_time: Seconds(time.min(pm.warmup_duration_s)),
+            occupancy: profile.occupancy,
+            compute_share: profile.compute_share,
+            memory_share: profile.memory_share,
+            boosted: profile.boosted,
+        }
+    }
+
+    /// Predicts the execution profile of `cfg`. Panics when `cfg` is not
+    /// valid for this architecture (check [`TiledDgemmConfig::is_valid`]).
+    ///
+    /// Equivalent (bitwise) to [`TiledDgemm::product_profile`] followed by
+    /// [`TiledDgemm::estimate_from_profile`]; sweep drivers use that split
+    /// form to compute the profile once per distinct `BS`.
+    pub fn estimate(&self, cfg: &TiledDgemmConfig) -> KernelEstimate {
+        assert!(cfg.is_valid(&self.arch), "invalid config {cfg:?} for {}", self.arch.name);
+        self.estimate_from_profile(&self.product_profile(cfg.n, cfg.bs), cfg.g, cfg.r)
     }
 }
 
@@ -404,6 +496,40 @@ mod tests {
             + e.warmup_power.value() * e.warmup_time.value();
         assert!((e.dynamic_energy().value() - expected).abs() < 1e-9);
         assert!(e.mean_dynamic_power().value() >= e.steady_power.value());
+    }
+
+    #[test]
+    fn occupancy_cache_matches_direct_computation() {
+        for arch in [GpuArch::k40c(), GpuArch::p100_pcie()] {
+            let model = TiledDgemm::new(arch);
+            for bs in 1..=32 {
+                let direct =
+                    Occupancy::compute(model.arch(), bs * bs, shared_bytes(bs));
+                assert_eq!(model.occupancy(bs), direct, "bs = {bs}");
+            }
+        }
+        assert!(TiledDgemm::new(GpuArch::k40c()).occupancy(0).is_none());
+        assert!(TiledDgemm::new(GpuArch::k40c()).occupancy(33).is_none());
+    }
+
+    #[test]
+    fn shared_profile_reproduces_every_group_variant() {
+        // One (N, BS) profile expanded over all (G, R) must equal the
+        // direct estimates bitwise — the sweep memoization contract.
+        for arch in [GpuArch::k40c(), GpuArch::p100_pcie()] {
+            let model = TiledDgemm::new(arch);
+            for bs in [7, 16, 32] {
+                let profile = model.product_profile(5120, bs);
+                for g in 1..=max_group(bs) {
+                    if !8usize.is_multiple_of(g) {
+                        continue;
+                    }
+                    let from_profile = model.estimate_from_profile(&profile, g, 8 / g);
+                    let direct = model.estimate(&cfg(5120, bs, g, 8 / g));
+                    assert_eq!(from_profile, direct, "bs={bs} g={g}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,9 +15,17 @@ use crate::front::BiPoint;
 ///
 /// Points are inserted one at a time; the tracker keeps the current
 /// non-dominated set sorted by increasing time, tagged with caller ids.
+///
+/// Because mutually non-dominated 2-D points sorted by increasing time
+/// have strictly decreasing energy, [`insert`](FrontTracker::insert) is
+/// `O(log n + evicted)` per offered point instead of the two full scans a
+/// naive dominance check costs — this is the inner loop of every streaming
+/// Pareto merge in the figure generators.
 #[derive(Debug, Clone, Default)]
 pub struct FrontTracker {
     /// Front entries `(point, id)`, sorted by time asc / energy desc.
+    /// Invariant: times strictly increase, energies strictly decrease (a
+    /// time tie would make one member dominate or duplicate the other).
     entries: Vec<(BiPoint, usize)>,
 }
 
@@ -30,21 +38,32 @@ impl FrontTracker {
     /// Offers a point; returns `true` when the front changed (the point
     /// entered, possibly evicting dominated members). Duplicates of
     /// existing front points do not change the front.
+    ///
+    /// `O(log n + evicted)`: one binary search locates the insertion slot;
+    /// the sorted invariant reduces dominance/duplicate detection to the
+    /// slot's two neighbours, and the members the new point dominates form
+    /// a contiguous run starting at the slot.
     pub fn insert(&mut self, point: BiPoint, id: usize) -> bool {
-        // Dominated (or duplicated) by an existing member?
-        if self
-            .entries
-            .iter()
-            .any(|(p, _)| p.dominates(&point) || *p == point)
-        {
+        // First member at least as slow as the new point.
+        let pos = self.entries.partition_point(|(p, _)| p.time < point.time);
+        // Everything before `pos` is strictly faster; by the invariant the
+        // member at `pos - 1` has the lowest energy among them, so it alone
+        // decides whether a faster member dominates the new point.
+        if pos > 0 && self.entries[pos - 1].0.energy <= point.energy {
             return false;
         }
-        // Evict members the new point dominates.
-        self.entries.retain(|(p, _)| !point.dominates(p));
-        let pos = self
-            .entries
-            .partition_point(|(p, _)| p.time < point.time);
-        self.entries.insert(pos, (point, id));
+        // A member tied on time either duplicates the new point or decides
+        // dominance by energy; slower members can never dominate it.
+        if let Some(&(next, _)) = self.entries.get(pos) {
+            if next.time == point.time && next.energy <= point.energy {
+                return false;
+            }
+        }
+        // Members the new point dominates: at least as slow AND at least as
+        // hungry — with energies decreasing, a contiguous run from `pos`.
+        let evicted =
+            self.entries[pos..].partition_point(|(p, _)| p.energy >= point.energy);
+        self.entries.splice(pos..pos + evicted, std::iter::once((point, id)));
         true
     }
 
@@ -148,6 +167,43 @@ mod tests {
         assert!(t.insert(BiPoint::new(0.5, 0.5), 4)); // dominates everything
         assert_eq!(t.len(), 1);
         assert_eq!(t.front()[0].1, 4);
+    }
+
+    proptest::proptest! {
+        /// The binary-search insert must agree with the batch front on
+        /// arbitrary clouds (including duplicates and time ties).
+        #[test]
+        fn tracker_matches_batch_front_randomized(
+            cloud in proptest::prelude::prop::collection::vec((0..20u32, 0..20u32), 1..80)
+        ) {
+            let cloud: Vec<BiPoint> = cloud
+                .into_iter()
+                .map(|(t, e)| BiPoint::new(t as f64, e as f64))
+                .collect();
+            let mut tracker = FrontTracker::new();
+            for (i, &p) in cloud.iter().enumerate() {
+                tracker.insert(p, i);
+            }
+            let batch: Vec<BiPoint> =
+                pareto_front(&cloud).into_iter().map(|i| cloud[i]).collect();
+            let online: Vec<BiPoint> =
+                tracker.front().iter().map(|(p, _)| *p).collect();
+            proptest::prop_assert_eq!(online, batch);
+        }
+    }
+
+    #[test]
+    fn insert_evicts_contiguous_dominated_run() {
+        let mut t = FrontTracker::new();
+        for (i, &(x, y)) in
+            [(1.0, 9.0), (2.0, 7.0), (3.0, 5.0), (4.0, 3.0), (5.0, 1.0)].iter().enumerate()
+        {
+            assert!(t.insert(BiPoint::new(x, y), i));
+        }
+        // Dominates the (2,7), (3,5), (4,3) run but not the endpoints.
+        assert!(t.insert(BiPoint::new(1.5, 2.0), 9));
+        let ids: Vec<usize> = t.front().iter().map(|(_, id)| *id).collect();
+        assert_eq!(ids, vec![0, 9, 4]);
     }
 
     #[test]

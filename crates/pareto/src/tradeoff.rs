@@ -8,6 +8,7 @@
 //! direct lookups.
 
 use crate::front::{pareto_front, BiPoint};
+use crate::incremental::FrontTracker;
 use serde::{Deserialize, Serialize};
 
 /// One front point's trade-off relative to the performance-optimal solution.
@@ -48,6 +49,31 @@ impl TradeoffAnalysis {
                     degradation: (p.time - fastest.time) / fastest.time,
                     savings: (fastest.energy - p.energy) / fastest.energy,
                 }
+            })
+            .collect();
+        Self { front }
+    }
+
+    /// Builds the analysis from an online front maintained by a
+    /// [`FrontTracker`], skipping the full-cloud sort of
+    /// [`TradeoffAnalysis::of`]. Tracker ids become [`Tradeoff::index`].
+    ///
+    /// Streaming a cloud through a tracker and finishing with this
+    /// constructor produces the same analysis as collecting the cloud and
+    /// calling [`TradeoffAnalysis::of`], in `O(n log f)` instead of
+    /// `O(n log n)` (where `f` is the front size, typically ≪ n). Panics
+    /// on an empty tracker.
+    pub fn from_tracker(tracker: &FrontTracker) -> Self {
+        let entries = tracker.front();
+        assert!(!entries.is_empty(), "trade-off analysis needs points");
+        let fastest = entries[0].0;
+        let front = entries
+            .iter()
+            .map(|&(p, id)| Tradeoff {
+                index: id,
+                point: p,
+                degradation: (p.time - fastest.time) / fastest.time,
+                savings: (fastest.energy - p.energy) / fastest.energy,
             })
             .collect();
         Self { front }
@@ -154,6 +180,25 @@ mod tests {
         assert_eq!(a.performance_optimal().degradation, 0.0);
         assert_eq!(a.performance_optimal().savings, 0.0);
         assert!(a.energy_optimal().savings > 0.0);
+    }
+
+    #[test]
+    fn from_tracker_matches_batch_analysis() {
+        let cloud = pts(&[
+            (3.0, 3.0),
+            (1.0, 5.0),
+            (5.0, 1.0),
+            (2.0, 4.0),
+            (4.0, 4.0),
+            (2.0, 4.0), // duplicate
+        ]);
+        let mut tracker = FrontTracker::new();
+        for (i, &p) in cloud.iter().enumerate() {
+            tracker.insert(p, i);
+        }
+        let streamed = TradeoffAnalysis::from_tracker(&tracker);
+        let batch = TradeoffAnalysis::of(&cloud);
+        assert_eq!(streamed, batch);
     }
 
     #[test]

@@ -48,6 +48,7 @@ impl EnergyReading {
 pub struct EnergySession {
     meter: SimulatedWattsUp,
     baseline: Watts,
+    baseline_window: Seconds,
 }
 
 impl EnergySession {
@@ -56,12 +57,24 @@ impl EnergySession {
     pub fn with_baseline_window(mut meter: SimulatedWattsUp, window: Seconds) -> Self {
         let trace = meter.record_idle(window);
         let baseline = trace.mean_power().expect("baseline window too short");
-        Self { meter, baseline }
+        Self { meter, baseline, baseline_window: window }
     }
 
     /// The captured idle baseline.
     pub fn baseline(&self) -> Watts {
         self.baseline
+    }
+
+    /// Restarts the session from `seed`: the meter's noise stream is reset
+    /// and the idle baseline is re-captured over the original window, so the
+    /// session is bitwise-identical to one freshly opened with a meter
+    /// seeded with `seed`. This is the primitive the parallel sweep engine
+    /// uses to decouple a configuration's measurement noise from the worker
+    /// thread it happens to land on.
+    pub fn reseed(&mut self, seed: u64) {
+        self.meter.reseed(seed);
+        let trace = self.meter.record_idle(self.baseline_window);
+        self.baseline = trace.mean_power().expect("baseline window too short");
     }
 
     /// Measures one application run and decomposes its energy.
@@ -135,6 +148,23 @@ mod tests {
         let r = s.measure(&app);
         let expected = 150.0 * 10.0 + 58.0 * 2.0;
         assert!((r.dynamic.value() - expected).abs() < 60.0, "{:?}", r);
+    }
+
+    #[test]
+    fn reseeded_session_equals_fresh_session() {
+        let app = ConstantLoad::new(Watts(150.0), Seconds(40.0));
+        let mut used = {
+            let meter = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 3);
+            EnergySession::with_baseline_window(meter, Seconds(120.0))
+        };
+        used.measure(&app); // advance the noise stream
+        used.reseed(17);
+        let mut fresh = {
+            let meter = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 17);
+            EnergySession::with_baseline_window(meter, Seconds(120.0))
+        };
+        assert_eq!(used.baseline(), fresh.baseline());
+        assert_eq!(used.measure(&app), fresh.measure(&app));
     }
 
     #[test]

@@ -62,6 +62,14 @@ impl SimulatedWattsUp {
         self.spec
     }
 
+    /// Resets the noise stream so the meter behaves exactly as if freshly
+    /// constructed with `seed`. Parallel sweep workers use this to give each
+    /// configuration its own deterministic noise stream independent of how
+    /// many configurations the worker measured before it.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
     /// Records the node idling for `window` — the baseline-capture phase of
     /// an HCLWATTSUP session.
     pub fn record_idle(&mut self, window: Seconds) -> PowerTrace {
@@ -165,6 +173,16 @@ mod tests {
         let t3 = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 8).record(&app);
         assert_eq!(t1, t2);
         assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn reseed_equals_fresh_construction() {
+        let app = ConstantLoad::new(Watts(100.0), Seconds(30.0));
+        let mut used = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 7);
+        used.record(&app); // advance the noise stream
+        used.reseed(21);
+        let fresh = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 21).record(&app);
+        assert_eq!(used.record(&app), fresh);
     }
 
     #[test]

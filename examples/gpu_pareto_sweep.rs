@@ -2,25 +2,26 @@
 //! through the *complete measurement methodology* — simulated WattsUp
 //! meter, HCLWATTSUP-style dynamic-energy decomposition, and the paper's
 //! Student-t repeat-until-confidence protocol — then compute global and
-//! local Pareto fronts.
+//! local Pareto fronts. The sweep fans out over all cores; the output is
+//! bitwise-identical at any thread count.
 //!
 //! ```text
 //! cargo run --release --example gpu_pareto_sweep [N]
 //! ```
 
-use enprop::apps::{GpuMatMulApp, MeasurementRunner};
+use enprop::apps::{GpuMatMulApp, SweepExecutor};
 use enprop::gpusim::GpuArch;
 use enprop::pareto::{BiPoint, TradeoffAnalysis};
-use enprop::units::Watts;
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10240);
+    let exec = SweepExecutor::new(42);
+    println!("sweeping with {} worker thread(s)\n", exec.threads());
 
     for arch in GpuArch::catalog() {
         let name = arch.name.clone();
         let app = GpuMatMulApp::new(arch, 8);
-        let mut runner = MeasurementRunner::new(Watts(110.0), 42);
-        let points = app.sweep_measured(n, &mut runner);
+        let points = app.sweep_measured(n, &exec);
 
         let converged = points.iter().filter(|p| p.converged).count();
         let reps: usize = points.iter().map(|p| p.reps).sum();

@@ -1,12 +1,12 @@
 //! End-to-end pipeline tests: simulator → meter → statistical protocol →
 //! Pareto/EP analysis, across crates.
 
-use enprop::apps::{CpuDgemmApp, GpuMatMulApp, MeasurementRunner};
+use enprop::apps::{CpuDgemmApp, GpuMatMulApp, SweepExecutor};
 use enprop::cpusim::BlasFlavor;
-use enprop::ep::{WeakEpTest, StrongEpTest};
+use enprop::ep::{StrongEpTest, WeakEpTest};
 use enprop::gpusim::GpuArch;
 use enprop::pareto::TradeoffAnalysis;
-use enprop::units::{Joules, Watts, Work};
+use enprop::units::{Joules, Work};
 
 /// The full noisy methodology on the P100 reproduces the noise-free
 /// geometry: a multi-point global front with large savings.
@@ -18,8 +18,7 @@ fn measured_p100_front_matches_exact_geometry() {
     let exact = app.sweep_exact(n);
     let exact_front = TradeoffAnalysis::of(&exact.iter().map(|p| p.bi_point()).collect::<Vec<_>>());
 
-    let mut runner = MeasurementRunner::new(Watts(110.0), 99);
-    let measured = app.sweep_measured(n, &mut runner);
+    let measured = app.sweep_measured(n, &SweepExecutor::new(99));
     let measured_front =
         TradeoffAnalysis::of(&measured.iter().map(|p| p.bi_point()).collect::<Vec<_>>());
 
@@ -43,9 +42,8 @@ fn measured_weak_ep_violation_on_both_gpus() {
     for arch in GpuArch::catalog() {
         let name = arch.name.clone();
         let app = GpuMatMulApp::new(arch, 4);
-        let mut runner = MeasurementRunner::new(Watts(110.0), 7);
         // A modest size keeps the test quick; the violation is size-robust.
-        let pts = app.sweep_measured(4096, &mut runner);
+        let pts = app.sweep_measured(4096, &SweepExecutor::new(7));
         let energies: Vec<Joules> = pts.iter().map(|p| p.dynamic_energy).collect();
         let verdict = WeakEpTest::default().run(&energies);
         assert!(!verdict.holds, "{name} unexpectedly satisfies weak EP");
@@ -59,8 +57,7 @@ fn measured_weak_ep_violation_on_both_gpus() {
 #[test]
 fn cpu_pipeline_and_strong_ep() {
     let app = CpuDgemmApp::haswell();
-    let mut runner = CpuDgemmApp::default_runner(12);
-    let pts = app.sweep_measured(8192, BlasFlavor::IntelMkl, &mut runner, 50);
+    let pts = app.sweep_measured(8192, BlasFlavor::IntelMkl, &SweepExecutor::new(12), 50);
     assert!(!pts.is_empty());
     for p in &pts {
         assert!(p.point.converged, "{:?}", p.point.config);
@@ -83,17 +80,17 @@ fn cpu_pipeline_and_strong_ep() {
     assert!(!verdict.holds, "CPU unexpectedly satisfies strong EP: {verdict:?}");
 }
 
-/// Determinism: the entire measured pipeline is reproducible by seed.
+/// Determinism: the entire measured pipeline is reproducible by seed —
+/// and independent of thread count.
 #[test]
 fn pipeline_is_deterministic_under_seed() {
     let app = GpuMatMulApp::new(GpuArch::k40c(), 4);
-    let run = |seed| {
-        let mut r = MeasurementRunner::new(Watts(110.0), seed);
-        app.sweep_measured(2048, &mut r)
-    };
+    let run = |seed| app.sweep_measured(2048, &SweepExecutor::new(seed));
     let a = run(5);
     let b = run(5);
     let c = run(6);
     assert_eq!(a, b);
     assert_ne!(a, c);
+    // Explicit thread counts reproduce the same output bitwise.
+    assert_eq!(a, app.sweep_measured(2048, &SweepExecutor::serial(5)));
 }
