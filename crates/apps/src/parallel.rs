@@ -23,8 +23,55 @@
 //! measurement pipeline) reuse the same fan-out via [`SweepExecutor::map`].
 
 use crate::runner::MeasurementRunner;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// Write-once result slots shared by the sweep workers, one per item.
+///
+/// The scheduler guarantees each index is claimed by exactly one worker
+/// (a `fetch_add` cursor hands out disjoint chunks), so each slot is
+/// written exactly once, with no concurrent access — which makes a plain
+/// `UnsafeCell<MaybeUninit<T>>` sound and replaces the previous
+/// `Vec<Mutex<Option<T>>>` (a lock round-trip per result). The scope join
+/// between the writes and [`into_vec`](ResultSlots::into_vec) provides the
+/// happens-before edge that publishes the values. If a worker panics the
+/// whole sweep panics at the scope join and the slots are leaked, never
+/// read: no use of uninitialized memory.
+struct ResultSlots<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: disjoint write-once access per the scheduler contract above.
+unsafe impl<T: Send> Sync for ResultSlots<T> {}
+
+impl<T> ResultSlots<T> {
+    fn new(len: usize) -> Self {
+        Self { slots: (0..len).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect() }
+    }
+
+    /// Writes the result for `i`.
+    ///
+    /// # Safety
+    /// `i` must be claimed by exactly one worker, and written exactly once.
+    #[inline]
+    unsafe fn write(&self, i: usize, value: T) {
+        unsafe { (*self.slots[i].get()).write(value) };
+    }
+
+    /// Consumes the slots in index order.
+    ///
+    /// # Safety
+    /// Every slot must have been written (all indices claimed and their
+    /// workers joined).
+    unsafe fn into_vec(self) -> Vec<T> {
+        self.slots
+            .into_vec()
+            .into_iter()
+            .map(|slot| unsafe { slot.into_inner().assume_init() })
+            .collect()
+    }
+}
 
 /// Derives the seed for configuration `index` of a sweep seeded with
 /// `sweep_seed`.
@@ -102,10 +149,15 @@ impl SweepExecutor {
     /// `make_state`, calling `f(state, item, config_seed)` per item.
     /// Results are returned in the order of `items`.
     ///
-    /// Work distribution is a shared atomic cursor (dynamic scheduling), so
-    /// load imbalance between configurations does not idle workers; because
-    /// `f`'s output depends only on `(item, config_seed)`, the schedule
-    /// cannot leak into the results.
+    /// Work distribution is a shared atomic cursor claimed in *chunks*
+    /// (dynamic scheduling with amortized cursor traffic): each worker
+    /// claims a run of consecutive indices per `fetch_add`, so cursor
+    /// contention and per-item scheduling overhead shrink by the chunk
+    /// length, while load imbalance between configurations still cannot
+    /// idle workers for long. Each worker constructs its state once, before
+    /// entering the steal loop. Results land in lock-free write-once slots
+    /// ([`ResultSlots`]); because `f`'s output depends only on
+    /// `(item, config_seed)`, the schedule cannot leak into the results.
     pub fn map_with<S, C, T>(
         &self,
         items: &[C],
@@ -129,18 +181,26 @@ impl SweepExecutor {
                 .collect();
         }
 
+        // Chunk length: ~4 claims per worker over the sweep balances cursor
+        // amortization against tail imbalance; capped so enormous sweeps
+        // still rebalance.
+        let chunk = items.len().div_ceil(workers * 4).clamp(1, 64);
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> =
-            items.iter().map(|_| Mutex::new(None)).collect();
+        let slots = ResultSlots::new(items.len());
         let run_worker = || {
+            // Worker state is built once per worker, outside the steal loop.
             let mut state = make_state();
             loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
                     break;
                 }
-                let out = f(&mut state, &items[i], self.config_seed(i));
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                let end = (start + chunk).min(items.len());
+                for i in start..end {
+                    let out = f(&mut state, &items[i], self.config_seed(i));
+                    // SAFETY: the cursor hands out each index exactly once.
+                    unsafe { slots.write(i, out) };
+                }
             }
         };
         crossbeam::thread::scope(|scope| {
@@ -150,14 +210,9 @@ impl SweepExecutor {
         })
         .expect("sweep worker panicked");
 
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every item was claimed exactly once")
-            })
-            .collect()
+        // SAFETY: the scope joined every worker and all indices up to
+        // `items.len()` were claimed, so every slot is initialized.
+        unsafe { slots.into_vec() }
     }
 
     /// Stateless variant of [`map_with`](SweepExecutor::map_with) for
@@ -257,6 +312,41 @@ mod tests {
         let serial = measure(1);
         assert_eq!(serial, measure(2));
         assert_eq!(serial, measure(8));
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_length() {
+        // Exercise chunk-boundary arithmetic: lengths around multiples of
+        // the chunk size, odd worker counts, workers > items.
+        for len in [1usize, 2, 3, 7, 16, 63, 64, 65, 129] {
+            for threads in [2usize, 3, 8, 200] {
+                let items: Vec<usize> = (0..len).collect();
+                let exec = SweepExecutor::new(5).with_threads(threads);
+                let out = exec.map(&items, |x, _| x + 1);
+                let expect: Vec<usize> = (1..=len).collect();
+                assert_eq!(out, expect, "len {len} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_bitwise_identical_across_chunking_schedules() {
+        // The determinism contract must be independent of the chunk size
+        // implied by the worker count.
+        let items: Vec<f64> = (1..=40).map(|i| 5.0 * i as f64).collect();
+        let measure = |threads: usize| {
+            SweepExecutor::new(4242).with_threads(threads).run_measured(
+                &items,
+                || MeasurementRunner::new(Watts(90.0), 0),
+                |runner, &steady| {
+                    runner.measure(Seconds(20.0), Watts(steady), Watts::ZERO, Seconds::ZERO)
+                },
+            )
+        };
+        let serial = measure(1);
+        for threads in [3usize, 5, 16] {
+            assert_eq!(serial, measure(threads), "threads {threads}");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json]
-//!       [--json DIR] [--measured [SEED]] [--threads N]
+//!       [--json DIR] [--measured [SEED]] [--threads N] [--check]
 //! ```
 //!
 //! With `--json DIR` each generated artifact is additionally written as a
@@ -13,13 +13,22 @@
 //! worker count (default: all available cores); the output is
 //! bitwise-identical at any thread count.
 //!
-//! The `bench-json` subcommand times the Fig. 7 measured sweep serially
-//! and in parallel, verifies both produce identical results, and writes
-//! `BENCH_sweep.json` with the configs/sec numbers.
+//! The `bench-json` subcommand times (a) the Fig. 7 measured sweep
+//! serially and in parallel, verifying both produce identical results, and
+//! (b) the functional emulator running tiled DGEMM (N = 256, BS = 16) on
+//! the retired OS-thread engine vs the barrier-phase interpreter, and
+//! writes everything — including `host_cores`, so a reader can tell
+//! whether parallel speedup was physically possible — to
+//! `BENCH_sweep.json`. With `--check` it exits non-zero on a performance
+//! regression: sweep parallel speedup < 1.5× at ≥ 4 threads (enforced only
+//! when the host has ≥ 4 cores — on fewer cores wall-clock speedup is
+//! physically impossible and the gate reduces to the bitwise-identity
+//! check), or phase-interpreter speedup over the legacy engine < 10×.
 
 use enprop_apps::{GpuMatMulApp, SweepExecutor};
 use enprop_bench::figures;
-use enprop_gpusim::GpuArch;
+use enprop_gpusim::emulator::{EmuDgemm, GlobalMem, WavePlan};
+use enprop_gpusim::{GpuArch, TiledDgemmConfig};
 use std::io::Write;
 use std::time::Instant;
 
@@ -29,12 +38,14 @@ fn main() {
     let mut json_dir: Option<String> = None;
     let mut measured: Option<u64> = None;
     let mut threads: Option<usize> = None;
+    let mut check = false;
     let mut it = args.into_iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => {
                 json_dir = Some(it.next().unwrap_or_else(|| usage("missing --json DIR")))
             }
+            "--check" => check = true,
             "--measured" => {
                 let seed = it
                     .peek()
@@ -58,7 +69,7 @@ fn main() {
     }
 
     if which == "bench-json" {
-        bench_sweep(threads, json_dir.as_deref());
+        bench_sweep(threads, json_dir.as_deref(), check);
         return;
     }
 
@@ -176,21 +187,46 @@ fn run(name: &str, measured: Option<u64>, threads: Option<usize>) -> (String, St
     }
 }
 
+#[derive(serde::Serialize)]
+struct SweepBench {
+    workload: String,
+    configs: usize,
+    threads: usize,
+    serial_secs: f64,
+    parallel_secs: f64,
+    serial_configs_per_sec: f64,
+    parallel_configs_per_sec: f64,
+    speedup: f64,
+    bitwise_identical: bool,
+}
+
+#[derive(serde::Serialize)]
+struct EmulatorBench {
+    workload: String,
+    blocks: usize,
+    legacy_secs: f64,
+    phase_secs: f64,
+    legacy_blocks_per_sec: f64,
+    phase_blocks_per_sec: f64,
+    speedup: f64,
+    results_identical: bool,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    /// Host cores available to the process — the physical ceiling on any
+    /// wall-clock parallel speedup reported below.
+    host_cores: usize,
+    sweep: SweepBench,
+    emulator: EmulatorBench,
+}
+
 /// Times the Fig. 7 measured workload (K40c, N = 8704 and 10240) serially
-/// and in parallel, checks bitwise identity, and writes `BENCH_sweep.json`.
-fn bench_sweep(threads: Option<usize>, json_dir: Option<&str>) {
-    #[derive(serde::Serialize)]
-    struct SweepBench {
-        workload: String,
-        configs: usize,
-        threads: usize,
-        serial_secs: f64,
-        parallel_secs: f64,
-        serial_configs_per_sec: f64,
-        parallel_configs_per_sec: f64,
-        speedup: f64,
-        bitwise_identical: bool,
-    }
+/// and in parallel, checks bitwise identity; times the emulator old-vs-new
+/// engines on tiled DGEMM (N = 256, BS = 16); writes `BENCH_sweep.json`.
+/// With `check`, exits non-zero on a perf regression (see module docs).
+fn bench_sweep(threads: Option<usize>, json_dir: Option<&str>, check: bool) {
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let app = GpuMatMulApp::new(GpuArch::k40c(), 8);
     let sizes = [8704usize, 10240];
@@ -207,7 +243,7 @@ fn bench_sweep(threads: Option<usize>, json_dir: Option<&str>) {
 
     let configs: usize = serial_pts.iter().map(|pts| pts.len()).sum();
     let bitwise_identical = serial_pts == parallel_pts;
-    let bench = SweepBench {
+    let sweep = SweepBench {
         workload: "fig7 measured sweep (K40c, N = 8704 + 10240)".into(),
         configs,
         threads: parallel.threads(),
@@ -220,25 +256,128 @@ fn bench_sweep(threads: Option<usize>, json_dir: Option<&str>) {
     };
 
     println!(
-        "{} configurations, {} thread(s): serial {:.2}s ({:.0} cfg/s), \
+        "sweep: {} configurations, {} thread(s): serial {:.2}s ({:.0} cfg/s), \
          parallel {:.2}s ({:.0} cfg/s), speedup {:.2}x, identical: {}",
-        bench.configs,
-        bench.threads,
-        bench.serial_secs,
-        bench.serial_configs_per_sec,
-        bench.parallel_secs,
-        bench.parallel_configs_per_sec,
-        bench.speedup,
-        bench.bitwise_identical
+        sweep.configs,
+        sweep.threads,
+        sweep.serial_secs,
+        sweep.serial_configs_per_sec,
+        sweep.parallel_secs,
+        sweep.parallel_configs_per_sec,
+        sweep.speedup,
+        sweep.bitwise_identical
     );
     assert!(bitwise_identical, "parallel sweep diverged from serial output");
+
+    let emulator = bench_emulator_engines();
+    println!(
+        "emulator: {} ({} blocks): legacy {:.2}s ({:.0} blk/s), \
+         phase {:.3}s ({:.0} blk/s), speedup {:.1}x, identical: {}",
+        emulator.workload,
+        emulator.blocks,
+        emulator.legacy_secs,
+        emulator.legacy_blocks_per_sec,
+        emulator.phase_secs,
+        emulator.phase_blocks_per_sec,
+        emulator.speedup,
+        emulator.results_identical
+    );
+    assert!(emulator.results_identical, "phase engine diverged from legacy engine");
+
+    let report = BenchReport { host_cores, sweep, emulator };
 
     let dir = json_dir.unwrap_or(".");
     std::fs::create_dir_all(dir).expect("create json dir");
     let path = format!("{dir}/BENCH_sweep.json");
     let mut f = std::fs::File::create(&path).expect("create BENCH_sweep.json");
-    f.write_all(to_json(&bench).as_bytes()).expect("write BENCH_sweep.json");
+    f.write_all(to_json(&report).as_bytes()).expect("write BENCH_sweep.json");
     eprintln!("wrote {path}");
+
+    if check {
+        run_perf_gate(&report);
+    }
+}
+
+/// Old-vs-new engine comparison: tiled DGEMM at N = 256, BS = 16 — one
+/// 16 × 16 grid of 256-thread blocks through the retired OS-thread engine
+/// and the phase interpreter, same inputs, results compared bitwise.
+fn bench_emulator_engines() -> EmulatorBench {
+    let n = 256usize;
+    let bs = 16usize;
+    let cfg = TiledDgemmConfig { n, bs, g: 1, r: 1 };
+    let blocks = (n / bs) * (n / bs);
+    let host_a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 - 3.0).collect();
+    let host_b: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64 - 2.0).collect();
+    let emu = EmuDgemm::new(cfg);
+
+    let (a, b, c_legacy) =
+        (GlobalMem::from_slice(&host_a), GlobalMem::from_slice(&host_b), GlobalMem::zeroed(n * n));
+    let start = Instant::now();
+    emu.run_legacy(&a, &b, &c_legacy);
+    let legacy_secs = start.elapsed().as_secs_f64();
+
+    // The phase run is fast enough to jitter; take the best of three.
+    let mut phase_secs = f64::INFINITY;
+    let mut c_phase = GlobalMem::zeroed(n * n);
+    for _ in 0..3 {
+        let c = GlobalMem::zeroed(n * n);
+        let start = Instant::now();
+        emu.with_wave(WavePlan::auto()).run(&a, &b, &c);
+        phase_secs = phase_secs.min(start.elapsed().as_secs_f64());
+        c_phase = c;
+    }
+
+    let bits = |m: &GlobalMem| m.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    EmulatorBench {
+        workload: "tiled DGEMM (N = 256, BS = 16, G = 1, R = 1)".into(),
+        blocks,
+        legacy_secs,
+        phase_secs,
+        legacy_blocks_per_sec: blocks as f64 / legacy_secs,
+        phase_blocks_per_sec: blocks as f64 / phase_secs,
+        speedup: legacy_secs / phase_secs,
+        results_identical: bits(&c_legacy) == bits(&c_phase),
+    }
+}
+
+/// The `--check` perf gate. Exits non-zero on regression so a scheduler
+/// regression like PR 2's 0.98× sweep "speedup" cannot land silently.
+fn run_perf_gate(report: &BenchReport) {
+    let mut failures = Vec::new();
+
+    if report.emulator.speedup < 10.0 {
+        failures.push(format!(
+            "emulator phase-interpreter speedup {:.1}x over the legacy engine is below 10x",
+            report.emulator.speedup
+        ));
+    }
+
+    if report.sweep.threads >= 4 {
+        if report.host_cores >= 4 {
+            if report.sweep.speedup < 1.5 {
+                failures.push(format!(
+                    "fig7 measured-sweep parallel speedup {:.2}x at {} threads is below 1.5x \
+                     (host has {} cores)",
+                    report.sweep.speedup, report.sweep.threads, report.host_cores
+                ));
+            }
+        } else {
+            eprintln!(
+                "check: skipping sweep-speedup gate — host has {} core(s), so wall-clock \
+                 parallel speedup is physically impossible; bitwise identity still verified",
+                report.host_cores
+            );
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!("check: all performance gates passed");
+    } else {
+        for f in &failures {
+            eprintln!("check FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn to_json<T: serde::Serialize>(v: &T) -> String {
@@ -251,7 +390,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json] \
-         [--json DIR] [--measured [SEED]] [--threads N]"
+         [--json DIR] [--measured [SEED]] [--threads N] [--check]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

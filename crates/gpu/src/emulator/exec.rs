@@ -1,9 +1,38 @@
-//! Kernel launch machinery: grids of blocks of OS threads with barrier
-//! semantics.
+//! The cooperative barrier-phase block interpreter.
+//!
+//! CUDA kernels written for this emulator are expressed as an explicit
+//! phase state machine: a [`BlockKernel`] carries per-thread state and a
+//! [`run_phase`](BlockKernel::run_phase) body holding the code *between*
+//! `__syncthreads` boundaries. One host thread executes all threads of a
+//! block in lockstep phase order — phase `p` runs for every thread of the
+//! block before phase `p + 1` starts — which reproduces the barrier's
+//! ordering guarantees exactly, without spawning an OS thread per CUDA
+//! thread, without a [`std::sync::Barrier`], and without atomic bit-store
+//! memories. Event counts accumulate in plain per-block counters
+//! ([`BlockCounters`]) flushed once into the launch-wide
+//! [`EventCounters`] at block retirement.
+//!
+//! The barrier-misuse detection the OS-thread engine got from a real
+//! barrier (deadlock) is preserved, but *loudly*: if the threads of a
+//! block disagree on whether another phase follows — some return
+//! [`PhaseOutcome::Sync`], others [`PhaseOutcome::Done`] — the interpreter
+//! panics with a diagnostic instead of hanging.
+//!
+//! Blocks are independent (no inter-block communication in this model),
+//! so the grid is executed in parallel *across blocks* by a small worker
+//! pool whose width — the "wave" width, analogous to blocks resident
+//! across SMs — comes from [`WavePlan`]: the host's
+//! `available_parallelism`, optionally capped by the architecture's
+//! occupancy-limited resident-block count, and overridable for tests.
+//!
+//! The previous engine (one OS thread per CUDA thread) lives on in
+//! [`super::legacy`] solely so equivalence tests can assert the two
+//! engines produce identical results and event counts.
 
-use super::mem::{EventCounters, GlobalMem, SharedMem};
-use std::sync::atomic::Ordering;
-use std::sync::Barrier;
+use super::mem::{BlockCounters, EventCounters, GlobalMem};
+use crate::arch::GpuArch;
+use crate::occupancy::Occupancy;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A 2-D extent (grid or block dimensions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,9 +56,53 @@ impl Dim2 {
     }
 }
 
-/// Per-thread execution context handed to the kernel body — the emulator's
-/// equivalent of `threadIdx`/`blockIdx` plus the device intrinsics.
-pub struct ThreadCtx<'a> {
+/// What a thread did at the end of a phase segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseOutcome {
+    /// The thread reached a `__syncthreads` — another phase follows.
+    Sync,
+    /// The thread returned from the kernel.
+    Done,
+}
+
+/// A kernel expressed as barrier-delimited phases over per-thread state.
+///
+/// [`run_phase`](BlockKernel::run_phase) holds the straight-line code of
+/// one segment between `__syncthreads` boundaries (loops whose body spans
+/// a barrier become state-machine steps, with induction variables stored
+/// in [`State`](BlockKernel::State)). Every thread of a block must return
+/// the same [`PhaseOutcome`] from a given phase — the CUDA requirement
+/// that `__syncthreads` is reached uniformly — and the interpreter
+/// enforces it.
+pub trait BlockKernel: Sync {
+    /// Per-thread state carried across phases (registers + the program
+    /// counter of the implicit coroutine).
+    type State: Send;
+
+    /// Block dimensions (`blockDim`).
+    fn block(&self) -> Dim2;
+
+    /// Doubles of per-block shared memory.
+    fn shared_len(&self) -> usize;
+
+    /// Builds the state of thread `(tx, ty)` of block `(bx, by)`.
+    fn init(&self, bx: usize, by: usize, tx: usize, ty: usize) -> Self::State;
+
+    /// Executes phase `phase` for one thread.
+    fn run_phase(
+        &self,
+        phase: usize,
+        state: &mut Self::State,
+        ctx: &mut PhaseCtx<'_>,
+    ) -> PhaseOutcome;
+}
+
+/// Per-thread view of a block's execution context during one phase: the
+/// thread/block coordinates plus shared memory, global memory access and
+/// event accounting. The emulator's equivalent of `threadIdx`/`blockIdx`
+/// and the device intrinsics, minus `__syncthreads` — which is implicit
+/// in returning [`PhaseOutcome::Sync`].
+pub struct PhaseCtx<'a> {
     /// This thread's `threadIdx.x`.
     pub tx: usize,
     /// This thread's `threadIdx.y`.
@@ -38,175 +111,371 @@ pub struct ThreadCtx<'a> {
     pub bx: usize,
     /// This block's `blockIdx.y`.
     pub by: usize,
-    shared: &'a SharedMem,
-    barrier: &'a Barrier,
-    events: &'a EventCounters,
+    shared: &'a mut [f64],
+    counts: &'a mut BlockCounters,
 }
 
-impl ThreadCtx<'_> {
-    /// `__syncthreads()`: every thread of the block must reach the barrier.
-    /// Counted once per block (thread (0,0) does the accounting), matching
-    /// the per-block CUPTI barrier semantics.
-    pub fn sync_threads(&self) {
-        if self.tx == 0 && self.ty == 0 {
-            self.events.barriers.fetch_add(1, Ordering::Relaxed);
-        }
-        self.barrier.wait();
-    }
-
+impl PhaseCtx<'_> {
     /// Shared-memory load with event accounting.
     #[inline]
-    pub fn shared_load(&self, idx: usize) -> f64 {
-        self.events.shared_loads.fetch_add(1, Ordering::Relaxed);
-        self.shared.load(idx)
+    pub fn shared_load(&mut self, idx: usize) -> f64 {
+        self.counts.shared_loads += 1;
+        self.shared[idx]
     }
 
     /// Shared-memory store with event accounting.
     #[inline]
-    pub fn shared_store(&self, idx: usize, v: f64) {
-        self.events.shared_stores.fetch_add(1, Ordering::Relaxed);
-        self.shared.store(idx, v);
+    pub fn shared_store(&mut self, idx: usize, v: f64) {
+        self.counts.shared_stores += 1;
+        self.shared[idx] = v;
     }
 
     /// Global-memory load with event accounting.
     #[inline]
-    pub fn global_load(&self, mem: &GlobalMem, idx: usize) -> f64 {
-        self.events.global_loads.fetch_add(1, Ordering::Relaxed);
+    pub fn global_load(&mut self, mem: &GlobalMem, idx: usize) -> f64 {
+        self.counts.global_loads += 1;
         mem.load(idx)
     }
 
     /// Global-memory store with event accounting.
     #[inline]
-    pub fn global_store(&self, mem: &GlobalMem, idx: usize, v: f64) {
-        self.events.global_stores.fetch_add(1, Ordering::Relaxed);
+    pub fn global_store(&mut self, mem: &GlobalMem, idx: usize, v: f64) {
+        self.counts.global_stores += 1;
         mem.store(idx, v);
     }
 
     /// Records `n` double-precision flops.
     #[inline]
-    pub fn count_flops(&self, n: u64) {
-        self.events.flops.fetch_add(n, Ordering::Relaxed);
+    pub fn count_flops(&mut self, n: u64) {
+        self.counts.flops += n;
     }
 }
 
-/// Number of thread blocks executed concurrently — the emulator's "wave"
-/// width, analogous to blocks resident across SMs. Kernels under study
-/// have no inter-block communication, so any wave width is
-/// semantics-preserving.
-pub const WAVE_WIDTH: usize = 4;
-
-/// Launches a kernel over `grid` blocks of `block` threads each, with
-/// `shared_len` doubles of per-block shared memory.
+/// The number of thread blocks a launch executes concurrently.
 ///
-/// Blocks execute in concurrent waves of [`WAVE_WIDTH`] (hardware
-/// schedules them in waves across SMs); each block's threads are real OS
-/// threads synchronized by a [`Barrier`], so `__syncthreads` misuse
-/// (deadlock) fails loudly rather than silently, and each block owns a
-/// private shared-memory allocation.
-pub fn launch<K>(grid: Dim2, block: Dim2, shared_len: usize, events: &EventCounters, kernel: K)
-where
-    K: Fn(&ThreadCtx<'_>) + Sync,
-{
-    let threads = block.count();
-    let block_ids: Vec<(usize, usize)> =
-        (0..grid.y).flat_map(|by| (0..grid.x).map(move |bx| (bx, by))).collect();
+/// Replaces the old hardcoded `WAVE_WIDTH = 4`: the width is derived from
+/// the host's `available_parallelism` — there is no point in more workers
+/// than cores — optionally capped by the modeled device's occupancy (the
+/// number of blocks that can actually be resident across its SMs), and
+/// overridable for tests via [`WavePlan::fixed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WavePlan {
+    width: usize,
+}
 
-    for wave in block_ids.chunks(WAVE_WIDTH) {
-        crossbeam::thread::scope(|outer| {
-            for &(bx, by) in wave {
-                let kernel = &kernel;
-                outer.spawn(move |_| {
-                    let shared = SharedMem::zeroed(shared_len);
-                    let barrier = Barrier::new(threads);
-                    crossbeam::thread::scope(|inner| {
-                        for ty in 0..block.y {
-                            for tx in 0..block.x {
-                                let shared = &shared;
-                                let barrier = &barrier;
-                                inner.spawn(move |_| {
-                                    let ctx =
-                                        ThreadCtx { tx, ty, bx, by, shared, barrier, events };
-                                    kernel(&ctx);
-                                });
-                            }
-                        }
-                    })
-                    .expect("kernel thread panicked");
-                });
-            }
-        })
-        .expect("block wave panicked");
+/// Host threads available to the process (1 if indeterminate).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl WavePlan {
+    /// A fixed wave width (clamped to at least 1) — the test override.
+    pub fn fixed(width: usize) -> Self {
+        Self { width: width.max(1) }
     }
+
+    /// Width from host parallelism alone (no architecture bound).
+    pub fn auto() -> Self {
+        Self::fixed(host_parallelism())
+    }
+
+    /// Width from host parallelism capped by `arch`'s occupancy-limited
+    /// resident blocks (`blocks_per_sm × num_sms`) for a kernel with
+    /// `threads_per_block` threads and `shared_bytes` of shared memory
+    /// per block. Falls back to 1 when the kernel cannot launch on the
+    /// architecture at all.
+    pub fn for_arch(arch: &GpuArch, threads_per_block: usize, shared_bytes: usize) -> Self {
+        let resident = Occupancy::compute(arch, threads_per_block, shared_bytes)
+            .map(|o| o.blocks_per_sm * arch.num_sms)
+            .unwrap_or(1);
+        Self::fixed(host_parallelism().min(resident))
+    }
+
+    /// The wave width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl Default for WavePlan {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Executes one block to retirement on the calling thread and flushes its
+/// event counts.
+fn run_block<K: BlockKernel>(kernel: &K, bx: usize, by: usize, events: &EventCounters) {
+    let block = kernel.block();
+    let threads = block.count();
+    let mut shared = vec![0.0f64; kernel.shared_len()];
+    let mut counts = BlockCounters::default();
+    let mut states: Vec<K::State> = Vec::with_capacity(threads);
+    for ty in 0..block.y {
+        for tx in 0..block.x {
+            states.push(kernel.init(bx, by, tx, ty));
+        }
+    }
+
+    let mut phase = 0usize;
+    loop {
+        let mut syncs = 0usize;
+        for ty in 0..block.y {
+            for tx in 0..block.x {
+                let mut ctx =
+                    PhaseCtx { tx, ty, bx, by, shared: &mut shared, counts: &mut counts };
+                let state = &mut states[ty * block.x + tx];
+                if kernel.run_phase(phase, state, &mut ctx) == PhaseOutcome::Sync {
+                    syncs += 1;
+                }
+            }
+        }
+        if syncs == 0 {
+            break; // every thread returned from the kernel
+        }
+        assert!(
+            syncs == threads,
+            "__syncthreads divergence: at phase {phase} of block ({bx}, {by}), \
+             {syncs} of {threads} threads reached the barrier while the rest \
+             returned — this kernel would deadlock on real hardware"
+        );
+        counts.barriers += 1;
+        phase += 1;
+    }
+    counts.flush_into(events);
+}
+
+/// Runs `kernel` over `grid` blocks with `plan.width()` blocks in flight.
+///
+/// Blocks are claimed from an atomic cursor in chunks, each executed to
+/// retirement by one worker; because blocks are independent and their
+/// event totals are summed commutatively, any schedule produces identical
+/// memory contents and counts.
+pub fn run_grid<K: BlockKernel>(grid: Dim2, kernel: &K, events: &EventCounters, plan: WavePlan) {
+    let blocks: Vec<(usize, usize)> =
+        (0..grid.y).flat_map(|by| (0..grid.x).map(move |bx| (bx, by))).collect();
+    let wave = plan.width().min(blocks.len());
+    if wave <= 1 {
+        for &(bx, by) in &blocks {
+            run_block(kernel, bx, by, events);
+        }
+        return;
+    }
+
+    // Chunked claiming: amortize cursor traffic over runs of blocks.
+    let chunk = blocks.len().div_ceil(wave * 4).clamp(1, 64);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..wave {
+            scope.spawn(|_| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= blocks.len() {
+                    break;
+                }
+                let end = (start + chunk).min(blocks.len());
+                for &(bx, by) in &blocks[start..end] {
+                    run_block(kernel, bx, by, events);
+                }
+            });
+        }
+    })
+    .expect("block wave panicked");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn every_thread_runs_once() {
-        let events = EventCounters::new();
-        let out = GlobalMem::zeroed(4 * 9); // 2×2 grid of 3×3 blocks
-        launch(Dim2::new(2, 2), Dim2::new(3, 3), 0, &events, |ctx| {
-            let block_id = ctx.by * 2 + ctx.bx;
-            let thread_id = ctx.ty * 3 + ctx.tx;
-            ctx.global_store(&out, block_id * 9 + thread_id, 1.0);
-        });
-        assert_eq!(out.to_vec(), vec![1.0; 36]);
-        assert_eq!(events.snapshot().global_stores, 36);
+    /// A trivially phase-structured kernel for engine tests: phase 0
+    /// writes each thread's slot, phase 1 reads the neighbour's.
+    struct NeighbourRead<'a> {
+        out: &'a GlobalMem,
+        width: usize,
+    }
+
+    impl BlockKernel for NeighbourRead<'_> {
+        type State = ();
+
+        fn block(&self) -> Dim2 {
+            Dim2::new(self.width, 1)
+        }
+
+        fn shared_len(&self) -> usize {
+            self.width
+        }
+
+        fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
+
+        fn run_phase(
+            &self,
+            phase: usize,
+            _state: &mut (),
+            ctx: &mut PhaseCtx<'_>,
+        ) -> PhaseOutcome {
+            match phase {
+                0 => {
+                    ctx.shared_store(ctx.tx, ctx.tx as f64 + 1.0);
+                    PhaseOutcome::Sync
+                }
+                1 => {
+                    let neighbour = (ctx.tx + 1) % self.width;
+                    let v = ctx.shared_load(neighbour);
+                    ctx.global_store(self.out, ctx.tx, v);
+                    PhaseOutcome::Done
+                }
+                _ => unreachable!(),
+            }
+        }
     }
 
     #[test]
-    fn barrier_orders_shared_memory_phases() {
-        // Phase 1: each thread writes its id to shared; barrier; phase 2:
-        // each thread reads its neighbour's slot. Without a real barrier
-        // this reads stale zeros.
+    fn phase_order_replaces_the_barrier() {
         let events = EventCounters::new();
         let out = GlobalMem::zeroed(8);
-        launch(Dim2::new(1, 1), Dim2::new(8, 1), 8, &events, |ctx| {
-            ctx.shared_store(ctx.tx, ctx.tx as f64 + 1.0);
-            ctx.sync_threads();
-            let neighbour = (ctx.tx + 1) % 8;
-            let v = ctx.shared_load(neighbour);
-            ctx.global_store(&out, ctx.tx, v);
-        });
+        let k = NeighbourRead { out: &out, width: 8 };
+        run_grid(Dim2::new(1, 1), &k, &events, WavePlan::fixed(1));
         let expect: Vec<f64> = (0..8).map(|i| ((i + 1) % 8) as f64 + 1.0).collect();
         assert_eq!(out.to_vec(), expect);
-        // One barrier, counted once per block.
+        // One barrier (the phase-0 → phase-1 boundary), counted per block.
         assert_eq!(events.snapshot().barriers, 1);
     }
 
-    #[test]
-    fn barriers_counted_per_block() {
-        let events = EventCounters::new();
-        launch(Dim2::new(3, 2), Dim2::new(2, 2), 0, &events, |ctx| {
-            ctx.sync_threads();
-            ctx.sync_threads();
-        });
-        // 6 blocks × 2 barriers.
-        assert_eq!(events.snapshot().barriers, 12);
+    /// Each thread stores 1.0 at its global slot; used for grid coverage
+    /// and wave-width invariance.
+    struct MarkAll<'a> {
+        out: &'a GlobalMem,
+        grid: Dim2,
+        block: Dim2,
+    }
+
+    impl BlockKernel for MarkAll<'_> {
+        type State = ();
+
+        fn block(&self) -> Dim2 {
+            self.block
+        }
+
+        fn shared_len(&self) -> usize {
+            0
+        }
+
+        fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
+
+        fn run_phase(&self, _p: usize, _s: &mut (), ctx: &mut PhaseCtx<'_>) -> PhaseOutcome {
+            let block_id = ctx.by * self.grid.x + ctx.bx;
+            let thread_id = ctx.ty * self.block.x + ctx.tx;
+            ctx.global_store(self.out, block_id * self.block.count() + thread_id, 1.0);
+            PhaseOutcome::Done
+        }
     }
 
     #[test]
-    fn flop_accounting() {
-        let events = EventCounters::new();
-        launch(Dim2::new(1, 1), Dim2::new(4, 1), 0, &events, |ctx| {
-            ctx.count_flops(10);
-        });
-        assert_eq!(events.snapshot().flops, 40);
+    fn every_thread_runs_once_at_any_wave_width() {
+        for wave in [1usize, 2, 3, 16] {
+            let events = EventCounters::new();
+            let out = GlobalMem::zeroed(4 * 9);
+            let k = MarkAll { out: &out, grid: Dim2::new(2, 2), block: Dim2::new(3, 3) };
+            run_grid(Dim2::new(2, 2), &k, &events, WavePlan::fixed(wave));
+            assert_eq!(out.to_vec(), vec![1.0; 36], "wave {wave}");
+            assert_eq!(events.snapshot().global_stores, 36, "wave {wave}");
+        }
+    }
+
+    /// Threads disagree on phase count: tx 0 wants a second phase, the
+    /// rest return — the misuse the old engine punished with a deadlock.
+    struct Divergent;
+
+    impl BlockKernel for Divergent {
+        type State = ();
+
+        fn block(&self) -> Dim2 {
+            Dim2::new(4, 1)
+        }
+
+        fn shared_len(&self) -> usize {
+            0
+        }
+
+        fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
+
+        fn run_phase(&self, phase: usize, _s: &mut (), ctx: &mut PhaseCtx<'_>) -> PhaseOutcome {
+            if ctx.tx == 0 && phase == 0 {
+                PhaseOutcome::Sync
+            } else {
+                PhaseOutcome::Done
+            }
+        }
     }
 
     #[test]
-    fn shared_memory_is_per_block() {
-        // Each block increments its shared slot once; if shared memory
-        // leaked across blocks the final value would accumulate.
+    #[should_panic(expected = "__syncthreads divergence")]
+    fn divergent_phase_counts_fail_loudly() {
         let events = EventCounters::new();
-        let out = GlobalMem::zeroed(4);
-        launch(Dim2::new(4, 1), Dim2::new(1, 1), 1, &events, |ctx| {
-            let v = ctx.shared_load(0) + 1.0;
-            ctx.shared_store(0, v);
-            ctx.global_store(&out, ctx.bx, v);
-        });
-        assert_eq!(out.to_vec(), vec![1.0; 4]);
+        run_grid(Dim2::new(1, 1), &Divergent, &events, WavePlan::fixed(1));
+    }
+
+    #[test]
+    fn per_block_counters_flush_to_launch_totals() {
+        // 6 blocks × 9 threads × 1 store, plus per-block barrier counts.
+        struct TwoPhase<'a> {
+            out: &'a GlobalMem,
+        }
+        impl BlockKernel for TwoPhase<'_> {
+            type State = ();
+            fn block(&self) -> Dim2 {
+                Dim2::new(3, 3)
+            }
+            fn shared_len(&self) -> usize {
+                0
+            }
+            fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
+            fn run_phase(
+                &self,
+                phase: usize,
+                _s: &mut (),
+                ctx: &mut PhaseCtx<'_>,
+            ) -> PhaseOutcome {
+                match phase {
+                    0 => {
+                        ctx.count_flops(10);
+                        PhaseOutcome::Sync
+                    }
+                    _ => {
+                        // One representative store per block (thread (0,0)).
+                        if ctx.tx == 0 && ctx.ty == 0 {
+                            let block_id = ctx.by * 3 + ctx.bx;
+                            ctx.global_store(self.out, block_id, 1.0);
+                        }
+                        PhaseOutcome::Done
+                    }
+                }
+            }
+        }
+        let events = EventCounters::new();
+        let out = GlobalMem::zeroed(6);
+        run_grid(Dim2::new(3, 2), &TwoPhase { out: &out }, &events, WavePlan::fixed(4));
+        let s = events.snapshot();
+        assert_eq!(s.flops, 6 * 9 * 10);
+        assert_eq!(s.global_stores, 6);
+        assert_eq!(s.barriers, 6); // one per block
+    }
+
+    #[test]
+    fn wave_plan_from_arch_is_occupancy_capped() {
+        let arch = GpuArch::k40c();
+        // BS = 32 tiles: 1024 threads/block → 2 blocks/SM × 15 SMs = 30.
+        let plan = WavePlan::for_arch(&arch, 32 * 32, 2 * 32 * 32 * 8);
+        assert!(plan.width() <= 30.min(host_parallelism().max(1)).max(1));
+        assert!(plan.width() >= 1);
+        // An unlaunchable kernel degrades to a serial wave.
+        let bad = WavePlan::for_arch(&arch, 33 * 33, 0);
+        assert_eq!(bad.width(), 1);
+    }
+
+    #[test]
+    fn fixed_wave_width_is_clamped_positive() {
+        assert_eq!(WavePlan::fixed(0).width(), 1);
+        assert_eq!(WavePlan::fixed(7).width(), 7);
+        assert!(WavePlan::auto().width() >= 1);
     }
 }

@@ -8,8 +8,14 @@
 //! `n/2` threads owns one butterfly per stage), and the spectrum is
 //! written back to global memory. Complex values are stored as
 //! interleaved (re, im) doubles.
+//!
+//! On the phase interpreter the kernel is a three-step state machine —
+//! bit-reversed *load*, one *butterfly* phase per stage, *store* — with
+//! the stage length carried in per-thread state. The original closure
+//! form survives in [`EmuRowFft::run_legacy`] for old-vs-new equivalence.
 
-use super::exec::{launch, Dim2, ThreadCtx};
+use super::exec::{run_grid, BlockKernel, Dim2, PhaseCtx, PhaseOutcome, WavePlan};
+use super::legacy;
 use super::mem::{EmuEvents, EventCounters, GlobalMem};
 
 /// The emulated batched row FFT: `rows` independent transforms of length
@@ -20,6 +26,7 @@ pub struct EmuRowFft {
     pub n: usize,
     /// Number of rows (thread blocks).
     pub rows: usize,
+    wave: WavePlan,
 }
 
 impl EmuRowFft {
@@ -27,7 +34,13 @@ impl EmuRowFft {
     pub fn new(n: usize, rows: usize) -> Self {
         assert!(n >= 2 && n.is_power_of_two(), "FFT length must be a power of two >= 2");
         assert!(rows >= 1, "need at least one row");
-        Self { n, rows }
+        Self { n, rows, wave: WavePlan::auto() }
+    }
+
+    /// Overrides the block-wave width (tests; benchmarking).
+    pub fn with_wave(mut self, wave: WavePlan) -> Self {
+        self.wave = wave;
+        self
     }
 
     /// Launches the kernel over `data`: `rows × n` complex values as
@@ -37,14 +50,27 @@ impl EmuRowFft {
         let (n, rows) = (self.n, self.rows);
         assert_eq!(data.len(), 2 * rows * n, "signal size mismatch");
 
+        let events = EventCounters::new();
+        let kernel = FftKernel { n, stages: n.trailing_zeros() as usize, data };
+        run_grid(Dim2::new(1, rows), &kernel, &events, self.wave);
+        events.snapshot()
+    }
+
+    /// Launches the kernel on the retired OS-thread engine
+    /// ([`super::legacy`]) — the equivalence oracle. Semantics and event
+    /// counts are identical to [`run`](EmuRowFft::run).
+    pub fn run_legacy(&self, data: &GlobalMem) -> EmuEvents {
+        let (n, rows) = (self.n, self.rows);
+        assert_eq!(data.len(), 2 * rows * n, "signal size mismatch");
+
         let stages = n.trailing_zeros() as usize;
         let events = EventCounters::new();
-        launch(
+        legacy::launch(
             Dim2::new(1, rows),
             Dim2::new(n / 2, 1),
             2 * n, // one complex row in shared memory
             &events,
-            |ctx: &ThreadCtx<'_>| {
+            |ctx: &legacy::ThreadCtx<'_>| {
                 let row = ctx.by;
                 let base = 2 * row * n;
                 let tid = ctx.tx;
@@ -98,6 +124,100 @@ impl EmuRowFft {
             },
         );
         events.snapshot()
+    }
+}
+
+/// The row FFT as a phase state machine: one block per row, `n/2` threads.
+struct FftKernel<'a> {
+    n: usize,
+    stages: usize,
+    data: &'a GlobalMem,
+}
+
+/// Which barrier-delimited segment a thread executes next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FftStep {
+    /// Bit-reversed staging of the row into shared memory.
+    Load,
+    /// One butterfly stage of length `len` (2, 4, …, n).
+    Butterfly {
+        /// Current stage length.
+        len: usize,
+    },
+    /// Spectrum write-back to global memory.
+    Store,
+}
+
+impl BlockKernel for FftKernel<'_> {
+    type State = FftStep;
+
+    fn block(&self) -> Dim2 {
+        Dim2::new(self.n / 2, 1)
+    }
+
+    fn shared_len(&self) -> usize {
+        2 * self.n // one complex row
+    }
+
+    fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) -> FftStep {
+        FftStep::Load
+    }
+
+    fn run_phase(&self, _phase: usize, st: &mut FftStep, ctx: &mut PhaseCtx<'_>) -> PhaseOutcome {
+        let n = self.n;
+        let base = 2 * ctx.by * n;
+        let tid = ctx.tx;
+        match *st {
+            FftStep::Load => {
+                // Stage the row into shared memory in bit-reversed order;
+                // each thread loads two elements.
+                for idx in [tid, tid + n / 2] {
+                    let j =
+                        (idx.reverse_bits() >> (usize::BITS - self.stages as u32)) & (n - 1);
+                    let re = ctx.global_load(self.data, base + 2 * idx);
+                    let im = ctx.global_load(self.data, base + 2 * idx + 1);
+                    ctx.shared_store(2 * j, re);
+                    ctx.shared_store(2 * j + 1, im);
+                }
+                *st = FftStep::Butterfly { len: 2 };
+                PhaseOutcome::Sync
+            }
+            FftStep::Butterfly { len } => {
+                let half = len / 2;
+                // Thread `tid` owns butterfly `tid`: group g, offset k.
+                let g = tid / half;
+                let k = tid % half;
+                let i0 = g * len + k;
+                let i1 = i0 + half;
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                let (w_re, w_im) = (ang.cos(), ang.sin());
+
+                let u_re = ctx.shared_load(2 * i0);
+                let u_im = ctx.shared_load(2 * i0 + 1);
+                let v_re0 = ctx.shared_load(2 * i1);
+                let v_im0 = ctx.shared_load(2 * i1 + 1);
+                let v_re = v_re0 * w_re - v_im0 * w_im;
+                let v_im = v_re0 * w_im + v_im0 * w_re;
+                ctx.count_flops(10); // complex mul (6) + 2 complex adds (4)
+
+                ctx.shared_store(2 * i0, u_re + v_re);
+                ctx.shared_store(2 * i0 + 1, u_im + v_im);
+                ctx.shared_store(2 * i1, u_re - v_re);
+                ctx.shared_store(2 * i1 + 1, u_im - v_im);
+                *st = if len == n { FftStep::Store } else { FftStep::Butterfly { len: len << 1 } };
+                PhaseOutcome::Sync
+            }
+            FftStep::Store => {
+                // Write the spectrum back; each thread stores two elements.
+                for idx in [tid, tid + n / 2] {
+                    let re = ctx.shared_load(2 * idx);
+                    let im = ctx.shared_load(2 * idx + 1);
+                    ctx.global_store(self.data, base + 2 * idx, re);
+                    ctx.global_store(self.data, base + 2 * idx + 1, im);
+                }
+                PhaseOutcome::Done
+            }
+        }
     }
 }
 
@@ -168,6 +288,23 @@ mod tests {
     }
 
     #[test]
+    fn result_is_wave_width_invariant() {
+        let (n, rows) = (16usize, 6usize);
+        let host = signal(rows, n, 9);
+        let run_with = |wave: usize| {
+            let dev = GlobalMem::from_slice(&host);
+            let ev = EmuRowFft::new(n, rows).with_wave(WavePlan::fixed(wave)).run(&dev);
+            (dev.to_vec(), ev)
+        };
+        let (serial, ev1) = run_with(1);
+        for wave in [2usize, 4, 16] {
+            let (out, ev) = run_with(wave);
+            assert_eq!(serial, out, "wave {wave}");
+            assert_eq!(ev1, ev, "wave {wave}");
+        }
+    }
+
+    #[test]
     fn event_counts_match_structure() {
         let (n, rows) = (16usize, 3usize);
         let dev = GlobalMem::from_slice(&signal(rows, n, 1));
@@ -180,6 +317,19 @@ mod tests {
         assert_eq!(ev.global_stores, (2 * rows * n) as u64);
         // Barriers: one after staging + one per stage, per block.
         assert_eq!(ev.barriers, rows as u64 * (1 + stages));
+    }
+
+    #[test]
+    fn phase_engine_equals_legacy_engine() {
+        for &(n, rows) in &[(8usize, 2usize), (16, 3)] {
+            let host = signal(rows, n, 13);
+            let d1 = GlobalMem::from_slice(&host);
+            let new_ev = EmuRowFft::new(n, rows).run(&d1);
+            let d2 = GlobalMem::from_slice(&host);
+            let old_ev = EmuRowFft::new(n, rows).run_legacy(&d2);
+            assert_eq!(d1.to_vec(), d2.to_vec(), "n={n} rows={rows}");
+            assert_eq!(new_ev, old_ev, "n={n} rows={rows}");
+        }
     }
 
     #[test]

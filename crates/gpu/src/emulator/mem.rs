@@ -1,29 +1,98 @@
 //! Emulated device memories and event counters.
 //!
-//! Both global and shared memory store `f64` values as bit patterns inside
-//! `AtomicU64` cells with relaxed ordering. Kernels written for the
-//! emulator only exchange data across barrier-separated phases (as the
-//! CUDA programming model requires), so relaxed per-cell atomicity plus the
-//! barrier's synchronization is sufficient for well-defined results while
-//! keeping the emulator safe Rust.
+//! Both global and shared memory are plain `f64` buffers behind an
+//! [`UnsafeCell`], accessed without per-cell atomicity. That is sound for
+//! the same reason CUDA kernels are: the programming model this emulator
+//! enforces already forbids data races. Within a block, threads only
+//! exchange data across `__syncthreads` boundaries (the phase interpreter
+//! runs the threads of a block sequentially; the legacy OS-thread engine
+//! separates conflicting accesses with a real [`std::sync::Barrier`],
+//! whose `wait` establishes happens-before). Across blocks, a kernel may
+//! only write cells no other block touches during the launch — the CUDA
+//! contract the kernels under study (tiled DGEMM, row FFT) obey by
+//! construction. Concurrent accesses are therefore always to disjoint
+//! cells, which Rust permits for raw-pointer access: no overlapping
+//! unsynchronized access, no data race.
+//!
+//! The previous revision stored every value as a bit pattern in an
+//! `AtomicU64` and bumped an atomic event counter on every access; the
+//! per-block counters ([`BlockCounters`]) flushed once per block into
+//! [`EventCounters`] replace that last hot-path atomic traffic.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A flat array of `f64` cells shared by concurrently executing blocks.
+///
+/// # Concurrency contract
+///
+/// Cells may be read by any number of threads concurrently; a cell that
+/// any thread writes during a launch must not be accessed by a thread of
+/// another block, and within a block conflicting accesses must be
+/// separated by a barrier (phase boundary). This is exactly the CUDA
+/// global-memory discipline; the emulator's kernels uphold it and the
+/// bounds of every access are checked.
+#[derive(Debug)]
+struct Cells {
+    cells: Box<[UnsafeCell<f64>]>,
+}
+
+// SAFETY: see the concurrency contract above — all concurrent access is
+// to disjoint cells (enforced by kernel structure, not the type system),
+// and disjoint plain accesses are race-free.
+unsafe impl Sync for Cells {}
+
+impl Cells {
+    fn zeroed(len: usize) -> Self {
+        Self { cells: (0..len).map(|_| UnsafeCell::new(0.0)).collect() }
+    }
+
+    fn from_slice(data: &[f64]) -> Self {
+        Self { cells: data.iter().map(|&v| UnsafeCell::new(v)).collect() }
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    fn load(&self, idx: usize) -> f64 {
+        let len = self.cells.len();
+        assert!(idx < len, "device memory load out of bounds: {idx} >= {len}");
+        // SAFETY: bounds-checked above; concurrent accesses are disjoint
+        // per the type's contract.
+        unsafe { *self.cells[idx].get() }
+    }
+
+    #[inline]
+    fn store(&self, idx: usize, v: f64) {
+        let len = self.cells.len();
+        assert!(idx < len, "device memory store out of bounds: {idx} >= {len}");
+        // SAFETY: as for `load`.
+        unsafe { *self.cells[idx].get() = v }
+    }
+
+    fn to_vec(&self) -> Vec<f64> {
+        // SAFETY: callers only snapshot between launches (host side).
+        self.cells.iter().map(|c| unsafe { *c.get() }).collect()
+    }
+}
 
 /// Device global memory: a flat array of `f64` cells shared by all blocks.
 #[derive(Debug)]
 pub struct GlobalMem {
-    cells: Vec<AtomicU64>,
+    cells: Cells,
 }
 
 impl GlobalMem {
     /// Allocates zeroed global memory of `len` doubles.
     pub fn zeroed(len: usize) -> Self {
-        Self { cells: (0..len).map(|_| AtomicU64::new(0f64.to_bits())).collect() }
+        Self { cells: Cells::zeroed(len) }
     }
 
     /// Uploads host data.
     pub fn from_slice(data: &[f64]) -> Self {
-        Self { cells: data.iter().map(|v| AtomicU64::new(v.to_bits())).collect() }
+        Self { cells: Cells::from_slice(data) }
     }
 
     /// Number of doubles.
@@ -33,37 +102,39 @@ impl GlobalMem {
 
     /// True when the allocation is empty.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.cells.len() == 0
     }
 
     /// Raw load without event accounting (host-side access).
     #[inline]
     pub fn load(&self, idx: usize) -> f64 {
-        f64::from_bits(self.cells[idx].load(Ordering::Relaxed))
+        self.cells.load(idx)
     }
 
     /// Raw store without event accounting (host-side access).
     #[inline]
     pub fn store(&self, idx: usize, v: f64) {
-        self.cells[idx].store(v.to_bits(), Ordering::Relaxed);
+        self.cells.store(idx, v)
     }
 
     /// Downloads device data back to the host.
     pub fn to_vec(&self) -> Vec<f64> {
-        self.cells.iter().map(|c| f64::from_bits(c.load(Ordering::Relaxed))).collect()
+        self.cells.to_vec()
     }
 }
 
-/// Per-block shared memory (the `__shared__` arrays of Fig. 5).
+/// Per-block shared memory (the `__shared__` arrays of Fig. 5), used by
+/// the legacy OS-thread engine. The phase interpreter gives each block a
+/// plain block-local `Vec<f64>` instead.
 #[derive(Debug)]
 pub struct SharedMem {
-    cells: Vec<AtomicU64>,
+    cells: Cells,
 }
 
 impl SharedMem {
     /// Allocates zeroed shared memory of `len` doubles.
     pub fn zeroed(len: usize) -> Self {
-        Self { cells: (0..len).map(|_| AtomicU64::new(0f64.to_bits())).collect() }
+        Self { cells: Cells::zeroed(len) }
     }
 
     /// Number of doubles.
@@ -73,24 +144,29 @@ impl SharedMem {
 
     /// True when no shared memory was requested.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.cells.len() == 0
     }
 
-    /// Raw load (event accounting happens in `ThreadCtx`).
+    /// Raw load (event accounting happens in the engine contexts).
     #[inline]
     pub fn load(&self, idx: usize) -> f64 {
-        f64::from_bits(self.cells[idx].load(Ordering::Relaxed))
+        self.cells.load(idx)
     }
 
-    /// Raw store (event accounting happens in `ThreadCtx`).
+    /// Raw store (event accounting happens in the engine contexts).
     #[inline]
     pub fn store(&self, idx: usize, v: f64) {
-        self.cells[idx].store(v.to_bits(), Ordering::Relaxed);
+        self.cells.store(idx, v)
     }
 }
 
-/// Atomic event counters incremented by kernel threads, mirroring the
-/// CUPTI counters of [`crate::cupti::CuptiCounter`].
+/// Atomic event counters mirroring the CUPTI counters of
+/// [`crate::cupti::CuptiCounter`].
+///
+/// The phase interpreter never touches these from a hot path: each block
+/// accumulates into a plain [`BlockCounters`] and flushes the totals here
+/// once, at block retirement. The legacy engine still increments them per
+/// event, which is part of why it is slow.
 #[derive(Debug, Default)]
 pub struct EventCounters {
     /// Double-precision flops.
@@ -105,6 +181,38 @@ pub struct EventCounters {
     pub global_stores: AtomicU64,
     /// Barriers executed (counted once per block).
     pub barriers: AtomicU64,
+}
+
+/// Plain per-block event counters: incremented without synchronization
+/// while a block runs, flushed into the launch-wide [`EventCounters`]
+/// exactly once when the block retires.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BlockCounters {
+    /// Double-precision flops.
+    pub flops: u64,
+    /// Shared-memory loads.
+    pub shared_loads: u64,
+    /// Shared-memory stores.
+    pub shared_stores: u64,
+    /// Global-memory loads.
+    pub global_loads: u64,
+    /// Global-memory stores.
+    pub global_stores: u64,
+    /// Barriers executed by this block.
+    pub barriers: u64,
+}
+
+impl BlockCounters {
+    /// Adds this block's totals into the launch counters (one atomic RMW
+    /// per counter per block, instead of one per event).
+    pub fn flush_into(&self, events: &EventCounters) {
+        events.flops.fetch_add(self.flops, Ordering::Relaxed);
+        events.shared_loads.fetch_add(self.shared_loads, Ordering::Relaxed);
+        events.shared_stores.fetch_add(self.shared_stores, Ordering::Relaxed);
+        events.global_loads.fetch_add(self.global_loads, Ordering::Relaxed);
+        events.global_stores.fetch_add(self.global_stores, Ordering::Relaxed);
+        events.barriers.fetch_add(self.barriers, Ordering::Relaxed);
+    }
 }
 
 /// A plain snapshot of [`EventCounters`].
@@ -183,6 +291,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_load_fails_loudly() {
+        GlobalMem::zeroed(4).load(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_store_fails_loudly() {
+        SharedMem::zeroed(2).store(7, 1.0);
+    }
+
+    #[test]
     fn counters_snapshot_and_sum() {
         let c = EventCounters::new();
         c.flops.fetch_add(10, Ordering::Relaxed);
@@ -193,6 +313,26 @@ mod tests {
         let sum = s.plus(s);
         assert_eq!(sum.flops, 20);
         assert_eq!(sum.global_loads, 0);
+    }
+
+    #[test]
+    fn block_counters_flush_once() {
+        let events = EventCounters::new();
+        let block = BlockCounters {
+            flops: 7,
+            shared_loads: 6,
+            shared_stores: 5,
+            global_loads: 4,
+            global_stores: 3,
+            barriers: 2,
+        };
+        block.flush_into(&events);
+        block.flush_into(&events);
+        let s = events.snapshot();
+        assert_eq!(
+            (s.flops, s.shared_loads, s.shared_stores, s.global_loads, s.global_stores, s.barriers),
+            (14, 12, 10, 8, 6, 4)
+        );
     }
 
     #[test]

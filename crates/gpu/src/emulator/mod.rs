@@ -3,10 +3,15 @@
 //! The emulator runs kernels the way the paper's GPUs do, structurally: a
 //! grid of thread blocks, each block a 2-D array of threads that share a
 //! per-block scratch memory and synchronize with barrier semantics
-//! (`__syncthreads`). Threads are real OS threads; shared and global memory
-//! are atomic-backed so the emulation is data-race-free in Rust while
-//! preserving CUDA's memory-model obligations (the kernels under study
-//! only communicate through barrier-separated phases).
+//! (`__syncthreads`). Kernels are expressed as barrier-phase state
+//! machines ([`exec::BlockKernel`]) and interpreted cooperatively: one
+//! host thread runs all threads of a block in lockstep phase order, blocks
+//! execute in parallel waves sized by [`exec::WavePlan`] (host
+//! parallelism, optionally capped by the modeled device's occupancy).
+//! Memories are plain `f64` buffers ([`mem`]); event counts accumulate in
+//! per-block plain counters flushed once per block. The original
+//! OS-thread-per-CUDA-thread engine survives in [`legacy`] purely as the
+//! equivalence oracle.
 //!
 //! Its purpose is *semantic ground truth* at small N:
 //!
@@ -18,10 +23,11 @@
 
 pub mod exec;
 pub mod fft_kernel;
+pub mod legacy;
 pub mod mem;
 pub mod tiled_dgemm;
 
-pub use exec::{launch, Dim2, ThreadCtx};
+pub use exec::{run_grid, BlockKernel, Dim2, PhaseCtx, PhaseOutcome, WavePlan};
 pub use fft_kernel::EmuRowFft;
-pub use mem::{EmuEvents, EventCounters, GlobalMem, SharedMem};
+pub use mem::{BlockCounters, EmuEvents, EventCounters, GlobalMem, SharedMem};
 pub use tiled_dgemm::EmuDgemm;

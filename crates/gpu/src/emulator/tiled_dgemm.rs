@@ -6,10 +6,21 @@
 //! `BS × BS` sub-matrix `Csub`; each thread one element of it, accumulating
 //! tile sub-products staged through shared memory between `__syncthreads`
 //! barriers.
+//!
+//! The kernel is expressed as a barrier-phase state machine for the
+//! cooperative interpreter ([`super::exec`]): each phase is one segment of
+//! the Fig. 5 body between `__syncthreads` boundaries — a tile *stage*
+//! (fill `As`/`Bs`), the unrolled inner *mac* product, and the *retire*
+//! segment (the `C += Csub` read-modify-write plus whatever the control
+//! flow appends: the inter-group separator barrier, or the first stage of
+//! the next run's product). The original closure form survives in
+//! [`EmuDgemm::run_legacy`] for old-vs-new equivalence tests.
 
-use super::exec::{launch, Dim2, ThreadCtx};
+use super::exec::{run_grid, BlockKernel, Dim2, PhaseCtx, PhaseOutcome, WavePlan};
+use super::legacy;
 use super::mem::{EmuEvents, EventCounters, GlobalMem};
-use crate::model::TiledDgemmConfig;
+use crate::model::{shared_bytes, TiledDgemmConfig};
+use crate::GpuArch;
 
 /// The emulated application: a [`TiledDgemmConfig`] run as a real kernel.
 ///
@@ -18,6 +29,7 @@ use crate::model::TiledDgemmConfig;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EmuDgemm {
     cfg: TiledDgemmConfig,
+    wave: WavePlan,
 }
 
 impl EmuDgemm {
@@ -28,7 +40,22 @@ impl EmuDgemm {
         assert!(cfg.n.is_multiple_of(cfg.bs), "emulator requires BS | N ({} % {})", cfg.n, cfg.bs);
         assert!(cfg.g >= 1 && cfg.g <= 8, "G out of range: {}", cfg.g);
         assert!(cfg.r >= 1, "R must be positive");
-        Self { cfg }
+        Self { cfg, wave: WavePlan::auto() }
+    }
+
+    /// Binds the block-wave width to `arch`'s occupancy: at most as many
+    /// blocks in flight as the device could hold resident, and never more
+    /// than the host has cores.
+    pub fn for_arch(cfg: TiledDgemmConfig, arch: &GpuArch) -> Self {
+        let emu = Self::new(cfg);
+        let wave = WavePlan::for_arch(arch, cfg.bs * cfg.bs, shared_bytes(cfg.bs));
+        emu.with_wave(wave)
+    }
+
+    /// Overrides the block-wave width (tests; benchmarking).
+    pub fn with_wave(mut self, wave: WavePlan) -> Self {
+        self.wave = wave;
+        self
     }
 
     /// The wrapped configuration.
@@ -36,9 +63,27 @@ impl EmuDgemm {
         self.cfg
     }
 
-    /// Launches the kernel: `C += (G·R) · A·B`, element count `N²` each.
-    /// Returns the event counts of the launch.
+    /// Launches the kernel on the phase interpreter:
+    /// `C += (G·R) · A·B`, element count `N²` each. Returns the event
+    /// counts of the launch.
     pub fn run(&self, a: &GlobalMem, b: &GlobalMem, c: &GlobalMem) -> EmuEvents {
+        let TiledDgemmConfig { n, bs, .. } = self.cfg;
+        assert_eq!(a.len(), n * n, "A size mismatch");
+        assert_eq!(b.len(), n * n, "B size mismatch");
+        assert_eq!(c.len(), n * n, "C size mismatch");
+
+        let tiles = n / bs;
+        let events = EventCounters::new();
+        let kernel = DgemmKernel { cfg: self.cfg, tiles, a, b, c };
+        run_grid(Dim2::new(tiles, tiles), &kernel, &events, self.wave);
+        events.snapshot()
+    }
+
+    /// Launches the kernel on the retired OS-thread engine
+    /// ([`super::legacy`]) — the equivalence oracle and the "before" side
+    /// of the engine benchmark. Semantics and event counts are identical
+    /// to [`run`](EmuDgemm::run); wall-clock is not.
+    pub fn run_legacy(&self, a: &GlobalMem, b: &GlobalMem, c: &GlobalMem) -> EmuEvents {
         let TiledDgemmConfig { n, bs, g, r } = self.cfg;
         assert_eq!(a.len(), n * n, "A size mismatch");
         assert_eq!(b.len(), n * n, "B size mismatch");
@@ -46,16 +91,16 @@ impl EmuDgemm {
 
         let tiles = n / bs;
         let events = EventCounters::new();
-        launch(
+        legacy::launch(
             Dim2::new(tiles, tiles),
             Dim2::new(bs, bs),
             2 * bs * bs,
             &events,
-            |ctx: &ThreadCtx<'_>| {
+            |ctx: &legacy::ThreadCtx<'_>| {
                 // `for (int run = 0; run < R; run++) dgemmG{G}(...)`.
                 for _run in 0..r {
                     for grp in 0..g {
-                        matrix_product(ctx, a, b, c, n, bs);
+                        legacy_matrix_product(ctx, a, b, c, n, bs);
                         // Inter-product separator within a group body.
                         if grp + 1 < g {
                             ctx.sync_threads();
@@ -68,9 +113,155 @@ impl EmuDgemm {
     }
 }
 
-/// One device matrix product — the body of `dgemmG1` (Fig. 5 lines 1–21).
-fn matrix_product(
-    ctx: &ThreadCtx<'_>,
+/// The Fig. 5 kernel as a phase state machine.
+struct DgemmKernel<'a> {
+    cfg: TiledDgemmConfig,
+    tiles: usize,
+    a: &'a GlobalMem,
+    b: &'a GlobalMem,
+    c: &'a GlobalMem,
+}
+
+/// Which barrier-delimited segment a thread executes next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Fill one element of `As` and `Bs` from global memory.
+    Stage,
+    /// The `#pragma unroll` inner product over the staged tile.
+    Mac,
+    /// `C[...] += Csub`, then the control flow between products.
+    Retire,
+}
+
+/// Per-thread registers of the Fig. 5 body, carried across phases.
+struct DgemmState {
+    csub: f64,
+    /// Current A-tile base index (`a` in Fig. 5).
+    ai: usize,
+    /// Current B-tile base index (`b` in Fig. 5).
+    bi: usize,
+    /// Tile step within the current product.
+    tile: usize,
+    /// Products completed so far (of `G × R`).
+    product: usize,
+    step: Step,
+}
+
+impl DgemmKernel<'_> {
+    /// Shared tile layout: `As` at `[0, bs²)`, `Bs` at `[bs², 2·bs²)`.
+    #[inline]
+    fn as_idx(&self, row: usize, col: usize) -> usize {
+        row * self.cfg.bs + col
+    }
+
+    #[inline]
+    fn bs_idx(&self, row: usize, col: usize) -> usize {
+        self.cfg.bs * self.cfg.bs + row * self.cfg.bs + col
+    }
+
+    /// A fresh product's starting tile indices for block `(bx, by)`.
+    #[inline]
+    fn product_start(&self, bx: usize, by: usize) -> (usize, usize) {
+        (self.cfg.n * self.cfg.bs * by, self.cfg.bs * bx)
+    }
+
+    /// One tile stage: fill this thread's element of `As` and `Bs`.
+    fn stage(&self, st: &DgemmState, ctx: &mut PhaseCtx<'_>) {
+        let (n, _bs) = (self.cfg.n, self.cfg.bs);
+        let (tx, ty) = (ctx.tx, ctx.ty);
+        let av = ctx.global_load(self.a, st.ai + n * ty + tx);
+        ctx.shared_store(self.as_idx(ty, tx), av);
+        let bv = ctx.global_load(self.b, st.bi + n * ty + tx);
+        ctx.shared_store(self.bs_idx(ty, tx), bv);
+    }
+
+    /// The unrolled inner product over the staged tile.
+    fn mac(&self, st: &mut DgemmState, ctx: &mut PhaseCtx<'_>) {
+        let bs = self.cfg.bs;
+        let (tx, ty) = (ctx.tx, ctx.ty);
+        for k in 0..bs {
+            st.csub += ctx.shared_load(self.as_idx(ty, k)) * ctx.shared_load(self.bs_idx(k, tx));
+            ctx.count_flops(2);
+        }
+    }
+
+    /// `C[...] += Csub` — a read-modify-write of this thread's element.
+    fn retire(&self, st: &DgemmState, ctx: &mut PhaseCtx<'_>) {
+        let (n, bs) = (self.cfg.n, self.cfg.bs);
+        let ci = n * bs * ctx.by + bs * ctx.bx + n * ctx.ty + ctx.tx;
+        let prev = ctx.global_load(self.c, ci);
+        ctx.global_store(self.c, ci, prev + st.csub);
+    }
+}
+
+impl BlockKernel for DgemmKernel<'_> {
+    type State = DgemmState;
+
+    fn block(&self) -> Dim2 {
+        Dim2::new(self.cfg.bs, self.cfg.bs)
+    }
+
+    fn shared_len(&self) -> usize {
+        2 * self.cfg.bs * self.cfg.bs
+    }
+
+    fn init(&self, bx: usize, by: usize, _tx: usize, _ty: usize) -> DgemmState {
+        let (ai, bi) = self.product_start(bx, by);
+        DgemmState { csub: 0.0, ai, bi, tile: 0, product: 0, step: Step::Stage }
+    }
+
+    fn run_phase(
+        &self,
+        _phase: usize,
+        st: &mut DgemmState,
+        ctx: &mut PhaseCtx<'_>,
+    ) -> PhaseOutcome {
+        let TiledDgemmConfig { n, bs, g, r } = self.cfg;
+        match st.step {
+            Step::Stage => {
+                self.stage(st, ctx);
+                st.step = Step::Mac;
+                PhaseOutcome::Sync
+            }
+            Step::Mac => {
+                self.mac(st, ctx);
+                st.tile += 1;
+                st.ai += bs;
+                st.bi += bs * n;
+                st.step = if st.tile == self.tiles { Step::Retire } else { Step::Stage };
+                PhaseOutcome::Sync
+            }
+            Step::Retire => {
+                self.retire(st, ctx);
+                st.product += 1;
+                if st.product == g * r {
+                    return PhaseOutcome::Done;
+                }
+                // Reset the product registers.
+                st.csub = 0.0;
+                st.tile = 0;
+                (st.ai, st.bi) = self.product_start(ctx.bx, ctx.by);
+                if st.product.is_multiple_of(g) {
+                    // Run boundary: no separator barrier — Fig. 5 flows
+                    // straight from `C += Csub` into the next run's first
+                    // tile stage within the same barrier segment.
+                    self.stage(st, ctx);
+                    st.step = Step::Mac;
+                } else {
+                    // Intra-group boundary: the segment ends at the
+                    // inter-product separator `__syncthreads`.
+                    st.step = Step::Stage;
+                }
+                PhaseOutcome::Sync
+            }
+        }
+    }
+}
+
+/// One device matrix product on the legacy engine — the body of `dgemmG1`
+/// (Fig. 5 lines 1–21), closure form.
+fn legacy_matrix_product(
+    ctx: &legacy::ThreadCtx<'_>,
     a: &GlobalMem,
     b: &GlobalMem,
     c: &GlobalMem,
@@ -179,6 +370,29 @@ mod tests {
     }
 
     #[test]
+    fn result_is_wave_width_invariant() {
+        let run_with = |wave: usize| {
+            let av = filled(64, 1);
+            let bv = filled(64, 2);
+            let (a, b, c) = (
+                GlobalMem::from_slice(&av),
+                GlobalMem::from_slice(&bv),
+                GlobalMem::zeroed(64),
+            );
+            let emu = EmuDgemm::new(TiledDgemmConfig { n: 8, bs: 2, g: 2, r: 2 })
+                .with_wave(WavePlan::fixed(wave));
+            let ev = emu.run(&a, &b, &c);
+            (c.to_vec(), ev)
+        };
+        let (serial, ev1) = run_with(1);
+        for wave in [2usize, 3, 8] {
+            let (out, ev) = run_with(wave);
+            assert_eq!(serial, out, "wave {wave}");
+            assert_eq!(ev1, ev, "wave {wave}");
+        }
+    }
+
+    #[test]
     fn emulator_events_match_analytic_cupti_model_exactly() {
         for &(n, bs, g, r) in &[(8usize, 4usize, 1usize, 1usize), (8, 2, 2, 2), (12, 4, 3, 1)] {
             let (_, _, ev) = run_case(n, bs, g, r);
@@ -215,6 +429,42 @@ mod tests {
         assert_eq!(compound.global_stores, doubled.global_stores);
         // Barriers: one extra per block for the group separator.
         assert_eq!(compound.barriers, doubled.barriers + (8 / 4) * (8 / 4));
+    }
+
+    #[test]
+    fn phase_engine_equals_legacy_engine() {
+        for &(n, bs, g, r) in &[(8usize, 4usize, 1usize, 1usize), (8, 2, 2, 2), (12, 3, 1, 2)] {
+            let av = filled(n * n, 4);
+            let bv = filled(n * n, 5);
+            let cv = filled(n * n, 6);
+            let mk = || {
+                (
+                    GlobalMem::from_slice(&av),
+                    GlobalMem::from_slice(&bv),
+                    GlobalMem::from_slice(&cv),
+                )
+            };
+            let emu = EmuDgemm::new(TiledDgemmConfig { n, bs, g, r });
+            let (a1, b1, c1) = mk();
+            let new_ev = emu.run(&a1, &b1, &c1);
+            let (a2, b2, c2) = mk();
+            let old_ev = emu.run_legacy(&a2, &b2, &c2);
+            assert_eq!(c1.to_vec(), c2.to_vec(), "n={n} bs={bs} g={g} r={r}");
+            assert_eq!(new_ev, old_ev, "n={n} bs={bs} g={g} r={r}");
+        }
+    }
+
+    #[test]
+    fn arch_bound_wave_runs_correctly() {
+        let av = filled(256, 1);
+        let bv = filled(256, 2);
+        let (a, b, c) =
+            (GlobalMem::from_slice(&av), GlobalMem::from_slice(&bv), GlobalMem::zeroed(256));
+        let cfg = TiledDgemmConfig { n: 16, bs: 4, g: 1, r: 1 };
+        let emu = EmuDgemm::for_arch(cfg, &GpuArch::k40c());
+        emu.run(&a, &b, &c);
+        let expect = reference(&av, &bv, &vec![0.0; 256], 16, 1.0);
+        assert!(max_err(&c.to_vec(), &expect) < 1e-10);
     }
 
     #[test]
