@@ -1,9 +1,10 @@
 //! The GPU matrix-multiplication application of §IV, as a sweep driver.
 
-use crate::parallel::SweepExecutor;
+use crate::parallel::{RetryPolicy, RobustSweep, SweepExecutor, SweepFailure};
 use crate::point::DataPoint;
 use crate::runner::MeasurementRunner;
 use enprop_gpusim::{GpuArch, KernelEstimate, ProductProfile, TiledDgemm, TiledDgemmConfig};
+use enprop_power::{FaultInjectingMeter, FaultPlan, SimulatedWattsUp};
 use enprop_units::Watts;
 
 /// The application bound to one GPU and one workload definition.
@@ -97,6 +98,55 @@ impl GpuMatMulApp {
         )
     }
 
+    /// Fault-tolerant [`sweep_measured`](Self::sweep_measured): the meter
+    /// misbehaves per `plan`, failed measurements are retried per
+    /// `policy`, and configurations that exhaust their retries come back
+    /// in [`RobustSweep::failures`] instead of panicking the sweep.
+    /// Bitwise-identical at any thread count (see
+    /// [`SweepExecutor::run_measured_with_retry`]).
+    pub fn sweep_measured_robust(
+        &self,
+        n: usize,
+        exec: &SweepExecutor,
+        policy: RetryPolicy,
+        plan: FaultPlan,
+    ) -> RobustSweep<TiledDgemmConfig, DataPoint<TiledDgemmConfig>> {
+        let estimates = self.estimates(n);
+        let sweep = exec.run_measured_with_retry(
+            &estimates,
+            policy,
+            || Self::faulty_runner(plan, 0),
+            |runner, (cfg, e)| {
+                let m =
+                    runner.try_measure(e.time, e.steady_power, e.warmup_power, e.warmup_time)?;
+                Ok(DataPoint {
+                    config: *cfg,
+                    time: m.time,
+                    dynamic_energy: m.dynamic_energy,
+                    reps: m.reps,
+                    converged: m.converged,
+                })
+            },
+        );
+        // Strip the estimates out of the failure records: the configuration
+        // is what reports and reruns need.
+        RobustSweep {
+            points: sweep.points,
+            failures: sweep
+                .failures
+                .into_iter()
+                .map(|f| SweepFailure {
+                    config: f.config.0,
+                    index: f.index,
+                    attempts: f.attempts,
+                    error: f.error,
+                })
+                .collect(),
+            retried: sweep.retried,
+            total: sweep.total,
+        }
+    }
+
     /// The analytic profile of one configuration (for Fig. 6-style
     /// compound/base comparisons).
     pub fn estimate(&self, cfg: &TiledDgemmConfig) -> KernelEstimate {
@@ -107,6 +157,15 @@ impl GpuMatMulApp {
     /// GPU server node).
     pub fn default_runner(seed: u64) -> MeasurementRunner {
         MeasurementRunner::new(Watts(110.0), seed)
+    }
+
+    /// A [`default_runner`](Self::default_runner)-shaped rig whose meter
+    /// misbehaves per `plan`.
+    pub fn faulty_runner(
+        plan: FaultPlan,
+        seed: u64,
+    ) -> MeasurementRunner<FaultInjectingMeter<SimulatedWattsUp>> {
+        MeasurementRunner::faulty(Watts(110.0), plan, seed)
     }
 }
 
@@ -146,10 +205,42 @@ mod tests {
     }
 
     #[test]
+    fn faultless_robust_sweep_matches_plain_sweep() {
+        let app = GpuMatMulApp::new(GpuArch::k40c(), 2);
+        let plain = app.sweep_measured(256, &SweepExecutor::serial(9));
+        let robust = app.sweep_measured_robust(
+            256,
+            &SweepExecutor::serial(9),
+            RetryPolicy::default(),
+            FaultPlan::none(),
+        );
+        assert!(robust.is_complete());
+        assert_eq!(robust.points, plain);
+    }
+
+    #[test]
+    fn robust_sweep_reports_failures_with_configs() {
+        let app = GpuMatMulApp::new(GpuArch::k40c(), 2);
+        let robust = app.sweep_measured_robust(
+            256,
+            &SweepExecutor::serial(9),
+            RetryPolicy::attempts(2),
+            FaultPlan::transient(0.5),
+        );
+        assert_eq!(robust.points.len() + robust.failures.len(), robust.total);
+        assert!(robust.failed_configs() > 0, "50% fault rate never exhausted retries");
+        let all = app.configs(256);
+        for f in &robust.failures {
+            assert_eq!(all[f.index], f.config);
+        }
+    }
+
+    #[test]
     fn fastest_configuration_uses_bs32() {
         let app = GpuMatMulApp::new(GpuArch::p100_pcie(), 8);
         let pts = app.sweep_exact(4096);
-        let fastest = pts.iter().min_by(|a, b| a.time.partial_cmp(&b.time).unwrap()).unwrap();
+        let fastest =
+            pts.iter().min_by(|a, b| a.time.value().total_cmp(&b.time.value())).unwrap();
         assert_eq!(fastest.config.bs, 32);
     }
 }

@@ -32,6 +32,8 @@ pub use cpu_dgemm::CpuDgemmApp;
 pub use energy_model::{cpu_qualitative_model, gpu_energy_model};
 pub use fft2d::{Fft2dApp, FftPoint, Processor};
 pub use gpu_matmul::GpuMatMulApp;
-pub use parallel::{split_seed, SweepExecutor};
+pub use parallel::{
+    split_seed, RetryPolicy, RobustSweep, SweepExecutor, SweepFailure, SweepOutcome,
+};
 pub use point::DataPoint;
 pub use runner::MeasurementRunner;

@@ -23,9 +23,11 @@
 //! measurement pipeline) reuse the same fan-out via [`SweepExecutor::map`].
 
 use crate::runner::MeasurementRunner;
+use enprop_power::{MeasureError, Meter};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Write-once result slots shared by the sweep workers, one per item.
 ///
@@ -230,13 +232,18 @@ impl SweepExecutor {
     /// with the item's [`config_seed`](SweepExecutor::config_seed) before
     /// `f` measures it — the contract that makes sweep output a pure
     /// function of `(sweep_seed, items)`.
-    pub fn run_measured<C, T>(
+    ///
+    /// Panics if a reseed fails (a fault-injected baseline capture); use
+    /// [`run_measured_with_retry`](SweepExecutor::run_measured_with_retry)
+    /// when the meter can fail.
+    pub fn run_measured<M, C, T>(
         &self,
         items: &[C],
-        make_runner: impl Fn() -> MeasurementRunner + Sync,
-        f: impl Fn(&mut MeasurementRunner, &C) -> T + Sync,
+        make_runner: impl Fn() -> MeasurementRunner<M> + Sync,
+        f: impl Fn(&mut MeasurementRunner<M>, &C) -> T + Sync,
     ) -> Vec<T>
     where
+        M: Meter,
         C: Sync,
         T: Send,
     {
@@ -245,11 +252,213 @@ impl SweepExecutor {
             f(runner, item)
         })
     }
+
+    /// Fault-tolerant measurement fan-out: like
+    /// [`run_measured`](SweepExecutor::run_measured), but a failed
+    /// measurement is retried per `policy` instead of panicking, and
+    /// configurations that exhaust their retries are *recorded* — never
+    /// silently dropped, never fatal to the sweep.
+    ///
+    /// ## Determinism under retry
+    ///
+    /// Attempt 0 of configuration `i` is measured under
+    /// [`config_seed`](SweepExecutor::config_seed)`(i)` — exactly the seed
+    /// the non-retrying path uses, so a sweep where no fault fires is
+    /// bitwise-identical to [`run_measured`](SweepExecutor::run_measured).
+    /// Attempt `k > 0` reseeds with [`split_seed`]`(config_seed(i), k)`:
+    /// every attempt's noise-and-fault stream is a pure function of
+    /// `(sweep_seed, index, attempt)`, so which worker retries, and how
+    /// many other configurations are in flight, cannot change any outcome.
+    /// The determinism suite pins this at 1/2/8 threads.
+    ///
+    /// Non-transient errors ([`MeasureError::is_transient`] = false) fail
+    /// immediately without burning retries.
+    pub fn run_measured_with_retry<M, C, T>(
+        &self,
+        items: &[C],
+        policy: RetryPolicy,
+        make_runner: impl Fn() -> MeasurementRunner<M> + Sync,
+        f: impl Fn(&mut MeasurementRunner<M>, &C) -> Result<T, MeasureError> + Sync,
+    ) -> RobustSweep<C, T>
+    where
+        M: Meter,
+        C: Clone + Sync,
+        T: Send,
+    {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        let outcomes = self.map_with(items, make_runner, |runner, item, config_seed| {
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                // Attempt 0 uses the configuration seed itself (bitwise
+                // identity with the non-retrying path); attempt k > 0 its
+                // own substream.
+                let attempt_seed = if attempts == 1 {
+                    config_seed
+                } else {
+                    split_seed(config_seed, attempts - 1)
+                };
+                let result =
+                    runner.try_reseed(attempt_seed).and_then(|()| f(runner, item));
+                match result {
+                    Ok(point) => return SweepOutcome::Ok { point, attempts },
+                    Err(error) => {
+                        if attempts >= policy.max_attempts || !error.is_transient() {
+                            return SweepOutcome::Failed { attempts, error };
+                        }
+                        let delay = policy.backoff_delay(attempts);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                    }
+                }
+            }
+        });
+        RobustSweep::collect(items, outcomes)
+    }
+}
+
+/// Bounded retry-with-exponential-backoff for failed measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per configuration, including the first (≥ 1).
+    pub max_attempts: usize,
+    /// Delay before the first retry; doubles per subsequent retry.
+    pub base_delay: Duration,
+    /// Cap on the backoff delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, no delay: in the simulated rig a transient fault
+    /// clears by re-drawing the stream, so sleeping buys nothing. Against
+    /// real hardware, set `base_delay`/`max_delay` to ride out the
+    /// condition (a wedged serial port, an EAGAIN-ing counter file).
+    fn default() -> Self {
+        Self { max_attempts: 3, base_delay: Duration::ZERO, max_delay: Duration::ZERO }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail on the first error — the policy that makes
+    /// [`run_measured_with_retry`](SweepExecutor::run_measured_with_retry)
+    /// degrade to a recorded-failure version of
+    /// [`run_measured`](SweepExecutor::run_measured).
+    pub fn no_retry() -> Self {
+        Self { max_attempts: 1, ..Self::default() }
+    }
+
+    /// A policy with `max_attempts` attempts and no delay.
+    pub fn attempts(max_attempts: usize) -> Self {
+        Self { max_attempts, ..Self::default() }
+    }
+
+    /// The delay before the retry that follows failed attempt `attempt`
+    /// (1-based): `base_delay × 2^(attempt−1)`, capped at `max_delay`.
+    pub fn backoff_delay(&self, attempt: usize) -> Duration {
+        let doublings = u32::try_from(attempt.saturating_sub(1)).unwrap_or(u32::MAX);
+        let delay = self
+            .base_delay
+            .checked_mul(2u32.checked_pow(doublings).unwrap_or(u32::MAX))
+            .unwrap_or(Duration::MAX);
+        delay.min(self.max_delay)
+    }
+}
+
+/// What happened to one configuration of a fault-tolerant sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepOutcome<T> {
+    /// Measured successfully (possibly after retries).
+    Ok {
+        /// The measured point.
+        point: T,
+        /// Attempts spent, including the successful one.
+        attempts: usize,
+    },
+    /// Every attempt failed; `error` is the *last* failure.
+    Failed {
+        /// Attempts spent.
+        attempts: usize,
+        /// The final error.
+        error: MeasureError,
+    },
+}
+
+/// One configuration that exhausted its retries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepFailure<C> {
+    /// The configuration that could not be measured.
+    pub config: C,
+    /// Its index in the sweep's enumeration order.
+    pub index: usize,
+    /// Attempts spent on it.
+    pub attempts: usize,
+    /// The last error observed.
+    pub error: MeasureError,
+}
+
+/// The result of a fault-tolerant sweep: the measured points plus an exact
+/// account of what could not be measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustSweep<C, T> {
+    /// Successfully measured points, in enumeration order.
+    pub points: Vec<T>,
+    /// Configurations that exhausted their retries, in enumeration order.
+    pub failures: Vec<SweepFailure<C>>,
+    /// Configurations that needed more than one attempt (whether they
+    /// eventually succeeded or not).
+    pub retried: usize,
+    /// Total configurations swept (`points.len() + failures.len()`).
+    pub total: usize,
+}
+
+impl<C: Clone, T> RobustSweep<C, T> {
+    fn collect(items: &[C], outcomes: Vec<SweepOutcome<T>>) -> Self {
+        let total = outcomes.len();
+        let mut points = Vec::with_capacity(total);
+        let mut failures = Vec::new();
+        let mut retried = 0;
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                SweepOutcome::Ok { point, attempts } => {
+                    if attempts > 1 {
+                        retried += 1;
+                    }
+                    points.push(point);
+                }
+                SweepOutcome::Failed { attempts, error } => {
+                    if attempts > 1 {
+                        retried += 1;
+                    }
+                    failures.push(SweepFailure {
+                        config: items[index].clone(),
+                        index,
+                        attempts,
+                        error,
+                    });
+                }
+            }
+        }
+        Self { points, failures, retried, total }
+    }
+}
+
+impl<C, T> RobustSweep<C, T> {
+    /// True when every configuration was measured.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of configurations that exhausted their retries.
+    pub fn failed_configs(&self) -> usize {
+        self.failures.len()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use enprop_power::FaultPlan;
     use enprop_units::{Seconds, Watts};
 
     #[test]
@@ -347,6 +556,110 @@ mod tests {
         for threads in [3usize, 5, 16] {
             assert_eq!(serial, measure(threads), "threads {threads}");
         }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff_delay(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_delay(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_delay(3), Duration::from_millis(35)); // capped
+        assert_eq!(p.backoff_delay(60), Duration::from_millis(35)); // no overflow
+        assert_eq!(RetryPolicy::default().backoff_delay(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn faultless_retry_sweep_matches_plain_sweep_bitwise() {
+        let items: Vec<f64> = (1..=12).map(|i| 10.0 * i as f64).collect();
+        let exec = SweepExecutor::new(77).with_threads(4);
+        let plain = exec.run_measured(
+            &items,
+            || MeasurementRunner::new(Watts(90.0), 0),
+            |runner, &steady| {
+                runner.measure(Seconds(20.0), Watts(steady), Watts::ZERO, Seconds::ZERO)
+            },
+        );
+        let robust = exec.run_measured_with_retry(
+            &items,
+            RetryPolicy::default(),
+            || MeasurementRunner::faulty(Watts(90.0), FaultPlan::none(), 0),
+            |runner, &steady| {
+                runner.try_measure(Seconds(20.0), Watts(steady), Watts::ZERO, Seconds::ZERO)
+            },
+        );
+        assert!(robust.is_complete());
+        assert_eq!(robust.retried, 0);
+        assert_eq!(robust.points, plain);
+    }
+
+    #[test]
+    fn retry_sweep_is_thread_count_invariant_under_faults() {
+        let items: Vec<f64> = (1..=24).map(|i| 10.0 * i as f64).collect();
+        let sweep = |threads: usize| {
+            SweepExecutor::new(77).with_threads(threads).run_measured_with_retry(
+                &items,
+                RetryPolicy::attempts(2),
+                || MeasurementRunner::faulty(Watts(90.0), FaultPlan::transient(0.25), 0),
+                |runner, &steady| {
+                    runner.try_measure(Seconds(20.0), Watts(steady), Watts::ZERO, Seconds::ZERO)
+                },
+            )
+        };
+        let serial = sweep(1);
+        // With a 25% per-read failure rate and only 2 attempts, some
+        // configurations retry and some fail — both paths must still be
+        // schedule-independent.
+        assert!(serial.retried > 0, "fault plan never fired");
+        assert_eq!(serial, sweep(2));
+        assert_eq!(serial, sweep(8));
+    }
+
+    #[test]
+    fn exhausted_retries_are_recorded_not_dropped() {
+        let items: Vec<f64> = (1..=8).map(|i| 10.0 * i as f64).collect();
+        let exec = SweepExecutor::serial(3);
+        let robust = exec.run_measured_with_retry(
+            &items,
+            RetryPolicy::no_retry(),
+            || MeasurementRunner::faulty(Watts(90.0), FaultPlan::transient(1.0), 0),
+            |runner, &steady| {
+                runner.try_measure(Seconds(20.0), Watts(steady), Watts::ZERO, Seconds::ZERO)
+            },
+        );
+        assert_eq!(robust.points.len(), 0);
+        assert_eq!(robust.failed_configs(), items.len());
+        assert_eq!(robust.total, items.len());
+        for (i, f) in robust.failures.iter().enumerate() {
+            assert_eq!(f.index, i);
+            assert_eq!(f.config, items[i]);
+            assert_eq!(f.attempts, 1);
+            assert_eq!(f.error, MeasureError::TransientReadFailure);
+        }
+    }
+
+    #[test]
+    fn retries_clear_transient_faults() {
+        // A certain-failure plan never clears, but a moderate one must
+        // clear more configurations at 4 attempts than at 1.
+        let items: Vec<f64> = (1..=16).map(|i| 10.0 * i as f64).collect();
+        let sweep = |attempts: usize| {
+            SweepExecutor::serial(9).run_measured_with_retry(
+                &items,
+                RetryPolicy::attempts(attempts),
+                || MeasurementRunner::faulty(Watts(90.0), FaultPlan::transient(0.4), 0),
+                |runner, &steady| {
+                    runner.try_measure(Seconds(20.0), Watts(steady), Watts::ZERO, Seconds::ZERO)
+                },
+            )
+        };
+        let once = sweep(1);
+        let patient = sweep(4);
+        assert!(once.failed_configs() > patient.failed_configs());
+        assert!(patient.retried > 0);
     }
 
     #[test]

@@ -4,9 +4,21 @@
 //! This is the software equivalent of the paper's experimental rig: the
 //! node with its WattsUp Pro, the HCLWATTSUP session, and the "repeat
 //! until the 95% confidence interval is within 2.5%" Student-t loop.
+//!
+//! The rig is generic over the [`Meter`] behind the session, so the same
+//! pipeline runs against the plain simulation (infallible) or a
+//! [`FaultInjectingMeter`] (dropouts, glitches, transient read failures) —
+//! the failure paths the sweep drivers' retry policy exists for. One failed
+//! repetition aborts the whole measurement attempt: the stopping rule's
+//! statistics must come from a complete, unbiased set of observations, so
+//! recovery is a full re-measure (the caller's job), never a patched-up
+//! partial sample.
 
-use enprop_power::{ConstantLoad, EnergySession, MeterSpec, PiecewiseLoad, SimulatedWattsUp};
-use enprop_stats::protocol::{measure_until_ci, MeasureConfig};
+use enprop_power::{
+    ConstantLoad, EnergySession, FaultInjectingMeter, FaultPlan, MeasureError, Meter, MeterSpec,
+    PiecewiseLoad, SimulatedWattsUp,
+};
+use enprop_stats::protocol::{try_measure_until_ci, MeasureConfig};
 use enprop_units::{Joules, Seconds, Watts};
 
 /// A measured (time, energy) sample with protocol metadata.
@@ -22,10 +34,15 @@ pub struct MeasuredPoint {
     pub converged: bool,
 }
 
+/// The baseline-capture window every rig uses (two minutes of idle, as in
+/// the HCLWATTSUP methodology) — statically valid for any meter sampling
+/// at 1 Hz or faster.
+const BASELINE_WINDOW: Seconds = Seconds(120.0);
+
 /// The measurement rig: one node, one meter, one protocol.
 #[derive(Debug)]
-pub struct MeasurementRunner {
-    session: EnergySession,
+pub struct MeasurementRunner<M: Meter = SimulatedWattsUp> {
+    session: EnergySession<M>,
     protocol: MeasureConfig,
     /// Relative run-to-run variation of kernel time (cudaEvent jitter and
     /// true execution variation combined).
@@ -33,17 +50,56 @@ pub struct MeasurementRunner {
     rng_state: u64,
 }
 
-impl MeasurementRunner {
+const JITTER_STREAM_TAG: u64 = 0xA076_1D64_78BD_642F;
+
+impl MeasurementRunner<SimulatedWattsUp> {
     /// Builds the rig: a node with `idle_power`, a WattsUp-like meter, the
-    /// paper's protocol, deterministic under `seed`.
+    /// paper's protocol, deterministic under `seed`. The idle baseline is
+    /// captured eagerly — infallible because the plain simulation cannot
+    /// fail under the statically-valid [`BASELINE_WINDOW`].
     pub fn new(idle_power: Watts, seed: u64) -> Self {
         let meter = SimulatedWattsUp::new(MeterSpec::default(), idle_power, seed);
-        let session = EnergySession::with_baseline_window(meter, Seconds(120.0));
+        let session = EnergySession::with_baseline_window(meter, BASELINE_WINDOW);
+        Self::from_session(session, seed)
+    }
+
+    /// Builds the rig *without* capturing a baseline: the runner must be
+    /// successfully [`try_reseed`](Self::try_reseed)ed (or
+    /// [`reseed`](Self::reseed)ed) before measuring. This is the
+    /// constructor sweep workers use — they reseed per configuration
+    /// anyway, so the eager capture would be wasted work.
+    pub fn cold(idle_power: Watts, seed: u64) -> Self {
+        let meter = SimulatedWattsUp::new(MeterSpec::default(), idle_power, seed);
+        let session =
+            EnergySession::cold(meter, BASELINE_WINDOW).expect("statically-valid window");
+        Self::from_session(session, seed)
+    }
+}
+
+impl MeasurementRunner<FaultInjectingMeter<SimulatedWattsUp>> {
+    /// Builds a rig whose meter misbehaves per `plan` — deterministically
+    /// under `seed`. Constructed cold (no eager baseline capture): a
+    /// fault-injecting meter can fail the capture, and that failure belongs
+    /// inside the caller's retry loop, not in a panicking constructor.
+    ///
+    /// Panics if `plan` is invalid (rates outside `[0, 1]`).
+    pub fn faulty(idle_power: Watts, plan: FaultPlan, seed: u64) -> Self {
+        let inner = SimulatedWattsUp::new(MeterSpec::default(), idle_power, seed);
+        let meter = FaultInjectingMeter::new(inner, plan, seed);
+        let session =
+            EnergySession::cold(meter, BASELINE_WINDOW).expect("statically-valid window");
+        Self::from_session(session, seed)
+    }
+}
+
+impl<M: Meter> MeasurementRunner<M> {
+    /// Wraps an existing session into a rig.
+    pub fn from_session(session: EnergySession<M>, seed: u64) -> Self {
         Self {
             session,
             protocol: MeasureConfig { max_reps: 40, ..MeasureConfig::default() },
             time_jitter: 0.004,
-            rng_state: seed ^ 0xA076_1D64_78BD_642F,
+            rng_state: seed ^ JITTER_STREAM_TAG,
         }
     }
 
@@ -53,28 +109,42 @@ impl MeasurementRunner {
         self
     }
 
-    /// Resets every stochastic component (meter noise, re-captured idle
-    /// baseline, time-jitter stream) so the rig behaves exactly as if it
-    /// had been freshly built with [`MeasurementRunner::new`] under `seed`.
+    /// Resets every stochastic component (meter noise and fault streams,
+    /// re-captured idle baseline, time-jitter stream) so the rig behaves
+    /// exactly as if it had been freshly built under `seed`.
     ///
     /// The parallel sweep engine reseeds a worker-local runner with a
     /// per-configuration seed before each measurement, which is what makes
-    /// sweep output independent of thread count and work order.
+    /// sweep output independent of thread count and work order. A failure
+    /// here (fault-injected baseline capture) leaves the rig without a
+    /// baseline; measuring then fails with
+    /// [`MeasureError::BaselineNotCaptured`] until a reseed succeeds.
+    pub fn try_reseed(&mut self, seed: u64) -> Result<(), MeasureError> {
+        // Reset the jitter stream first so the rig's state is a pure
+        // function of `seed` even when the baseline capture fails midway.
+        self.rng_state = seed ^ JITTER_STREAM_TAG;
+        self.session.try_reseed(seed)
+    }
+
+    /// Infallible [`try_reseed`](Self::try_reseed) for rigs whose meter
+    /// cannot fail; panics on a measurement error.
     pub fn reseed(&mut self, seed: u64) {
-        self.session.reseed(seed);
-        self.rng_state = seed ^ 0xA076_1D64_78BD_642F;
+        self.try_reseed(seed).unwrap_or_else(|e| panic!("reseed failed: {e}"));
     }
 
     /// Measures one kernel profile: a steady draw of `steady_power` for
     /// `time`, with the warm-up component (`warmup_power` for
     /// `warmup_time`) on top. Returns protocol-converged means.
-    pub fn measure(
+    ///
+    /// The *first* failed repetition aborts the attempt with its error —
+    /// see the module docs for why partial observation sets are discarded.
+    pub fn try_measure(
         &mut self,
         time: Seconds,
         steady_power: Watts,
         warmup_power: Watts,
         warmup_time: Seconds,
-    ) -> MeasuredPoint {
+    ) -> Result<MeasuredPoint, MeasureError> {
         assert!(time.value() > 0.0, "kernel time must be positive");
         assert!(warmup_time <= time, "warm-up cannot outlive the kernel");
 
@@ -82,7 +152,7 @@ impl MeasurementRunner {
         let session = &mut self.session;
         let jitter = self.time_jitter;
         let rng = &mut self.rng_state;
-        let energy = measure_until_ci(self.protocol, || {
+        let energy = try_measure_until_ci::<MeasureError, _>(self.protocol, || {
             // Run-to-run time variation.
             let f = 1.0 + jitter * gaussian(rng);
             let t = Seconds(time.value() * f);
@@ -93,20 +163,34 @@ impl MeasurementRunner {
                 if t > wt {
                     load.push(t - wt, steady_power);
                 }
-                session.measure(&load).dynamic.value()
+                session.try_measure(&load)?.dynamic.value()
             } else {
-                session.measure(&ConstantLoad::new(steady_power, t)).dynamic.value()
+                session.try_measure(&ConstantLoad::new(steady_power, t))?.dynamic.value()
             };
             times.push(t.value());
-            app
-        });
+            Ok(app)
+        })?;
         let mean_time = times.iter().sum::<f64>() / times.len() as f64;
-        MeasuredPoint {
+        Ok(MeasuredPoint {
             time: Seconds(mean_time),
             dynamic_energy: Joules(energy.mean),
             reps: energy.reps,
             converged: energy.converged,
-        }
+        })
+    }
+
+    /// Infallible [`try_measure`](Self::try_measure); panics on a
+    /// measurement error. Kept for the plain-simulation path where failure
+    /// is a programming error.
+    pub fn measure(
+        &mut self,
+        time: Seconds,
+        steady_power: Watts,
+        warmup_power: Watts,
+        warmup_time: Seconds,
+    ) -> MeasuredPoint {
+        self.try_measure(time, steady_power, warmup_power, warmup_time)
+            .unwrap_or_else(|e| panic!("measurement failed: {e}"))
     }
 }
 
@@ -184,6 +268,67 @@ mod tests {
             Seconds(1.0),
         );
         assert_eq!(reseeded, fresh);
+    }
+
+    #[test]
+    fn cold_runner_reseeded_matches_eager_runner() {
+        let mut cold = MeasurementRunner::cold(Watts(90.0), 999);
+        assert_eq!(
+            cold.try_measure(Seconds(20.0), Watts(120.0), Watts::ZERO, Seconds::ZERO),
+            Err(MeasureError::BaselineNotCaptured)
+        );
+        cold.reseed(11);
+        let a = cold.measure(Seconds(20.0), Watts(120.0), Watts(58.0), Seconds(1.0));
+        let mut eager = MeasurementRunner::new(Watts(90.0), 11);
+        let b = eager.measure(Seconds(20.0), Watts(120.0), Watts(58.0), Seconds(1.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulty_runner_with_empty_plan_matches_plain_runner() {
+        let mut faulty = MeasurementRunner::faulty(Watts(90.0), FaultPlan::none(), 0);
+        faulty.try_reseed(11).unwrap();
+        let a = faulty
+            .try_measure(Seconds(20.0), Watts(120.0), Watts(58.0), Seconds(1.0))
+            .unwrap();
+        let b = MeasurementRunner::new(Watts(90.0), 11).measure(
+            Seconds(20.0),
+            Watts(120.0),
+            Watts(58.0),
+            Seconds(1.0),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transient_faults_surface_as_errors_not_panics() {
+        let mut r = MeasurementRunner::faulty(Watts(90.0), FaultPlan::transient(1.0), 0);
+        // Even the baseline capture fails under a certain-failure plan.
+        assert_eq!(r.try_reseed(5), Err(MeasureError::TransientReadFailure));
+        assert_eq!(
+            r.try_measure(Seconds(20.0), Watts(120.0), Watts::ZERO, Seconds::ZERO),
+            Err(MeasureError::BaselineNotCaptured)
+        );
+    }
+
+    #[test]
+    fn faulty_measurements_are_deterministic_per_seed() {
+        let plan = FaultPlan::transient(0.3);
+        let run = |seed: u64| {
+            let mut r = MeasurementRunner::faulty(Watts(90.0), plan, 0);
+            let reseed = r.try_reseed(seed);
+            reseed.and_then(|()| {
+                r.try_measure(Seconds(20.0), Watts(120.0), Watts::ZERO, Seconds::ZERO)
+            })
+        };
+        // Whatever happens under a seed — success or a specific failure —
+        // it happens identically on every run.
+        for seed in 0..16 {
+            assert_eq!(run(seed), run(seed), "seed {seed}");
+        }
+        // And the plan actually bites for some seed in the range.
+        assert!((0..16).any(|s| run(s).is_err()));
+        assert!((0..16).any(|s| run(s).is_ok()));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json]
-//!       [--json DIR] [--measured [SEED]] [--threads N] [--check]
+//!       [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] [--check]
 //! ```
 //!
 //! With `--json DIR` each generated artifact is additionally written as a
@@ -11,26 +11,40 @@
 //! measurement methodology (simulated WattsUp + Student-t protocol)
 //! instead of the noise-free analytic model. `--threads N` sets the sweep
 //! worker count (default: all available cores); the output is
-//! bitwise-identical at any thread count.
+//! bitwise-identical at any thread count. `--faults RATE` (default 0.05)
+//! additionally injects transient meter faults at that per-measurement
+//! rate: each configuration retries up to 3 times on a fresh seed
+//! substream, exhausted configurations are skipped with a reported count,
+//! and the surviving output is still bitwise-identical at any thread
+//! count.
 //!
 //! The `bench-json` subcommand times (a) the Fig. 7 measured sweep
-//! serially and in parallel, verifying both produce identical results, and
+//! serially and in parallel, verifying both produce identical results,
 //! (b) the functional emulator running tiled DGEMM (N = 256, BS = 16) on
 //! the retired OS-thread engine vs the barrier-phase interpreter, and
-//! writes everything — including `host_cores`, so a reader can tell
-//! whether parallel speedup was physically possible — to
+//! (c) a fault-injection smoke sweep — the K40c N = 8704 workload (102
+//! configurations) under a 5% transient-failure rate with the default
+//! 3-attempt retry policy, run at 1, 2, and 8 threads and compared for
+//! exact equality of both the surviving points and the exhausted-retry
+//! set — and writes everything, including `host_cores`, to
 //! `BENCH_sweep.json`. With `--check` it exits non-zero on a performance
 //! regression: sweep parallel speedup < 1.5× at ≥ 4 threads (enforced only
 //! when the host has ≥ 4 cores — on fewer cores wall-clock speedup is
 //! physically impossible and the gate reduces to the bitwise-identity
-//! check), or phase-interpreter speedup over the legacy engine < 10×.
+//! check), phase-interpreter speedup over the legacy engine < 10×, a
+//! fault-smoke sweep that loses configurations without recording them, or
+//! fault-smoke output that differs across thread counts.
 
-use enprop_apps::{GpuMatMulApp, SweepExecutor};
+use enprop_apps::{GpuMatMulApp, RetryPolicy, SweepExecutor};
 use enprop_bench::figures;
 use enprop_gpusim::emulator::{EmuDgemm, GlobalMem, WavePlan};
 use enprop_gpusim::{GpuArch, TiledDgemmConfig};
+use enprop_power::FaultPlan;
 use std::io::Write;
 use std::time::Instant;
+
+/// Default transient-failure rate for `--faults` and the smoke sweep.
+const DEFAULT_FAULT_RATE: f64 = 0.05;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +52,7 @@ fn main() {
     let mut json_dir: Option<String> = None;
     let mut measured: Option<u64> = None;
     let mut threads: Option<usize> = None;
+    let mut faults: Option<f64> = None;
     let mut check = false;
     let mut it = args.into_iter().peekable();
     while let Some(a) = it.next() {
@@ -63,13 +78,26 @@ fn main() {
                     .unwrap_or_else(|| usage("--threads requires a positive integer"));
                 threads = Some(n.max(1));
             }
+            "--faults" => {
+                let rate = it
+                    .peek()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .inspect(|_| {
+                        it.next();
+                    })
+                    .unwrap_or(DEFAULT_FAULT_RATE);
+                if !(0.0..=1.0).contains(&rate) {
+                    usage("--faults RATE must be within [0, 1]");
+                }
+                faults = Some(rate);
+            }
             "-h" | "--help" => usage(""),
             other => which = other.to_string(),
         }
     }
 
     if which == "bench-json" {
-        bench_sweep(threads, json_dir.as_deref(), check);
+        bench_sweep(threads, faults.unwrap_or(DEFAULT_FAULT_RATE), json_dir.as_deref(), check);
         return;
     }
 
@@ -85,7 +113,7 @@ fn main() {
 
     for name in artifacts {
         println!("==================== {} ====================", title(name));
-        let (text, json) = run(name, measured, threads);
+        let (text, json) = run(name, measured, threads, faults);
         println!("{text}");
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create json dir");
@@ -122,21 +150,37 @@ fn executor(seed: u64, threads: Option<usize>) -> SweepExecutor {
     }
 }
 
-fn run(name: &str, measured: Option<u64>, threads: Option<usize>) -> (String, String) {
-    // Figs. 7/8 optionally run through the full noisy methodology.
+fn run(
+    name: &str,
+    measured: Option<u64>,
+    threads: Option<usize>,
+    faults: Option<f64>,
+) -> (String, String) {
+    // Figs. 7/8 optionally run through the full noisy methodology, with
+    // `--faults` additionally routing them through the fault-injecting
+    // meter and the retrying sweep.
     if let Some(seed) = measured {
         match name {
             "fig7" => {
-                let panels = figures::fig7::generate_measured_with(&executor(seed, threads));
+                let exec = executor(seed, threads);
+                let panels = match faults {
+                    Some(rate) => figures::fig7::generate_measured_robust_with(
+                        &exec,
+                        RetryPolicy::default(),
+                        FaultPlan::transient(rate),
+                    ),
+                    None => figures::fig7::generate_measured_with(&exec),
+                };
                 let text = panels
                     .iter()
                     .map(|p| {
                         format!(
                             "K40c (measured, seed {seed}), N = {}: global front {} pt(s), \
-                             local front {} pt(s), local best {:?}\n",
+                             local front {} pt(s), failed configs {}, local best {:?}\n",
                             p.n,
                             p.global.len(),
                             p.local.len(),
+                            p.failed_configs,
                             p.local.best_pair()
                         )
                     })
@@ -144,15 +188,24 @@ fn run(name: &str, measured: Option<u64>, threads: Option<usize>) -> (String, St
                 return (text, to_json(&panels));
             }
             "fig8" => {
-                let panels = figures::fig8::generate_measured_with(&executor(seed, threads));
+                let exec = executor(seed, threads);
+                let panels = match faults {
+                    Some(rate) => figures::fig8::generate_measured_robust_with(
+                        &exec,
+                        RetryPolicy::default(),
+                        FaultPlan::transient(rate),
+                    ),
+                    None => figures::fig8::generate_measured_with(&exec),
+                };
                 let text = panels
                     .iter()
                     .map(|p| {
                         format!(
                             "P100 (measured, seed {seed}), N = {}: global front {} pt(s), \
-                             best {:?}\n",
+                             failed configs {}, best {:?}\n",
                             p.n,
                             p.global.len(),
+                            p.failed_configs,
                             p.global.best_pair()
                         )
                     })
@@ -213,19 +266,40 @@ struct EmulatorBench {
 }
 
 #[derive(serde::Serialize)]
+struct FaultSmoke {
+    workload: String,
+    fault_rate: f64,
+    retry_attempts: usize,
+    /// Configurations attempted.
+    configs: usize,
+    /// Configurations that produced a point (possibly after retries).
+    measured: usize,
+    /// Configurations that exhausted every retry.
+    failed: usize,
+    /// Configurations that needed more than one attempt (either way).
+    retried: usize,
+    /// The exact exhausted-retry set, for the report.
+    failed_configs: Vec<String>,
+    /// Whether the 1-, 2-, and 8-thread runs produced identical sweeps
+    /// (points *and* failure records).
+    identical_across_threads: bool,
+}
+
+#[derive(serde::Serialize)]
 struct BenchReport {
     /// Host cores available to the process — the physical ceiling on any
     /// wall-clock parallel speedup reported below.
     host_cores: usize,
     sweep: SweepBench,
     emulator: EmulatorBench,
+    fault_smoke: FaultSmoke,
 }
 
 /// Times the Fig. 7 measured workload (K40c, N = 8704 and 10240) serially
 /// and in parallel, checks bitwise identity; times the emulator old-vs-new
 /// engines on tiled DGEMM (N = 256, BS = 16); writes `BENCH_sweep.json`.
 /// With `check`, exits non-zero on a perf regression (see module docs).
-fn bench_sweep(threads: Option<usize>, json_dir: Option<&str>, check: bool) {
+fn bench_sweep(threads: Option<usize>, fault_rate: f64, json_dir: Option<&str>, check: bool) {
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let app = GpuMatMulApp::new(GpuArch::k40c(), 8);
@@ -284,7 +358,25 @@ fn bench_sweep(threads: Option<usize>, json_dir: Option<&str>, check: bool) {
     );
     assert!(emulator.results_identical, "phase engine diverged from legacy engine");
 
-    let report = BenchReport { host_cores, sweep, emulator };
+    let fault_smoke = bench_fault_smoke(fault_rate);
+    println!(
+        "fault smoke: {} at {:.0}% transient rate, {} attempt(s): \
+         {} measured + {} failed of {} configs ({} retried), \
+         identical across 1/2/8 threads: {}",
+        fault_smoke.workload,
+        fault_smoke.fault_rate * 100.0,
+        fault_smoke.retry_attempts,
+        fault_smoke.measured,
+        fault_smoke.failed,
+        fault_smoke.configs,
+        fault_smoke.retried,
+        fault_smoke.identical_across_threads
+    );
+    if !fault_smoke.failed_configs.is_empty() {
+        println!("fault smoke: exhausted retries on {}", fault_smoke.failed_configs.join(", "));
+    }
+
+    let report = BenchReport { host_cores, sweep, emulator, fault_smoke };
 
     let dir = json_dir.unwrap_or(".");
     std::fs::create_dir_all(dir).expect("create json dir");
@@ -340,6 +432,45 @@ fn bench_emulator_engines() -> EmulatorBench {
     }
 }
 
+/// The fault-injection smoke sweep: the Fig. 7 K40c workload at N = 8704
+/// (102 configurations) through a meter that drops `fault_rate` of all
+/// reads, with the default 3-attempt retry policy, run at 1, 2, and
+/// 8 threads. Every configuration must come back as either a point or a
+/// recorded failure, and all three runs must agree exactly — points and
+/// failure records both.
+fn bench_fault_smoke(fault_rate: f64) -> FaultSmoke {
+    let app = GpuMatMulApp::new(GpuArch::k40c(), 8);
+    let n = 8704usize;
+    let policy = RetryPolicy::default();
+    let plan = FaultPlan::transient(fault_rate);
+
+    let sweeps: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            let exec = SweepExecutor::new(42).with_threads(t);
+            app.sweep_measured_robust(n, &exec, policy, plan)
+        })
+        .collect();
+    let identical_across_threads = sweeps.windows(2).all(|w| w[0] == w[1]);
+    let s = &sweeps[0];
+
+    FaultSmoke {
+        workload: format!("fig7 measured sweep (K40c, N = {n})"),
+        fault_rate,
+        retry_attempts: policy.max_attempts,
+        configs: s.total,
+        measured: s.points.len(),
+        failed: s.failures.len(),
+        retried: s.retried,
+        failed_configs: s
+            .failures
+            .iter()
+            .map(|f| format!("BS={} G={} R={}", f.config.bs, f.config.g, f.config.r))
+            .collect(),
+        identical_across_threads,
+    }
+}
+
 /// The `--check` perf gate. Exits non-zero on regression so a scheduler
 /// regression like PR 2's 0.98× sweep "speedup" cannot land silently.
 fn run_perf_gate(report: &BenchReport) {
@@ -370,6 +501,21 @@ fn run_perf_gate(report: &BenchReport) {
         }
     }
 
+    let smoke = &report.fault_smoke;
+    if smoke.measured + smoke.failed != smoke.configs {
+        failures.push(format!(
+            "fault smoke lost configurations: {} measured + {} failed != {} attempted",
+            smoke.measured, smoke.failed, smoke.configs
+        ));
+    }
+    if !smoke.identical_across_threads {
+        failures.push(
+            "fault smoke output differs across 1/2/8 threads — retry seed-splitting \
+             is no longer deterministic"
+                .to_string(),
+        );
+    }
+
     if failures.is_empty() {
         eprintln!("check: all performance gates passed");
     } else {
@@ -390,7 +536,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json] \
-         [--json DIR] [--measured [SEED]] [--threads N] [--check]"
+         [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] [--check]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -8,10 +8,11 @@
 
 use super::{front_of, gpu_cloud, GPU_TOTAL_PRODUCTS};
 use enprop_apps::point::DataPoint;
-use enprop_apps::{sizes, GpuMatMulApp, SweepExecutor};
+use enprop_apps::{sizes, GpuMatMulApp, RetryPolicy, SweepExecutor};
 use enprop_ep::{WeakEpReport, WeakEpTest};
 use enprop_gpusim::{GpuArch, TiledDgemmConfig};
 use enprop_pareto::TradeoffAnalysis;
+use enprop_power::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// One matrix size's panel column.
@@ -19,8 +20,12 @@ use serde::{Deserialize, Serialize};
 pub struct Fig7Panel {
     /// Matrix size.
     pub n: usize,
-    /// The full configuration cloud.
+    /// The full configuration cloud (successfully measured points only).
     pub cloud: Vec<DataPoint<TiledDgemmConfig>>,
+    /// Configurations that could not be measured (exhausted their
+    /// retries) and are therefore absent from `cloud` and every front.
+    /// Always 0 on the noise-free and fault-free paths.
+    pub failed_configs: usize,
     /// Weak-EP verdict.
     pub weak_ep: WeakEpReport,
     /// Global front (expected singleton).
@@ -33,7 +38,7 @@ pub struct Fig7Panel {
 
 /// Generates both Fig. 7 panels from the noise-free analytic model.
 pub fn generate() -> Vec<Fig7Panel> {
-    generate_from(|n| gpu_cloud(GpuArch::k40c(), n))
+    generate_from(|n| (gpu_cloud(GpuArch::k40c(), n), 0))
 }
 
 /// Generates both panels through the full measurement methodology:
@@ -48,21 +53,41 @@ pub fn generate_measured(seed: u64) -> Vec<Fig7Panel> {
 /// Output is bitwise-identical for any thread count.
 pub fn generate_measured_with(exec: &SweepExecutor) -> Vec<Fig7Panel> {
     let app = GpuMatMulApp::new(GpuArch::k40c(), GPU_TOTAL_PRODUCTS);
-    generate_from(move |n| app.sweep_measured(n, exec))
+    generate_from(move |n| (app.sweep_measured(n, exec), 0))
+}
+
+/// [`generate_measured`] through a misbehaving meter: faults per `plan`,
+/// retries per `policy`. Configurations that exhaust their retries are
+/// *skipped* — each panel's fronts are computed over the surviving cloud,
+/// with [`Fig7Panel::failed_configs`] counting the casualties. Still
+/// bitwise-identical at any thread count. Panics only if *every*
+/// configuration of a size fails (no cloud to analyse).
+pub fn generate_measured_robust_with(
+    exec: &SweepExecutor,
+    policy: RetryPolicy,
+    plan: FaultPlan,
+) -> Vec<Fig7Panel> {
+    let app = GpuMatMulApp::new(GpuArch::k40c(), GPU_TOTAL_PRODUCTS);
+    generate_from(move |n| {
+        let sweep = app.sweep_measured_robust(n, exec, policy, plan);
+        let failed = sweep.failed_configs();
+        (sweep.points, failed)
+    })
 }
 
 fn generate_from(
-    mut sweep: impl FnMut(usize) -> Vec<DataPoint<TiledDgemmConfig>>,
+    mut sweep: impl FnMut(usize) -> (Vec<DataPoint<TiledDgemmConfig>>, usize),
 ) -> Vec<Fig7Panel> {
     sizes::fig7_sizes()
         .into_iter()
         .map(|n| {
-            let cloud = sweep(n);
+            let (cloud, failed_configs) = sweep(n);
             let energies: Vec<_> = cloud.iter().map(|p| p.dynamic_energy).collect();
             let global = front_of(&cloud, |_| true);
             let global_optimum_bs = cloud[global.performance_optimal().index].config.bs;
             Fig7Panel {
                 n,
+                failed_configs,
                 weak_ep: WeakEpTest::default().run(&energies),
                 local: front_of(&cloud, |c| c.bs <= 30),
                 global,

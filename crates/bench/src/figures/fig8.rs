@@ -6,10 +6,11 @@
 
 use super::{front_of, gpu_cloud, GPU_TOTAL_PRODUCTS};
 use enprop_apps::point::DataPoint;
-use enprop_apps::{sizes, GpuMatMulApp, SweepExecutor};
+use enprop_apps::{sizes, GpuMatMulApp, RetryPolicy, SweepExecutor};
 use enprop_ep::{WeakEpReport, WeakEpTest};
 use enprop_gpusim::{GpuArch, TiledDgemmConfig};
 use enprop_pareto::TradeoffAnalysis;
+use enprop_power::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// One matrix size's panel column.
@@ -17,8 +18,11 @@ use serde::{Deserialize, Serialize};
 pub struct Fig8Panel {
     /// Matrix size.
     pub n: usize,
-    /// The full configuration cloud.
+    /// The full configuration cloud (successfully measured points only).
     pub cloud: Vec<DataPoint<TiledDgemmConfig>>,
+    /// Configurations that exhausted their retries and are absent from
+    /// `cloud` and the front. Always 0 on fault-free paths.
+    pub failed_configs: usize,
     /// Weak-EP verdict.
     pub weak_ep: WeakEpReport,
     /// Global Pareto front and trade-offs.
@@ -27,7 +31,7 @@ pub struct Fig8Panel {
 
 /// Generates both Fig. 8 panels from the noise-free analytic model.
 pub fn generate() -> Vec<Fig8Panel> {
-    generate_from(|n| gpu_cloud(GpuArch::p100_pcie(), n))
+    generate_from(|n| (gpu_cloud(GpuArch::p100_pcie(), n), 0))
 }
 
 /// Generates both panels through the full measurement methodology —
@@ -40,19 +44,38 @@ pub fn generate_measured(seed: u64) -> Vec<Fig8Panel> {
 /// Output is bitwise-identical for any thread count.
 pub fn generate_measured_with(exec: &SweepExecutor) -> Vec<Fig8Panel> {
     let app = GpuMatMulApp::new(GpuArch::p100_pcie(), GPU_TOTAL_PRODUCTS);
-    generate_from(move |n| app.sweep_measured(n, exec))
+    generate_from(move |n| (app.sweep_measured(n, exec), 0))
+}
+
+/// [`generate_measured`] through a misbehaving meter: faults per `plan`,
+/// retries per `policy`. Configurations that exhaust their retries are
+/// skipped, counted in [`Fig8Panel::failed_configs`], and the fronts are
+/// computed over the surviving cloud. Bitwise-identical at any thread
+/// count.
+pub fn generate_measured_robust_with(
+    exec: &SweepExecutor,
+    policy: RetryPolicy,
+    plan: FaultPlan,
+) -> Vec<Fig8Panel> {
+    let app = GpuMatMulApp::new(GpuArch::p100_pcie(), GPU_TOTAL_PRODUCTS);
+    generate_from(move |n| {
+        let sweep = app.sweep_measured_robust(n, exec, policy, plan);
+        let failed = sweep.failed_configs();
+        (sweep.points, failed)
+    })
 }
 
 fn generate_from(
-    mut sweep: impl FnMut(usize) -> Vec<DataPoint<TiledDgemmConfig>>,
+    mut sweep: impl FnMut(usize) -> (Vec<DataPoint<TiledDgemmConfig>>, usize),
 ) -> Vec<Fig8Panel> {
     sizes::fig8_sizes()
         .into_iter()
         .map(|n| {
-            let cloud = sweep(n);
+            let (cloud, failed_configs) = sweep(n);
             let energies: Vec<_> = cloud.iter().map(|p| p.dynamic_energy).collect();
             Fig8Panel {
                 n,
+                failed_configs,
                 weak_ep: WeakEpTest::default().run(&energies),
                 global: front_of(&cloud, |_| true),
                 cloud,

@@ -12,9 +12,24 @@ pub struct BiPoint {
 }
 
 impl BiPoint {
-    /// Creates a point.
+    /// Creates a point. Panics on non-finite coordinates — a NaN or
+    /// infinite objective is always an upstream measurement bug, and
+    /// letting it into a front silently corrupts every dominance
+    /// comparison downstream. Use [`try_new`](Self::try_new) when the
+    /// coordinates come from an untrusted pipeline.
     pub fn new(time: f64, energy: f64) -> Self {
-        Self { time, energy }
+        Self::try_new(time, energy)
+            .unwrap_or_else(|| panic!("non-finite BiPoint coordinates ({time}, {energy})"))
+    }
+
+    /// Creates a point, returning `None` when either coordinate is NaN or
+    /// infinite.
+    pub fn try_new(time: f64, energy: f64) -> Option<Self> {
+        if time.is_finite() && energy.is_finite() {
+            Some(Self { time, energy })
+        } else {
+            None
+        }
     }
 
     /// True when `self` dominates `other`: no worse in both objectives and
@@ -46,19 +61,24 @@ impl BiPoint {
 pub fn pareto_front(points: &[BiPoint]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..points.len()).collect();
     // Sort by time asc, then energy asc so the scan keeps the cheapest among
-    // time ties, then drop exact duplicates of kept points.
+    // time ties, then drop exact duplicates of kept points. `total_cmp`
+    // keeps the sort a total order even for NaN coordinates smuggled in via
+    // deserialization or raw struct literals (the constructors reject them).
     idx.sort_by(|&a, &b| {
         points[a]
             .time
-            .partial_cmp(&points[b].time)
-            .expect("NaN time")
-            .then(points[a].energy.partial_cmp(&points[b].energy).expect("NaN energy"))
+            .total_cmp(&points[b].time)
+            .then(points[a].energy.total_cmp(&points[b].energy))
     });
     let mut front = Vec::new();
     let mut best_energy = f64::INFINITY;
     let mut last_kept: Option<BiPoint> = None;
     for &i in &idx {
         let p = points[i];
+        // A smuggled NaN coordinate can never sit on a minimizing front.
+        if p.time.is_nan() || p.energy.is_nan() {
+            continue;
+        }
         if let Some(k) = last_kept {
             if p == k {
                 continue; // exact duplicate of a front point
@@ -214,6 +234,34 @@ mod tests {
                 assert!(dominated, "layer {w} point {i} not dominated by earlier layers");
             }
         }
+    }
+
+    #[test]
+    fn constructor_rejects_non_finite_coordinates() {
+        assert!(BiPoint::try_new(f64::NAN, 1.0).is_none());
+        assert!(BiPoint::try_new(1.0, f64::NAN).is_none());
+        assert!(BiPoint::try_new(f64::INFINITY, 1.0).is_none());
+        assert!(BiPoint::try_new(1.0, f64::NEG_INFINITY).is_none());
+        assert!(BiPoint::try_new(1.0, 2.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite BiPoint")]
+    fn infallible_constructor_panics_on_nan() {
+        BiPoint::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn smuggled_nan_points_never_reach_the_front() {
+        // Struct literals bypass the constructors (as deserialization can).
+        let p = vec![
+            BiPoint { time: f64::NAN, energy: 0.0 },
+            BiPoint::new(1.0, 5.0),
+            BiPoint { time: 2.0, energy: f64::NAN },
+            BiPoint::new(3.0, 2.0),
+        ];
+        // Pre-fix this panicked on `partial_cmp(..).expect("NaN time")`.
+        assert_eq!(pareto_front(&p), vec![1, 3]);
     }
 
     #[test]

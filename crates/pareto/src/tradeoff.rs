@@ -117,7 +117,7 @@ impl TradeoffAnalysis {
         self.front
             .iter()
             .filter(|t| t.degradation <= max_degradation && t.savings > 0.0)
-            .max_by(|a, b| a.savings.partial_cmp(&b.savings).expect("NaN savings"))
+            .max_by(|a, b| a.savings.total_cmp(&b.savings))
     }
 
     /// The maximum savings on the front and the degradation it costs, i.e.
@@ -127,7 +127,7 @@ impl TradeoffAnalysis {
         self.front
             .iter()
             .filter(|t| t.savings > 0.0)
-            .max_by(|a, b| a.savings.partial_cmp(&b.savings).expect("NaN savings"))
+            .max_by(|a, b| a.savings.total_cmp(&b.savings))
             .map(|t| (t.savings, t.degradation))
     }
 }

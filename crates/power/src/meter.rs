@@ -1,0 +1,84 @@
+//! The fallible meter abstraction.
+//!
+//! [`EnergySession`](crate::session::EnergySession) originally held a
+//! [`SimulatedWattsUp`] directly, which made every failure mode of a real
+//! meter unrepresentable — the simulation never fails, so nothing
+//! downstream had an error path. [`Meter`] is the seam that fixes that:
+//! sessions talk to any meter through it, and the
+//! [`FaultInjectingMeter`](crate::fault::FaultInjectingMeter) wrapper slots
+//! in to exercise every failure branch without hardware.
+
+use crate::error::MeasureError;
+use crate::source::PowerSource;
+use crate::trace::PowerTrace;
+use crate::wattsup::SimulatedWattsUp;
+use enprop_units::Seconds;
+
+/// A power meter that can watch one node, fallibly.
+///
+/// The reseed contract mirrors [`SimulatedWattsUp::reseed`]: after
+/// `reseed(s)`, the meter must behave exactly as if freshly constructed
+/// with seed `s` — including any fault stream a wrapper maintains. The
+/// parallel sweep engine leans on this to keep results independent of
+/// worker placement.
+pub trait Meter {
+    /// Records the node running `app`. A `Err` means the whole reading was
+    /// lost (the caller decides whether to retry).
+    fn record(&mut self, app: &dyn PowerSource) -> Result<PowerTrace, MeasureError>;
+
+    /// Records the node idling for `window` (the baseline-capture phase).
+    fn record_idle(&mut self, window: Seconds) -> Result<PowerTrace, MeasureError>;
+
+    /// Resets every stochastic stream as if freshly constructed with `seed`.
+    fn reseed(&mut self, seed: u64);
+
+    /// The meter's sampling period (used to validate baseline windows).
+    fn sample_period(&self) -> Seconds;
+}
+
+impl Meter for SimulatedWattsUp {
+    fn record(&mut self, app: &dyn PowerSource) -> Result<PowerTrace, MeasureError> {
+        Ok(SimulatedWattsUp::record(self, app))
+    }
+
+    fn record_idle(&mut self, window: Seconds) -> Result<PowerTrace, MeasureError> {
+        Ok(SimulatedWattsUp::record_idle(self, window))
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        SimulatedWattsUp::reseed(self, seed)
+    }
+
+    fn sample_period(&self) -> Seconds {
+        Seconds(1.0 / self.spec().sample_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ConstantLoad;
+    use crate::wattsup::MeterSpec;
+    use enprop_units::Watts;
+
+    #[test]
+    fn simulated_meter_is_infallible_through_the_trait() {
+        let mut m: Box<dyn Meter> =
+            Box::new(SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 1));
+        assert_eq!(m.sample_period(), Seconds(1.0));
+        let app = ConstantLoad::new(Watts(100.0), Seconds(5.0));
+        let t = m.record(&app).unwrap();
+        assert_eq!(t.len(), 6);
+        assert!(m.record_idle(Seconds(3.0)).unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn trait_reseed_matches_inherent_reseed() {
+        let app = ConstantLoad::new(Watts(100.0), Seconds(10.0));
+        let mut a = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 1);
+        Meter::record(&mut a, &app).unwrap();
+        Meter::reseed(&mut a, 9);
+        let mut b = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 9);
+        assert_eq!(Meter::record(&mut a, &app), Meter::record(&mut b, &app));
+    }
+}

@@ -11,6 +11,7 @@
 //! testable against a mock sysfs tree (and so containers with a relocated
 //! powercap mount still work).
 
+use crate::error::MeasureError;
 use enprop_units::Joules;
 use std::path::{Path, PathBuf};
 
@@ -51,14 +52,44 @@ impl RaplDomain {
 
     /// Energy elapsed between two counter readings, accounting for at most
     /// one wraparound of the domain counter.
+    ///
+    /// Fails with [`MeasureError::CounterRangeAnomaly`] when either reading
+    /// exceeds the domain's advertised `max_energy_range_uj`: the range
+    /// file is stale or misreported, so wraparound correction would be
+    /// meaningless (and, before this check existed, the subtraction below
+    /// underflowed and aborted the process in debug builds).
+    pub fn try_delta(&self, before_uj: u64, after_uj: u64) -> Result<Joules, MeasureError> {
+        let range = self.max_energy_range_uj;
+        for &reading_uj in &[before_uj, after_uj] {
+            if reading_uj > range {
+                return Err(MeasureError::CounterRangeAnomaly {
+                    domain: self.name.clone(),
+                    reading_uj,
+                    max_energy_range_uj: range,
+                });
+            }
+        }
+        Ok(Joules(wrap_delta_uj(before_uj, after_uj, range) as f64 * 1.0e-6))
+    }
+
+    /// Infallible [`try_delta`](Self::try_delta): saturates instead of
+    /// erroring when a reading exceeds the advertised range, never
+    /// underflows. Prefer `try_delta` where an anomalous range should be
+    /// surfaced rather than clamped.
     pub fn delta(&self, before_uj: u64, after_uj: u64) -> Joules {
-        let uj = if after_uj >= before_uj {
-            after_uj - before_uj
-        } else {
-            // Wrapped: distance to the range end plus the new value.
-            self.max_energy_range_uj - before_uj + after_uj
-        };
-        Joules(uj as f64 * 1.0e-6)
+        Joules(wrap_delta_uj(before_uj, after_uj, self.max_energy_range_uj) as f64 * 1.0e-6)
+    }
+}
+
+/// Wraparound-corrected counter distance. Saturating on the anomalous
+/// `before > range` case (a stale range file) so the subtraction can never
+/// underflow; exact for in-range readings.
+fn wrap_delta_uj(before_uj: u64, after_uj: u64, range_uj: u64) -> u64 {
+    if after_uj >= before_uj {
+        after_uj - before_uj
+    } else {
+        // Wrapped: distance to the range end plus the new value.
+        range_uj.saturating_sub(before_uj).saturating_add(after_uj)
     }
 }
 
@@ -104,15 +135,17 @@ impl RaplReader {
     }
 
     /// Total energy across all domains consumed while `f` runs, plus `f`'s
-    /// result. Uses one reading per domain before and after.
-    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> std::io::Result<(Joules, T)> {
+    /// result. Uses one reading per domain before and after. Counter I/O
+    /// failures surface as [`MeasureError::Io`]; readings beyond a domain's
+    /// advertised range as [`MeasureError::CounterRangeAnomaly`].
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> Result<(Joules, T), MeasureError> {
         let before: Vec<u64> =
             self.domains.iter().map(|d| d.energy_uj()).collect::<Result<_, _>>()?;
         let result = f();
         let mut total = Joules::ZERO;
         for (d, &b) in self.domains.iter().zip(&before) {
             let after = d.energy_uj()?;
-            total += d.delta(b, after);
+            total += d.try_delta(b, after)?;
         }
         Ok((total, result))
     }
@@ -174,6 +207,70 @@ mod tests {
         // No wrap.
         let e = d.delta(100_000, 400_000);
         assert!((e.value() - 0.3).abs() < 1e-12);
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn wrap_exactly_at_range_boundary() {
+        let root = mock_tree("wrap-exact", 0, 1_000_000);
+        let reader = RaplReader::detect_at(&root).unwrap();
+        let d = &reader.domains()[0];
+        // before sits exactly at the range end, counter wrapped to 0:
+        // delta = (range − range) + 0 = 0.
+        assert_eq!(d.delta(1_000_000, 0), Joules::ZERO);
+        assert_eq!(d.try_delta(1_000_000, 0), Ok(Joules::ZERO));
+        // ... and wrapped to 250_000 µJ: delta = 0.25 J.
+        let e = d.try_delta(1_000_000, 250_000).unwrap();
+        assert!((e.value() - 0.25).abs() < 1e-12, "{e}");
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn zero_delta_between_identical_readings() {
+        let root = mock_tree("wrap-zero", 0, 1_000_000);
+        let reader = RaplReader::detect_at(&root).unwrap();
+        let d = &reader.domains()[0];
+        assert_eq!(d.delta(400_000, 400_000), Joules::ZERO);
+        assert_eq!(d.try_delta(400_000, 400_000), Ok(Joules::ZERO));
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn reading_beyond_stale_range_is_anomaly_not_underflow() {
+        let root = mock_tree("wrap-stale", 0, 1_000_000);
+        let reader = RaplReader::detect_at(&root).unwrap();
+        let d = &reader.domains()[0];
+        // A stale/misreported range file: before > max_energy_range_uj.
+        // The seed code computed `range − before + after` here, which
+        // underflowed (debug panic). Now: saturates in `delta`, errors in
+        // `try_delta`.
+        let e = d.delta(1_500_000, 100_000);
+        assert!((e.value() - 0.1).abs() < 1e-12, "saturated wrap distance, got {e}");
+        match d.try_delta(1_500_000, 100_000) {
+            Err(MeasureError::CounterRangeAnomaly { domain, reading_uj, max_energy_range_uj }) => {
+                assert_eq!(domain, "package-0");
+                assert_eq!(reading_uj, 1_500_000);
+                assert_eq!(max_energy_range_uj, 1_000_000);
+            }
+            other => panic!("expected CounterRangeAnomaly, got {other:?}"),
+        }
+        // `after` beyond the range is just as anomalous.
+        assert!(d.try_delta(100_000, 1_500_000).is_err());
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn measure_surfaces_range_anomaly() {
+        let root = mock_tree("measure-anomaly", 500_000, 1_000_000);
+        let reader = RaplReader::detect_at(&root).unwrap();
+        let dom_file = root.join("intel-rapl:0/energy_uj");
+        let err = reader
+            .measure(|| {
+                // Counter "reads" past the advertised range mid-run.
+                std::fs::write(&dom_file, "2000000\n").unwrap();
+            })
+            .unwrap_err();
+        assert!(matches!(err, MeasureError::CounterRangeAnomaly { .. }), "{err:?}");
         std::fs::remove_dir_all(root).ok();
     }
 

@@ -3,9 +3,23 @@
 //! HCLWATTSUP determines an application's dynamic energy in three steps:
 //! capture the node's idle baseline, integrate total power over the run,
 //! then report `E_dynamic = E_total − P_idle × t`. [`EnergySession`]
-//! reproduces exactly that workflow against the simulated meter.
+//! reproduces exactly that workflow against a [`Meter`] — the simulated
+//! WattsUp by default, or a [fault-injecting](crate::fault::FaultInjectingMeter)
+//! wrapper when the failure paths themselves are under test.
+//!
+//! Every step that a real rig can fail is fallible here:
+//! [`try_with_baseline_window`](EnergySession::try_with_baseline_window),
+//! [`try_reseed`](EnergySession::try_reseed) and
+//! [`try_measure`](EnergySession::try_measure) return [`MeasureError`]s
+//! instead of panicking; the infallible [`with_baseline_window`](EnergySession::with_baseline_window) /
+//! [`reseed`](EnergySession::reseed) / [`measure`](EnergySession::measure)
+//! wrappers remain for meters that cannot fail under statically-valid
+//! windows (the plain simulation).
 
+use crate::error::MeasureError;
+use crate::meter::Meter;
 use crate::source::PowerSource;
+use crate::trace::PowerTrace;
 use crate::wattsup::SimulatedWattsUp;
 use enprop_units::{Joules, Seconds, Watts};
 
@@ -30,7 +44,12 @@ impl EnergyReading {
     }
 }
 
-/// A measurement session bound to one simulated meter.
+/// No real node draws a megawatt: any sample above this is treated as a
+/// wrapped/stale counter leaking through and rejected as
+/// [`MeasureError::ImplausibleSample`].
+pub const PLAUSIBLE_POWER_CAP: Watts = Watts(1.0e6);
+
+/// A measurement session bound to one meter.
 ///
 /// # Example
 /// ```
@@ -45,52 +64,140 @@ impl EnergyReading {
 /// assert!((r.dynamic.value() - 9000.0).abs() < 200.0);
 /// ```
 #[derive(Debug)]
-pub struct EnergySession {
-    meter: SimulatedWattsUp,
-    baseline: Watts,
+pub struct EnergySession<M: Meter = SimulatedWattsUp> {
+    meter: M,
+    /// `None` until a baseline capture succeeds (cold session, or the last
+    /// reseed failed mid-capture).
+    baseline: Option<Watts>,
     baseline_window: Seconds,
 }
 
-impl EnergySession {
+impl<M: Meter> EnergySession<M> {
     /// Opens a session, capturing the idle baseline over `window` the way
     /// HCLWATTSUP does before any application run.
-    pub fn with_baseline_window(mut meter: SimulatedWattsUp, window: Seconds) -> Self {
-        let trace = meter.record_idle(window);
-        let baseline = trace.mean_power().expect("baseline window too short");
-        Self { meter, baseline, baseline_window: window }
+    ///
+    /// Fails with [`MeasureError::BaselineTooShort`] when `window` cannot
+    /// hold two meter samples, and propagates any meter failure during the
+    /// capture.
+    pub fn try_with_baseline_window(meter: M, window: Seconds) -> Result<Self, MeasureError> {
+        let mut s = Self::cold(meter, window)?;
+        s.capture_baseline()?;
+        Ok(s)
     }
 
-    /// The captured idle baseline.
-    pub fn baseline(&self) -> Watts {
+    /// Opens a session with statically-valid inputs and an infallible
+    /// meter; panics where [`try_with_baseline_window`](Self::try_with_baseline_window)
+    /// would return an error. Kept for the plain-simulation path where a
+    /// measurement failure is a programming error, not an operational one.
+    pub fn with_baseline_window(meter: M, window: Seconds) -> Self {
+        Self::try_with_baseline_window(meter, window)
+            .unwrap_or_else(|e| panic!("baseline capture failed: {e}"))
+    }
+
+    /// Opens a session *without* capturing a baseline. The session must be
+    /// [`try_reseed`](Self::try_reseed)ed (successfully) before measuring —
+    /// until then every measurement fails with
+    /// [`MeasureError::BaselineNotCaptured`].
+    ///
+    /// This is the constructor the sweep engine uses for worker-local
+    /// rigs: workers reseed before every configuration anyway, and a
+    /// fault-injecting meter could fail the eager capture that
+    /// [`try_with_baseline_window`](Self::try_with_baseline_window)
+    /// performs — a retryable event that belongs inside the per-attempt
+    /// retry loop, not at worker construction.
+    pub fn cold(meter: M, window: Seconds) -> Result<Self, MeasureError> {
+        let period = meter.sample_period();
+        if window < period || window.value() <= 0.0 {
+            return Err(MeasureError::BaselineTooShort { window, sample_period: period });
+        }
+        Ok(Self { meter, baseline: None, baseline_window: window })
+    }
+
+    /// The captured idle baseline, if any.
+    pub fn baseline(&self) -> Option<Watts> {
         self.baseline
     }
 
-    /// Restarts the session from `seed`: the meter's noise stream is reset
-    /// and the idle baseline is re-captured over the original window, so the
-    /// session is bitwise-identical to one freshly opened with a meter
-    /// seeded with `seed`. This is the primitive the parallel sweep engine
-    /// uses to decouple a configuration's measurement noise from the worker
-    /// thread it happens to land on.
-    pub fn reseed(&mut self, seed: u64) {
+    /// The configured baseline-capture window.
+    pub fn baseline_window(&self) -> Seconds {
+        self.baseline_window
+    }
+
+    fn capture_baseline(&mut self) -> Result<(), MeasureError> {
+        // Invalidate first: a failed capture must not leave a stale
+        // baseline silently in force.
+        self.baseline = None;
+        let trace = self.meter.record_idle(self.baseline_window)?;
+        check_plausible(&trace)?;
+        let baseline = trace.mean_power().ok_or(MeasureError::TraceTooShort {
+            samples: trace.len(),
+        })?;
+        self.baseline = Some(baseline);
+        Ok(())
+    }
+
+    /// Restarts the session from `seed`: the meter's stochastic streams are
+    /// reset and the idle baseline is re-captured over the original window,
+    /// so the session is bitwise-identical to one freshly opened with a
+    /// meter seeded with `seed`. This is the primitive the parallel sweep
+    /// engine uses to decouple a configuration's measurement noise from the
+    /// worker thread it happens to land on.
+    ///
+    /// On failure the baseline is left *uncaptured* — a later
+    /// [`try_measure`](Self::try_measure) fails with
+    /// [`MeasureError::BaselineNotCaptured`] rather than silently using the
+    /// previous seed's baseline.
+    pub fn try_reseed(&mut self, seed: u64) -> Result<(), MeasureError> {
         self.meter.reseed(seed);
-        let trace = self.meter.record_idle(self.baseline_window);
-        self.baseline = trace.mean_power().expect("baseline window too short");
+        self.capture_baseline()
+    }
+
+    /// Infallible [`try_reseed`](Self::try_reseed) for meters that cannot
+    /// fail; panics on a measurement error.
+    pub fn reseed(&mut self, seed: u64) {
+        self.try_reseed(seed).unwrap_or_else(|e| panic!("reseed failed: {e}"));
     }
 
     /// Measures one application run and decomposes its energy.
-    pub fn measure(&mut self, app: &dyn PowerSource) -> EnergyReading {
-        let trace = self.meter.record(app);
+    ///
+    /// Fails when no baseline is captured, the meter loses the reading,
+    /// dropouts leave fewer than two samples, or a sample is implausible
+    /// (wrapped counter artifact).
+    pub fn try_measure(&mut self, app: &dyn PowerSource) -> Result<EnergyReading, MeasureError> {
+        let baseline = self.baseline.ok_or(MeasureError::BaselineNotCaptured)?;
+        let trace = self.meter.record(app)?;
+        if trace.len() < 2 {
+            return Err(MeasureError::TraceTooShort { samples: trace.len() });
+        }
+        check_plausible(&trace)?;
         let duration = trace.duration();
         let total = trace.energy();
-        let static_energy = self.baseline * duration;
+        let static_energy = baseline * duration;
         let dynamic = Joules((total - static_energy).value().max(0.0));
-        EnergyReading { duration, total, static_energy, dynamic }
+        Ok(EnergyReading { duration, total, static_energy, dynamic })
     }
+
+    /// Infallible [`try_measure`](Self::try_measure); panics on a
+    /// measurement error. Kept for the plain-simulation path.
+    pub fn measure(&mut self, app: &dyn PowerSource) -> EnergyReading {
+        self.try_measure(app).unwrap_or_else(|e| panic!("measurement failed: {e}"))
+    }
+}
+
+/// Rejects non-finite or absurd samples (wrapped-counter artifacts).
+fn check_plausible(trace: &PowerTrace) -> Result<(), MeasureError> {
+    for s in trace.samples() {
+        if !s.power.value().is_finite() || s.power > PLAUSIBLE_POWER_CAP {
+            return Err(MeasureError::ImplausibleSample { at: s.at, power: s.power });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultInjectingMeter, FaultPlan};
     use crate::source::{CompositeLoad, ConstantLoad, PiecewiseLoad};
     use crate::wattsup::MeterSpec;
 
@@ -113,7 +220,74 @@ mod tests {
     #[test]
     fn baseline_matches_idle_floor_without_noise() {
         let s = quiet_session(87.5);
-        assert!((s.baseline().value() - 87.5).abs() < 1e-9);
+        assert!((s.baseline().unwrap().value() - 87.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_window_is_a_typed_error_not_a_panic() {
+        let meter = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 1);
+        let err = EnergySession::try_with_baseline_window(meter, Seconds(0.5)).unwrap_err();
+        assert!(
+            matches!(err, MeasureError::BaselineTooShort { .. }),
+            "unexpected error {err:?}"
+        );
+        let meter = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 1);
+        let err = EnergySession::try_with_baseline_window(meter, Seconds(0.0)).unwrap_err();
+        assert!(matches!(err, MeasureError::BaselineTooShort { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline capture failed")]
+    fn infallible_constructor_panics_on_short_window() {
+        let meter = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 1);
+        EnergySession::with_baseline_window(meter, Seconds(0.5));
+    }
+
+    #[test]
+    fn cold_session_requires_reseed_before_measuring() {
+        let meter = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 1);
+        let mut s = EnergySession::cold(meter, Seconds(120.0)).unwrap();
+        assert_eq!(s.baseline(), None);
+        let app = ConstantLoad::new(Watts(150.0), Seconds(10.0));
+        assert_eq!(s.try_measure(&app), Err(MeasureError::BaselineNotCaptured));
+        s.try_reseed(17).unwrap();
+        assert!(s.baseline().is_some());
+        assert!(s.try_measure(&app).is_ok());
+    }
+
+    #[test]
+    fn cold_then_reseed_equals_fresh_session() {
+        let app = ConstantLoad::new(Watts(150.0), Seconds(40.0));
+        let meter = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 3);
+        let mut cold = EnergySession::cold(meter, Seconds(120.0)).unwrap();
+        cold.try_reseed(17).unwrap();
+        let mut fresh = {
+            let meter = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 17);
+            EnergySession::with_baseline_window(meter, Seconds(120.0))
+        };
+        assert_eq!(cold.baseline(), fresh.baseline());
+        assert_eq!(cold.measure(&app), fresh.measure(&app));
+    }
+
+    #[test]
+    fn failed_reseed_invalidates_the_baseline() {
+        let inner = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 1);
+        let meter = FaultInjectingMeter::new(inner, FaultPlan::transient(1.0), 1);
+        let mut s = EnergySession::cold(meter, Seconds(120.0)).unwrap();
+        assert_eq!(s.try_reseed(5), Err(MeasureError::TransientReadFailure));
+        assert_eq!(s.baseline(), None);
+        let app = ConstantLoad::new(Watts(150.0), Seconds(10.0));
+        assert_eq!(s.try_measure(&app), Err(MeasureError::BaselineNotCaptured));
+    }
+
+    #[test]
+    fn implausible_sample_rejected() {
+        let inner = SimulatedWattsUp::new(MeterSpec::default(), Watts(90.0), 1);
+        let meter = FaultInjectingMeter::new(inner, FaultPlan::none().with_glitches(1.0), 1);
+        let mut s = EnergySession::cold(meter, Seconds(120.0)).unwrap();
+        // The baseline capture itself sees the glitch.
+        let err = s.try_reseed(2).unwrap_err();
+        assert!(matches!(err, MeasureError::ImplausibleSample { .. }), "{err:?}");
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod trend;
 
 pub use describe::Summary;
 pub use dist::{ChiSquared, Normal, StudentT};
-pub use protocol::{measure_until_ci, MeasureConfig, Measurement, PearsonChiSquared};
+pub use protocol::{
+    measure_until_ci, try_measure_until_ci, MeasureConfig, Measurement, PearsonChiSquared,
+};
 pub use regress::{LinearFit, MultiLinearFit, PolyFit};
 pub use running::Running;
 pub use trend::{FunctionalTest, Plateau, TrendLine};

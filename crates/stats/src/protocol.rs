@@ -88,12 +88,27 @@ impl Measurement {
 /// assert!(m.rel_precision() <= 0.025);
 /// ```
 pub fn measure_until_ci<F: FnMut() -> f64>(cfg: MeasureConfig, mut observe: F) -> Measurement {
+    match try_measure_until_ci(cfg, move || Ok::<f64, std::convert::Infallible>(observe())) {
+        Ok(m) => m,
+        Err(infallible) => match infallible {},
+    }
+}
+
+/// Fallible [`measure_until_ci`]: `observe` may fail (a lost meter reading,
+/// a dropped trace), and the *first* failed repetition aborts the whole
+/// measurement — partial observation sets would bias the mean toward
+/// whichever repetitions happened to survive, so the protocol treats an
+/// attempt as all-or-nothing and leaves retrying to the caller.
+pub fn try_measure_until_ci<E, F>(cfg: MeasureConfig, mut observe: F) -> Result<Measurement, E>
+where
+    F: FnMut() -> Result<f64, E>,
+{
     assert!(cfg.min_reps >= 2, "need at least two observations for a CI");
     assert!(cfg.max_reps >= cfg.min_reps, "max_reps must be >= min_reps");
     let mut samples = Vec::with_capacity(cfg.min_reps);
     let mut running = Running::new();
     loop {
-        let x = observe();
+        let x = observe()?;
         samples.push(x);
         running.push(x);
         if samples.len() < cfg.min_reps {
@@ -105,13 +120,13 @@ pub fn measure_until_ci<F: FnMut() -> f64>(cfg: MeasureConfig, mut observe: F) -
         let mean = running.mean();
         let ok = mean != 0.0 && half <= cfg.precision * mean.abs();
         if ok || samples.len() >= cfg.max_reps {
-            return Measurement {
+            return Ok(Measurement {
                 mean,
                 ci_half_width: half,
                 reps: samples.len(),
                 converged: ok,
                 samples,
-            };
+            });
         }
     }
 }
@@ -233,6 +248,30 @@ mod tests {
         assert_eq!(m.mean, 42.0);
         assert_eq!(m.ci_half_width, 0.0);
         assert_eq!(m.reps, 3);
+    }
+
+    #[test]
+    fn fallible_protocol_matches_infallible_on_success() {
+        let mut rng1 = XorShift(42);
+        let a = measure_until_ci(MeasureConfig::default(), || 100.0 + rng1.next_normal() * 0.5);
+        let mut rng2 = XorShift(42);
+        let b: Result<Measurement, std::convert::Infallible> =
+            try_measure_until_ci(MeasureConfig::default(), || {
+                Ok(100.0 + rng2.next_normal() * 0.5)
+            });
+        assert_eq!(a, b.unwrap());
+    }
+
+    #[test]
+    fn first_failed_rep_aborts_the_attempt() {
+        let mut calls = 0;
+        let r: Result<Measurement, &str> = try_measure_until_ci(MeasureConfig::default(), || {
+            calls += 1;
+            if calls == 2 { Err("reading lost") } else { Ok(100.0) }
+        });
+        assert_eq!(r, Err("reading lost"));
+        // One good rep, then the failure: no further observations drawn.
+        assert_eq!(calls, 2);
     }
 
     #[test]

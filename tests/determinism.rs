@@ -5,10 +5,11 @@
 
 use enprop::apps::{
     fft2d::{Fft2dApp, Processor},
-    split_seed, CpuDgemmApp, GpuMatMulApp, SweepExecutor,
+    split_seed, CpuDgemmApp, GpuMatMulApp, RetryPolicy, SweepExecutor,
 };
 use enprop::cpusim::BlasFlavor;
 use enprop::gpusim::GpuArch;
+use enprop::power::FaultPlan;
 use proptest::prelude::*;
 
 /// Executors with the same seed at the three canonical thread counts.
@@ -51,6 +52,40 @@ fn fft_sweep_identical_at_1_2_8_threads() {
         assert_eq!(base, app.sweep_measured(&sizes, &e2));
         assert_eq!(base, app.sweep_measured(&sizes, &e8));
     }
+}
+
+#[test]
+fn faulty_gpu_sweep_identical_at_1_2_8_threads() {
+    // Retries draw their noise from per-attempt seed substreams, so even a
+    // sweep where measurements fail and re-run must stay bitwise-identical
+    // at every thread count — points, failure records, and retry counts.
+    let app = GpuMatMulApp::new(GpuArch::k40c(), 4);
+    let policy = RetryPolicy::attempts(2);
+    let plan = FaultPlan::transient(0.2);
+    let [e1, e2, e8] = executors(31);
+    let base = app.sweep_measured_robust(2048, &e1, policy, plan);
+    assert!(!base.points.is_empty());
+    assert!(base.retried > 0, "20% fault rate never triggered a retry");
+    assert_eq!(base, app.sweep_measured_robust(2048, &e2, policy, plan));
+    assert_eq!(base, app.sweep_measured_robust(2048, &e8, policy, plan));
+}
+
+#[test]
+fn faulty_cpu_sweep_identical_at_1_2_8_threads() {
+    let app = CpuDgemmApp::haswell();
+    let policy = RetryPolicy::attempts(2);
+    let plan = FaultPlan::transient(0.2);
+    let [e1, e2, e8] = executors(17);
+    let base = app.sweep_measured_robust(4096, BlasFlavor::OpenBlas, &e1, 40, policy, plan);
+    assert!(!base.points.is_empty());
+    assert_eq!(
+        base,
+        app.sweep_measured_robust(4096, BlasFlavor::OpenBlas, &e2, 40, policy, plan)
+    );
+    assert_eq!(
+        base,
+        app.sweep_measured_robust(4096, BlasFlavor::OpenBlas, &e8, 40, policy, plan)
+    );
 }
 
 proptest! {
