@@ -44,7 +44,11 @@ struct ResultSlots<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
 
-// SAFETY: disjoint write-once access per the scheduler contract above.
+// SAFETY: sharing `&ResultSlots<T>` across workers is sound because the
+// scheduler contract above guarantees no two threads ever touch the same
+// slot (disjoint write-once indices), and the values themselves cross
+// threads only at the scope join — hence the `T: Send` bound. No `&T` is
+// ever produced while workers run, so `T: Sync` is not required.
 unsafe impl<T: Send> Sync for ResultSlots<T> {}
 
 impl<T> ResultSlots<T> {
@@ -58,6 +62,9 @@ impl<T> ResultSlots<T> {
     /// `i` must be claimed by exactly one worker, and written exactly once.
     #[inline]
     unsafe fn write(&self, i: usize, value: T) {
+        // SAFETY: the caller guarantees index `i` belongs to this worker
+        // alone, so no other thread holds a pointer into this slot and the
+        // raw write cannot race; `slots[i]` bounds-checks the index.
         unsafe { (*self.slots[i].get()).write(value) };
     }
 
@@ -70,6 +77,9 @@ impl<T> ResultSlots<T> {
         self.slots
             .into_vec()
             .into_iter()
+            // SAFETY: the caller guarantees every index was claimed and the
+            // claiming workers have joined, so each `MaybeUninit` holds an
+            // initialized `T` and the join published it to this thread.
             .map(|slot| unsafe { slot.into_inner().assume_init() })
             .collect()
     }
@@ -198,9 +208,11 @@ impl SweepExecutor {
                     break;
                 }
                 let end = (start + chunk).min(items.len());
-                for i in start..end {
-                    let out = f(&mut state, &items[i], self.config_seed(i));
-                    // SAFETY: the cursor hands out each index exactly once.
+                for (i, item) in (start..end).zip(&items[start..end]) {
+                    let out = f(&mut state, item, self.config_seed(i));
+                    // SAFETY: the `fetch_add` cursor hands out disjoint
+                    // chunks, so index `i` is claimed by this worker alone
+                    // and written exactly once — the contract of `write`.
                     unsafe { slots.write(i, out) };
                 }
             }

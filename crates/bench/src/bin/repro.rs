@@ -1,8 +1,9 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json]
+//! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json|sanitize]
 //!       [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] [--check]
+//!       [--all] [--self-test]
 //! ```
 //!
 //! With `--json DIR` each generated artifact is additionally written as a
@@ -32,8 +33,19 @@
 //! when the host has ≥ 4 cores — on fewer cores wall-clock speedup is
 //! physically impossible and the gate reduces to the bitwise-identity
 //! check), phase-interpreter speedup over the legacy engine < 10×, a
-//! fault-smoke sweep that loses configurations without recording them, or
-//! fault-smoke output that differs across thread counts.
+//! fault-smoke sweep that loses configurations without recording them,
+//! fault-smoke output that differs across thread counts, or a sanitized
+//! DGEMM run that reports findings.
+//!
+//! The `sanitize` subcommand runs the `enprop-sanitize` checkers
+//! (racecheck / memcheck / synccheck / prelaunch) over every shipped
+//! DGEMM and FFT configuration, prints one line per launch plus every
+//! diagnostic, and exits non-zero if any launch is not clean. `--all`
+//! widens the sweep (N = 128 DGEMM tiles, maximal groups, larger FFTs);
+//! `--json DIR` writes the machine-readable `SANITIZE_report.json`;
+//! `--self-test` instead runs the seeded buggy-kernel corpus and exits
+//! non-zero unless each fixture is caught by exactly its intended
+//! checker.
 
 use enprop_apps::{GpuMatMulApp, RetryPolicy, SweepExecutor};
 use enprop_bench::figures;
@@ -54,6 +66,8 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut faults: Option<f64> = None;
     let mut check = false;
+    let mut sanitize_all = false;
+    let mut self_test = false;
     let mut it = args.into_iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -61,6 +75,8 @@ fn main() {
                 json_dir = Some(it.next().unwrap_or_else(|| usage("missing --json DIR")))
             }
             "--check" => check = true,
+            "--all" => sanitize_all = true,
+            "--self-test" => self_test = true,
             "--measured" => {
                 let seed = it
                     .peek()
@@ -98,6 +114,11 @@ fn main() {
 
     if which == "bench-json" {
         bench_sweep(threads, faults.unwrap_or(DEFAULT_FAULT_RATE), json_dir.as_deref(), check);
+        return;
+    }
+
+    if which == "sanitize" {
+        run_sanitize(sanitize_all, self_test, json_dir.as_deref());
         return;
     }
 
@@ -240,6 +261,85 @@ fn run(
     }
 }
 
+/// The `sanitize` subcommand: sweep every shipped kernel configuration
+/// through the checkers (or, with `self_test`, the seeded buggy-kernel
+/// corpus) and exit non-zero unless the outcome is what a healthy tree
+/// must produce — zero findings for the shipped kernels, and exactly the
+/// intended checker firing for every fixture.
+fn run_sanitize(all: bool, self_test: bool, json_dir: Option<&str>) {
+    if self_test {
+        let corpus = enprop_sanitize::fixtures::self_test();
+        let mut missed = 0usize;
+        for (expected, rep) in &corpus {
+            let caught =
+                !rep.findings.is_empty() && rep.findings.iter().all(|f| f.checker == *expected);
+            println!(
+                "{}  {} — {} finding(s), {} suppressed (expected {})",
+                if caught { "caught" } else { "MISSED" },
+                rep.kernel,
+                rep.findings.len(),
+                rep.suppressed,
+                expected.as_str()
+            );
+            if let Some(first) = rep.findings.first() {
+                println!("        {first}");
+            }
+            if !caught {
+                missed += 1;
+            }
+        }
+        println!(
+            "self-test: {}/{} fixtures caught by their intended checker",
+            corpus.len() - missed,
+            corpus.len()
+        );
+        if missed > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let arch = GpuArch::k40c();
+    let report = enprop_sanitize::sanitize_all(&arch, all);
+    for k in &report.kernels {
+        if k.clean() {
+            println!("clean  {} — {} block(s)", k.kernel, k.blocks);
+        } else {
+            println!(
+                "DIRTY  {} — {} finding(s), {} suppressed",
+                k.kernel,
+                k.findings.len(),
+                k.suppressed
+            );
+            for f in k.findings.iter().take(8) {
+                println!("        {f}");
+            }
+            if k.findings.len() > 8 {
+                println!("        ... and {} more", k.findings.len() - 8);
+            }
+        }
+    }
+    println!(
+        "sanitize: {} launch(es) on {}, {} finding(s){}",
+        report.kernels.len(),
+        report.arch,
+        report.total_findings(),
+        if report.clean() { " — all clean" } else { "" }
+    );
+
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/SANITIZE_report.json");
+        let mut f = std::fs::File::create(&path).expect("create SANITIZE_report.json");
+        f.write_all(to_json(&report).as_bytes()).expect("write SANITIZE_report.json");
+        eprintln!("wrote {path}");
+    }
+
+    if !report.clean() {
+        std::process::exit(1);
+    }
+}
+
 #[derive(serde::Serialize)]
 struct SweepBench {
     workload: String,
@@ -286,6 +386,21 @@ struct FaultSmoke {
 }
 
 #[derive(serde::Serialize)]
+struct SanitizeOverhead {
+    workload: String,
+    /// Uninstrumented serial phase-interpreter run (best of 3).
+    uninstrumented_secs: f64,
+    /// The same launch under a `LaunchMonitor` (best of 3).
+    sanitized_secs: f64,
+    /// `sanitized_secs / uninstrumented_secs`.
+    overhead_ratio: f64,
+    /// Findings from the sanitized run — must be 0 for the shipped kernel.
+    findings: usize,
+    /// The sanitized run left the output bitwise-identical.
+    results_identical: bool,
+}
+
+#[derive(serde::Serialize)]
 struct BenchReport {
     /// Host cores available to the process — the physical ceiling on any
     /// wall-clock parallel speedup reported below.
@@ -293,6 +408,7 @@ struct BenchReport {
     sweep: SweepBench,
     emulator: EmulatorBench,
     fault_smoke: FaultSmoke,
+    sanitize_overhead: SanitizeOverhead,
 }
 
 /// Times the Fig. 7 measured workload (K40c, N = 8704 and 10240) serially
@@ -376,7 +492,19 @@ fn bench_sweep(threads: Option<usize>, fault_rate: f64, json_dir: Option<&str>, 
         println!("fault smoke: exhausted retries on {}", fault_smoke.failed_configs.join(", "));
     }
 
-    let report = BenchReport { host_cores, sweep, emulator, fault_smoke };
+    let sanitize_overhead = bench_sanitize_overhead();
+    println!(
+        "sanitize overhead: {}: uninstrumented {:.3}s, sanitized {:.3}s \
+         ({:.1}x), {} finding(s), identical: {}",
+        sanitize_overhead.workload,
+        sanitize_overhead.uninstrumented_secs,
+        sanitize_overhead.sanitized_secs,
+        sanitize_overhead.overhead_ratio,
+        sanitize_overhead.findings,
+        sanitize_overhead.results_identical
+    );
+
+    let report = BenchReport { host_cores, sweep, emulator, fault_smoke, sanitize_overhead };
 
     let dir = json_dir.unwrap_or(".");
     std::fs::create_dir_all(dir).expect("create json dir");
@@ -429,6 +557,69 @@ fn bench_emulator_engines() -> EmulatorBench {
         phase_blocks_per_sec: blocks as f64 / phase_secs,
         speedup: legacy_secs / phase_secs,
         results_identical: bits(&c_legacy) == bits(&c_phase),
+    }
+}
+
+/// Instrumentation cost of the sanitizer on tiled DGEMM at N = 256,
+/// BS = 16: the serial phase interpreter with the no-op sink (which
+/// monomorphizes away) vs the same launch under a `LaunchMonitor` with
+/// every access flowing through the checkers. Both sides run serially so
+/// the ratio isolates the shadow-memory cost rather than parallelism,
+/// and both are best-of-3.
+fn bench_sanitize_overhead() -> SanitizeOverhead {
+    let n = 256usize;
+    let bs = 16usize;
+    let cfg = TiledDgemmConfig { n, bs, g: 1, r: 1 };
+    let host_a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 - 3.0).collect();
+    let host_b: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64 - 2.0).collect();
+    let emu = EmuDgemm::new(cfg).with_wave(WavePlan::fixed(1));
+
+    let (a, b) = (GlobalMem::from_slice(&host_a), GlobalMem::from_slice(&host_b));
+    let mut plain_secs = f64::INFINITY;
+    let mut c_plain = GlobalMem::zeroed(n * n);
+    for _ in 0..3 {
+        let c = GlobalMem::zeroed(n * n);
+        let start = Instant::now();
+        emu.run(&a, &b, &c);
+        plain_secs = plain_secs.min(start.elapsed().as_secs_f64());
+        c_plain = c;
+    }
+
+    let mut sanitized_secs = f64::INFINITY;
+    let mut c_sanitized = GlobalMem::zeroed(n * n);
+    let mut findings = 0usize;
+    for _ in 0..3 {
+        let c = GlobalMem::zeroed(n * n);
+        let mut table = enprop_sanitize::BufferTable::new();
+        table.register(a.id(), "A", n * n);
+        table.register(b.id(), "B", n * n);
+        table.register(c.id(), "C", n * n);
+        let monitor = enprop_sanitize::LaunchMonitor::new(table, 2 * bs * bs);
+        let start = Instant::now();
+        emu.run_monitored(
+            &a,
+            &b,
+            &c,
+            |_, _| {
+                monitor.begin_block();
+                monitor.sink()
+            },
+            |bx, by, _sink, exit| monitor.end_block(bx, by, &exit),
+        );
+        sanitized_secs = sanitized_secs.min(start.elapsed().as_secs_f64());
+        let out = monitor.finish();
+        findings = out.findings.len() + out.suppressed;
+        c_sanitized = c;
+    }
+
+    let bits = |m: &GlobalMem| m.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    SanitizeOverhead {
+        workload: "tiled DGEMM (N = 256, BS = 16, G = 1, R = 1), serial waves".into(),
+        uninstrumented_secs: plain_secs,
+        sanitized_secs,
+        overhead_ratio: sanitized_secs / plain_secs,
+        findings,
+        results_identical: bits(&c_plain) == bits(&c_sanitized),
     }
 }
 
@@ -516,6 +707,18 @@ fn run_perf_gate(report: &BenchReport) {
         );
     }
 
+    let sanitize = &report.sanitize_overhead;
+    if sanitize.findings != 0 {
+        failures.push(format!(
+            "sanitized DGEMM reported {} finding(s) on the shipped kernel",
+            sanitize.findings
+        ));
+    }
+    if !sanitize.results_identical {
+        failures
+            .push("sanitized DGEMM output diverged from the uninstrumented run".to_string());
+    }
+
     if failures.is_empty() {
         eprintln!("check: all performance gates passed");
     } else {
@@ -535,8 +738,9 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json] \
-         [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] [--check]"
+        "usage: repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json|\
+         sanitize] [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] [--check] \
+         [--all] [--self-test]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -169,7 +169,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..1000 {
             let x = rng.gen_range(1e-12..1.0);
-            assert!(x >= 1e-12 && x < 1.0);
+            assert!((1e-12..1.0).contains(&x));
             let n = rng.gen_range(5usize..9);
             assert!((5..9).contains(&n));
         }

@@ -315,7 +315,7 @@ mod tests {
 
     #[test]
     fn float_roundtrip_is_exact() {
-        for &x in &[0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 123456789.123456789] {
+        for &x in &[0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 123_456_789.123_456_79] {
             let json = to_string(&x).unwrap();
             let back: f64 = from_str(&json).unwrap();
             assert!(back == x || (back == 0.0 && x == 0.0), "{x} -> {json} -> {back}");

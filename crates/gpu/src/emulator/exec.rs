@@ -12,11 +12,27 @@
 //! ([`BlockCounters`]) flushed once into the launch-wide
 //! [`EventCounters`] at block retirement.
 //!
+//! # Instrumentation: the [`AccessSink`] seam
+//!
+//! Every emulated memory access funnels through the four [`PhaseCtx`]
+//! accessors, which makes them the natural instrumentation point — the
+//! same seam NVIDIA's `compute-sanitizer` exploits by binary-patching
+//! loads and stores on real hardware. [`PhaseCtx`] is generic over an
+//! [`AccessSink`] that observes each access (with full block/thread/phase
+//! attribution) *before* it happens and may veto it; the default
+//! [`NoSink`] compiles every hook to an inlined `true`, so the
+//! uninstrumented hot path is monomorphized back to exactly the
+//! un-instrumented code — zero overhead. `crates/sanitizer` builds its
+//! racecheck/memcheck analyses on this trait.
+//!
 //! The barrier-misuse detection the OS-thread engine got from a real
 //! barrier (deadlock) is preserved, but *loudly*: if the threads of a
 //! block disagree on whether another phase follows — some return
-//! [`PhaseOutcome::Sync`], others [`PhaseOutcome::Done`] — the interpreter
-//! panics with a diagnostic instead of hanging.
+//! [`PhaseOutcome::Sync`], others [`PhaseOutcome::Done`] — the plain
+//! interpreter panics with a diagnostic instead of hanging, while the
+//! monitored interpreter ([`run_grid_monitored`]) returns the divergence
+//! as a structured [`BlockExit::Diverged`] naming the early-retired
+//! threads (the sanitizer's synccheck).
 //!
 //! Blocks are independent (no inter-block communication in this model),
 //! so the grid is executed in parallel *across blocks* by a small worker
@@ -29,7 +45,7 @@
 //! [`super::legacy`] solely so equivalence tests can assert the two
 //! engines produce identical results and event counts.
 
-use super::mem::{BlockCounters, EventCounters, GlobalMem};
+use super::mem::{BlockCounters, BufId, EventCounters, GlobalMem};
 use crate::arch::GpuArch;
 use crate::occupancy::Occupancy;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -65,6 +81,111 @@ pub enum PhaseOutcome {
     Done,
 }
 
+/// Full attribution of one emulated memory access: which thread of which
+/// block touched memory, and in which barrier phase. Handed to every
+/// [`AccessSink`] hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessPoint {
+    /// `blockIdx.x`.
+    pub bx: usize,
+    /// `blockIdx.y`.
+    pub by: usize,
+    /// `threadIdx.x`.
+    pub tx: usize,
+    /// `threadIdx.y`.
+    pub ty: usize,
+    /// The barrier phase the access occurs in.
+    pub phase: usize,
+}
+
+impl AccessPoint {
+    /// The thread coordinate `(tx, ty)`.
+    pub fn thread(&self) -> (usize, usize) {
+        (self.tx, self.ty)
+    }
+
+    /// The block coordinate `(bx, by)`.
+    pub fn block(&self) -> (usize, usize) {
+        (self.bx, self.by)
+    }
+}
+
+/// Observer of every memory access a kernel performs — the emulator's
+/// `compute-sanitizer` attach point.
+///
+/// Each hook fires *before* the access with full [`AccessPoint`]
+/// attribution plus the index and the allocation length, and returns
+/// whether the access should proceed. Returning `false` suppresses it:
+/// a suppressed load reads `0.0`, a suppressed store is dropped — which
+/// is how the sanitizer's memcheck survives an out-of-bounds access long
+/// enough to report it instead of tearing the process down. Event
+/// counters are bumped either way, so a sink that never suppresses is
+/// observationally transparent.
+///
+/// The default implementation, [`NoSink`], answers `true` from inlined
+/// empty bodies; monomorphization erases it entirely, keeping the
+/// uninstrumented interpreter at zero overhead.
+pub trait AccessSink {
+    /// A shared-memory load of `idx` (allocation length `len`).
+    fn shared_load(&mut self, at: AccessPoint, idx: usize, len: usize) -> bool;
+
+    /// A shared-memory store to `idx` (allocation length `len`).
+    fn shared_store(&mut self, at: AccessPoint, idx: usize, len: usize) -> bool;
+
+    /// A global-memory load of `idx` from allocation `buf` (length `len`).
+    fn global_load(&mut self, at: AccessPoint, buf: BufId, idx: usize, len: usize) -> bool;
+
+    /// A global-memory store to `idx` of allocation `buf` (length `len`).
+    fn global_store(&mut self, at: AccessPoint, buf: BufId, idx: usize, len: usize) -> bool;
+}
+
+/// The inert sink: every hook is an inlined `true`, so the compiler
+/// erases the instrumentation from the uninstrumented path entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoSink;
+
+impl AccessSink for NoSink {
+    #[inline(always)]
+    fn shared_load(&mut self, _at: AccessPoint, _idx: usize, _len: usize) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn shared_store(&mut self, _at: AccessPoint, _idx: usize, _len: usize) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn global_load(&mut self, _at: AccessPoint, _buf: BufId, _idx: usize, _len: usize) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn global_store(&mut self, _at: AccessPoint, _buf: BufId, _idx: usize, _len: usize) -> bool {
+        true
+    }
+}
+
+/// How a block's execution ended under the monitored interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockExit {
+    /// Every thread returned from the kernel in the same phase.
+    Retired,
+    /// Barrier divergence: in `phase`, the `synced` threads reached
+    /// `__syncthreads` while the `returned` threads exited the kernel —
+    /// on real hardware the block would deadlock. The monitored
+    /// interpreter stops the block here (no further phase can run) and
+    /// reports both sides.
+    Diverged {
+        /// The phase in which the threads disagreed.
+        phase: usize,
+        /// Threads `(tx, ty)` that reached the barrier.
+        synced: Vec<(usize, usize)>,
+        /// Threads `(tx, ty)` that retired early.
+        returned: Vec<(usize, usize)>,
+    },
+}
+
 /// A kernel expressed as barrier-delimited phases over per-thread state.
 ///
 /// [`run_phase`](BlockKernel::run_phase) holds the straight-line code of
@@ -74,6 +195,10 @@ pub enum PhaseOutcome {
 /// the same [`PhaseOutcome`] from a given phase — the CUDA requirement
 /// that `__syncthreads` is reached uniformly — and the interpreter
 /// enforces it.
+///
+/// `run_phase` is generic over the [`AccessSink`] so the same kernel body
+/// runs uninstrumented ([`NoSink`], zero overhead) or under the sanitizer
+/// without duplication.
 pub trait BlockKernel: Sync {
     /// Per-thread state carried across phases (registers + the program
     /// counter of the implicit coroutine).
@@ -89,11 +214,11 @@ pub trait BlockKernel: Sync {
     fn init(&self, bx: usize, by: usize, tx: usize, ty: usize) -> Self::State;
 
     /// Executes phase `phase` for one thread.
-    fn run_phase(
+    fn run_phase<S: AccessSink>(
         &self,
         phase: usize,
         state: &mut Self::State,
-        ctx: &mut PhaseCtx<'_>,
+        ctx: &mut PhaseCtx<'_, S>,
     ) -> PhaseOutcome;
 }
 
@@ -102,7 +227,10 @@ pub trait BlockKernel: Sync {
 /// event accounting. The emulator's equivalent of `threadIdx`/`blockIdx`
 /// and the device intrinsics, minus `__syncthreads` — which is implicit
 /// in returning [`PhaseOutcome::Sync`].
-pub struct PhaseCtx<'a> {
+///
+/// Generic over the attached [`AccessSink`]; the default [`NoSink`] keeps
+/// the accessors identical to uninstrumented code after inlining.
+pub struct PhaseCtx<'a, S: AccessSink = NoSink> {
     /// This thread's `threadIdx.x`.
     pub tx: usize,
     /// This thread's `threadIdx.y`.
@@ -111,37 +239,88 @@ pub struct PhaseCtx<'a> {
     pub bx: usize,
     /// This block's `blockIdx.y`.
     pub by: usize,
+    /// The barrier phase being executed.
+    pub phase: usize,
     shared: &'a mut [f64],
     counts: &'a mut BlockCounters,
+    sink: &'a mut S,
 }
 
-impl PhaseCtx<'_> {
+impl<S: AccessSink> PhaseCtx<'_, S> {
+    /// This access's full attribution.
+    #[inline]
+    fn point(&self) -> AccessPoint {
+        AccessPoint { bx: self.bx, by: self.by, tx: self.tx, ty: self.ty, phase: self.phase }
+    }
+
+    /// Panics with full attribution on an out-of-bounds access that no
+    /// sink suppressed.
+    #[cold]
+    #[inline(never)]
+    fn oob(&self, kind: &str, op: &str, idx: usize, len: usize) -> ! {
+        panic!(
+            "{kind} memory {op} out of bounds: index {idx} >= len {len} \
+             at block ({}, {}) thread ({}, {}) phase {}",
+            self.bx, self.by, self.tx, self.ty, self.phase
+        )
+    }
+
     /// Shared-memory load with event accounting.
     #[inline]
     pub fn shared_load(&mut self, idx: usize) -> f64 {
         self.counts.shared_loads += 1;
-        self.shared[idx]
+        let (at, len) = (self.point(), self.shared.len());
+        if self.sink.shared_load(at, idx, len) {
+            match self.shared.get(idx) {
+                Some(v) => *v,
+                None => self.oob("shared", "load", idx, len),
+            }
+        } else {
+            0.0
+        }
     }
 
     /// Shared-memory store with event accounting.
     #[inline]
     pub fn shared_store(&mut self, idx: usize, v: f64) {
         self.counts.shared_stores += 1;
-        self.shared[idx] = v;
+        let (at, len) = (self.point(), self.shared.len());
+        if self.sink.shared_store(at, idx, len) {
+            match self.shared.get_mut(idx) {
+                Some(cell) => *cell = v,
+                None => self.oob("shared", "store", idx, len),
+            }
+        }
     }
 
     /// Global-memory load with event accounting.
     #[inline]
     pub fn global_load(&mut self, mem: &GlobalMem, idx: usize) -> f64 {
         self.counts.global_loads += 1;
-        mem.load(idx)
+        let (at, len) = (self.point(), mem.len());
+        if self.sink.global_load(at, mem.id(), idx, len) {
+            if idx < len {
+                mem.load(idx)
+            } else {
+                self.oob("global", "load", idx, len)
+            }
+        } else {
+            0.0
+        }
     }
 
     /// Global-memory store with event accounting.
     #[inline]
     pub fn global_store(&mut self, mem: &GlobalMem, idx: usize, v: f64) {
         self.counts.global_stores += 1;
-        mem.store(idx, v);
+        let (at, len) = (self.point(), mem.len());
+        if self.sink.global_store(at, mem.id(), idx, len) {
+            if idx < len {
+                mem.store(idx, v);
+            } else {
+                self.oob("global", "store", idx, len)
+            }
+        }
     }
 
     /// Records `n` double-precision flops.
@@ -203,9 +382,18 @@ impl Default for WavePlan {
     }
 }
 
-/// Executes one block to retirement on the calling thread and flushes its
-/// event counts.
-fn run_block<K: BlockKernel>(kernel: &K, bx: usize, by: usize, events: &EventCounters) {
+/// Executes one block to retirement (or divergence) on the calling
+/// thread, reporting every access to `sink`, and flushes its event
+/// counts. The shared engine under both the plain and the monitored
+/// interpreters; with [`NoSink`] it monomorphizes to the uninstrumented
+/// hot path.
+fn exec_block<K: BlockKernel, S: AccessSink>(
+    kernel: &K,
+    bx: usize,
+    by: usize,
+    events: &EventCounters,
+    sink: &mut S,
+) -> BlockExit {
     let block = kernel.block();
     let threads = block.count();
     let mut shared = vec![0.0f64; kernel.shared_len()];
@@ -217,32 +405,70 @@ fn run_block<K: BlockKernel>(kernel: &K, bx: usize, by: usize, events: &EventCou
         }
     }
 
+    // Per-thread outcomes of the current phase, kept so a divergence can
+    // name exactly which threads retired early (one byte write per thread
+    // per phase — noise next to the phase body itself).
+    let mut outcomes = vec![PhaseOutcome::Done; threads];
     let mut phase = 0usize;
-    loop {
+    let exit = loop {
         let mut syncs = 0usize;
         for ty in 0..block.y {
             for tx in 0..block.x {
-                let mut ctx =
-                    PhaseCtx { tx, ty, bx, by, shared: &mut shared, counts: &mut counts };
+                let mut ctx = PhaseCtx {
+                    tx,
+                    ty,
+                    bx,
+                    by,
+                    phase,
+                    shared: &mut shared,
+                    counts: &mut counts,
+                    sink: &mut *sink,
+                };
                 let state = &mut states[ty * block.x + tx];
-                if kernel.run_phase(phase, state, &mut ctx) == PhaseOutcome::Sync {
+                let outcome = kernel.run_phase(phase, state, &mut ctx);
+                outcomes[ty * block.x + tx] = outcome;
+                if outcome == PhaseOutcome::Sync {
                     syncs += 1;
                 }
             }
         }
         if syncs == 0 {
-            break; // every thread returned from the kernel
+            break BlockExit::Retired; // every thread returned from the kernel
         }
-        assert!(
-            syncs == threads,
-            "__syncthreads divergence: at phase {phase} of block ({bx}, {by}), \
-             {syncs} of {threads} threads reached the barrier while the rest \
-             returned — this kernel would deadlock on real hardware"
-        );
+        if syncs != threads {
+            let coords = |want: PhaseOutcome| {
+                (0..block.y)
+                    .flat_map(|ty| (0..block.x).map(move |tx| (tx, ty)))
+                    .filter(|&(tx, ty)| outcomes[ty * block.x + tx] == want)
+                    .collect::<Vec<_>>()
+            };
+            break BlockExit::Diverged {
+                phase,
+                synced: coords(PhaseOutcome::Sync),
+                returned: coords(PhaseOutcome::Done),
+            };
+        }
         counts.barriers += 1;
         phase += 1;
-    }
+    };
     counts.flush_into(events);
+    exit
+}
+
+/// Executes one block to retirement on the calling thread and flushes its
+/// event counts, panicking on barrier divergence (the plain interpreter's
+/// contract).
+fn run_block<K: BlockKernel>(kernel: &K, bx: usize, by: usize, events: &EventCounters) {
+    match exec_block(kernel, bx, by, events, &mut NoSink) {
+        BlockExit::Retired => {}
+        BlockExit::Diverged { phase, synced, returned } => panic!(
+            "__syncthreads divergence: at phase {phase} of block ({bx}, {by}), \
+             {} of {} threads reached the barrier while the rest \
+             returned — this kernel would deadlock on real hardware",
+            synced.len(),
+            synced.len() + returned.len()
+        ),
+    }
 }
 
 /// Runs `kernel` over `grid` blocks with `plan.width()` blocks in flight.
@@ -282,6 +508,37 @@ pub fn run_grid<K: BlockKernel>(grid: Dim2, kernel: &K, events: &EventCounters, 
     .expect("block wave panicked");
 }
 
+/// Runs `kernel` over `grid` under instrumentation: each block gets a
+/// fresh sink from `make_sink(bx, by)`, executes to retirement *or*
+/// structured divergence ([`BlockExit`]), and hands the sink back through
+/// `collect`.
+///
+/// Blocks run serially in row-major order on the calling thread, so the
+/// access stream each sink observes — and therefore every diagnostic the
+/// sanitizer derives from it — is deterministic. Sanitized runs trade the
+/// block-wave parallelism for reproducible reports; the uninstrumented
+/// path through [`run_grid`] is untouched.
+pub fn run_grid_monitored<K, S, MF, CF>(
+    grid: Dim2,
+    kernel: &K,
+    events: &EventCounters,
+    mut make_sink: MF,
+    mut collect: CF,
+) where
+    K: BlockKernel,
+    S: AccessSink,
+    MF: FnMut(usize, usize) -> S,
+    CF: FnMut(usize, usize, S, BlockExit),
+{
+    for by in 0..grid.y {
+        for bx in 0..grid.x {
+            let mut sink = make_sink(bx, by);
+            let exit = exec_block(kernel, bx, by, events, &mut sink);
+            collect(bx, by, sink, exit);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,11 +563,11 @@ mod tests {
 
         fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
 
-        fn run_phase(
+        fn run_phase<S: AccessSink>(
             &self,
             phase: usize,
             _state: &mut (),
-            ctx: &mut PhaseCtx<'_>,
+            ctx: &mut PhaseCtx<'_, S>,
         ) -> PhaseOutcome {
             match phase {
                 0 => {
@@ -361,7 +618,12 @@ mod tests {
 
         fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
 
-        fn run_phase(&self, _p: usize, _s: &mut (), ctx: &mut PhaseCtx<'_>) -> PhaseOutcome {
+        fn run_phase<S: AccessSink>(
+            &self,
+            _p: usize,
+            _s: &mut (),
+            ctx: &mut PhaseCtx<'_, S>,
+        ) -> PhaseOutcome {
             let block_id = ctx.by * self.grid.x + ctx.bx;
             let thread_id = ctx.ty * self.block.x + ctx.tx;
             ctx.global_store(self.out, block_id * self.block.count() + thread_id, 1.0);
@@ -398,7 +660,12 @@ mod tests {
 
         fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
 
-        fn run_phase(&self, phase: usize, _s: &mut (), ctx: &mut PhaseCtx<'_>) -> PhaseOutcome {
+        fn run_phase<S: AccessSink>(
+            &self,
+            phase: usize,
+            _s: &mut (),
+            ctx: &mut PhaseCtx<'_, S>,
+        ) -> PhaseOutcome {
             if ctx.tx == 0 && phase == 0 {
                 PhaseOutcome::Sync
             } else {
@@ -412,6 +679,150 @@ mod tests {
     fn divergent_phase_counts_fail_loudly() {
         let events = EventCounters::new();
         run_grid(Dim2::new(1, 1), &Divergent, &events, WavePlan::fixed(1));
+    }
+
+    #[test]
+    fn monitored_run_reports_divergence_structurally() {
+        let events = EventCounters::new();
+        let mut exits = Vec::new();
+        run_grid_monitored(
+            Dim2::new(1, 1),
+            &Divergent,
+            &events,
+            |_, _| NoSink,
+            |bx, by, _sink, exit| exits.push((bx, by, exit)),
+        );
+        assert_eq!(exits.len(), 1);
+        let (bx, by, exit) = &exits[0];
+        assert_eq!((*bx, *by), (0, 0));
+        match exit {
+            BlockExit::Diverged { phase, synced, returned } => {
+                assert_eq!(*phase, 0);
+                assert_eq!(synced, &[(0, 0)]);
+                assert_eq!(returned, &[(1, 0), (2, 0), (3, 0)]);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    /// A sink that records every access and suppresses out-of-bounds ones.
+    #[derive(Default)]
+    struct Recorder {
+        shared: Vec<(AccessPoint, usize, bool)>,
+        global: Vec<(AccessPoint, usize, bool)>,
+    }
+
+    impl AccessSink for Recorder {
+        fn shared_load(&mut self, at: AccessPoint, idx: usize, len: usize) -> bool {
+            self.shared.push((at, idx, false));
+            idx < len
+        }
+
+        fn shared_store(&mut self, at: AccessPoint, idx: usize, len: usize) -> bool {
+            self.shared.push((at, idx, true));
+            idx < len
+        }
+
+        fn global_load(&mut self, at: AccessPoint, _buf: BufId, idx: usize, len: usize) -> bool {
+            self.global.push((at, idx, false));
+            idx < len
+        }
+
+        fn global_store(&mut self, at: AccessPoint, _buf: BufId, idx: usize, len: usize) -> bool {
+            self.global.push((at, idx, true));
+            idx < len
+        }
+    }
+
+    #[test]
+    fn sink_observes_attributed_accesses() {
+        let events = EventCounters::new();
+        let out = GlobalMem::zeroed(8);
+        let k = NeighbourRead { out: &out, width: 8 };
+        let mut recorders = Vec::new();
+        run_grid_monitored(
+            Dim2::new(1, 1),
+            &k,
+            &events,
+            |_, _| Recorder::default(),
+            |_, _, sink, exit| {
+                assert_eq!(exit, BlockExit::Retired);
+                recorders.push(sink);
+            },
+        );
+        let rec = &recorders[0];
+        // Phase 0: 8 shared stores; phase 1: 8 shared loads.
+        assert_eq!(rec.shared.len(), 16);
+        assert!(rec.shared[..8].iter().all(|(at, _, write)| at.phase == 0 && *write));
+        assert!(rec.shared[8..].iter().all(|(at, _, write)| at.phase == 1 && !*write));
+        // Thread attribution: store i comes from thread (i, 0).
+        assert!(rec.shared[..8].iter().enumerate().all(|(i, (at, idx, _))| {
+            at.thread() == (i, 0) && *idx == i
+        }));
+        assert_eq!(rec.global.len(), 8);
+        // Counters identical to an uninstrumented run.
+        let plain = EventCounters::new();
+        let out2 = GlobalMem::zeroed(8);
+        let k2 = NeighbourRead { out: &out2, width: 8 };
+        run_grid(Dim2::new(1, 1), &k2, &plain, WavePlan::fixed(1));
+        assert_eq!(events.snapshot(), plain.snapshot());
+        assert_eq!(out.to_vec(), out2.to_vec());
+    }
+
+    /// A kernel whose thread 0 reads one element past shared memory in
+    /// phase 0 — the OOB the sink may veto.
+    struct SharedOob;
+
+    impl BlockKernel for SharedOob {
+        type State = ();
+
+        fn block(&self) -> Dim2 {
+            Dim2::new(2, 1)
+        }
+
+        fn shared_len(&self) -> usize {
+            2
+        }
+
+        fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
+
+        fn run_phase<S: AccessSink>(
+            &self,
+            _p: usize,
+            _s: &mut (),
+            ctx: &mut PhaseCtx<'_, S>,
+        ) -> PhaseOutcome {
+            if ctx.tx == 0 {
+                ctx.shared_load(2); // one past the end
+            }
+            PhaseOutcome::Done
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory load out of bounds: index 2 >= len 2")]
+    fn unsuppressed_oob_panics_with_attribution() {
+        let events = EventCounters::new();
+        run_grid(Dim2::new(1, 1), &SharedOob, &events, WavePlan::fixed(1));
+    }
+
+    #[test]
+    fn suppressing_sink_survives_oob() {
+        let events = EventCounters::new();
+        let mut saw_oob = false;
+        run_grid_monitored(
+            Dim2::new(1, 1),
+            &SharedOob,
+            &events,
+            |_, _| Recorder::default(),
+            |_, _, sink, exit| {
+                assert_eq!(exit, BlockExit::Retired);
+                saw_oob = sink.shared.iter().any(|&(_, idx, _)| idx == 2);
+            },
+        );
+        assert!(saw_oob, "the sink never observed the out-of-bounds index");
+        // The suppressed load still counted as an event.
+        assert_eq!(events.snapshot().shared_loads, 1);
     }
 
     #[test]
@@ -429,11 +840,11 @@ mod tests {
                 0
             }
             fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
-            fn run_phase(
+            fn run_phase<S: AccessSink>(
                 &self,
                 phase: usize,
                 _s: &mut (),
-                ctx: &mut PhaseCtx<'_>,
+                ctx: &mut PhaseCtx<'_, S>,
             ) -> PhaseOutcome {
                 match phase {
                     0 => {

@@ -14,7 +14,10 @@
 //! the stage length carried in per-thread state. The original closure
 //! form survives in [`EmuRowFft::run_legacy`] for old-vs-new equivalence.
 
-use super::exec::{run_grid, BlockKernel, Dim2, PhaseCtx, PhaseOutcome, WavePlan};
+use super::exec::{
+    run_grid, run_grid_monitored, AccessSink, BlockExit, BlockKernel, Dim2, PhaseCtx,
+    PhaseOutcome, WavePlan,
+};
 use super::legacy;
 use super::mem::{EmuEvents, EventCounters, GlobalMem};
 
@@ -53,6 +56,26 @@ impl EmuRowFft {
         let events = EventCounters::new();
         let kernel = FftKernel { n, stages: n.trailing_zeros() as usize, data };
         run_grid(Dim2::new(1, rows), &kernel, &events, self.wave);
+        events.snapshot()
+    }
+
+    /// Launches the kernel under instrumentation ([`run_grid_monitored`]):
+    /// per-block sinks observe every access, blocks run serially for
+    /// deterministic diagnostics, and each block's sink plus its
+    /// [`BlockExit`] come back through `collect`. With an inert sink the
+    /// results are bitwise-identical to [`run`](EmuRowFft::run).
+    pub fn run_monitored<S: AccessSink>(
+        &self,
+        data: &GlobalMem,
+        make_sink: impl FnMut(usize, usize) -> S,
+        collect: impl FnMut(usize, usize, S, BlockExit),
+    ) -> EmuEvents {
+        let (n, rows) = (self.n, self.rows);
+        assert_eq!(data.len(), 2 * rows * n, "signal size mismatch");
+
+        let events = EventCounters::new();
+        let kernel = FftKernel { n, stages: n.trailing_zeros() as usize, data };
+        run_grid_monitored(Dim2::new(1, rows), &kernel, &events, make_sink, collect);
         events.snapshot()
     }
 
@@ -163,7 +186,12 @@ impl BlockKernel for FftKernel<'_> {
         FftStep::Load
     }
 
-    fn run_phase(&self, _phase: usize, st: &mut FftStep, ctx: &mut PhaseCtx<'_>) -> PhaseOutcome {
+    fn run_phase<S: AccessSink>(
+        &self,
+        _phase: usize,
+        st: &mut FftStep,
+        ctx: &mut PhaseCtx<'_, S>,
+    ) -> PhaseOutcome {
         let n = self.n;
         let base = 2 * ctx.by * n;
         let tid = ctx.tx;

@@ -35,6 +35,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug)]
 struct Cells {
     cells: Box<[UnsafeCell<f64>]>,
+    /// Memory kind for diagnostics ("global" / "shared"): an
+    /// out-of-bounds access must name what it overran, not just where.
+    kind: &'static str,
 }
 
 // SAFETY: see the concurrency contract above — all concurrent access is
@@ -43,22 +46,39 @@ struct Cells {
 unsafe impl Sync for Cells {}
 
 impl Cells {
-    fn zeroed(len: usize) -> Self {
-        Self { cells: (0..len).map(|_| UnsafeCell::new(0.0)).collect() }
+    fn zeroed(len: usize, kind: &'static str) -> Self {
+        Self { cells: (0..len).map(|_| UnsafeCell::new(0.0)).collect(), kind }
     }
 
-    fn from_slice(data: &[f64]) -> Self {
-        Self { cells: data.iter().map(|&v| UnsafeCell::new(v)).collect() }
+    fn from_slice(data: &[f64], kind: &'static str) -> Self {
+        Self { cells: data.iter().map(|&v| UnsafeCell::new(v)).collect(), kind }
     }
 
     fn len(&self) -> usize {
         self.cells.len()
     }
 
+    /// A launch-stable identity for this allocation (its base address).
+    fn id(&self) -> BufId {
+        BufId(self.cells.as_ptr() as usize)
+    }
+
+    /// Panics with an attributable diagnostic: memory kind, index, length.
+    #[cold]
+    #[inline(never)]
+    fn oob(&self, op: &str, idx: usize) -> ! {
+        panic!(
+            "{} memory {op} out of bounds: index {idx} >= len {}",
+            self.kind,
+            self.cells.len()
+        )
+    }
+
     #[inline]
     fn load(&self, idx: usize) -> f64 {
-        let len = self.cells.len();
-        assert!(idx < len, "device memory load out of bounds: {idx} >= {len}");
+        if idx >= self.cells.len() {
+            self.oob("load", idx);
+        }
         // SAFETY: bounds-checked above; concurrent accesses are disjoint
         // per the type's contract.
         unsafe { *self.cells[idx].get() }
@@ -66,8 +86,9 @@ impl Cells {
 
     #[inline]
     fn store(&self, idx: usize, v: f64) {
-        let len = self.cells.len();
-        assert!(idx < len, "device memory store out of bounds: {idx} >= {len}");
+        if idx >= self.cells.len() {
+            self.oob("store", idx);
+        }
         // SAFETY: as for `load`.
         unsafe { *self.cells[idx].get() = v }
     }
@@ -78,6 +99,16 @@ impl Cells {
     }
 }
 
+/// A launch-stable identity of one [`GlobalMem`] allocation — how an
+/// access observer ([`crate::emulator::AccessSink`]) tells apart the
+/// distinct global buffers (A, B, C, a signal…) a kernel touches. Derived
+/// from the allocation's base address, so it is unique among the live
+/// allocations of a launch but *not* stable across processes; report
+/// writers should map it to a registered buffer name instead of printing
+/// the raw value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufId(usize);
+
 /// Device global memory: a flat array of `f64` cells shared by all blocks.
 #[derive(Debug)]
 pub struct GlobalMem {
@@ -87,12 +118,17 @@ pub struct GlobalMem {
 impl GlobalMem {
     /// Allocates zeroed global memory of `len` doubles.
     pub fn zeroed(len: usize) -> Self {
-        Self { cells: Cells::zeroed(len) }
+        Self { cells: Cells::zeroed(len, "global") }
     }
 
     /// Uploads host data.
     pub fn from_slice(data: &[f64]) -> Self {
-        Self { cells: Cells::from_slice(data) }
+        Self { cells: Cells::from_slice(data, "global") }
+    }
+
+    /// This allocation's identity for access observers.
+    pub fn id(&self) -> BufId {
+        self.cells.id()
     }
 
     /// Number of doubles.
@@ -134,7 +170,7 @@ pub struct SharedMem {
 impl SharedMem {
     /// Allocates zeroed shared memory of `len` doubles.
     pub fn zeroed(len: usize) -> Self {
-        Self { cells: Cells::zeroed(len) }
+        Self { cells: Cells::zeroed(len, "shared") }
     }
 
     /// Number of doubles.
@@ -291,15 +327,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
+    #[should_panic(expected = "global memory load out of bounds: index 4 >= len 4")]
     fn out_of_bounds_load_fails_loudly() {
         GlobalMem::zeroed(4).load(4);
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
+    #[should_panic(expected = "shared memory store out of bounds: index 7 >= len 2")]
     fn out_of_bounds_store_fails_loudly() {
         SharedMem::zeroed(2).store(7, 1.0);
+    }
+
+    #[test]
+    fn buffer_ids_distinguish_allocations() {
+        let a = GlobalMem::zeroed(4);
+        let b = GlobalMem::zeroed(4);
+        assert_eq!(a.id(), a.id());
+        assert_ne!(a.id(), b.id());
     }
 
     #[test]

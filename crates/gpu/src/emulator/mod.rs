@@ -27,7 +27,10 @@ pub mod legacy;
 pub mod mem;
 pub mod tiled_dgemm;
 
-pub use exec::{run_grid, BlockKernel, Dim2, PhaseCtx, PhaseOutcome, WavePlan};
+pub use exec::{
+    run_grid, run_grid_monitored, AccessPoint, AccessSink, BlockExit, BlockKernel, Dim2,
+    NoSink, PhaseCtx, PhaseOutcome, WavePlan,
+};
 pub use fft_kernel::EmuRowFft;
-pub use mem::{BlockCounters, EmuEvents, EventCounters, GlobalMem, SharedMem};
+pub use mem::{BlockCounters, BufId, EmuEvents, EventCounters, GlobalMem, SharedMem};
 pub use tiled_dgemm::EmuDgemm;

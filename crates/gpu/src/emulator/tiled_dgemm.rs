@@ -16,7 +16,10 @@
 //! the next run's product). The original closure form survives in
 //! [`EmuDgemm::run_legacy`] for old-vs-new equivalence tests.
 
-use super::exec::{run_grid, BlockKernel, Dim2, PhaseCtx, PhaseOutcome, WavePlan};
+use super::exec::{
+    run_grid, run_grid_monitored, AccessSink, BlockExit, BlockKernel, Dim2, PhaseCtx,
+    PhaseOutcome, WavePlan,
+};
 use super::legacy;
 use super::mem::{EmuEvents, EventCounters, GlobalMem};
 use crate::model::{shared_bytes, TiledDgemmConfig};
@@ -76,6 +79,33 @@ impl EmuDgemm {
         let events = EventCounters::new();
         let kernel = DgemmKernel { cfg: self.cfg, tiles, a, b, c };
         run_grid(Dim2::new(tiles, tiles), &kernel, &events, self.wave);
+        events.snapshot()
+    }
+
+    /// Launches the kernel under instrumentation ([`run_grid_monitored`]):
+    /// every memory access is reported to a per-block sink from
+    /// `make_sink`, blocks run serially in row-major order for
+    /// deterministic diagnostics, and each block's sink plus its
+    /// [`BlockExit`] are handed back through `collect`. The sanitizer's
+    /// entry point; with an inert sink the results are bitwise-identical
+    /// to [`run`](EmuDgemm::run).
+    pub fn run_monitored<S: AccessSink>(
+        &self,
+        a: &GlobalMem,
+        b: &GlobalMem,
+        c: &GlobalMem,
+        make_sink: impl FnMut(usize, usize) -> S,
+        collect: impl FnMut(usize, usize, S, BlockExit),
+    ) -> EmuEvents {
+        let TiledDgemmConfig { n, bs, .. } = self.cfg;
+        assert_eq!(a.len(), n * n, "A size mismatch");
+        assert_eq!(b.len(), n * n, "B size mismatch");
+        assert_eq!(c.len(), n * n, "C size mismatch");
+
+        let tiles = n / bs;
+        let events = EventCounters::new();
+        let kernel = DgemmKernel { cfg: self.cfg, tiles, a, b, c };
+        run_grid_monitored(Dim2::new(tiles, tiles), &kernel, &events, make_sink, collect);
         events.snapshot()
     }
 
@@ -166,7 +196,7 @@ impl DgemmKernel<'_> {
     }
 
     /// One tile stage: fill this thread's element of `As` and `Bs`.
-    fn stage(&self, st: &DgemmState, ctx: &mut PhaseCtx<'_>) {
+    fn stage<S: AccessSink>(&self, st: &DgemmState, ctx: &mut PhaseCtx<'_, S>) {
         let (n, _bs) = (self.cfg.n, self.cfg.bs);
         let (tx, ty) = (ctx.tx, ctx.ty);
         let av = ctx.global_load(self.a, st.ai + n * ty + tx);
@@ -176,7 +206,7 @@ impl DgemmKernel<'_> {
     }
 
     /// The unrolled inner product over the staged tile.
-    fn mac(&self, st: &mut DgemmState, ctx: &mut PhaseCtx<'_>) {
+    fn mac<S: AccessSink>(&self, st: &mut DgemmState, ctx: &mut PhaseCtx<'_, S>) {
         let bs = self.cfg.bs;
         let (tx, ty) = (ctx.tx, ctx.ty);
         for k in 0..bs {
@@ -186,7 +216,7 @@ impl DgemmKernel<'_> {
     }
 
     /// `C[...] += Csub` — a read-modify-write of this thread's element.
-    fn retire(&self, st: &DgemmState, ctx: &mut PhaseCtx<'_>) {
+    fn retire<S: AccessSink>(&self, st: &DgemmState, ctx: &mut PhaseCtx<'_, S>) {
         let (n, bs) = (self.cfg.n, self.cfg.bs);
         let ci = n * bs * ctx.by + bs * ctx.bx + n * ctx.ty + ctx.tx;
         let prev = ctx.global_load(self.c, ci);
@@ -210,11 +240,11 @@ impl BlockKernel for DgemmKernel<'_> {
         DgemmState { csub: 0.0, ai, bi, tile: 0, product: 0, step: Step::Stage }
     }
 
-    fn run_phase(
+    fn run_phase<S: AccessSink>(
         &self,
         _phase: usize,
         st: &mut DgemmState,
-        ctx: &mut PhaseCtx<'_>,
+        ctx: &mut PhaseCtx<'_, S>,
     ) -> PhaseOutcome {
         let TiledDgemmConfig { n, bs, g, r } = self.cfg;
         match st.step {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 //! GPU simulator: the substitute for the paper's Nvidia K40c and P100 PCIe.
 //!

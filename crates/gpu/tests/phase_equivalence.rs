@@ -16,8 +16,8 @@
 
 use enprop_gpusim::cupti::{CuptiCounter, CuptiReport};
 use enprop_gpusim::emulator::{
-    BlockKernel, Dim2, EmuDgemm, EmuRowFft, EventCounters, GlobalMem, PhaseCtx, PhaseOutcome,
-    WavePlan,
+    AccessSink, BlockKernel, Dim2, EmuDgemm, EmuRowFft, EventCounters, GlobalMem, PhaseCtx,
+    PhaseOutcome, WavePlan,
 };
 use enprop_gpusim::TiledDgemmConfig;
 
@@ -57,7 +57,7 @@ fn max_err(a: &[f64], b: &[f64]) -> f64 {
 
 /// Every `BS ∈ 1..=32` dividing `n` — the valid emulator configurations.
 fn valid_bs(n: usize) -> Vec<usize> {
-    (1..=32).filter(|bs| n % bs == 0).collect()
+    (1..=32).filter(|bs| n.is_multiple_of(*bs)).collect()
 }
 
 #[test]
@@ -202,7 +202,12 @@ impl BlockKernel for PhaseCountDivergence {
 
     fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
 
-    fn run_phase(&self, _phase: usize, _s: &mut (), ctx: &mut PhaseCtx<'_>) -> PhaseOutcome {
+    fn run_phase<S: AccessSink>(
+        &self,
+        _phase: usize,
+        _s: &mut (),
+        ctx: &mut PhaseCtx<'_, S>,
+    ) -> PhaseOutcome {
         if ctx.tx == 0 {
             PhaseOutcome::Sync
         } else {

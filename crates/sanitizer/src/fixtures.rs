@@ -1,0 +1,303 @@
+//! Seeded buggy kernels, each caught by exactly one checker.
+//!
+//! Every fixture is a deliberately broken variant of the shipped tiled
+//! DGEMM. Each report function allocates deterministic inputs, runs the
+//! fixture under a [`LaunchMonitor`](crate::monitor::LaunchMonitor) and
+//! returns the [`KernelReport`] — the unit tests snapshot the resulting
+//! diagnostics and `repro sanitize --self-test` asserts each fixture is
+//! still caught by its intended checker.
+//!
+//! | fixture                     | bug                                    | caught by |
+//! |-----------------------------|----------------------------------------|-----------|
+//! | `missing_barrier_report`    | `__syncthreads` between stage and MAC removed | racecheck |
+//! | `oob_tile_report`           | off-by-one column when staging `A`     | memcheck (OOB) |
+//! | `uninit_accumulator_report` | accumulator seeded from unwritten shared cells | memcheck (uninit) |
+//! | `divergence_report`         | only thread (0, 0) reaches the barrier | synccheck |
+
+use crate::driver::{fill, sanitize_kernel, KernelReport};
+use crate::monitor::BufferTable;
+use crate::report::Checker;
+use enprop_gpusim::emulator::{
+    AccessSink, BlockKernel, Dim2, GlobalMem, PhaseCtx, PhaseOutcome,
+};
+
+/// Tiled DGEMM with the stage→MAC `__syncthreads` removed: each phase
+/// stages a tile *and* immediately consumes it, so threads read shared
+/// cells their neighbours write in the same phase.
+struct MissingBarrierDgemm<'a> {
+    n: usize,
+    bs: usize,
+    tiles: usize,
+    a: &'a GlobalMem,
+    b: &'a GlobalMem,
+    c: &'a GlobalMem,
+}
+
+/// Per-thread state of the DGEMM fixtures: tile counter plus accumulator.
+struct DgemmState {
+    tile: usize,
+    csub: f64,
+}
+
+impl BlockKernel for MissingBarrierDgemm<'_> {
+    type State = DgemmState;
+
+    fn block(&self) -> Dim2 {
+        Dim2::new(self.bs, self.bs)
+    }
+
+    fn shared_len(&self) -> usize {
+        2 * self.bs * self.bs
+    }
+
+    fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) -> DgemmState {
+        DgemmState { tile: 0, csub: 0.0 }
+    }
+
+    fn run_phase<S: AccessSink>(
+        &self,
+        _phase: usize,
+        st: &mut DgemmState,
+        ctx: &mut PhaseCtx<'_, S>,
+    ) -> PhaseOutcome {
+        let (n, bs) = (self.n, self.bs);
+        let row = ctx.by * bs + ctx.ty;
+        let col = ctx.bx * bs + ctx.tx;
+        if st.tile < self.tiles {
+            let t = st.tile;
+            let av = ctx.global_load(self.a, row * n + t * bs + ctx.tx);
+            ctx.shared_store(ctx.ty * bs + ctx.tx, av);
+            let bv = ctx.global_load(self.b, (t * bs + ctx.ty) * n + col);
+            ctx.shared_store(bs * bs + ctx.ty * bs + ctx.tx, bv);
+            // BUG: no __syncthreads before consuming the tile — the MAC
+            // below races with the staging stores of the other threads.
+            for k in 0..bs {
+                st.csub +=
+                    ctx.shared_load(ctx.ty * bs + k) * ctx.shared_load(bs * bs + k * bs + ctx.tx);
+            }
+            st.tile += 1;
+            PhaseOutcome::Sync
+        } else {
+            let idx = row * n + col;
+            let cur = ctx.global_load(self.c, idx);
+            ctx.global_store(self.c, idx, cur + st.csub);
+            PhaseOutcome::Done
+        }
+    }
+}
+
+/// Runs the missing-barrier fixture (N=8, BS=4, 2×2 grid). Expected:
+/// racecheck findings only.
+pub fn missing_barrier_report() -> KernelReport {
+    let (n, bs) = (8usize, 4usize);
+    let a = GlobalMem::from_slice(&fill(n * n, 11));
+    let b = GlobalMem::from_slice(&fill(n * n, 12));
+    let c = GlobalMem::from_slice(&fill(n * n, 13));
+    let mut table = BufferTable::new();
+    table.register(a.id(), "A", n * n);
+    table.register(b.id(), "B", n * n);
+    table.register(c.id(), "C", n * n);
+    let kernel = MissingBarrierDgemm { n, bs, tiles: n / bs, a: &a, b: &b, c: &c };
+    sanitize_kernel("fixture:missing-barrier-dgemm", Dim2::new(n / bs, n / bs), &kernel, table)
+}
+
+/// Single-tile DGEMM whose staging loads `A[ty·N + tx + 1]` — an
+/// off-by-one column that walks one element past the end of `A` for the
+/// last thread. Barriers are correct; shared traffic is clean.
+struct OffByOneTileDgemm<'a> {
+    n: usize,
+    a: &'a GlobalMem,
+    b: &'a GlobalMem,
+    c: &'a GlobalMem,
+}
+
+impl BlockKernel for OffByOneTileDgemm<'_> {
+    type State = DgemmState;
+
+    fn block(&self) -> Dim2 {
+        Dim2::new(self.n, self.n)
+    }
+
+    fn shared_len(&self) -> usize {
+        2 * self.n * self.n
+    }
+
+    fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) -> DgemmState {
+        DgemmState { tile: 0, csub: 0.0 }
+    }
+
+    fn run_phase<S: AccessSink>(
+        &self,
+        phase: usize,
+        st: &mut DgemmState,
+        ctx: &mut PhaseCtx<'_, S>,
+    ) -> PhaseOutcome {
+        let n = self.n;
+        match phase {
+            0 => {
+                // BUG: the A column index is off by one; thread (N-1, N-1)
+                // reads A[N²], one past the allocation.
+                let av = ctx.global_load(self.a, ctx.ty * n + ctx.tx + 1);
+                ctx.shared_store(ctx.ty * n + ctx.tx, av);
+                let bv = ctx.global_load(self.b, ctx.ty * n + ctx.tx);
+                ctx.shared_store(n * n + ctx.ty * n + ctx.tx, bv);
+                PhaseOutcome::Sync
+            }
+            1 => {
+                for k in 0..n {
+                    st.csub +=
+                        ctx.shared_load(ctx.ty * n + k) * ctx.shared_load(n * n + k * n + ctx.tx);
+                }
+                PhaseOutcome::Sync
+            }
+            _ => {
+                let idx = ctx.ty * n + ctx.tx;
+                let cur = ctx.global_load(self.c, idx);
+                ctx.global_store(self.c, idx, cur + st.csub);
+                PhaseOutcome::Done
+            }
+        }
+    }
+}
+
+/// Runs the off-by-one fixture (N=8, one block). Expected: exactly one
+/// memcheck out-of-bounds finding, attributed to thread (7, 7), phase 0.
+pub fn oob_tile_report() -> KernelReport {
+    let n = 8usize;
+    let a = GlobalMem::from_slice(&fill(n * n, 21));
+    let b = GlobalMem::from_slice(&fill(n * n, 22));
+    let c = GlobalMem::from_slice(&fill(n * n, 23));
+    let mut table = BufferTable::new();
+    table.register(a.id(), "A", n * n);
+    table.register(b.id(), "B", n * n);
+    table.register(c.id(), "C", n * n);
+    let kernel = OffByOneTileDgemm { n, a: &a, b: &b, c: &c };
+    sanitize_kernel("fixture:off-by-one-tile-dgemm", Dim2::new(1, 1), &kernel, table)
+}
+
+/// Single-tile DGEMM that seeds each thread's accumulator from a shared
+/// scratch region no thread ever writes. Barriers and bounds are correct.
+struct UninitAccumulatorDgemm<'a> {
+    n: usize,
+    a: &'a GlobalMem,
+    b: &'a GlobalMem,
+    c: &'a GlobalMem,
+}
+
+impl BlockKernel for UninitAccumulatorDgemm<'_> {
+    type State = DgemmState;
+
+    fn block(&self) -> Dim2 {
+        Dim2::new(self.n, self.n)
+    }
+
+    fn shared_len(&self) -> usize {
+        // Tile pair plus the (never-written) accumulator scratch region.
+        3 * self.n * self.n
+    }
+
+    fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) -> DgemmState {
+        DgemmState { tile: 0, csub: 0.0 }
+    }
+
+    fn run_phase<S: AccessSink>(
+        &self,
+        phase: usize,
+        st: &mut DgemmState,
+        ctx: &mut PhaseCtx<'_, S>,
+    ) -> PhaseOutcome {
+        let n = self.n;
+        match phase {
+            0 => {
+                // BUG: the accumulator scratch region is read before (and
+                // in fact without ever) being initialized.
+                st.csub = ctx.shared_load(2 * n * n + ctx.ty * n + ctx.tx);
+                PhaseOutcome::Sync
+            }
+            1 => {
+                let av = ctx.global_load(self.a, ctx.ty * n + ctx.tx);
+                ctx.shared_store(ctx.ty * n + ctx.tx, av);
+                let bv = ctx.global_load(self.b, ctx.ty * n + ctx.tx);
+                ctx.shared_store(n * n + ctx.ty * n + ctx.tx, bv);
+                PhaseOutcome::Sync
+            }
+            2 => {
+                for k in 0..n {
+                    st.csub +=
+                        ctx.shared_load(ctx.ty * n + k) * ctx.shared_load(n * n + k * n + ctx.tx);
+                }
+                PhaseOutcome::Sync
+            }
+            _ => {
+                let idx = ctx.ty * n + ctx.tx;
+                let cur = ctx.global_load(self.c, idx);
+                ctx.global_store(self.c, idx, cur + st.csub);
+                PhaseOutcome::Done
+            }
+        }
+    }
+}
+
+/// Runs the uninitialized-accumulator fixture (N=4, one block).
+/// Expected: 16 memcheck uninitialized-read findings, one per thread.
+pub fn uninit_accumulator_report() -> KernelReport {
+    let n = 4usize;
+    let a = GlobalMem::from_slice(&fill(n * n, 31));
+    let b = GlobalMem::from_slice(&fill(n * n, 32));
+    let c = GlobalMem::from_slice(&fill(n * n, 33));
+    let mut table = BufferTable::new();
+    table.register(a.id(), "A", n * n);
+    table.register(b.id(), "B", n * n);
+    table.register(c.id(), "C", n * n);
+    let kernel = UninitAccumulatorDgemm { n, a: &a, b: &b, c: &c };
+    sanitize_kernel("fixture:uninit-accumulator-dgemm", Dim2::new(1, 1), &kernel, table)
+}
+
+/// A kernel whose thread (0, 0) keeps syncing while the rest return after
+/// phase 0 — `__syncthreads` not reached uniformly.
+struct EarlyExit;
+
+impl BlockKernel for EarlyExit {
+    type State = ();
+
+    fn block(&self) -> Dim2 {
+        Dim2::new(4, 1)
+    }
+
+    fn shared_len(&self) -> usize {
+        0
+    }
+
+    fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
+
+    fn run_phase<S: AccessSink>(
+        &self,
+        phase: usize,
+        _s: &mut (),
+        ctx: &mut PhaseCtx<'_, S>,
+    ) -> PhaseOutcome {
+        // BUG: only thread (0, 0) reaches the barrier in phase 0.
+        if ctx.tx == 0 && phase == 0 {
+            PhaseOutcome::Sync
+        } else {
+            PhaseOutcome::Done
+        }
+    }
+}
+
+/// Runs the barrier-divergence fixture (one 4-thread block). Expected:
+/// exactly one synccheck finding naming the early-retired threads.
+pub fn divergence_report() -> KernelReport {
+    sanitize_kernel("fixture:early-exit", Dim2::new(1, 1), &EarlyExit, BufferTable::new())
+}
+
+/// Every fixture paired with the checker expected to catch it — the
+/// corpus `repro sanitize --self-test` verifies.
+pub fn self_test() -> Vec<(Checker, KernelReport)> {
+    vec![
+        (Checker::Racecheck, missing_barrier_report()),
+        (Checker::Memcheck, oob_tile_report()),
+        (Checker::Memcheck, uninit_accumulator_report()),
+        (Checker::Synccheck, divergence_report()),
+    ]
+}

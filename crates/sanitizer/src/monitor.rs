@@ -1,0 +1,434 @@
+//! The dynamic checkers: shadow memory behind an [`AccessSink`].
+//!
+//! A [`LaunchMonitor`] owns all shadow state for one kernel launch and
+//! hands out [`MonitorSink`] handles (cheap `Rc` clones) to the monitored
+//! interpreter, one per block. Blocks run serially under
+//! `run_grid_monitored`, so a single shared state cell suffices and every
+//! diagnostic comes out in deterministic order.
+//!
+//! # What the shadows encode
+//!
+//! The barrier-phase structure is the happens-before relation: within a
+//! block, two accesses to the same cell are ordered iff a `__syncthreads`
+//! separates them, i.e. they happen in *different phases*. So racecheck
+//! keeps, per cell and per phase, the first writer and first reader; a
+//! same-phase access by a different thread that conflicts (at least one
+//! write) is a hazard. Between blocks there is no synchronization at all,
+//! so any two blocks touching the same global cell with at least one
+//! write is a hazard regardless of phase.
+//!
+//! Uninitialized-read detection is deferred: a read of a never-written
+//! shared cell only becomes a finding if the cell is *still* unwritten
+//! when the block retires. A read that races with a later same-phase
+//! write is racecheck's finding, not memcheck's — the deferral is what
+//! keeps each seeded fixture attributable to exactly one checker.
+
+use crate::report::{AccessKind, Finding, MemSpace};
+use enprop_gpusim::emulator::{AccessPoint, AccessSink, BlockExit, BufId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Maps raw [`BufId`]s (allocation addresses, nondeterministic across
+/// runs) to stable registered names and ordinals, so diagnostics and
+/// reports never leak an address.
+#[derive(Debug, Default)]
+pub struct BufferTable {
+    entries: Vec<Entry>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    id: BufId,
+    name: String,
+    len: usize,
+}
+
+impl BufferTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an allocation under a stable name. Panics if the same
+    /// allocation is registered twice.
+    pub fn register(&mut self, id: BufId, name: impl Into<String>, len: usize) {
+        assert!(self.entries.iter().all(|e| e.id != id), "buffer registered twice");
+        self.entries.push(Entry { id, name: name.into(), len });
+    }
+
+    fn ordinal(&self, id: BufId) -> Option<usize> {
+        self.entries.iter().position(|e| e.id == id)
+    }
+
+    fn name(&self, ordinal: usize) -> &str {
+        &self.entries[ordinal].name
+    }
+}
+
+/// Per-cell, per-phase access summary: the first writer and first reader
+/// thread, plus a once-per-phase flag so a hazardous cell reports once.
+#[derive(Debug, Clone, Copy)]
+struct CellShadow {
+    phase: usize,
+    writer: Option<(usize, usize)>,
+    reader: Option<(usize, usize)>,
+    flagged: bool,
+}
+
+impl CellShadow {
+    const FRESH: CellShadow =
+        CellShadow { phase: usize::MAX, writer: None, reader: None, flagged: false };
+}
+
+impl Default for CellShadow {
+    fn default() -> Self {
+        Self::FRESH
+    }
+}
+
+/// The earlier access an intra-block race conflicts with.
+struct RaceHit {
+    thread: (usize, usize),
+    kind: AccessKind,
+}
+
+/// Advances a cell's shadow by one access, reporting a hazard if this
+/// access conflicts with a different thread's same-phase access. The
+/// shadow resets itself when the phase changes — the barrier boundary is
+/// the happens-before edge.
+fn race_step(sh: &mut CellShadow, at: AccessPoint, kind: AccessKind) -> Option<RaceHit> {
+    if sh.phase != at.phase {
+        *sh = CellShadow::FRESH;
+        sh.phase = at.phase;
+    }
+    let me = at.thread();
+    let write = kind == AccessKind::Write;
+    let hit = if sh.flagged {
+        None
+    } else if write {
+        match (sh.writer, sh.reader) {
+            (Some(w), _) if w != me => Some(RaceHit { thread: w, kind: AccessKind::Write }),
+            (_, Some(r)) if r != me => Some(RaceHit { thread: r, kind: AccessKind::Read }),
+            _ => None,
+        }
+    } else {
+        match sh.writer {
+            Some(w) if w != me => Some(RaceHit { thread: w, kind: AccessKind::Write }),
+            _ => None,
+        }
+    };
+    if write {
+        if sh.writer.is_none() {
+            sh.writer = Some(me);
+        }
+    } else if sh.reader.is_none() {
+        sh.reader = Some(me);
+    }
+    if hit.is_some() {
+        sh.flagged = true;
+    }
+    hit
+}
+
+/// Encodes a block coordinate as a nonzero token (`0` = "no block yet").
+fn enc(bx: usize, by: usize) -> u64 {
+    (((by as u64) << 32) | bx as u64) + 1
+}
+
+/// Inverse of [`enc`].
+fn dec(token: u64) -> (usize, usize) {
+    let e = token - 1;
+    ((e & 0xFFFF_FFFF) as usize, (e >> 32) as usize)
+}
+
+/// Shadow of one global cell: an intra-block [`CellShadow`] scoped to the
+/// block currently touching it, plus launch-wide inter-block history (the
+/// first writing block and up to two distinct reading blocks — enough to
+/// witness any block-vs-block conflict).
+#[derive(Debug, Clone, Copy, Default)]
+struct GCell {
+    block: u64,
+    intra: CellShadow,
+    wrote: u64,
+    read1: u64,
+    read2: u64,
+    inter_flagged: bool,
+}
+
+/// All shadow state for one launch.
+struct MonitorState {
+    table: BufferTable,
+    shared: Vec<CellShadow>,
+    shared_written: Vec<bool>,
+    uninit_seen: Vec<bool>,
+    uninit: Vec<(usize, AccessPoint)>,
+    global: Vec<Vec<GCell>>,
+    findings: Vec<Finding>,
+    suppressed: usize,
+    cap: usize,
+}
+
+impl MonitorState {
+    fn push(&mut self, finding: Finding) {
+        if self.findings.len() < self.cap {
+            self.findings.push(finding);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    fn global_access(&mut self, ordinal: usize, idx: usize, at: AccessPoint, kind: AccessKind) {
+        let token = enc(at.bx, at.by);
+        let write = kind == AccessKind::Write;
+        let cell = &mut self.global[ordinal][idx];
+        if cell.block != token {
+            cell.block = token;
+            cell.intra = CellShadow::FRESH;
+        }
+        let intra = race_step(&mut cell.intra, at, kind);
+        let mut inter = None;
+        if !cell.inter_flagged {
+            let conflict = if write {
+                if cell.wrote != 0 && cell.wrote != token {
+                    Some((dec(cell.wrote), AccessKind::Write))
+                } else if cell.read1 != 0 && cell.read1 != token {
+                    Some((dec(cell.read1), AccessKind::Read))
+                } else if cell.read2 != 0 && cell.read2 != token {
+                    Some((dec(cell.read2), AccessKind::Read))
+                } else {
+                    None
+                }
+            } else if cell.wrote != 0 && cell.wrote != token {
+                Some((dec(cell.wrote), AccessKind::Write))
+            } else {
+                None
+            };
+            if conflict.is_some() {
+                cell.inter_flagged = true;
+                inter = conflict;
+            }
+        }
+        if write {
+            if cell.wrote == 0 {
+                cell.wrote = token;
+            }
+        } else if cell.read1 == 0 {
+            cell.read1 = token;
+        } else if cell.read1 != token && cell.read2 == 0 {
+            cell.read2 = token;
+        }
+
+        let name = self.table.name(ordinal).to_owned();
+        if let Some(hit) = intra {
+            self.push(Finding::race(
+                MemSpace::Global,
+                Some(&name),
+                idx,
+                at,
+                kind,
+                hit.thread,
+                hit.kind,
+            ));
+        }
+        if let Some((first_block, first_kind)) = inter {
+            self.push(Finding::inter_block_race(
+                Some(&name),
+                idx,
+                at.block(),
+                kind,
+                first_block,
+                first_kind,
+            ));
+        }
+    }
+}
+
+/// Outcome of a monitored launch: every finding, in deterministic order,
+/// plus the count of findings dropped past the per-launch cap.
+#[derive(Debug)]
+pub struct MonitorOutcome {
+    /// The findings, in the order they were discovered.
+    pub findings: Vec<Finding>,
+    /// Findings dropped because the launch hit its reporting cap.
+    pub suppressed: usize,
+}
+
+/// Owns the shadow state for one kernel launch and dispenses per-block
+/// [`MonitorSink`]s to `run_grid_monitored`.
+pub struct LaunchMonitor {
+    state: Rc<RefCell<MonitorState>>,
+}
+
+/// Findings reported per launch before further ones are counted as
+/// suppressed — keeps a pathological kernel from flooding the report.
+pub const DEFAULT_FINDING_CAP: usize = 64;
+
+impl LaunchMonitor {
+    /// A monitor for a launch with `shared_len` doubles of shared memory
+    /// per block, tracking the buffers registered in `table`.
+    pub fn new(table: BufferTable, shared_len: usize) -> Self {
+        Self::with_cap(table, shared_len, DEFAULT_FINDING_CAP)
+    }
+
+    /// [`LaunchMonitor::new`] with an explicit reporting cap.
+    pub fn with_cap(table: BufferTable, shared_len: usize, cap: usize) -> Self {
+        let global = table.entries.iter().map(|e| vec![GCell::default(); e.len]).collect();
+        LaunchMonitor {
+            state: Rc::new(RefCell::new(MonitorState {
+                table,
+                shared: vec![CellShadow::FRESH; shared_len],
+                shared_written: vec![false; shared_len],
+                uninit_seen: vec![false; shared_len],
+                uninit: Vec::new(),
+                global,
+                findings: Vec::new(),
+                suppressed: 0,
+                cap,
+            })),
+        }
+    }
+
+    /// A sink handle for the next block (call [`begin_block`](Self::begin_block) first).
+    pub fn sink(&self) -> MonitorSink {
+        MonitorSink { state: Rc::clone(&self.state) }
+    }
+
+    /// Resets the per-block shadows (shared memory, written bits,
+    /// uninitialized-read candidates). Global shadows persist — they are
+    /// launch-wide by design.
+    pub fn begin_block(&self) {
+        let mut st = self.state.borrow_mut();
+        st.shared.fill(CellShadow::FRESH);
+        st.shared_written.fill(false);
+        st.uninit_seen.fill(false);
+        st.uninit.clear();
+    }
+
+    /// Finalizes a block: uninitialized-read candidates whose cell was
+    /// never written become memcheck findings, and a structured
+    /// divergence becomes a synccheck finding.
+    pub fn end_block(&self, bx: usize, by: usize, exit: &BlockExit) {
+        let mut guard = self.state.borrow_mut();
+        let st = &mut *guard;
+        let candidates = std::mem::take(&mut st.uninit);
+        for (cell, at) in candidates {
+            if !st.shared_written[cell] {
+                st.push(Finding::uninit_read(cell, at));
+            }
+        }
+        if let BlockExit::Diverged { phase, synced, returned } = exit {
+            st.push(Finding::divergence(bx, by, *phase, synced, returned));
+        }
+    }
+
+    /// Consumes the monitor and returns everything it saw. Panics if a
+    /// sink handle is still alive (they are dropped by `collect`).
+    pub fn finish(self) -> MonitorOutcome {
+        let state = Rc::try_unwrap(self.state)
+            .unwrap_or_else(|_| panic!("a MonitorSink outlived the launch"))
+            .into_inner();
+        MonitorOutcome { findings: state.findings, suppressed: state.suppressed }
+    }
+}
+
+/// The per-block [`AccessSink`] handle: a shared reference to the
+/// launch's shadow state. Never suppresses an in-bounds access (so a
+/// clean monitored run is observationally identical to an uninstrumented
+/// one); out-of-bounds accesses are reported and vetoed, letting the run
+/// continue where the uninstrumented interpreter would panic.
+pub struct MonitorSink {
+    state: Rc<RefCell<MonitorState>>,
+}
+
+impl AccessSink for MonitorSink {
+    fn shared_load(&mut self, at: AccessPoint, idx: usize, len: usize) -> bool {
+        let mut guard = self.state.borrow_mut();
+        let st = &mut *guard;
+        if idx >= len {
+            st.push(Finding::oob(MemSpace::Shared, None, at, AccessKind::Read, idx, len));
+            return false;
+        }
+        if !st.shared_written[idx] && !st.uninit_seen[idx] {
+            st.uninit_seen[idx] = true;
+            st.uninit.push((idx, at));
+        }
+        if let Some(hit) = race_step(&mut st.shared[idx], at, AccessKind::Read) {
+            st.push(Finding::race(
+                MemSpace::Shared,
+                None,
+                idx,
+                at,
+                AccessKind::Read,
+                hit.thread,
+                hit.kind,
+            ));
+        }
+        true
+    }
+
+    fn shared_store(&mut self, at: AccessPoint, idx: usize, len: usize) -> bool {
+        let mut guard = self.state.borrow_mut();
+        let st = &mut *guard;
+        if idx >= len {
+            st.push(Finding::oob(MemSpace::Shared, None, at, AccessKind::Write, idx, len));
+            return false;
+        }
+        st.shared_written[idx] = true;
+        if let Some(hit) = race_step(&mut st.shared[idx], at, AccessKind::Write) {
+            st.push(Finding::race(
+                MemSpace::Shared,
+                None,
+                idx,
+                at,
+                AccessKind::Write,
+                hit.thread,
+                hit.kind,
+            ));
+        }
+        true
+    }
+
+    fn global_load(&mut self, at: AccessPoint, buf: BufId, idx: usize, len: usize) -> bool {
+        let mut guard = self.state.borrow_mut();
+        let st = &mut *guard;
+        let ordinal = st.table.ordinal(buf);
+        if idx >= len {
+            let name = ordinal.map(|o| st.table.name(o).to_owned());
+            st.push(Finding::oob(
+                MemSpace::Global,
+                name.as_deref(),
+                at,
+                AccessKind::Read,
+                idx,
+                len,
+            ));
+            return false;
+        }
+        if let Some(o) = ordinal {
+            st.global_access(o, idx, at, AccessKind::Read);
+        }
+        true
+    }
+
+    fn global_store(&mut self, at: AccessPoint, buf: BufId, idx: usize, len: usize) -> bool {
+        let mut guard = self.state.borrow_mut();
+        let st = &mut *guard;
+        let ordinal = st.table.ordinal(buf);
+        if idx >= len {
+            let name = ordinal.map(|o| st.table.name(o).to_owned());
+            st.push(Finding::oob(
+                MemSpace::Global,
+                name.as_deref(),
+                at,
+                AccessKind::Write,
+                idx,
+                len,
+            ));
+            return false;
+        }
+        if let Some(o) = ordinal {
+            st.global_access(o, idx, at, AccessKind::Write);
+        }
+        true
+    }
+}

@@ -1,0 +1,121 @@
+//! Static pre-launch validation of kernel launch geometry.
+//!
+//! Everything here is checked *before any thread runs*: the tile/grid
+//! arithmetic of the Fig. 5 DGEMM family and the row-FFT against the
+//! architecture's hard limits (shared memory per block, threads per
+//! block, occupancy). A violated rule produces a [`Checker::Prelaunch`]
+//! [`Finding`] and the driver skips execution entirely — exactly what a
+//! real launch would do by failing with `cudaErrorInvalidConfiguration`.
+//!
+//! [`Checker::Prelaunch`]: crate::report::Checker::Prelaunch
+
+use crate::report::Finding;
+use enprop_gpusim::model::{max_group, shared_bytes};
+use enprop_gpusim::{GpuArch, Occupancy, TiledDgemmConfig};
+
+/// Validates a tiled-DGEMM launch on `arch`. Empty means launchable.
+pub fn check_dgemm(cfg: &TiledDgemmConfig, arch: &GpuArch) -> Vec<Finding> {
+    let TiledDgemmConfig { n, bs, g, r } = *cfg;
+    let mut out = Vec::new();
+    if !(1..=32).contains(&bs) {
+        out.push(Finding::launch(
+            "tile-range",
+            format!("BS={bs} is outside the kernel family's template range 1..=32"),
+        ));
+        // Every later formula divides by or scales with BS; stop here.
+        return out;
+    }
+    if n == 0 || !n.is_multiple_of(bs) {
+        out.push(Finding::launch(
+            "tile-divisibility",
+            format!(
+                "BS={bs} does not divide N={n}: a grid of {}x{} tiles cannot cover the matrix",
+                n / bs,
+                n / bs
+            ),
+        ));
+    }
+    if r < 1 {
+        out.push(Finding::launch("runs", format!("R={r} computes no products; R must be >= 1")));
+    }
+    let mg = max_group(bs);
+    if !(1..=8).contains(&g) || g > mg {
+        out.push(Finding::launch(
+            "group-size",
+            format!("G={g} exceeds the shared-memory group budget for BS={bs} (max G={mg})"),
+        ));
+    }
+    let footprint = shared_bytes(bs);
+    let limit = arch.shared_mem_per_block.value();
+    if footprint as f64 > limit {
+        out.push(Finding::launch(
+            "shared-footprint",
+            format!(
+                "BS={bs} tiles need {footprint} B of shared memory per block \
+                 but {} provides {limit} B",
+                arch.name
+            ),
+        ));
+    }
+    let threads = bs * bs;
+    if threads > arch.max_threads_per_block {
+        out.push(Finding::launch(
+            "thread-budget",
+            format!(
+                "BS={bs} blocks have {threads} threads but {} caps blocks at {}",
+                arch.name, arch.max_threads_per_block
+            ),
+        ));
+    }
+    if out.is_empty() && Occupancy::compute(arch, threads, footprint).is_none() {
+        out.push(Finding::launch(
+            "occupancy",
+            format!("no resident-block assignment exists for BS={bs} on {}", arch.name),
+        ));
+    }
+    out
+}
+
+/// Validates a row-FFT launch (`rows` blocks of `n/2` threads, `2n`
+/// doubles of shared memory) on `arch`. Empty means launchable.
+pub fn check_fft(n: usize, rows: usize, arch: &GpuArch) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if n < 2 || !n.is_power_of_two() {
+        out.push(Finding::launch(
+            "power-of-two",
+            format!("FFT length n={n} must be a power of two >= 2"),
+        ));
+        return out;
+    }
+    if rows < 1 {
+        out.push(Finding::launch("rows", format!("rows={rows} launches no blocks")));
+    }
+    let threads = n / 2;
+    if threads > arch.max_threads_per_block {
+        out.push(Finding::launch(
+            "thread-budget",
+            format!(
+                "n={n} needs {threads} threads per block but {} caps blocks at {}",
+                arch.name, arch.max_threads_per_block
+            ),
+        ));
+    }
+    let footprint = 2 * n * 8;
+    let limit = arch.shared_mem_per_block.value();
+    if footprint as f64 > limit {
+        out.push(Finding::launch(
+            "shared-footprint",
+            format!(
+                "n={n} needs {footprint} B of shared memory per block but {} provides {limit} B",
+                arch.name
+            ),
+        ));
+    }
+    if out.is_empty() && Occupancy::compute(arch, threads.max(1), footprint).is_none() {
+        out.push(Finding::launch(
+            "occupancy",
+            format!("no resident-block assignment exists for n={n} on {}", arch.name),
+        ));
+    }
+    out
+}

@@ -1,0 +1,382 @@
+//! Finding types: the structured diagnostics every checker emits.
+//!
+//! A [`Finding`] couples a machine-readable [`FindingKind`] (serialized
+//! into the JSON report) with a canonical one-line `message` rendered at
+//! construction time. The message is part of the crate's contract — the
+//! fixture tests snapshot it verbatim — so the constructors here are the
+//! single place diagnostics are worded.
+
+use enprop_gpusim::emulator::AccessPoint;
+use serde::Serialize;
+use std::fmt;
+
+/// Which analysis produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Checker {
+    /// Same-phase conflicting accesses by different threads (or any
+    /// conflicting accesses by different blocks).
+    Racecheck,
+    /// Out-of-bounds and uninitialized-read detection.
+    Memcheck,
+    /// Barrier divergence: threads disagreeing on the phase count.
+    Synccheck,
+    /// Static launch-geometry validation, before any thread runs.
+    Prelaunch,
+}
+
+impl Checker {
+    /// Lower-case tool-style name (`racecheck`, `memcheck`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Checker::Racecheck => "racecheck",
+            Checker::Memcheck => "memcheck",
+            Checker::Synccheck => "synccheck",
+            Checker::Prelaunch => "prelaunch",
+        }
+    }
+}
+
+/// Which emulated memory an access touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MemSpace {
+    /// Per-block shared memory.
+    Shared,
+    /// Device global memory.
+    Global,
+}
+
+impl MemSpace {
+    /// Lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemSpace::Shared => "shared",
+            MemSpace::Global => "global",
+        }
+    }
+}
+
+/// Load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        }
+    }
+}
+
+/// `write-write` when both accesses store, `read-write` otherwise.
+fn hazard_label(a: AccessKind, b: AccessKind) -> &'static str {
+    if a == AccessKind::Write && b == AccessKind::Write {
+        "write-write"
+    } else {
+        "read-write"
+    }
+}
+
+/// `"cell 5"` for shared memory, `"A[5]"` for a registered global buffer.
+fn cell_label(space: MemSpace, buffer: Option<&str>, cell: usize) -> String {
+    match (space, buffer) {
+        (MemSpace::Shared, _) => format!("cell {cell}"),
+        (MemSpace::Global, Some(name)) => format!("{name}[{cell}]"),
+        (MemSpace::Global, None) => format!("unregistered[{cell}]"),
+    }
+}
+
+/// The machine-readable payload of one diagnostic.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum FindingKind {
+    /// Two threads of the same block touched the same cell in the same
+    /// barrier phase, at least one writing — no `__syncthreads` orders
+    /// them. `second` is the access that exposed the hazard, `first` the
+    /// recorded earlier access.
+    Race {
+        /// Memory space of the cell.
+        space: MemSpace,
+        /// Registered buffer name (global memory only).
+        buffer: Option<String>,
+        /// Cell index within the allocation.
+        cell: usize,
+        /// The earlier access's kind.
+        first_kind: AccessKind,
+        /// The earlier access's thread `(tx, ty)`.
+        first_thread: (usize, usize),
+        /// The exposing access's kind.
+        second_kind: AccessKind,
+        /// The exposing access's thread `(tx, ty)`.
+        second_thread: (usize, usize),
+    },
+    /// Two different blocks touched the same global cell, at least one
+    /// writing. Blocks cannot synchronize within a launch, so this is a
+    /// hazard regardless of phase.
+    InterBlockRace {
+        /// Registered buffer name.
+        buffer: Option<String>,
+        /// Cell index within the allocation.
+        cell: usize,
+        /// The earlier block's access kind.
+        first_kind: AccessKind,
+        /// The earlier block `(bx, by)`.
+        first_block: (usize, usize),
+        /// The exposing block's access kind.
+        second_kind: AccessKind,
+        /// The exposing block `(bx, by)`.
+        second_block: (usize, usize),
+    },
+    /// An access past the end of an allocation (suppressed by the
+    /// sanitizer, so execution continues).
+    OutOfBounds {
+        /// Memory space of the access.
+        space: MemSpace,
+        /// Registered buffer name (global memory only).
+        buffer: Option<String>,
+        /// Load or store.
+        kind: AccessKind,
+        /// The offending index.
+        index: usize,
+        /// The allocation length.
+        len: usize,
+    },
+    /// A shared-memory cell was read but never written by any thread of
+    /// the block over its whole execution.
+    UninitRead {
+        /// The cell index.
+        cell: usize,
+        /// The first reading thread `(tx, ty)`.
+        thread: (usize, usize),
+    },
+    /// Threads of a block disagreed on whether another phase follows —
+    /// `__syncthreads` was not reached uniformly.
+    BarrierDivergence {
+        /// Threads that reached the barrier.
+        synced: usize,
+        /// Threads that returned from the kernel instead.
+        returned: usize,
+        /// The first thread `(tx, ty)` that retired early.
+        first_early: (usize, usize),
+    },
+    /// A launch-geometry rule violated before any thread ran.
+    Launch {
+        /// Short rule identifier (e.g. `shared-footprint`).
+        rule: String,
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+/// One diagnostic: checker, attribution, payload, and the canonical
+/// one-line rendering.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Finding {
+    /// The checker that produced it.
+    pub checker: Checker,
+    /// Block attribution `(bx, by)`; `None` for launch-level findings.
+    pub block: Option<(usize, usize)>,
+    /// Phase attribution; `None` for launch-level and inter-block findings.
+    pub phase: Option<usize>,
+    /// The machine-readable payload.
+    pub kind: FindingKind,
+    /// The canonical one-line rendering (stable; snapshot-tested).
+    pub message: String,
+}
+
+impl Finding {
+    /// An intra-block race: `second` (the current access) conflicts with
+    /// the recorded `first` access to the same cell in the same phase.
+    pub fn race(
+        space: MemSpace,
+        buffer: Option<&str>,
+        cell: usize,
+        second: AccessPoint,
+        second_kind: AccessKind,
+        first_thread: (usize, usize),
+        first_kind: AccessKind,
+    ) -> Self {
+        let message = format!(
+            "racecheck: {} {} hazard on {} in phase {} of block ({}, {}): \
+             {} by thread ({}, {}) conflicts with {} by thread ({}, {}) \
+             with no __syncthreads between them",
+            space.as_str(),
+            hazard_label(first_kind, second_kind),
+            cell_label(space, buffer, cell),
+            second.phase,
+            second.bx,
+            second.by,
+            second_kind.as_str(),
+            second.tx,
+            second.ty,
+            first_kind.as_str(),
+            first_thread.0,
+            first_thread.1,
+        );
+        Finding {
+            checker: Checker::Racecheck,
+            block: Some(second.block()),
+            phase: Some(second.phase),
+            kind: FindingKind::Race {
+                space,
+                buffer: buffer.map(str::to_owned),
+                cell,
+                first_kind,
+                first_thread,
+                second_kind,
+                second_thread: second.thread(),
+            },
+            message,
+        }
+    }
+
+    /// An inter-block race on a global cell.
+    pub fn inter_block_race(
+        buffer: Option<&str>,
+        cell: usize,
+        second_block: (usize, usize),
+        second_kind: AccessKind,
+        first_block: (usize, usize),
+        first_kind: AccessKind,
+    ) -> Self {
+        let message = format!(
+            "racecheck: inter-block {} hazard on {}: {} by block ({}, {}) \
+             conflicts with {} by block ({}, {}) — thread blocks cannot \
+             synchronize within a launch",
+            hazard_label(first_kind, second_kind),
+            cell_label(MemSpace::Global, buffer, cell),
+            second_kind.as_str(),
+            second_block.0,
+            second_block.1,
+            first_kind.as_str(),
+            first_block.0,
+            first_block.1,
+        );
+        Finding {
+            checker: Checker::Racecheck,
+            block: Some(second_block),
+            phase: None,
+            kind: FindingKind::InterBlockRace {
+                buffer: buffer.map(str::to_owned),
+                cell,
+                first_kind,
+                first_block,
+                second_kind,
+                second_block,
+            },
+            message,
+        }
+    }
+
+    /// An out-of-bounds access (suppressed, so the run continues).
+    pub fn oob(
+        space: MemSpace,
+        buffer: Option<&str>,
+        at: AccessPoint,
+        kind: AccessKind,
+        index: usize,
+        len: usize,
+    ) -> Self {
+        let target = match (space, buffer) {
+            (MemSpace::Global, Some(name)) => format!(" on {name}"),
+            (MemSpace::Global, None) => " on unregistered buffer".to_string(),
+            (MemSpace::Shared, _) => String::new(),
+        };
+        let message = format!(
+            "memcheck: {} {} out of bounds{target}: index {index} >= len {len} \
+             by thread ({}, {}) of block ({}, {}) in phase {}",
+            space.as_str(),
+            kind.as_str(),
+            at.tx,
+            at.ty,
+            at.bx,
+            at.by,
+            at.phase,
+        );
+        Finding {
+            checker: Checker::Memcheck,
+            block: Some(at.block()),
+            phase: Some(at.phase),
+            kind: FindingKind::OutOfBounds {
+                space,
+                buffer: buffer.map(str::to_owned),
+                kind,
+                index,
+                len,
+            },
+            message,
+        }
+    }
+
+    /// A read of a shared cell no thread of the block ever writes.
+    pub fn uninit_read(cell: usize, at: AccessPoint) -> Self {
+        let message = format!(
+            "memcheck: uninitialized shared read of cell {cell} by thread \
+             ({}, {}) of block ({}, {}) in phase {}: no thread of the block \
+             ever writes it",
+            at.tx, at.ty, at.bx, at.by, at.phase,
+        );
+        Finding {
+            checker: Checker::Memcheck,
+            block: Some(at.block()),
+            phase: Some(at.phase),
+            kind: FindingKind::UninitRead { cell, thread: at.thread() },
+            message,
+        }
+    }
+
+    /// A barrier divergence reported by the monitored interpreter.
+    pub fn divergence(
+        bx: usize,
+        by: usize,
+        phase: usize,
+        synced: &[(usize, usize)],
+        returned: &[(usize, usize)],
+    ) -> Self {
+        let first_early = returned.first().copied().unwrap_or((0, 0));
+        let message = format!(
+            "synccheck: barrier divergence in phase {phase} of block \
+             ({bx}, {by}): {} thread(s) reached __syncthreads while {} \
+             returned early; first early exit: thread ({}, {}) — this \
+             kernel deadlocks on real hardware",
+            synced.len(),
+            returned.len(),
+            first_early.0,
+            first_early.1,
+        );
+        Finding {
+            checker: Checker::Synccheck,
+            block: Some((bx, by)),
+            phase: Some(phase),
+            kind: FindingKind::BarrierDivergence {
+                synced: synced.len(),
+                returned: returned.len(),
+                first_early,
+            },
+            message,
+        }
+    }
+
+    /// A launch-geometry violation caught before execution.
+    pub fn launch(rule: &str, detail: String) -> Self {
+        let message = format!("prelaunch: {rule}: {detail}");
+        Finding {
+            checker: Checker::Prelaunch,
+            block: None,
+            phase: None,
+            kind: FindingKind::Launch { rule: rule.to_string(), detail },
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}

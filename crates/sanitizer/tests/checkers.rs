@@ -1,0 +1,253 @@
+//! Checker acceptance tests: the shipped kernels sanitize clean, and each
+//! seeded fixture is caught by exactly the intended checker with stable,
+//! fully attributed diagnostics (snapshot-tested verbatim).
+
+use enprop_gpusim::emulator::{
+    AccessSink, BlockKernel, Dim2, GlobalMem, PhaseCtx, PhaseOutcome,
+};
+use enprop_gpusim::{GpuArch, TiledDgemmConfig};
+use enprop_sanitize::{fixtures, prelaunch, sanitize_dgemm, sanitize_fft, sanitize_kernel};
+use enprop_sanitize::{BufferTable, Checker, FindingKind, MemSpace};
+
+#[test]
+fn shipped_dgemm_sanitizes_clean() {
+    let arch = GpuArch::k40c();
+    for cfg in [
+        TiledDgemmConfig { n: 16, bs: 4, g: 2, r: 2 },
+        TiledDgemmConfig { n: 32, bs: 32, g: 1, r: 1 },
+        TiledDgemmConfig { n: 24, bs: 8, g: 1, r: 2 },
+    ] {
+        let rep = sanitize_dgemm(cfg, &arch);
+        assert!(rep.clean(), "{}: {:?}", rep.kernel, rep.findings.first());
+        assert!(rep.blocks > 0, "{} did not execute", rep.kernel);
+    }
+}
+
+#[test]
+fn shipped_fft_sanitizes_clean() {
+    let arch = GpuArch::p100_pcie();
+    for (n, rows) in [(2usize, 1usize), (16, 2), (64, 3)] {
+        let rep = sanitize_fft(n, rows, &arch);
+        assert!(rep.clean(), "{}: {:?}", rep.kernel, rep.findings.first());
+        assert_eq!(rep.blocks, rows);
+    }
+}
+
+#[test]
+fn missing_barrier_is_caught_by_racecheck_only() {
+    let rep = fixtures::missing_barrier_report();
+    assert!(!rep.findings.is_empty());
+    assert!(
+        rep.findings.iter().all(|f| f.checker == Checker::Racecheck),
+        "a non-racecheck finding leaked: {:?}",
+        rep.findings.iter().find(|f| f.checker != Checker::Racecheck)
+    );
+    // The hazardous kernel floods past the reporting cap; the overflow is
+    // counted, not silently dropped.
+    assert!(rep.suppressed > 0);
+    // First diagnostic, verbatim: thread (1, 0) staging cell 1 races with
+    // thread (0, 0)'s premature MAC read of the same cell.
+    assert_eq!(
+        rep.findings[0].message,
+        "racecheck: shared read-write hazard on cell 1 in phase 0 of block (0, 0): \
+         write by thread (1, 0) conflicts with read by thread (0, 0) \
+         with no __syncthreads between them"
+    );
+    assert_eq!(rep.findings[0].block, Some((0, 0)));
+    assert_eq!(rep.findings[0].phase, Some(0));
+}
+
+#[test]
+fn off_by_one_tile_is_caught_by_memcheck_oob_only() {
+    let rep = fixtures::oob_tile_report();
+    // Exactly one finding: the single out-of-bounds staging load.
+    assert_eq!(rep.findings.len(), 1, "{:?}", rep.findings);
+    assert_eq!(rep.suppressed, 0);
+    let f = &rep.findings[0];
+    assert_eq!(f.checker, Checker::Memcheck);
+    assert_eq!(
+        f.message,
+        "memcheck: global read out of bounds on A: index 64 >= len 64 \
+         by thread (7, 7) of block (0, 0) in phase 0"
+    );
+    match &f.kind {
+        FindingKind::OutOfBounds { space, buffer, index, len, .. } => {
+            assert_eq!(*space, MemSpace::Global);
+            assert_eq!(buffer.as_deref(), Some("A"));
+            assert_eq!((*index, *len), (64, 64));
+        }
+        other => panic!("expected OutOfBounds, got {other:?}"),
+    }
+}
+
+#[test]
+fn uninit_accumulator_is_caught_by_memcheck_uninit_only() {
+    let rep = fixtures::uninit_accumulator_report();
+    // One finding per thread of the 4×4 block, nothing else.
+    assert_eq!(rep.findings.len(), 16, "{:?}", rep.findings);
+    assert_eq!(rep.suppressed, 0);
+    assert!(rep
+        .findings
+        .iter()
+        .all(|f| matches!(f.kind, FindingKind::UninitRead { .. })));
+    assert_eq!(
+        rep.findings[0].message,
+        "memcheck: uninitialized shared read of cell 32 by thread (0, 0) \
+         of block (0, 0) in phase 0: no thread of the block ever writes it"
+    );
+    // The scratch region spans cells 32..48; every cell is reported once.
+    let mut cells: Vec<usize> = rep
+        .findings
+        .iter()
+        .map(|f| match f.kind {
+            FindingKind::UninitRead { cell, .. } => cell,
+            _ => unreachable!(),
+        })
+        .collect();
+    cells.sort_unstable();
+    assert_eq!(cells, (32..48).collect::<Vec<_>>());
+}
+
+#[test]
+fn early_exit_is_caught_by_synccheck_only() {
+    let rep = fixtures::divergence_report();
+    assert_eq!(rep.findings.len(), 1, "{:?}", rep.findings);
+    let f = &rep.findings[0];
+    assert_eq!(f.checker, Checker::Synccheck);
+    assert_eq!(
+        f.message,
+        "synccheck: barrier divergence in phase 0 of block (0, 0): \
+         1 thread(s) reached __syncthreads while 3 returned early; \
+         first early exit: thread (1, 0) — this kernel deadlocks on real hardware"
+    );
+    match f.kind {
+        FindingKind::BarrierDivergence { synced, returned, first_early } => {
+            assert_eq!((synced, returned), (1, 3));
+            assert_eq!(first_early, (1, 0));
+        }
+        ref other => panic!("expected BarrierDivergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn self_test_corpus_agrees_with_expected_checkers() {
+    for (expected, rep) in fixtures::self_test() {
+        assert!(!rep.findings.is_empty(), "{} found nothing", rep.kernel);
+        assert!(
+            rep.findings.iter().all(|f| f.checker == expected),
+            "{}: expected only {expected:?}",
+            rep.kernel
+        );
+    }
+}
+
+/// Every block stores to global cell 0 — no barrier can order blocks, so
+/// this is the inter-block hazard racecheck must flag.
+struct SharedSlotWriters<'a> {
+    out: &'a GlobalMem,
+}
+
+impl BlockKernel for SharedSlotWriters<'_> {
+    type State = ();
+
+    fn block(&self) -> Dim2 {
+        Dim2::new(2, 1)
+    }
+
+    fn shared_len(&self) -> usize {
+        0
+    }
+
+    fn init(&self, _bx: usize, _by: usize, _tx: usize, _ty: usize) {}
+
+    fn run_phase<S: AccessSink>(
+        &self,
+        _p: usize,
+        _s: &mut (),
+        ctx: &mut PhaseCtx<'_, S>,
+    ) -> PhaseOutcome {
+        if ctx.tx == 0 {
+            ctx.global_store(self.out, 0, (ctx.bx + 1) as f64);
+        }
+        PhaseOutcome::Done
+    }
+}
+
+#[test]
+fn cross_block_write_sharing_is_an_inter_block_race() {
+    let out = GlobalMem::zeroed(4);
+    let mut table = BufferTable::new();
+    table.register(out.id(), "out", 4);
+    let kernel = SharedSlotWriters { out: &out };
+    let rep = sanitize_kernel("inter-block-probe", Dim2::new(2, 1), &kernel, table);
+    assert_eq!(rep.findings.len(), 1, "{:?}", rep.findings);
+    let f = &rep.findings[0];
+    assert_eq!(f.checker, Checker::Racecheck);
+    assert_eq!(
+        f.message,
+        "racecheck: inter-block write-write hazard on out[0]: \
+         write by block (1, 0) conflicts with write by block (0, 0) \
+         — thread blocks cannot synchronize within a launch"
+    );
+    match &f.kind {
+        FindingKind::InterBlockRace { first_block, second_block, .. } => {
+            assert_eq!((*first_block, *second_block), ((0, 0), (1, 0)));
+        }
+        other => panic!("expected InterBlockRace, got {other:?}"),
+    }
+}
+
+#[test]
+fn prelaunch_rejects_bad_dgemm_geometry() {
+    let arch = GpuArch::k40c();
+
+    // BS does not divide N: rejected without executing.
+    let rep = sanitize_dgemm(TiledDgemmConfig { n: 30, bs: 4, g: 1, r: 1 }, &arch);
+    assert_eq!(rep.blocks, 0);
+    assert!(rep.findings.iter().any(|f| matches!(
+        &f.kind,
+        FindingKind::Launch { rule, .. } if rule == "tile-divisibility"
+    )));
+
+    // G above the shared-memory group budget (max_group(32) = 2).
+    let rep = sanitize_dgemm(TiledDgemmConfig { n: 32, bs: 32, g: 3, r: 1 }, &arch);
+    assert_eq!(rep.blocks, 0);
+    assert!(rep.findings.iter().any(|f| matches!(
+        &f.kind,
+        FindingKind::Launch { rule, .. } if rule == "group-size"
+    )));
+
+    // BS outside the template family stops validation immediately.
+    let findings = prelaunch::check_dgemm(&TiledDgemmConfig { n: 66, bs: 33, g: 1, r: 1 }, &arch);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].checker, Checker::Prelaunch);
+    assert_eq!(
+        findings[0].message,
+        "prelaunch: tile-range: BS=33 is outside the kernel family's template range 1..=32"
+    );
+}
+
+#[test]
+fn prelaunch_rejects_bad_fft_geometry() {
+    let arch = GpuArch::k40c();
+
+    let rep = sanitize_fft(24, 1, &arch);
+    assert_eq!(rep.blocks, 0);
+    assert_eq!(rep.findings.len(), 1);
+    assert_eq!(
+        rep.findings[0].message,
+        "prelaunch: power-of-two: FFT length n=24 must be a power of two >= 2"
+    );
+
+    // n = 8192: 4096 threads/block over the 1024 cap AND a 128 KiB shared
+    // footprint over the 48 KiB limit — both reported.
+    let findings = prelaunch::check_fft(8192, 1, &arch);
+    let rules: Vec<&str> = findings
+        .iter()
+        .map(|f| match &f.kind {
+            FindingKind::Launch { rule, .. } => rule.as_str(),
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect();
+    assert_eq!(rules, ["thread-budget", "shared-footprint"]);
+}

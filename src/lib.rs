@@ -11,5 +11,6 @@ pub use enprop_gpusim as gpusim;
 pub use enprop_kernels as kernels;
 pub use enprop_pareto as pareto;
 pub use enprop_power as power;
+pub use enprop_sanitize as sanitize;
 pub use enprop_stats as stats;
 pub use enprop_units as units;
