@@ -1,6 +1,7 @@
 //! The GPU matrix-multiplication application of §IV, as a sweep driver.
 
-use crate::parallel::{RetryPolicy, RobustSweep, SweepExecutor, SweepFailure};
+use crate::checkpoint::{CheckpointError, SweepCheckpoint, SweepManifest};
+use crate::parallel::{ResumableSweep, RetryPolicy, RobustSweep, SweepExecutor, SweepFailure};
 use crate::point::DataPoint;
 use crate::runner::MeasurementRunner;
 use enprop_gpusim::{GpuArch, KernelEstimate, ProductProfile, TiledDgemm, TiledDgemmConfig};
@@ -147,6 +148,91 @@ impl GpuMatMulApp {
         }
     }
 
+    /// The manifest a checkpoint journal for this sweep must carry. The
+    /// workload string folds in everything that changes outcomes beyond
+    /// the seed — architecture, size, product count, and the fault plan —
+    /// so resuming under a different environment is refused instead of
+    /// silently diverging.
+    pub fn checkpoint_manifest(
+        &self,
+        n: usize,
+        exec: &SweepExecutor,
+        policy: &RetryPolicy,
+        plan: &FaultPlan,
+    ) -> SweepManifest {
+        SweepManifest::new(
+            exec.seed(),
+            self.configs(n).len(),
+            policy.max_attempts,
+            format!(
+                "gpu-matmul/{}/N={n}/P={}/faults={plan:?}",
+                self.model.arch().name,
+                self.total_products
+            ),
+        )
+    }
+
+    /// Crash-safe [`sweep_measured_robust`](Self::sweep_measured_robust):
+    /// finished configurations are journaled through `checkpoint`, and
+    /// configurations the journal already holds are replayed instead of
+    /// re-measured. Open the checkpoint with
+    /// [`checkpoint_manifest`](Self::checkpoint_manifest); resumed output
+    /// is bitwise-identical to an uninterrupted run at any thread count.
+    pub fn sweep_measured_robust_resumable(
+        &self,
+        n: usize,
+        exec: &SweepExecutor,
+        policy: RetryPolicy,
+        plan: FaultPlan,
+        checkpoint: SweepCheckpoint<DataPoint<TiledDgemmConfig>>,
+    ) -> Result<
+        ResumableSweep<TiledDgemmConfig, DataPoint<TiledDgemmConfig>>,
+        CheckpointError,
+    > {
+        let estimates = self.estimates(n);
+        let resumed = exec.run_measured_with_retry_resumable(
+            &estimates,
+            policy,
+            checkpoint,
+            || Self::faulty_runner(plan, 0),
+            |runner, (cfg, e)| {
+                let m =
+                    runner.try_measure(e.time, e.steady_power, e.warmup_power, e.warmup_time)?;
+                Ok(DataPoint {
+                    config: *cfg,
+                    time: m.time,
+                    dynamic_energy: m.dynamic_energy,
+                    reps: m.reps,
+                    converged: m.converged,
+                })
+            },
+        )?;
+        // Strip the estimates out of the failure records, exactly as the
+        // non-resumable path does.
+        let sweep = resumed.sweep;
+        Ok(ResumableSweep {
+            sweep: RobustSweep {
+                points: sweep.points,
+                failures: sweep
+                    .failures
+                    .into_iter()
+                    .map(|f| SweepFailure {
+                        config: f.config.0,
+                        index: f.index,
+                        attempts: f.attempts,
+                        error: f.error,
+                    })
+                    .collect(),
+                retried: sweep.retried,
+                total: sweep.total,
+            },
+            replayed: resumed.replayed,
+            executed: resumed.executed,
+            torn_tail_bytes: resumed.torn_tail_bytes,
+            crashed: resumed.crashed,
+        })
+    }
+
     /// The analytic profile of one configuration (for Fig. 6-style
     /// compound/base comparisons).
     pub fn estimate(&self, cfg: &TiledDgemmConfig) -> KernelEstimate {
@@ -233,6 +319,33 @@ mod tests {
         for f in &robust.failures {
             assert_eq!(all[f.index], f.config);
         }
+    }
+
+    #[test]
+    fn resumable_sweep_matches_robust_sweep_bitwise() {
+        let app = GpuMatMulApp::new(GpuArch::k40c(), 2);
+        let exec = SweepExecutor::serial(9);
+        let policy = RetryPolicy::attempts(2);
+        let plan = FaultPlan::transient(0.3);
+        let clean = app.sweep_measured_robust(256, &exec, policy, plan);
+        let dir = std::env::temp_dir()
+            .join(format!("enprop-gpumm-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = app.checkpoint_manifest(256, &exec, &policy, &plan);
+        let ckpt = SweepCheckpoint::fresh(&dir, manifest.clone()).unwrap();
+        let first =
+            app.sweep_measured_robust_resumable(256, &exec, policy, plan, ckpt).unwrap();
+        assert_eq!(first.sweep, clean);
+        assert_eq!(first.executed, clean.total);
+        assert_eq!(first.replayed, 0);
+        // A second open replays everything and executes nothing.
+        let again = SweepCheckpoint::resume(&dir, &manifest).unwrap();
+        let second =
+            app.sweep_measured_robust_resumable(256, &exec, policy, plan, again).unwrap();
+        assert_eq!(second.sweep, clean);
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.replayed, clean.total);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -22,12 +22,17 @@
 //! The executor is generic over worker state, so model-only sweeps (no
 //! measurement pipeline) reuse the same fan-out via [`SweepExecutor::map`].
 
+use crate::checkpoint::{CheckpointError, JournalRecord, SweepCheckpoint};
 use crate::runner::MeasurementRunner;
 use enprop_power::{MeasureError, Meter};
+use enprop_units::Seconds;
+use serde::{Deserialize, DeserializeOwned, Serialize};
 use std::cell::UnsafeCell;
+use std::collections::HashSet;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Write-once result slots shared by the sweep workers, one per item.
 ///
@@ -137,6 +142,7 @@ impl SweepExecutor {
     }
 
     /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -299,34 +305,171 @@ impl SweepExecutor {
     {
         assert!(policy.max_attempts >= 1, "need at least one attempt");
         let outcomes = self.map_with(items, make_runner, |runner, item, config_seed| {
-            let mut attempts = 0;
-            loop {
-                attempts += 1;
-                // Attempt 0 uses the configuration seed itself (bitwise
-                // identity with the non-retrying path); attempt k > 0 its
-                // own substream.
-                let attempt_seed = if attempts == 1 {
-                    config_seed
-                } else {
-                    split_seed(config_seed, attempts - 1)
-                };
-                let result =
-                    runner.try_reseed(attempt_seed).and_then(|()| f(runner, item));
-                match result {
-                    Ok(point) => return SweepOutcome::Ok { point, attempts },
-                    Err(error) => {
-                        if attempts >= policy.max_attempts || !error.is_transient() {
-                            return SweepOutcome::Failed { attempts, error };
-                        }
-                        let delay = policy.backoff_delay(attempts);
-                        if !delay.is_zero() {
-                            std::thread::sleep(delay);
-                        }
-                    }
-                }
-            }
+            measure_with_retry(runner, &policy, config_seed, item, &f)
         });
         RobustSweep::collect(items, outcomes)
+    }
+
+    /// Crash-safe [`run_measured_with_retry`](SweepExecutor::run_measured_with_retry):
+    /// every finished configuration (measured *or* failed) is appended to
+    /// `checkpoint`'s durable journal, and configurations the journal
+    /// already holds are replayed instead of re-measured.
+    ///
+    /// ## Resume invariant
+    ///
+    /// Configuration `i` is always measured under
+    /// [`config_seed`](SweepExecutor::config_seed)`(i)` with attempt-`k`
+    /// reseeding via [`split_seed`]`(config_seed(i), k)` — by its *sweep*
+    /// index, not its position among the configurations left to run. Every
+    /// outcome is therefore a pure function of `(sweep_seed, index,
+    /// attempt)`, so a sweep killed at any point and resumed — even across
+    /// a different thread count — returns output bitwise-identical to an
+    /// uninterrupted run. The crash-injection suite pins this at 1/2/8
+    /// threads, including torn mid-record kills.
+    ///
+    /// The checkpoint is consumed: its journal is finished (tail sealed) on
+    /// return, and one checkpoint can never journal two sweeps. Journal
+    /// append order is worker completion order — nondeterministic — which
+    /// is why replay is index-keyed and order-independent.
+    ///
+    /// Returns [`CheckpointError`] only for journal I/O failures; the
+    /// checkpoint must have been opened for this executor's seed, `items`'
+    /// length, and `policy`'s attempt budget (else
+    /// [`CheckpointError::ManifestMismatch`]).
+    pub fn run_measured_with_retry_resumable<M, C, T>(
+        &self,
+        items: &[C],
+        policy: RetryPolicy,
+        mut checkpoint: SweepCheckpoint<T>,
+        make_runner: impl Fn() -> MeasurementRunner<M> + Sync,
+        f: impl Fn(&mut MeasurementRunner<M>, &C) -> Result<T, MeasureError> + Sync,
+    ) -> Result<ResumableSweep<C, T>, CheckpointError>
+    where
+        M: Meter,
+        C: Clone + Sync,
+        T: Send + Clone + Serialize + DeserializeOwned,
+    {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        let manifest = checkpoint.manifest();
+        for (field, expected, found) in [
+            ("sweep_seed", self.seed.to_string(), manifest.sweep_seed.to_string()),
+            ("total_configs", items.len().to_string(), manifest.total_configs.to_string()),
+            ("max_attempts", policy.max_attempts.to_string(), manifest.max_attempts.to_string()),
+        ] {
+            if expected != found {
+                return Err(CheckpointError::ManifestMismatch { field, expected, found });
+            }
+        }
+
+        let stats = checkpoint.stats();
+        let replayed = std::mem::take(&mut checkpoint.replayed);
+        let done: HashSet<usize> = replayed.iter().map(|(i, _)| *i).collect();
+        let pending: Vec<usize> = (0..items.len()).filter(|i| !done.contains(i)).collect();
+
+        // Workers finish in nondeterministic order, so the journal is an
+        // unordered log behind one mutex; contention is negligible next to
+        // a measurement. The first append error is kept and surfaced after
+        // the join — the sweep itself still completes.
+        let writer = Mutex::new(&mut checkpoint.writer);
+        let append_error: Mutex<Option<CheckpointError>> = Mutex::new(None);
+        let executed: Vec<(usize, SweepOutcome<T>)> =
+            self.map_with(&pending, make_runner, |runner, &index, _| {
+                // The positional seed handed out by `map_with` indexes into
+                // `pending`; reseed by the configuration's *sweep* index so
+                // resumed and uninterrupted runs draw identical streams.
+                let outcome = measure_with_retry(
+                    runner,
+                    &policy,
+                    self.config_seed(index),
+                    &items[index],
+                    &f,
+                );
+                let record = JournalRecord { index, outcome: outcome.clone() };
+                if let Err(e) = writer.lock().expect("journal lock poisoned").append(&record) {
+                    let mut slot = append_error.lock().expect("journal lock poisoned");
+                    slot.get_or_insert(e);
+                }
+                (index, outcome)
+            });
+        if let Some(e) = append_error.into_inner().expect("journal lock poisoned") {
+            return Err(e);
+        }
+        checkpoint.writer.finish()?;
+
+        let mut slots: Vec<Option<SweepOutcome<T>>> =
+            (0..items.len()).map(|_| None).collect();
+        for (index, outcome) in replayed {
+            slots[index] = Some(outcome);
+        }
+        let executed_count = executed.len();
+        for (index, outcome) in executed {
+            slots[index] = Some(outcome);
+        }
+        let outcomes: Vec<SweepOutcome<T>> = slots
+            .into_iter()
+            .map(|s| s.expect("every index is either replayed or executed"))
+            .collect();
+        Ok(ResumableSweep {
+            sweep: RobustSweep::collect(items, outcomes),
+            replayed: stats.records,
+            executed: executed_count,
+            torn_tail_bytes: stats.torn_tail_bytes,
+            crashed: checkpoint.writer.crashed(),
+        })
+    }
+}
+
+/// One configuration's bounded retry loop, shared by the plain and
+/// resumable fault-tolerant sweeps.
+///
+/// Attempt 0 reseeds with `config_seed` itself (bitwise identity with the
+/// non-retrying path); attempt `k > 0` with [`split_seed`]`(config_seed, k)`.
+/// When the policy carries an [`attempt_deadline`](RetryPolicy::attempt_deadline),
+/// an attempt whose wall-clock time overruns the budget is converted to
+/// [`MeasureError::DeadlineExceeded`] — *even if it returned a point*: an
+/// overlong measurement on real hardware is suspect (thermal throttling, a
+/// wedged counter), and charging it to the retry budget is what keeps one
+/// pathological configuration from stalling a campaign. The watchdog is
+/// cooperative — it cannot preempt a closure that never returns; it bounds
+/// how much over-budget work is *accepted*, not how long the closure runs.
+fn measure_with_retry<M, C, T>(
+    runner: &mut MeasurementRunner<M>,
+    policy: &RetryPolicy,
+    config_seed: u64,
+    item: &C,
+    f: &(impl Fn(&mut MeasurementRunner<M>, &C) -> Result<T, MeasureError> + Sync),
+) -> SweepOutcome<T>
+where
+    M: Meter,
+{
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let attempt_seed =
+            if attempts == 1 { config_seed } else { split_seed(config_seed, attempts - 1) };
+        let started = policy.attempt_deadline.map(|_| Instant::now());
+        let mut result = runner.try_reseed(attempt_seed).and_then(|()| f(runner, item));
+        if let (Some(budget), Some(started)) = (policy.attempt_deadline, started) {
+            let elapsed = started.elapsed();
+            if elapsed > budget {
+                result = Err(MeasureError::DeadlineExceeded {
+                    budget: Seconds(budget.as_secs_f64()),
+                    elapsed: Seconds(elapsed.as_secs_f64()),
+                });
+            }
+        }
+        match result {
+            Ok(point) => return SweepOutcome::Ok { point, attempts },
+            Err(error) => {
+                if attempts >= policy.max_attempts || !error.is_transient() {
+                    return SweepOutcome::Failed { attempts, error };
+                }
+                let delay = policy.backoff_delay(attempts);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
     }
 }
 
@@ -339,15 +482,29 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// Cap on the backoff delay.
     pub max_delay: Duration,
+    /// Per-attempt wall-clock watchdog: an attempt that takes longer is
+    /// charged as [`MeasureError::DeadlineExceeded`] and retried (or
+    /// recorded) like any other transient failure. `None` — the default —
+    /// disables the watchdog; sweep output then depends only on seeds,
+    /// never on host timing, which is what the bitwise thread-count
+    /// invariance tests require.
+    pub attempt_deadline: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
-    /// Three attempts, no delay: in the simulated rig a transient fault
-    /// clears by re-drawing the stream, so sleeping buys nothing. Against
-    /// real hardware, set `base_delay`/`max_delay` to ride out the
-    /// condition (a wedged serial port, an EAGAIN-ing counter file).
+    /// Three attempts, no delay, no deadline: in the simulated rig a
+    /// transient fault clears by re-drawing the stream, so sleeping buys
+    /// nothing. Against real hardware, set `base_delay`/`max_delay` to
+    /// ride out the condition (a wedged serial port, an EAGAIN-ing counter
+    /// file) and [`attempt_deadline`](RetryPolicy::attempt_deadline) to
+    /// bound how long one configuration may hold a worker.
     fn default() -> Self {
-        Self { max_attempts: 3, base_delay: Duration::ZERO, max_delay: Duration::ZERO }
+        Self {
+            max_attempts: 3,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            attempt_deadline: None,
+        }
     }
 }
 
@@ -356,17 +513,28 @@ impl RetryPolicy {
     /// [`run_measured_with_retry`](SweepExecutor::run_measured_with_retry)
     /// degrade to a recorded-failure version of
     /// [`run_measured`](SweepExecutor::run_measured).
+    #[must_use]
     pub fn no_retry() -> Self {
         Self { max_attempts: 1, ..Self::default() }
     }
 
     /// A policy with `max_attempts` attempts and no delay.
+    #[must_use]
     pub fn attempts(max_attempts: usize) -> Self {
         Self { max_attempts, ..Self::default() }
     }
 
+    /// Sets the per-attempt watchdog deadline (see
+    /// [`attempt_deadline`](RetryPolicy::attempt_deadline)).
+    #[must_use]
+    pub fn with_attempt_deadline(mut self, deadline: Duration) -> Self {
+        self.attempt_deadline = Some(deadline);
+        self
+    }
+
     /// The delay before the retry that follows failed attempt `attempt`
     /// (1-based): `base_delay × 2^(attempt−1)`, capped at `max_delay`.
+    #[must_use]
     pub fn backoff_delay(&self, attempt: usize) -> Duration {
         let doublings = u32::try_from(attempt.saturating_sub(1)).unwrap_or(u32::MAX);
         let delay = self
@@ -378,7 +546,11 @@ impl RetryPolicy {
 }
 
 /// What happened to one configuration of a fault-tolerant sweep.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so the checkpoint journal can persist finished
+/// configurations — failures included: a configuration that exhausted its
+/// retries is finished and must not be re-measured on resume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SweepOutcome<T> {
     /// Measured successfully (possibly after retries).
     Ok {
@@ -397,7 +569,7 @@ pub enum SweepOutcome<T> {
 }
 
 /// One configuration that exhausted its retries.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepFailure<C> {
     /// The configuration that could not be measured.
     pub config: C,
@@ -409,8 +581,19 @@ pub struct SweepFailure<C> {
     pub error: MeasureError,
 }
 
+impl<C: std::fmt::Display> std::fmt::Display for SweepFailure<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "config #{} ({}) failed after {} attempt(s): {}",
+            self.index, self.config, self.attempts, self.error
+        )
+    }
+}
+
 /// The result of a fault-tolerant sweep: the measured points plus an exact
 /// account of what could not be measured.
+#[must_use = "a RobustSweep carries failure records that must be checked or reported"]
 #[derive(Debug, Clone, PartialEq)]
 pub struct RobustSweep<C, T> {
     /// Successfully measured points, in enumeration order.
@@ -457,14 +640,37 @@ impl<C: Clone, T> RobustSweep<C, T> {
 
 impl<C, T> RobustSweep<C, T> {
     /// True when every configuration was measured.
+    #[must_use]
     pub fn is_complete(&self) -> bool {
         self.failures.is_empty()
     }
 
     /// Number of configurations that exhausted their retries.
+    #[must_use]
     pub fn failed_configs(&self) -> usize {
         self.failures.len()
     }
+}
+
+/// The result of a crash-safe sweep: the [`RobustSweep`] plus an account of
+/// how much of it came from the journal versus fresh measurement.
+#[must_use = "a ResumableSweep carries failure records and resume accounting that must be checked"]
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumableSweep<C, T> {
+    /// The sweep itself — bitwise-identical to what an uninterrupted
+    /// [`run_measured_with_retry`](SweepExecutor::run_measured_with_retry)
+    /// would have returned.
+    pub sweep: RobustSweep<C, T>,
+    /// Configurations replayed from the journal.
+    pub replayed: usize,
+    /// Configurations measured (and journaled) by this run.
+    pub executed: usize,
+    /// Bytes of a torn trailing record dropped when the journal was opened
+    /// (0 unless the previous run died mid-append).
+    pub torn_tail_bytes: u64,
+    /// True if an injected [`CrashPlan`](crate::checkpoint::CrashPlan)
+    /// fired during this run (test/bench harnesses only).
+    pub crashed: bool,
 }
 
 #[cfg(test)]
@@ -576,6 +782,7 @@ mod tests {
             max_attempts: 10,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(35),
+            attempt_deadline: None,
         };
         assert_eq!(p.backoff_delay(1), Duration::from_millis(10));
         assert_eq!(p.backoff_delay(2), Duration::from_millis(20));
@@ -672,6 +879,81 @@ mod tests {
         let patient = sweep(4);
         assert!(once.failed_configs() > patient.failed_configs());
         assert!(patient.retried > 0);
+    }
+
+    #[test]
+    fn zero_deadline_converts_every_config_to_deadline_exceeded() {
+        // A zero budget is the degenerate watchdog: every attempt overruns
+        // it, so every configuration burns its full retry allowance and
+        // fails with DeadlineExceeded — deterministically, with no timing
+        // assumptions about the host.
+        let items: Vec<f64> = (1..=4).map(|i| 10.0 * i as f64).collect();
+        let robust = SweepExecutor::serial(5).run_measured_with_retry(
+            &items,
+            RetryPolicy::attempts(2).with_attempt_deadline(Duration::ZERO),
+            || MeasurementRunner::new(Watts(90.0), 0),
+            |runner, &steady| {
+                runner.try_measure(Seconds(20.0), Watts(steady), Watts::ZERO, Seconds::ZERO)
+            },
+        );
+        assert_eq!(robust.points.len(), 0);
+        assert_eq!(robust.failed_configs(), items.len());
+        for f in &robust.failures {
+            // The deadline error is transient, so the retry budget was spent.
+            assert_eq!(f.attempts, 2);
+            assert!(
+                matches!(f.error, MeasureError::DeadlineExceeded { .. }),
+                "expected DeadlineExceeded, got {}",
+                f.error
+            );
+        }
+    }
+
+    #[test]
+    fn generous_deadline_leaves_the_sweep_bitwise_untouched() {
+        let items: Vec<f64> = (1..=8).map(|i| 10.0 * i as f64).collect();
+        let run = |policy: RetryPolicy| {
+            SweepExecutor::serial(7).run_measured_with_retry(
+                &items,
+                policy,
+                || MeasurementRunner::new(Watts(90.0), 0),
+                |runner, &steady| {
+                    runner.try_measure(Seconds(20.0), Watts(steady), Watts::ZERO, Seconds::ZERO)
+                },
+            )
+        };
+        let plain = run(RetryPolicy::default());
+        let watched =
+            run(RetryPolicy::default().with_attempt_deadline(Duration::from_secs(3600)));
+        assert_eq!(plain, watched);
+    }
+
+    #[test]
+    fn sweep_failure_display_is_readable() {
+        let f = SweepFailure {
+            config: 42.0f64,
+            index: 7,
+            attempts: 3,
+            error: MeasureError::TransientReadFailure,
+        };
+        let s = f.to_string();
+        assert!(s.contains("#7"), "{s}");
+        assert!(s.contains("42"), "{s}");
+        assert!(s.contains("3 attempt(s)"), "{s}");
+        assert!(s.contains("transient"), "{s}");
+    }
+
+    #[test]
+    fn sweep_failures_round_trip_through_json() {
+        let f = SweepFailure {
+            config: 42.0f64,
+            index: 7,
+            attempts: 3,
+            error: MeasureError::TransientReadFailure,
+        };
+        let json = serde_json::to_string(&f).unwrap();
+        let back: SweepFailure<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
     }
 
     #[test]

@@ -20,9 +20,14 @@ use enprop_power::{
 };
 use enprop_stats::protocol::{try_measure_until_ci, MeasureConfig};
 use enprop_units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
 
 /// A measured (time, energy) sample with protocol metadata.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializable so checkpoint journals can persist raw measured points
+/// (JSON round-trips every finite `f64` bit-for-bit, which the resume
+/// bitwise-identity contract depends on).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MeasuredPoint {
     /// Mean execution time.
     pub time: Seconds,

@@ -6,14 +6,16 @@
 //! yields local fronts of ~4–5 points with real energy/performance
 //! trade-offs.
 
-use super::{front_of, gpu_cloud, GPU_TOTAL_PRODUCTS};
+use super::{front_of, gpu_cloud, CheckpointSummary, GPU_TOTAL_PRODUCTS};
+use enprop_apps::checkpoint::{CheckpointError, SweepCheckpoint};
 use enprop_apps::point::DataPoint;
-use enprop_apps::{sizes, GpuMatMulApp, RetryPolicy, SweepExecutor};
+use enprop_apps::{sizes, GpuMatMulApp, RetryPolicy, SweepExecutor, SweepFailure};
 use enprop_ep::{WeakEpReport, WeakEpTest};
 use enprop_gpusim::{GpuArch, TiledDgemmConfig};
 use enprop_pareto::TradeoffAnalysis;
 use enprop_power::FaultPlan;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// One matrix size's panel column.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -26,6 +28,10 @@ pub struct Fig7Panel {
     /// retries) and are therefore absent from `cloud` and every front.
     /// Always 0 on the noise-free and fault-free paths.
     pub failed_configs: usize,
+    /// The full failure records behind `failed_configs`: configuration,
+    /// attempts spent, and the final [`MeasureError`](enprop_power::MeasureError)
+    /// — so `--json` consumers can rerun or report exactly what was lost.
+    pub failures: Vec<SweepFailure<TiledDgemmConfig>>,
     /// Weak-EP verdict.
     pub weak_ep: WeakEpReport,
     /// Global front (expected singleton).
@@ -38,7 +44,7 @@ pub struct Fig7Panel {
 
 /// Generates both Fig. 7 panels from the noise-free analytic model.
 pub fn generate() -> Vec<Fig7Panel> {
-    generate_from(|n| (gpu_cloud(GpuArch::k40c(), n), 0))
+    generate_from(|n| (gpu_cloud(GpuArch::k40c(), n), Vec::new()))
 }
 
 /// Generates both panels through the full measurement methodology:
@@ -53,13 +59,13 @@ pub fn generate_measured(seed: u64) -> Vec<Fig7Panel> {
 /// Output is bitwise-identical for any thread count.
 pub fn generate_measured_with(exec: &SweepExecutor) -> Vec<Fig7Panel> {
     let app = GpuMatMulApp::new(GpuArch::k40c(), GPU_TOTAL_PRODUCTS);
-    generate_from(move |n| (app.sweep_measured(n, exec), 0))
+    generate_from(move |n| (app.sweep_measured(n, exec), Vec::new()))
 }
 
 /// [`generate_measured`] through a misbehaving meter: faults per `plan`,
 /// retries per `policy`. Configurations that exhaust their retries are
 /// *skipped* — each panel's fronts are computed over the surviving cloud,
-/// with [`Fig7Panel::failed_configs`] counting the casualties. Still
+/// with the casualties recorded in [`Fig7Panel::failures`]. Still
 /// bitwise-identical at any thread count. Panics only if *every*
 /// configuration of a size fails (no cloud to analyse).
 pub fn generate_measured_robust_with(
@@ -70,24 +76,64 @@ pub fn generate_measured_robust_with(
     let app = GpuMatMulApp::new(GpuArch::k40c(), GPU_TOTAL_PRODUCTS);
     generate_from(move |n| {
         let sweep = app.sweep_measured_robust(n, exec, policy, plan);
-        let failed = sweep.failed_configs();
-        (sweep.points, failed)
+        (sweep.points, sweep.failures)
     })
 }
 
+/// [`generate_measured_robust_with`] behind a durable checkpoint journal:
+/// each size's sweep is journaled under `dir/fig7-n{N}`, and with `resume`
+/// set, a journal left by an interrupted run is replayed instead of
+/// re-measured. Resumed panels are bitwise-identical to uninterrupted
+/// ones. Returns the panels plus per-size resume accounting.
+pub fn generate_measured_robust_checkpointed(
+    exec: &SweepExecutor,
+    policy: RetryPolicy,
+    plan: FaultPlan,
+    dir: &Path,
+    resume: bool,
+) -> Result<(Vec<Fig7Panel>, Vec<CheckpointSummary>), CheckpointError> {
+    let app = GpuMatMulApp::new(GpuArch::k40c(), GPU_TOTAL_PRODUCTS);
+    let mut summaries = Vec::new();
+    let mut clouds = Vec::new();
+    for n in sizes::fig7_sizes() {
+        let subdir = dir.join(format!("fig7-n{n}"));
+        let manifest = app.checkpoint_manifest(n, exec, &policy, &plan);
+        let checkpoint = if resume {
+            SweepCheckpoint::resume_or_fresh(&subdir, manifest)?
+        } else {
+            SweepCheckpoint::fresh(&subdir, manifest)?
+        };
+        let run = app.sweep_measured_robust_resumable(n, exec, policy, plan, checkpoint)?;
+        summaries.push(CheckpointSummary {
+            n,
+            replayed: run.replayed,
+            executed: run.executed,
+            torn_tail_bytes: run.torn_tail_bytes,
+        });
+        clouds.push((run.sweep.points, run.sweep.failures));
+    }
+    let mut clouds = clouds.into_iter();
+    let panels = generate_from(move |_| clouds.next().expect("one cloud per size"));
+    Ok((panels, summaries))
+}
+
 fn generate_from(
-    mut sweep: impl FnMut(usize) -> (Vec<DataPoint<TiledDgemmConfig>>, usize),
+    mut sweep: impl FnMut(
+        usize,
+    )
+        -> (Vec<DataPoint<TiledDgemmConfig>>, Vec<SweepFailure<TiledDgemmConfig>>),
 ) -> Vec<Fig7Panel> {
     sizes::fig7_sizes()
         .into_iter()
         .map(|n| {
-            let (cloud, failed_configs) = sweep(n);
+            let (cloud, failures) = sweep(n);
             let energies: Vec<_> = cloud.iter().map(|p| p.dynamic_energy).collect();
             let global = front_of(&cloud, |_| true);
             let global_optimum_bs = cloud[global.performance_optimal().index].config.bs;
             Fig7Panel {
                 n,
-                failed_configs,
+                failed_configs: failures.len(),
+                failures,
                 weak_ep: WeakEpTest::default().run(&energies),
                 local: front_of(&cloud, |c| c.bs <= 30),
                 global,

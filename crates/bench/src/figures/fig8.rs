@@ -4,14 +4,16 @@
 //! Reproduced claims: the global fronts hold 2–3 points, and allowing
 //! ~11% performance degradation buys ~50% dynamic-energy savings.
 
-use super::{front_of, gpu_cloud, GPU_TOTAL_PRODUCTS};
+use super::{front_of, gpu_cloud, CheckpointSummary, GPU_TOTAL_PRODUCTS};
+use enprop_apps::checkpoint::{CheckpointError, SweepCheckpoint};
 use enprop_apps::point::DataPoint;
-use enprop_apps::{sizes, GpuMatMulApp, RetryPolicy, SweepExecutor};
+use enprop_apps::{sizes, GpuMatMulApp, RetryPolicy, SweepExecutor, SweepFailure};
 use enprop_ep::{WeakEpReport, WeakEpTest};
 use enprop_gpusim::{GpuArch, TiledDgemmConfig};
 use enprop_pareto::TradeoffAnalysis;
 use enprop_power::FaultPlan;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// One matrix size's panel column.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,6 +25,9 @@ pub struct Fig8Panel {
     /// Configurations that exhausted their retries and are absent from
     /// `cloud` and the front. Always 0 on fault-free paths.
     pub failed_configs: usize,
+    /// The full failure records behind `failed_configs` (configuration,
+    /// attempts, final error), for `--json` consumers.
+    pub failures: Vec<SweepFailure<TiledDgemmConfig>>,
     /// Weak-EP verdict.
     pub weak_ep: WeakEpReport,
     /// Global Pareto front and trade-offs.
@@ -31,7 +36,7 @@ pub struct Fig8Panel {
 
 /// Generates both Fig. 8 panels from the noise-free analytic model.
 pub fn generate() -> Vec<Fig8Panel> {
-    generate_from(|n| (gpu_cloud(GpuArch::p100_pcie(), n), 0))
+    generate_from(|n| (gpu_cloud(GpuArch::p100_pcie(), n), Vec::new()))
 }
 
 /// Generates both panels through the full measurement methodology —
@@ -44,12 +49,12 @@ pub fn generate_measured(seed: u64) -> Vec<Fig8Panel> {
 /// Output is bitwise-identical for any thread count.
 pub fn generate_measured_with(exec: &SweepExecutor) -> Vec<Fig8Panel> {
     let app = GpuMatMulApp::new(GpuArch::p100_pcie(), GPU_TOTAL_PRODUCTS);
-    generate_from(move |n| (app.sweep_measured(n, exec), 0))
+    generate_from(move |n| (app.sweep_measured(n, exec), Vec::new()))
 }
 
 /// [`generate_measured`] through a misbehaving meter: faults per `plan`,
 /// retries per `policy`. Configurations that exhaust their retries are
-/// skipped, counted in [`Fig8Panel::failed_configs`], and the fronts are
+/// skipped, recorded in [`Fig8Panel::failures`], and the fronts are
 /// computed over the surviving cloud. Bitwise-identical at any thread
 /// count.
 pub fn generate_measured_robust_with(
@@ -60,22 +65,62 @@ pub fn generate_measured_robust_with(
     let app = GpuMatMulApp::new(GpuArch::p100_pcie(), GPU_TOTAL_PRODUCTS);
     generate_from(move |n| {
         let sweep = app.sweep_measured_robust(n, exec, policy, plan);
-        let failed = sweep.failed_configs();
-        (sweep.points, failed)
+        (sweep.points, sweep.failures)
     })
 }
 
+/// [`generate_measured_robust_with`] behind a durable checkpoint journal:
+/// each size's sweep is journaled under `dir/fig8-n{N}`; with `resume`
+/// set, a journal left by an interrupted run is replayed instead of
+/// re-measured. Resumed panels are bitwise-identical to uninterrupted
+/// ones. Returns the panels plus per-size resume accounting.
+pub fn generate_measured_robust_checkpointed(
+    exec: &SweepExecutor,
+    policy: RetryPolicy,
+    plan: FaultPlan,
+    dir: &Path,
+    resume: bool,
+) -> Result<(Vec<Fig8Panel>, Vec<CheckpointSummary>), CheckpointError> {
+    let app = GpuMatMulApp::new(GpuArch::p100_pcie(), GPU_TOTAL_PRODUCTS);
+    let mut summaries = Vec::new();
+    let mut clouds = Vec::new();
+    for n in sizes::fig8_sizes() {
+        let subdir = dir.join(format!("fig8-n{n}"));
+        let manifest = app.checkpoint_manifest(n, exec, &policy, &plan);
+        let checkpoint = if resume {
+            SweepCheckpoint::resume_or_fresh(&subdir, manifest)?
+        } else {
+            SweepCheckpoint::fresh(&subdir, manifest)?
+        };
+        let run = app.sweep_measured_robust_resumable(n, exec, policy, plan, checkpoint)?;
+        summaries.push(CheckpointSummary {
+            n,
+            replayed: run.replayed,
+            executed: run.executed,
+            torn_tail_bytes: run.torn_tail_bytes,
+        });
+        clouds.push((run.sweep.points, run.sweep.failures));
+    }
+    let mut clouds = clouds.into_iter();
+    let panels = generate_from(move |_| clouds.next().expect("one cloud per size"));
+    Ok((panels, summaries))
+}
+
 fn generate_from(
-    mut sweep: impl FnMut(usize) -> (Vec<DataPoint<TiledDgemmConfig>>, usize),
+    mut sweep: impl FnMut(
+        usize,
+    )
+        -> (Vec<DataPoint<TiledDgemmConfig>>, Vec<SweepFailure<TiledDgemmConfig>>),
 ) -> Vec<Fig8Panel> {
     sizes::fig8_sizes()
         .into_iter()
         .map(|n| {
-            let (cloud, failed_configs) = sweep(n);
+            let (cloud, failures) = sweep(n);
             let energies: Vec<_> = cloud.iter().map(|p| p.dynamic_energy).collect();
             Fig8Panel {
                 n,
-                failed_configs,
+                failed_configs: failures.len(),
+                failures,
                 weak_ep: WeakEpTest::default().run(&energies),
                 global: front_of(&cloud, |_| true),
                 cloud,

@@ -21,6 +21,20 @@ use enprop_pareto::{FrontTracker, TradeoffAnalysis};
 /// (the common workload of Figs. 2, 7, 8; divisible by every G ≤ 8).
 pub const GPU_TOTAL_PRODUCTS: usize = 8;
 
+/// How much of one size's checkpointed sweep came from the journal — the
+/// accounting `repro --checkpoint` prints per panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointSummary {
+    /// Matrix size of the sweep.
+    pub n: usize,
+    /// Configurations replayed from the journal.
+    pub replayed: usize,
+    /// Configurations measured (and journaled) by this run.
+    pub executed: usize,
+    /// Bytes of a torn trailing record dropped at journal open.
+    pub torn_tail_bytes: u64,
+}
+
 /// The noise-free configuration cloud of the GPU matmul application.
 pub fn gpu_cloud(arch: GpuArch, n: usize) -> Vec<DataPoint<TiledDgemmConfig>> {
     GpuMatMulApp::new(arch, GPU_TOTAL_PRODUCTS).sweep_exact(n)

@@ -45,6 +45,14 @@ pub struct TiledDgemmConfig {
     pub r: usize,
 }
 
+impl std::fmt::Display for TiledDgemmConfig {
+    /// The paper's naming: `N=.. BS=.. G=.. R=..` — what sweep-failure
+    /// reports print instead of the `{:?}` struct dump.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N={} BS={} G={} R={}", self.n, self.bs, self.g, self.r)
+    }
+}
+
 /// Shared-memory bytes a `BS` tile pair occupies: `2 × BS² × 8`.
 pub fn shared_bytes(bs: usize) -> usize {
     2 * bs * bs * 8

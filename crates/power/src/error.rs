@@ -62,6 +62,15 @@ pub enum MeasureError {
         /// Human-readable context (`read energy_uj: ...`).
         context: String,
     },
+    /// One measurement attempt overran its per-config watchdog budget. The
+    /// sweep's retry policy converts hung or pathologically slow configs
+    /// into this error instead of letting one config stall the campaign.
+    DeadlineExceeded {
+        /// The per-attempt wall-clock budget that was in force.
+        budget: Seconds,
+        /// How long the attempt actually took.
+        elapsed: Seconds,
+    },
 }
 
 impl std::fmt::Display for MeasureError {
@@ -91,6 +100,9 @@ impl std::fmt::Display for MeasureError {
                 )
             }
             MeasureError::Io { context } => write!(f, "counter I/O error: {context}"),
+            MeasureError::DeadlineExceeded { budget, elapsed } => {
+                write!(f, "measurement took {elapsed}, exceeding the {budget} deadline budget")
+            }
         }
     }
 }
@@ -144,6 +156,13 @@ mod tests {
     fn transience_classification() {
         assert!(MeasureError::TransientReadFailure.is_transient());
         assert!(MeasureError::BaselineNotCaptured.is_transient());
+        // A blown deadline is worth retrying: the next attempt reseeds and
+        // may simply not hit the slow path again.
+        assert!(MeasureError::DeadlineExceeded {
+            budget: Seconds(0.1),
+            elapsed: Seconds(0.5)
+        }
+        .is_transient());
         assert!(!MeasureError::BaselineTooShort {
             window: Seconds(0.0),
             sample_period: Seconds(1.0)
@@ -154,6 +173,10 @@ mod tests {
     #[test]
     fn errors_round_trip_through_json() {
         let e = MeasureError::ImplausibleSample { at: Seconds(3.0), power: Watts(1e9) };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: MeasureError = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+        let e = MeasureError::DeadlineExceeded { budget: Seconds(0.25), elapsed: Seconds(1.5) };
         let json = serde_json::to_string(&e).unwrap();
         let back: MeasureError = serde_json::from_str(&json).unwrap();
         assert_eq!(e, back);
