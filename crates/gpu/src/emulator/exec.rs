@@ -126,6 +126,20 @@ impl AccessPoint {
 /// empty bodies; monomorphization erases it entirely, keeping the
 /// uninstrumented interpreter at zero overhead.
 pub trait AccessSink {
+    /// Whether this sink is statically known to observe nothing — `true`
+    /// only for sinks whose hooks are inlined no-ops ([`NoSink`]).
+    ///
+    /// The interpreter consults this constant (a compile-time branch,
+    /// erased by monomorphization) to decide whether a kernel's batched
+    /// fast path ([`BlockKernel::run_phase_batch`]) may replace the
+    /// per-thread scalar loop: batched bodies perform the same memory
+    /// accesses but do not report them one by one, so they are only
+    /// admissible when no sink is listening. Instrumented runs
+    /// (`INERT = false`, the sanitizer) always take the scalar loop and
+    /// see every access — sampling or monitoring semantics are never
+    /// changed by batching.
+    const INERT: bool = false;
+
     /// A shared-memory load of `idx` (allocation length `len`).
     fn shared_load(&mut self, at: AccessPoint, idx: usize, len: usize) -> bool;
 
@@ -145,6 +159,44 @@ pub trait AccessSink {
 pub struct NoSink;
 
 impl AccessSink for NoSink {
+    const INERT: bool = true;
+
+    #[inline(always)]
+    fn shared_load(&mut self, _at: AccessPoint, _idx: usize, _len: usize) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn shared_store(&mut self, _at: AccessPoint, _idx: usize, _len: usize) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn global_load(&mut self, _at: AccessPoint, _buf: BufId, _idx: usize, _len: usize) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn global_store(&mut self, _at: AccessPoint, _buf: BufId, _idx: usize, _len: usize) -> bool {
+        true
+    }
+}
+
+/// A transparent sink that is deliberately **not** inert: every hook
+/// answers `true` from an empty body, but `INERT` stays `false`, so the
+/// interpreter keeps the per-thread scalar loop even for kernels that
+/// carry a batched body.
+///
+/// This is the "before" side of the batched-vs-scalar benchmark and the
+/// oracle of the batch-equivalence suite: a [`ScalarProbe`] run executes
+/// exactly the pre-batching code path, letting tests assert that the
+/// batched fast path is bitwise-identical (memory contents *and* flushed
+/// event counters) to the scalar interpreter it replaced.
+#[derive(Debug, Default, Clone, Copy)]
+#[must_use]
+pub struct ScalarProbe;
+
+impl AccessSink for ScalarProbe {
     #[inline(always)]
     fn shared_load(&mut self, _at: AccessPoint, _idx: usize, _len: usize) -> bool {
         true
@@ -220,6 +272,94 @@ pub trait BlockKernel: Sync {
         state: &mut Self::State,
         ctx: &mut PhaseCtx<'_, S>,
     ) -> PhaseOutcome;
+
+    /// Optional batched fast path: executes `phase` for **every** thread
+    /// of the block in one call, over the structure-of-arrays view the
+    /// interpreter maintains (`states` in row-major thread order,
+    /// contiguous shared memory, bulk event counters in [`BatchCtx`]).
+    ///
+    /// Returning `None` (the default) makes the interpreter fall back to
+    /// looping the scalar [`run_phase`](BlockKernel::run_phase) over the
+    /// threads, so existing kernels keep working unchanged. A kernel that
+    /// returns `Some(outcome)` asserts that every thread of the block
+    /// finished the phase with that same outcome — which is the CUDA
+    /// uniformity requirement anyway; a kernel whose threads can diverge
+    /// must answer `None` for the divergent phase so the scalar loop can
+    /// report the divergence per thread.
+    ///
+    /// # Contract (checked by the batch-equivalence suite)
+    ///
+    /// The batched body must be observationally identical to the scalar
+    /// loop: same memory contents bit for bit (each thread's arithmetic
+    /// in the same order — reassociating a per-thread accumulation is a
+    /// contract violation), and the same event-counter totals. Per-access
+    /// ordering between *different* threads may differ, which is
+    /// unobservable for a race-free phase. The hook only runs when no
+    /// [`AccessSink`] is attached ([`AccessSink::INERT`]); monitored runs
+    /// always take the scalar loop, so sanitizer semantics are untouched.
+    fn run_phase_batch(
+        &self,
+        phase: usize,
+        states: &mut [Self::State],
+        ctx: &mut BatchCtx<'_>,
+    ) -> Option<PhaseOutcome> {
+        let _ = (phase, states, ctx);
+        None
+    }
+}
+
+/// Block-wide execution context of one batched phase: the whole block's
+/// shared memory and event counters, without the per-thread bookkeeping
+/// of [`PhaseCtx`].
+///
+/// A batched kernel body addresses shared memory directly as a contiguous
+/// slice ([`shared`](BatchCtx::shared)), performs bounds-checked global
+/// accesses without per-access event accounting
+/// ([`global_load`](BatchCtx::global_load) /
+/// [`global_store`](BatchCtx::global_store)), and adds its event counts
+/// in bulk ([`counters`](BatchCtx::counters)) — one add per phase instead
+/// of one per access. The totals must match what the scalar loop would
+/// have counted; the batch-equivalence suite enforces it.
+#[must_use]
+pub struct BatchCtx<'a> {
+    /// This block's `blockIdx.x`.
+    pub bx: usize,
+    /// This block's `blockIdx.y`.
+    pub by: usize,
+    /// The barrier phase being executed.
+    pub phase: usize,
+    shared: &'a mut [f64],
+    counts: &'a mut BlockCounters,
+}
+
+impl BatchCtx<'_> {
+    /// The block's shared memory as one contiguous slice.
+    #[inline]
+    pub fn shared(&mut self) -> &mut [f64] {
+        self.shared
+    }
+
+    /// The block's event counters, for bulk accounting. The batched body
+    /// is responsible for adding exactly what the scalar loop would have
+    /// counted (flops, shared/global loads and stores).
+    #[inline]
+    pub fn counters(&mut self) -> &mut BlockCounters {
+        self.counts
+    }
+
+    /// Bounds-checked global load *without* event accounting — count the
+    /// phase's loads in bulk via [`counters`](BatchCtx::counters).
+    #[inline]
+    pub fn global_load(&self, mem: &GlobalMem, idx: usize) -> f64 {
+        mem.load(idx)
+    }
+
+    /// Bounds-checked global store *without* event accounting — count the
+    /// phase's stores in bulk via [`counters`](BatchCtx::counters).
+    #[inline]
+    pub fn global_store(&self, mem: &GlobalMem, idx: usize, v: f64) {
+        mem.store(idx, v)
+    }
 }
 
 /// Per-thread view of a block's execution context during one phase: the
@@ -411,6 +551,23 @@ fn exec_block<K: BlockKernel, S: AccessSink>(
     let mut outcomes = vec![PhaseOutcome::Done; threads];
     let mut phase = 0usize;
     let exit = loop {
+        // Batched fast path: only when no sink is listening (a
+        // compile-time branch — `S::INERT` is an associated const, so the
+        // dead arm is erased by monomorphization) and the kernel carries
+        // a batched body for this phase. A batched phase is uniform by
+        // contract, so divergence bookkeeping is skipped entirely.
+        if S::INERT {
+            let mut bctx =
+                BatchCtx { bx, by, phase, shared: &mut shared, counts: &mut counts };
+            if let Some(outcome) = kernel.run_phase_batch(phase, &mut states, &mut bctx) {
+                if outcome == PhaseOutcome::Done {
+                    break BlockExit::Retired;
+                }
+                counts.barriers += 1;
+                phase += 1;
+                continue;
+            }
+        }
         let mut syncs = 0usize;
         for ty in 0..block.y {
             for tx in 0..block.x {
@@ -455,11 +612,16 @@ fn exec_block<K: BlockKernel, S: AccessSink>(
     exit
 }
 
-/// Executes one block to retirement on the calling thread and flushes its
-/// event counts, panicking on barrier divergence (the plain interpreter's
-/// contract).
-fn run_block<K: BlockKernel>(kernel: &K, bx: usize, by: usize, events: &EventCounters) {
-    match exec_block(kernel, bx, by, events, &mut NoSink) {
+/// Executes one block to retirement on the calling thread under a fresh
+/// default-constructed sink and flushes its event counts, panicking on
+/// barrier divergence (the plain interpreter's contract).
+fn run_block<K: BlockKernel, S: AccessSink + Default>(
+    kernel: &K,
+    bx: usize,
+    by: usize,
+    events: &EventCounters,
+) {
+    match exec_block(kernel, bx, by, events, &mut S::default()) {
         BlockExit::Retired => {}
         BlockExit::Diverged { phase, synced, returned } => panic!(
             "__syncthreads divergence: at phase {phase} of block ({bx}, {by}), \
@@ -471,19 +633,21 @@ fn run_block<K: BlockKernel>(kernel: &K, bx: usize, by: usize, events: &EventCou
     }
 }
 
-/// Runs `kernel` over `grid` blocks with `plan.width()` blocks in flight.
-///
-/// Blocks are claimed from an atomic cursor in chunks, each executed to
-/// retirement by one worker; because blocks are independent and their
-/// event totals are summed commutatively, any schedule produces identical
-/// memory contents and counts.
-pub fn run_grid<K: BlockKernel>(grid: Dim2, kernel: &K, events: &EventCounters, plan: WavePlan) {
+/// The shared engine behind [`run_grid`] and [`run_grid_unbatched`]: the
+/// sink type selects (at compile time, via [`AccessSink::INERT`]) whether
+/// kernels may take their batched fast path.
+fn run_grid_with<K: BlockKernel, S: AccessSink + Default>(
+    grid: Dim2,
+    kernel: &K,
+    events: &EventCounters,
+    plan: WavePlan,
+) {
     let blocks: Vec<(usize, usize)> =
         (0..grid.y).flat_map(|by| (0..grid.x).map(move |bx| (bx, by))).collect();
     let wave = plan.width().min(blocks.len());
     if wave <= 1 {
         for &(bx, by) in &blocks {
-            run_block(kernel, bx, by, events);
+            run_block::<K, S>(kernel, bx, by, events);
         }
         return;
     }
@@ -500,12 +664,38 @@ pub fn run_grid<K: BlockKernel>(grid: Dim2, kernel: &K, events: &EventCounters, 
                 }
                 let end = (start + chunk).min(blocks.len());
                 for &(bx, by) in &blocks[start..end] {
-                    run_block(kernel, bx, by, events);
+                    run_block::<K, S>(kernel, bx, by, events);
                 }
             });
         }
     })
     .expect("block wave panicked");
+}
+
+/// Runs `kernel` over `grid` blocks with `plan.width()` blocks in flight.
+///
+/// Blocks are claimed from an atomic cursor in chunks, each executed to
+/// retirement by one worker; because blocks are independent and their
+/// event totals are summed commutatively, any schedule produces identical
+/// memory contents and counts. Kernels that implement
+/// [`BlockKernel::run_phase_batch`] execute each phase as one batched
+/// call across all threads of the block.
+pub fn run_grid<K: BlockKernel>(grid: Dim2, kernel: &K, events: &EventCounters, plan: WavePlan) {
+    run_grid_with::<K, NoSink>(grid, kernel, events, plan)
+}
+
+/// [`run_grid`] with the batched fast path disabled: every phase runs the
+/// per-thread scalar loop, exactly as before batching existed. The
+/// baseline of the batched-vs-scalar benchmark and the oracle of the
+/// batch-equivalence suite; results and event counts are bitwise-identical
+/// to [`run_grid`] by contract.
+pub fn run_grid_unbatched<K: BlockKernel>(
+    grid: Dim2,
+    kernel: &K,
+    events: &EventCounters,
+    plan: WavePlan,
+) {
+    run_grid_with::<K, ScalarProbe>(grid, kernel, events, plan)
 }
 
 /// Runs `kernel` over `grid` under instrumentation: each block gets a
@@ -535,6 +725,51 @@ pub fn run_grid_monitored<K, S, MF, CF>(
             let mut sink = make_sink(bx, by);
             let exit = exec_block(kernel, bx, by, events, &mut sink);
             collect(bx, by, sink, exit);
+        }
+    }
+}
+
+/// [`run_grid_monitored`] with per-block sampling: blocks for which
+/// `select(bx, by)` answers `true` run fully instrumented (sink created,
+/// every access observed, exit collected); the rest run uninstrumented on
+/// the fast path ([`NoSink`], batched where the kernel supports it) and
+/// never touch the monitor.
+///
+/// This is the sanitizer's production-scale mode: monitoring 1-in-k
+/// blocks keeps the shadow-memory cost proportional to the sample while
+/// the unsampled blocks still execute (and still count events), so the
+/// launch's results are identical to an unmonitored run. Unselected
+/// blocks are invisible to the checkers — see DESIGN.md for what 1-in-k
+/// sampling can and cannot catch. Blocks still run serially in row-major
+/// order, so sampled diagnostics stay deterministic.
+pub fn run_grid_monitored_sampled<K, S, PF, MF, CF>(
+    grid: Dim2,
+    kernel: &K,
+    events: &EventCounters,
+    mut select: PF,
+    mut make_sink: MF,
+    mut collect: CF,
+) where
+    K: BlockKernel,
+    S: AccessSink,
+    PF: FnMut(usize, usize) -> bool,
+    MF: FnMut(usize, usize) -> S,
+    CF: FnMut(usize, usize, S, BlockExit),
+{
+    for by in 0..grid.y {
+        for bx in 0..grid.x {
+            if select(bx, by) {
+                let mut sink = make_sink(bx, by);
+                let exit = exec_block(kernel, bx, by, events, &mut sink);
+                collect(bx, by, sink, exit);
+            } else {
+                // Unsampled blocks run to retirement on the fast path. A
+                // divergence here stops the block (as in the monitored
+                // interpreter) but is not reported — that is precisely
+                // the 1-in-k blind spot the sampling-soundness argument
+                // documents, and why the self-test corpus never samples.
+                let _ = exec_block(kernel, bx, by, events, &mut NoSink);
+            }
         }
     }
 }

@@ -15,8 +15,8 @@
 //! form survives in [`EmuRowFft::run_legacy`] for old-vs-new equivalence.
 
 use super::exec::{
-    run_grid, run_grid_monitored, AccessSink, BlockExit, BlockKernel, Dim2, PhaseCtx,
-    PhaseOutcome, WavePlan,
+    run_grid, run_grid_monitored, run_grid_monitored_sampled, run_grid_unbatched, AccessSink,
+    BatchCtx, BlockExit, BlockKernel, Dim2, PhaseCtx, PhaseOutcome, WavePlan,
 };
 use super::legacy;
 use super::mem::{EmuEvents, EventCounters, GlobalMem};
@@ -56,6 +56,42 @@ impl EmuRowFft {
         let events = EventCounters::new();
         let kernel = FftKernel { n, stages: n.trailing_zeros() as usize, data };
         run_grid(Dim2::new(1, rows), &kernel, &events, self.wave);
+        events.snapshot()
+    }
+
+    /// [`run`](EmuRowFft::run) with the batched fast path disabled
+    /// ([`run_grid_unbatched`]): every phase takes the per-thread scalar
+    /// loop, exactly the pre-batching interpreter. The benchmark baseline
+    /// and equivalence oracle; bitwise-identical to [`run`](EmuRowFft::run)
+    /// by contract.
+    pub fn run_unbatched(&self, data: &GlobalMem) -> EmuEvents {
+        let (n, rows) = (self.n, self.rows);
+        assert_eq!(data.len(), 2 * rows * n, "signal size mismatch");
+
+        let events = EventCounters::new();
+        let kernel = FftKernel { n, stages: n.trailing_zeros() as usize, data };
+        run_grid_unbatched(Dim2::new(1, rows), &kernel, &events, self.wave);
+        events.snapshot()
+    }
+
+    /// [`run_monitored`](EmuRowFft::run_monitored) with per-block sampling
+    /// ([`run_grid_monitored_sampled`]): blocks selected by `select` run
+    /// fully instrumented, the rest take the uninstrumented (batched) fast
+    /// path. Results and event counts stay identical to an unmonitored
+    /// run; only checker *coverage* is sampled.
+    pub fn run_monitored_sampled<S: AccessSink>(
+        &self,
+        data: &GlobalMem,
+        select: impl FnMut(usize, usize) -> bool,
+        make_sink: impl FnMut(usize, usize) -> S,
+        collect: impl FnMut(usize, usize, S, BlockExit),
+    ) -> EmuEvents {
+        let (n, rows) = (self.n, self.rows);
+        assert_eq!(data.len(), 2 * rows * n, "signal size mismatch");
+
+        let events = EventCounters::new();
+        let kernel = FftKernel { n, stages: n.trailing_zeros() as usize, data };
+        run_grid_monitored_sampled(Dim2::new(1, rows), &kernel, &events, select, make_sink, collect);
         events.snapshot()
     }
 
@@ -247,6 +283,99 @@ impl BlockKernel for FftKernel<'_> {
             }
         }
     }
+
+    fn run_phase_batch(
+        &self,
+        _phase: usize,
+        states: &mut [FftStep],
+        ctx: &mut BatchCtx<'_>,
+    ) -> Option<PhaseOutcome> {
+        let n = self.n;
+        let base = 2 * ctx.by * n;
+        // The step register is block-uniform by construction.
+        match states[0] {
+            FftStep::Load => {
+                // Bit-reversed staging as one pass over the row. Each idx's
+                // target j is a permutation, so writes are disjoint and the
+                // cross-thread reorder is unobservable.
+                let shared = ctx.shared();
+                for idx in 0..n {
+                    let j =
+                        (idx.reverse_bits() >> (usize::BITS - self.stages as u32)) & (n - 1);
+                    shared[2 * j] = self.data.load(base + 2 * idx);
+                    shared[2 * j + 1] = self.data.load(base + 2 * idx + 1);
+                }
+                let counts = ctx.counters();
+                counts.global_loads += 2 * n as u64;
+                counts.shared_stores += 2 * n as u64;
+                for st in states.iter_mut() {
+                    *st = FftStep::Butterfly { len: 2 };
+                }
+                Some(PhaseOutcome::Sync)
+            }
+            FftStep::Butterfly { len } => {
+                let half = len / 2;
+                let groups = n / len;
+                let shared = ctx.shared();
+                for k in 0..half {
+                    // The twiddle depends only on (k, len): computed once
+                    // here and reused across all `n/len` groups — bitwise
+                    // the same value every scalar thread recomputed.
+                    let ang = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                    let (w_re, w_im) = (ang.cos(), ang.sin());
+                    let mut g = 0;
+                    while g + 2 <= groups {
+                        butterfly(shared, g * len + k, half, w_re, w_im);
+                        butterfly(shared, (g + 1) * len + k, half, w_re, w_im);
+                        g += 2;
+                    }
+                    while g < groups {
+                        butterfly(shared, g * len + k, half, w_re, w_im);
+                        g += 1;
+                    }
+                }
+                let counts = ctx.counters();
+                let butterflies = (n / 2) as u64;
+                counts.flops += 10 * butterflies;
+                counts.shared_loads += 4 * butterflies;
+                counts.shared_stores += 4 * butterflies;
+                let next =
+                    if len == n { FftStep::Store } else { FftStep::Butterfly { len: len << 1 } };
+                for st in states.iter_mut() {
+                    *st = next;
+                }
+                Some(PhaseOutcome::Sync)
+            }
+            FftStep::Store => {
+                let shared = ctx.shared();
+                for idx in 0..n {
+                    self.data.store(base + 2 * idx, shared[2 * idx]);
+                    self.data.store(base + 2 * idx + 1, shared[2 * idx + 1]);
+                }
+                let counts = ctx.counters();
+                counts.shared_loads += 2 * n as u64;
+                counts.global_stores += 2 * n as u64;
+                Some(PhaseOutcome::Done)
+            }
+        }
+    }
+}
+
+/// One radix-2 butterfly over interleaved shared memory, in exactly the
+/// scalar phase body's operation order (so results stay bit-identical).
+#[inline(always)]
+fn butterfly(shared: &mut [f64], i0: usize, half: usize, w_re: f64, w_im: f64) {
+    let i1 = i0 + half;
+    let u_re = shared[2 * i0];
+    let u_im = shared[2 * i0 + 1];
+    let v_re0 = shared[2 * i1];
+    let v_im0 = shared[2 * i1 + 1];
+    let v_re = v_re0 * w_re - v_im0 * w_im;
+    let v_im = v_re0 * w_im + v_im0 * w_re;
+    shared[2 * i0] = u_re + v_re;
+    shared[2 * i0 + 1] = u_im + v_im;
+    shared[2 * i1] = u_re - v_re;
+    shared[2 * i1 + 1] = u_im - v_im;
 }
 
 #[cfg(test)]

@@ -28,8 +28,9 @@ pub mod mem;
 pub mod tiled_dgemm;
 
 pub use exec::{
-    run_grid, run_grid_monitored, AccessPoint, AccessSink, BlockExit, BlockKernel, Dim2,
-    NoSink, PhaseCtx, PhaseOutcome, WavePlan,
+    run_grid, run_grid_monitored, run_grid_monitored_sampled, run_grid_unbatched, AccessPoint,
+    AccessSink, BatchCtx, BlockExit, BlockKernel, Dim2, NoSink, PhaseCtx, PhaseOutcome,
+    ScalarProbe, WavePlan,
 };
 pub use fft_kernel::EmuRowFft;
 pub use mem::{BlockCounters, BufId, EmuEvents, EventCounters, GlobalMem, SharedMem};

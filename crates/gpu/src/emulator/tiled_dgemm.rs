@@ -17,8 +17,8 @@
 //! [`EmuDgemm::run_legacy`] for old-vs-new equivalence tests.
 
 use super::exec::{
-    run_grid, run_grid_monitored, AccessSink, BlockExit, BlockKernel, Dim2, PhaseCtx,
-    PhaseOutcome, WavePlan,
+    run_grid, run_grid_monitored, run_grid_monitored_sampled, run_grid_unbatched, AccessSink,
+    BatchCtx, BlockExit, BlockKernel, Dim2, PhaseCtx, PhaseOutcome, WavePlan,
 };
 use super::legacy;
 use super::mem::{EmuEvents, EventCounters, GlobalMem};
@@ -82,6 +82,25 @@ impl EmuDgemm {
         events.snapshot()
     }
 
+    /// [`run`](EmuDgemm::run) with the batched fast path disabled
+    /// ([`run_grid_unbatched`]): every phase takes the per-thread scalar
+    /// loop, exactly the pre-batching interpreter. The baseline of the
+    /// batched-vs-scalar benchmark and the oracle of the equivalence
+    /// suite; results and event counts are bitwise-identical to
+    /// [`run`](EmuDgemm::run) by contract.
+    pub fn run_unbatched(&self, a: &GlobalMem, b: &GlobalMem, c: &GlobalMem) -> EmuEvents {
+        let TiledDgemmConfig { n, bs, .. } = self.cfg;
+        assert_eq!(a.len(), n * n, "A size mismatch");
+        assert_eq!(b.len(), n * n, "B size mismatch");
+        assert_eq!(c.len(), n * n, "C size mismatch");
+
+        let tiles = n / bs;
+        let events = EventCounters::new();
+        let kernel = DgemmKernel { cfg: self.cfg, tiles, a, b, c };
+        run_grid_unbatched(Dim2::new(tiles, tiles), &kernel, &events, self.wave);
+        events.snapshot()
+    }
+
     /// Launches the kernel under instrumentation ([`run_grid_monitored`]):
     /// every memory access is reported to a per-block sink from
     /// `make_sink`, blocks run serially in row-major order for
@@ -106,6 +125,40 @@ impl EmuDgemm {
         let events = EventCounters::new();
         let kernel = DgemmKernel { cfg: self.cfg, tiles, a, b, c };
         run_grid_monitored(Dim2::new(tiles, tiles), &kernel, &events, make_sink, collect);
+        events.snapshot()
+    }
+
+    /// [`run_monitored`](EmuDgemm::run_monitored) with per-block sampling
+    /// ([`run_grid_monitored_sampled`]): blocks selected by `select` run
+    /// fully instrumented, the rest take the uninstrumented fast path
+    /// (batched) and never touch the monitor. Results and event counts
+    /// stay identical to an unmonitored run; only checker *coverage* is
+    /// sampled.
+    pub fn run_monitored_sampled<S: AccessSink>(
+        &self,
+        a: &GlobalMem,
+        b: &GlobalMem,
+        c: &GlobalMem,
+        select: impl FnMut(usize, usize) -> bool,
+        make_sink: impl FnMut(usize, usize) -> S,
+        collect: impl FnMut(usize, usize, S, BlockExit),
+    ) -> EmuEvents {
+        let TiledDgemmConfig { n, bs, .. } = self.cfg;
+        assert_eq!(a.len(), n * n, "A size mismatch");
+        assert_eq!(b.len(), n * n, "B size mismatch");
+        assert_eq!(c.len(), n * n, "C size mismatch");
+
+        let tiles = n / bs;
+        let events = EventCounters::new();
+        let kernel = DgemmKernel { cfg: self.cfg, tiles, a, b, c };
+        run_grid_monitored_sampled(
+            Dim2::new(tiles, tiles),
+            &kernel,
+            &events,
+            select,
+            make_sink,
+            collect,
+        );
         events.snapshot()
     }
 
@@ -222,6 +275,96 @@ impl DgemmKernel<'_> {
         let prev = ctx.global_load(self.c, ci);
         ctx.global_store(self.c, ci, prev + st.csub);
     }
+
+    /// Batched tile stage: each thread row of `As`/`Bs` is one contiguous
+    /// run of global memory (`ai + n·ty + tx` is consecutive in `tx`), so
+    /// the whole stage collapses to `2·bs` row copies, unrolled by 4.
+    /// Events are counted in bulk: `2·bs²` global loads + shared stores,
+    /// exactly what the scalar loop counts one by one.
+    fn batch_stage(&self, states: &[DgemmState], ctx: &mut BatchCtx<'_>) {
+        let (n, bs) = (self.cfg.n, self.cfg.bs);
+        let (ai, bi) = (states[0].ai, states[0].bi);
+        let bs2 = bs * bs;
+        let (as_tile, bs_tile) = ctx.shared().split_at_mut(bs2);
+        for ty in 0..bs {
+            let a_base = ai + n * ty;
+            let b_base = bi + n * ty;
+            let as_row = &mut as_tile[ty * bs..(ty + 1) * bs];
+            let bs_row = &mut bs_tile[ty * bs..(ty + 1) * bs];
+            let mut tx = 0;
+            while tx + 4 <= bs {
+                as_row[tx] = self.a.load(a_base + tx);
+                as_row[tx + 1] = self.a.load(a_base + tx + 1);
+                as_row[tx + 2] = self.a.load(a_base + tx + 2);
+                as_row[tx + 3] = self.a.load(a_base + tx + 3);
+                bs_row[tx] = self.b.load(b_base + tx);
+                bs_row[tx + 1] = self.b.load(b_base + tx + 1);
+                bs_row[tx + 2] = self.b.load(b_base + tx + 2);
+                bs_row[tx + 3] = self.b.load(b_base + tx + 3);
+                tx += 4;
+            }
+            while tx < bs {
+                as_row[tx] = self.a.load(a_base + tx);
+                bs_row[tx] = self.b.load(b_base + tx);
+                tx += 1;
+            }
+        }
+        let counts = ctx.counters();
+        counts.global_loads += 2 * bs2 as u64;
+        counts.shared_stores += 2 * bs2 as u64;
+    }
+
+    /// Batched inner product: one pass over the thread index with each
+    /// thread's `k` chain kept as a single sequential accumulator (unrolled
+    /// by 4 but **not** reassociated), so every `csub` is bit-for-bit the
+    /// scalar loop's. Bulk counts: `2·bs³` flops and shared loads.
+    fn batch_mac(&self, states: &mut [DgemmState], ctx: &mut BatchCtx<'_>) {
+        let bs = self.cfg.bs;
+        let bs2 = bs * bs;
+        let (as_tile, bs_tile) = ctx.shared().split_at(bs2);
+        for ty in 0..bs {
+            let a_row = &as_tile[ty * bs..(ty + 1) * bs];
+            for tx in 0..bs {
+                let st = &mut states[ty * bs + tx];
+                let mut acc = st.csub;
+                let mut k = 0;
+                while k + 4 <= bs {
+                    acc += a_row[k] * bs_tile[k * bs + tx];
+                    acc += a_row[k + 1] * bs_tile[(k + 1) * bs + tx];
+                    acc += a_row[k + 2] * bs_tile[(k + 2) * bs + tx];
+                    acc += a_row[k + 3] * bs_tile[(k + 3) * bs + tx];
+                    k += 4;
+                }
+                while k < bs {
+                    acc += a_row[k] * bs_tile[k * bs + tx];
+                    k += 1;
+                }
+                st.csub = acc;
+            }
+        }
+        let counts = ctx.counters();
+        let muls = (bs * bs2) as u64;
+        counts.flops += 2 * muls;
+        counts.shared_loads += 2 * muls;
+    }
+
+    /// Batched `C += Csub`: each thread row retires as one contiguous run
+    /// of read-modify-writes. Bulk counts: `bs²` global loads and stores.
+    fn batch_retire(&self, states: &[DgemmState], ctx: &mut BatchCtx<'_>) {
+        let (n, bs) = (self.cfg.n, self.cfg.bs);
+        let base = n * bs * ctx.by + bs * ctx.bx;
+        for ty in 0..bs {
+            let row = base + n * ty;
+            for tx in 0..bs {
+                let ci = row + tx;
+                let prev = self.c.load(ci);
+                self.c.store(ci, prev + states[ty * bs + tx].csub);
+            }
+        }
+        let counts = ctx.counters();
+        counts.global_loads += (bs * bs) as u64;
+        counts.global_stores += (bs * bs) as u64;
+    }
 }
 
 impl BlockKernel for DgemmKernel<'_> {
@@ -283,6 +426,69 @@ impl BlockKernel for DgemmKernel<'_> {
                     st.step = Step::Stage;
                 }
                 PhaseOutcome::Sync
+            }
+        }
+    }
+
+    fn run_phase_batch(
+        &self,
+        _phase: usize,
+        states: &mut [DgemmState],
+        ctx: &mut BatchCtx<'_>,
+    ) -> Option<PhaseOutcome> {
+        let TiledDgemmConfig { n, bs, g, r } = self.cfg;
+        // The step register is block-uniform by construction (every thread
+        // advances it identically); batch on thread 0's view and write the
+        // uniform registers back to every state.
+        match states[0].step {
+            Step::Stage => {
+                self.batch_stage(states, ctx);
+                for st in states.iter_mut() {
+                    st.step = Step::Mac;
+                }
+                Some(PhaseOutcome::Sync)
+            }
+            Step::Mac => {
+                self.batch_mac(states, ctx);
+                for st in states.iter_mut() {
+                    st.tile += 1;
+                    st.ai += bs;
+                    st.bi += bs * n;
+                    st.step = if st.tile == self.tiles { Step::Retire } else { Step::Stage };
+                }
+                Some(PhaseOutcome::Sync)
+            }
+            Step::Retire => {
+                self.batch_retire(states, ctx);
+                let product = states[0].product + 1;
+                if product == g * r {
+                    for st in states.iter_mut() {
+                        st.product = product;
+                    }
+                    return Some(PhaseOutcome::Done);
+                }
+                let (ai, bi) = self.product_start(ctx.bx, ctx.by);
+                for st in states.iter_mut() {
+                    st.product = product;
+                    st.csub = 0.0;
+                    st.tile = 0;
+                    st.ai = ai;
+                    st.bi = bi;
+                }
+                if product.is_multiple_of(g) {
+                    // Run boundary: retire flows straight into the next
+                    // run's first stage within the same barrier segment,
+                    // exactly as the scalar body does.
+                    self.batch_stage(states, ctx);
+                    for st in states.iter_mut() {
+                        st.step = Step::Mac;
+                    }
+                } else {
+                    for st in states.iter_mut() {
+                        st.step = Step::Stage;
+                    }
+                }
+                Some(PhaseOutcome::Sync)
             }
         }
     }

@@ -12,7 +12,11 @@
 //! * flushed per-block counters reproduce the analytic CUPTI counts
 //!   exactly across `BS ∈ {1, 4, 16, 32}`;
 //! * a kernel whose threads disagree on phase count fails loudly — the
-//!   deadlock-detection property the old `Barrier` gave us for free.
+//!   deadlock-detection property the old `Barrier` gave us for free;
+//! * the batched SoA phase bodies (PR 7) are bitwise-identical to the
+//!   scalar per-thread loop — results *and* flushed counter totals — for
+//!   every valid `BS` at N = 64 and N = 128, at 1/2/8 worker threads,
+//!   and under proptest-randomized block shapes.
 
 use enprop_gpusim::cupti::{CuptiCounter, CuptiReport};
 use enprop_gpusim::emulator::{
@@ -226,4 +230,155 @@ fn divergent_phase_counts_panic_instead_of_deadlocking() {
         &events,
         WavePlan::fixed(1),
     );
+}
+
+// ---------------------------------------------------------------------
+// Batched SoA phase bodies vs the scalar per-thread loop (PR 7). `run`
+// takes the batched fast path (`NoSink` is inert); `run_unbatched` pins
+// the scalar loop through a transparent probe sink. Equivalence is
+// bitwise: output memory AND flushed event-counter totals.
+// ---------------------------------------------------------------------
+
+/// One DGEMM config through both paths at a given wave width; asserts
+/// bitwise equality of memory and counters.
+fn assert_dgemm_batched_equals_scalar(cfg: TiledDgemmConfig, wave: WavePlan) {
+    let n = cfg.n;
+    let av = filled(n * n, 71);
+    let bv = filled(n * n, 72);
+    let cv = filled(n * n, 73);
+    let emu = EmuDgemm::new(cfg).with_wave(wave);
+
+    let (a1, b1, c1) =
+        (GlobalMem::from_slice(&av), GlobalMem::from_slice(&bv), GlobalMem::from_slice(&cv));
+    let batched_ev = emu.run(&a1, &b1, &c1);
+
+    let (a2, b2, c2) =
+        (GlobalMem::from_slice(&av), GlobalMem::from_slice(&bv), GlobalMem::from_slice(&cv));
+    let scalar_ev = emu.run_unbatched(&a2, &b2, &c2);
+
+    let bits = |m: &GlobalMem| m.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    let TiledDgemmConfig { n, bs, g, r } = cfg;
+    assert_eq!(bits(&c1), bits(&c2), "n={n} bs={bs} g={g} r={r}: batched memory diverged");
+    assert_eq!(batched_ev, scalar_ev, "n={n} bs={bs} g={g} r={r}: batched counters diverged");
+}
+
+/// One FFT config through both paths at a given wave width; asserts
+/// bitwise equality of memory and counters.
+fn assert_fft_batched_equals_scalar(n: usize, rows: usize, wave: WavePlan) {
+    let host = filled(2 * rows * n, 81);
+    let emu = EmuRowFft::new(n, rows).with_wave(wave);
+
+    let d1 = GlobalMem::from_slice(&host);
+    let batched_ev = emu.run(&d1);
+    let d2 = GlobalMem::from_slice(&host);
+    let scalar_ev = emu.run_unbatched(&d2);
+
+    let bits = |m: &GlobalMem| m.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&d1), bits(&d2), "fft n={n} rows={rows}: batched memory diverged");
+    assert_eq!(batched_ev, scalar_ev, "fft n={n} rows={rows}: batched counters diverged");
+}
+
+#[test]
+fn dgemm_batched_equals_scalar_for_every_valid_bs_at_n64() {
+    for bs in valid_bs(64) {
+        assert_dgemm_batched_equals_scalar(
+            TiledDgemmConfig { n: 64, bs, g: 1, r: 1 },
+            WavePlan::auto(),
+        );
+    }
+}
+
+#[test]
+fn dgemm_batched_equals_scalar_for_every_valid_bs_at_n128() {
+    for bs in valid_bs(128) {
+        assert_dgemm_batched_equals_scalar(
+            TiledDgemmConfig { n: 128, bs, g: 1, r: 1 },
+            WavePlan::auto(),
+        );
+    }
+}
+
+#[test]
+fn dgemm_batched_equals_scalar_for_compound_workloads() {
+    // G > 1 exercises the multi-product group retire path; R > 1 the
+    // separator-barrier path; both cross the run-boundary restage.
+    for &(n, bs, g, r) in &[(64usize, 16usize, 2usize, 1usize), (64, 16, 1, 2), (32, 8, 2, 2)] {
+        assert_dgemm_batched_equals_scalar(
+            TiledDgemmConfig { n, bs, g, r },
+            WavePlan::auto(),
+        );
+    }
+}
+
+#[test]
+fn dgemm_batched_equals_scalar_at_1_2_8_threads() {
+    for &w in &[1usize, 2, 8] {
+        assert_dgemm_batched_equals_scalar(
+            TiledDgemmConfig { n: 64, bs: 16, g: 2, r: 1 },
+            WavePlan::fixed(w),
+        );
+    }
+}
+
+#[test]
+fn fft_batched_equals_scalar_across_sizes() {
+    for &(n, rows) in &[(2usize, 3usize), (8, 4), (64, 2), (128, 2), (256, 1)] {
+        assert_fft_batched_equals_scalar(n, rows, WavePlan::auto());
+    }
+}
+
+#[test]
+fn fft_batched_equals_scalar_at_1_2_8_threads() {
+    for &w in &[1usize, 2, 8] {
+        assert_fft_batched_equals_scalar(64, 4, WavePlan::fixed(w));
+    }
+}
+
+mod batched_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random DGEMM block shapes: any divisor BS of a random N,
+        /// compound G/R shapes, random wave width — batched must stay
+        /// bitwise-identical to scalar.
+        #[test]
+        fn dgemm_batched_equals_scalar_for_random_shapes(
+            n_pow in 3u32..8,             // N ∈ {8, ..., 128}
+            bs_sel in 0usize..8,
+            g in 1usize..3,
+            r in 1usize..3,
+            wave_sel in 0usize..4,        // auto, 1, 2, 8
+        ) {
+            let n = 1usize << n_pow;
+            let divisors = valid_bs(n);
+            let bs = divisors[bs_sel % divisors.len()];
+            let plan = match wave_sel {
+                0 => WavePlan::auto(),
+                1 => WavePlan::fixed(1),
+                2 => WavePlan::fixed(2),
+                _ => WavePlan::fixed(8),
+            };
+            assert_dgemm_batched_equals_scalar(TiledDgemmConfig { n, bs, g, r }, plan);
+        }
+
+        /// Random FFT shapes: any power-of-two length and row count.
+        #[test]
+        fn fft_batched_equals_scalar_for_random_shapes(
+            n_pow in 1u32..9,             // n ∈ {2, ..., 256}
+            rows in 1usize..5,
+            wave_sel in 0usize..4,        // auto, 1, 2, 8
+        ) {
+            let n = 1usize << n_pow;
+            let plan = match wave_sel {
+                0 => WavePlan::auto(),
+                1 => WavePlan::fixed(1),
+                2 => WavePlan::fixed(2),
+                _ => WavePlan::fixed(8),
+            };
+            assert_fft_batched_equals_scalar(n, rows, plan);
+        }
+    }
 }

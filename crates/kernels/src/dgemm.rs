@@ -24,7 +24,24 @@ pub fn dgemm_naive(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix
     }
 }
 
-/// Cache-blocked DGEMM with a square tile of dimension `bs`.
+/// Register-tile height of the packed micro-kernel.
+const MR: usize = 4;
+/// Register-tile width of the packed micro-kernel — the vectorizable
+/// direction (B lanes are contiguous in the packed strip), kept at two
+/// 4-wide vectors per C row.
+const NR: usize = 8;
+
+/// Cache-blocked DGEMM with a square tile of dimension `bs`, built on
+/// packed panels and an `MR × NR` (4 × 8) register-tiled micro-kernel.
+///
+/// Per cache tile, the `A` sub-panel is packed into strips of [`MR`] rows
+/// laid out column-by-column and the `B` sub-panel into strips of [`NR`]
+/// columns laid out row-by-row, so the micro-kernel streams both operands
+/// contiguously; each `MR × NR` block of `C` then accumulates in
+/// registers with one fully unrolled multiply–add per element per `k`
+/// step, and spills `C += α·acc` once at tile end. Ragged edges are
+/// zero-padded in the packing (the padded lanes multiply zeros and are
+/// never written back).
 ///
 /// Operates on raw row-major slices so the threadgroup harness can hand each
 /// thread a disjoint band of A and C while sharing B.
@@ -34,6 +51,195 @@ pub fn dgemm_naive(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix
 /// * `c`: `m × n` band of C
 #[allow(clippy::too_many_arguments)] // deliberately BLAS-shaped signature
 pub fn dgemm_blocked(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    bs: usize,
+) {
+    // Dispatch once per call, not per micro-tile: on x86-64 with AVX2 the
+    // whole packed driver (and the micro-kernel inlined into it) is
+    // recompiled with 256-bit vectors. The body is identical safe code in
+    // both instantiations, rustc never fuses or reassociates floating
+    // point, and every accumulator chain keeps its order — so both paths
+    // produce bitwise-identical output; only the instruction selection
+    // differs.
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe {
+            return dgemm_blocked_avx2(alpha, a, b, beta, c, m, k, n, bs);
+        }
+    }
+    dgemm_blocked_body(alpha, a, b, beta, c, m, k, n, bs);
+}
+
+/// The packed driver compiled with AVX2 enabled (same safe body).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn dgemm_blocked_avx2(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    bs: usize,
+) {
+    dgemm_blocked_body(alpha, a, b, beta, c, m, k, n, bs);
+}
+
+/// The packed cache-blocked driver behind [`dgemm_blocked`]; inlined into
+/// each feature-specific instantiation.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn dgemm_blocked_body(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    bs: usize,
+) {
+    assert!(bs > 0, "block size must be positive");
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+
+    // Scale C by beta once up front.
+    if beta != 1.0 {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+
+    // Packing buffers, sized for one cache tile (rounded up to whole
+    // register strips) and reused across all tiles.
+    let mc_cap = bs.min(m).div_ceil(MR) * MR;
+    let nc_cap = bs.min(n).div_ceil(NR) * NR;
+    let kc_cap = bs.min(k);
+    let mut apack = vec![0.0f64; mc_cap * kc_cap];
+    let mut bpack = vec![0.0f64; kc_cap * nc_cap];
+
+    for l0 in (0..k).step_by(bs) {
+        let kc = (l0 + bs).min(k) - l0;
+        for i0 in (0..m).step_by(bs) {
+            let mc = (i0 + bs).min(m) - i0;
+            pack_a(&mut apack, a, i0, l0, mc, kc, k);
+            for j0 in (0..n).step_by(bs) {
+                let nc = (j0 + bs).min(n) - j0;
+                pack_b(&mut bpack, b, l0, j0, kc, nc, n);
+                for ir in (0..mc).step_by(MR) {
+                    let mr = MR.min(mc - ir);
+                    let astrip = &apack[(ir / MR) * MR * kc..(ir / MR + 1) * MR * kc];
+                    for jr in (0..nc).step_by(NR) {
+                        let nr = NR.min(nc - jr);
+                        let bstrip = &bpack[(jr / NR) * NR * kc..(jr / NR + 1) * NR * kc];
+                        microkernel(astrip, bstrip, kc, alpha, c, i0 + ir, j0 + jr, mr, nr, n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `mc × kc` sub-panel of `A` at `(i0, l0)` into strips of [`MR`]
+/// rows, each strip laid out column-by-column (`MR` consecutive doubles per
+/// `k` step). Rows past `mc` are zero-padded.
+fn pack_a(apack: &mut [f64], a: &[f64], i0: usize, l0: usize, mc: usize, kc: usize, lda: usize) {
+    for s in 0..mc.div_ceil(MR) {
+        let strip = &mut apack[s * MR * kc..(s + 1) * MR * kc];
+        for r in 0..MR {
+            let i = s * MR + r;
+            if i < mc {
+                let arow = &a[(i0 + i) * lda + l0..(i0 + i) * lda + l0 + kc];
+                for (l, &v) in arow.iter().enumerate() {
+                    strip[l * MR + r] = v;
+                }
+            } else {
+                for l in 0..kc {
+                    strip[l * MR + r] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc × nc` sub-panel of `B` at `(l0, j0)` into strips of [`NR`]
+/// columns, each strip laid out row-by-row (`NR` consecutive doubles per
+/// `k` step). Columns past `nc` are zero-padded.
+fn pack_b(bpack: &mut [f64], b: &[f64], l0: usize, j0: usize, kc: usize, nc: usize, ldb: usize) {
+    for s in 0..nc.div_ceil(NR) {
+        let strip = &mut bpack[s * NR * kc..(s + 1) * NR * kc];
+        let width = NR.min(nc - s * NR);
+        for l in 0..kc {
+            let brow = &b[(l0 + l) * ldb + j0 + s * NR..];
+            let dst = &mut strip[l * NR..(l + 1) * NR];
+            dst[..width].copy_from_slice(&brow[..width]);
+            dst[width..].fill(0.0);
+        }
+    }
+}
+
+/// The `MR × NR` register-tiled micro-kernel: an accumulator block over
+/// one packed A strip and one packed B strip, fully unrolled, with
+/// `C += α·acc` spilled once at the end (only the valid `mr × nr` corner).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn microkernel(
+    astrip: &[f64],
+    bstrip: &[f64],
+    kc: usize,
+    alpha: f64,
+    c: &mut [f64],
+    ci: usize,
+    cj: usize,
+    mr: usize,
+    nr: usize,
+    ldc: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    // `chunks_exact` hands the loop fixed-size windows, so every lane read
+    // below is bounds-check-free, and the fixed-size `MR × NR` inner loops
+    // unroll completely — each C row becomes broadcast(a_r) times the
+    // contiguous B lane vector, the shape the auto-vectorizer wants.
+    for (av, bv) in astrip[..kc * MR]
+        .chunks_exact(MR)
+        .zip(bstrip[..kc * NR].chunks_exact(NR))
+    {
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for (x, lane) in row.iter_mut().enumerate() {
+                *lane += ar * bv[x];
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate().take(mr) {
+        let crow = &mut c[(ci + r) * ldc + cj..(ci + r) * ldc + cj + nr];
+        for (x, dst) in crow.iter_mut().enumerate() {
+            *dst += alpha * row[x];
+        }
+    }
+}
+
+/// The pre-packing cache-blocked kernel (tile-wise triple loop over raw
+/// rows, no packing, no register tiling) — retained verbatim as the
+/// baseline of the `host_kernels` GFLOPS benchmark gate.
+///
+/// Semantics are identical to [`dgemm_blocked`] up to floating-point
+/// reassociation.
+#[allow(clippy::too_many_arguments)] // deliberately BLAS-shaped signature
+pub fn dgemm_blocked_unpacked(
     alpha: f64,
     a: &[f64],
     b: &[f64],
@@ -130,6 +336,33 @@ mod tests {
             let mut c = Matrix::square(n);
             blocked_on_matrices(1.0, &a, &b, 0.0, &mut c, bs);
             assert!(reference.max_abs_diff(&c) < 1e-10, "bs = {bs}");
+        }
+    }
+
+    #[test]
+    fn packed_matches_unpacked_baseline() {
+        // The packed register-tiled kernel and the retained baseline agree
+        // (up to reassociation) on square, ragged and rectangular shapes.
+        for &(m, k, n, bs) in &[(16usize, 16usize, 16usize, 8usize), (7, 13, 9, 4), (33, 5, 21, 8)]
+        {
+            let a = Matrix::filled(m, k, 41);
+            let b = Matrix::filled(k, n, 42);
+            let c0 = Matrix::filled(m, n, 43);
+            let mut c1 = c0.clone();
+            let mut c2 = c0.clone();
+            dgemm_blocked(1.25, a.as_slice(), b.as_slice(), 0.75, c1.as_mut_slice(), m, k, n, bs);
+            dgemm_blocked_unpacked(
+                1.25,
+                a.as_slice(),
+                b.as_slice(),
+                0.75,
+                c2.as_mut_slice(),
+                m,
+                k,
+                n,
+                bs,
+            );
+            assert!(c1.max_abs_diff(&c2) < 1e-10, "m={m} k={k} n={n} bs={bs}");
         }
     }
 

@@ -78,8 +78,110 @@ pub fn ifft_inplace(x: &mut [Complex]) {
     }
 }
 
+/// Precomputed twiddle-factor tables for one transform length and
+/// direction, reusable across any number of same-length transforms.
+///
+/// The iterative radix-2 FFT multiplies by `w_k = wlen^k` in its butterfly
+/// inner loop; computing those factors there puts a serially dependent
+/// complex multiply on the critical path of every butterfly, repeated for
+/// every chunk and every row. This table hoists the whole recurrence out:
+/// each stage's `len/2` factors are generated once (by the same `w·wlen`
+/// recurrence, so values are bit-identical to the inline computation) and
+/// the butterfly loop becomes pure loads. A 2-D FFT reuses one table
+/// across all `2·n` row transforms of both passes.
+#[must_use]
+#[derive(Debug, Clone)]
+pub struct Twiddles {
+    n: usize,
+    /// Stage `s` (butterfly length `2^(s+1)`) holds `2^s` factors.
+    stages: Vec<Vec<Complex>>,
+}
+
+impl Twiddles {
+    /// Builds the table for forward transforms of length `n` (a power of
+    /// two).
+    pub fn forward(n: usize) -> Self {
+        Self::with_sign(n, -1.0)
+    }
+
+    /// Builds the table for inverse (unnormalized) transforms of length
+    /// `n` (a power of two).
+    pub fn inverse(n: usize) -> Self {
+        Self::with_sign(n, 1.0)
+    }
+
+    fn with_sign(n: usize, sign: f64) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let mut stages = Vec::new();
+        let mut len = 2;
+        while len <= n {
+            let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex::cis(ang);
+            let half = len / 2;
+            let mut factors = Vec::with_capacity(half);
+            let mut w = Complex::new(1.0, 0.0);
+            for _ in 0..half {
+                factors.push(w);
+                w = w * wlen;
+            }
+            stages.push(factors);
+            len <<= 1;
+        }
+        Self { n, stages }
+    }
+
+    /// The transform length this table serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table is for the degenerate length-1 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place transform of `x` (which must have length
+    /// [`len`](Twiddles::len)) using the precomputed factors. Bit-identical
+    /// to the corresponding [`fft_inplace`]/unnormalized-inverse transform.
+    pub fn apply(&self, x: &mut [Complex]) {
+        let n = self.n;
+        assert_eq!(x.len(), n, "signal length does not match the table");
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+            if j > i {
+                x.swap(i, j);
+            }
+        }
+        // Butterfly stages: pure loads for the twiddles.
+        for (s, factors) in self.stages.iter().enumerate() {
+            let len = 2usize << s;
+            let half = len / 2;
+            for chunk in x.chunks_mut(len) {
+                for (k, &w) in factors.iter().enumerate() {
+                    let u = chunk[k];
+                    let v = chunk[k + half] * w;
+                    chunk[k] = u + v;
+                    chunk[k + half] = u - v;
+                }
+            }
+        }
+    }
+}
+
 /// Cooley–Tukey iterative radix-2 with bit-reversal permutation.
 /// `sign` is −1 for the forward transform, +1 for the inverse.
+///
+/// One-shot, allocation-free form: the twiddle recurrence runs once per
+/// stage in the outer `k` loop and each factor is reused across all the
+/// stage's chunks, instead of being recomputed per chunk in the butterfly
+/// inner loop. Values are bit-identical to the per-chunk recurrence (the
+/// same `w·wlen` product sequence). Repeated same-length transforms should
+/// prefer a shared [`Twiddles`] table.
 fn transform(x: &mut [Complex], sign: f64) {
     let n = x.len();
     assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
@@ -94,21 +196,23 @@ fn transform(x: &mut [Complex], sign: f64) {
             x.swap(i, j);
         }
     }
-    // Butterfly stages.
+    // Butterfly stages, k outer so each twiddle is computed exactly once.
     let mut len = 2;
     while len <= n {
         let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
         let wlen = Complex::cis(ang);
-        for chunk in x.chunks_mut(len) {
-            let mut w = Complex::new(1.0, 0.0);
-            let half = len / 2;
-            for k in 0..half {
-                let u = chunk[k];
-                let v = chunk[k + half] * w;
-                chunk[k] = u + v;
-                chunk[k + half] = u - v;
-                w = w * wlen;
+        let half = len / 2;
+        let mut w = Complex::new(1.0, 0.0);
+        for k in 0..half {
+            let mut i0 = k;
+            while i0 < n {
+                let u = x[i0];
+                let v = x[i0 + half] * w;
+                x[i0] = u + v;
+                x[i0 + half] = u - v;
+                i0 += len;
             }
+            w = w * wlen;
         }
         len <<= 1;
     }
@@ -153,6 +257,24 @@ mod tests {
             let mut x = sig.clone();
             fft_inplace(&mut x);
             assert!(max_err(&x, &reference) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn twiddle_table_is_bit_identical_to_inline_transform() {
+        for &n in &[1usize, 2, 8, 64, 256] {
+            let sig = signal(n, 21);
+            let mut inline = sig.clone();
+            fft_inplace(&mut inline);
+            let mut tabled = sig.clone();
+            Twiddles::forward(n).apply(&mut tabled);
+            assert_eq!(inline, tabled, "forward n = {n}");
+
+            let mut inline_inv = sig.clone();
+            super::transform(&mut inline_inv, 1.0);
+            let mut tabled_inv = sig;
+            Twiddles::inverse(n).apply(&mut tabled_inv);
+            assert_eq!(inline_inv, tabled_inv, "inverse n = {n}");
         }
     }
 

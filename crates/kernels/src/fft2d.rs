@@ -7,7 +7,7 @@
 //! columns) are transformed in parallel again, and the matrix is transposed
 //! back.
 
-use crate::fft::{fft_inplace, Complex};
+use crate::fft::{Complex, Twiddles};
 
 /// The paper's work measure for an `N × N` 2-D FFT: `W = 5 N² log₂ N`.
 pub fn fft2d_work(n: usize) -> f64 {
@@ -15,32 +15,39 @@ pub fn fft2d_work(n: usize) -> f64 {
 }
 
 /// Serial 2-D FFT of a row-major `n × n` signal.
+///
+/// One [`Twiddles`] table is built up front and reused across all `2·n`
+/// row transforms of both passes, keeping the butterfly inner loops free
+/// of twiddle computation.
 pub fn fft2d_serial(data: &mut [Complex], n: usize) {
     assert_eq!(data.len(), n * n, "signal must be n×n");
+    let tw = Twiddles::forward(n);
     for row in data.chunks_mut(n) {
-        fft_inplace(row);
+        tw.apply(row);
     }
     transpose(data, n);
     for row in data.chunks_mut(n) {
-        fft_inplace(row);
+        tw.apply(row);
     }
     transpose(data, n);
 }
 
 /// Thread-parallel 2-D FFT: rows are distributed equally over `threads`
-/// workers in both passes (no inter-thread communication).
+/// workers in both passes (no inter-thread communication). All workers
+/// share one read-only [`Twiddles`] table.
 pub fn fft2d_parallel(data: &mut [Complex], n: usize, threads: usize) {
     assert_eq!(data.len(), n * n, "signal must be n×n");
     assert!(threads >= 1, "need at least one thread");
     let threads = threads.min(n);
-    parallel_rows(data, n, threads);
+    let tw = Twiddles::forward(n);
+    parallel_rows(data, n, threads, &tw);
     transpose(data, n);
-    parallel_rows(data, n, threads);
+    parallel_rows(data, n, threads, &tw);
     transpose(data, n);
 }
 
 /// FFT of each row, with rows split into `threads` contiguous bands.
-fn parallel_rows(data: &mut [Complex], n: usize, threads: usize) {
+fn parallel_rows(data: &mut [Complex], n: usize, threads: usize, tw: &Twiddles) {
     let rows_base = n / threads;
     let rows_extra = n % threads;
     crossbeam::thread::scope(|scope| {
@@ -51,7 +58,7 @@ fn parallel_rows(data: &mut [Complex], n: usize, threads: usize) {
             rest = tail;
             scope.spawn(move |_| {
                 for row in band.chunks_mut(n) {
-                    fft_inplace(row);
+                    tw.apply(row);
                 }
             });
         }
@@ -59,11 +66,15 @@ fn parallel_rows(data: &mut [Complex], n: usize, threads: usize) {
     .expect("FFT thread scope failed");
 }
 
-/// In-place square transpose.
+/// In-place square transpose, with the row bases carried as running
+/// indices instead of re-multiplied in the swap loop.
 fn transpose(data: &mut [Complex], n: usize) {
     for i in 0..n {
+        let ibase = i * n;
+        let mut ji = (i + 1) * n + i;
         for j in (i + 1)..n {
-            data.swap(i * n + j, j * n + i);
+            data.swap(ibase + j, ji);
+            ji += n;
         }
     }
 }

@@ -26,8 +26,8 @@ pub mod fft2d;
 pub mod matrix;
 pub mod threadgroup;
 
-pub use dgemm::{dgemm_blocked, dgemm_naive};
-pub use fft::{fft_inplace, ifft_inplace, Complex};
+pub use dgemm::{dgemm_blocked, dgemm_blocked_unpacked, dgemm_naive};
+pub use fft::{fft_inplace, ifft_inplace, Complex, Twiddles};
 pub use fft2d::{fft2d_parallel, fft2d_serial, fft2d_work};
 pub use matrix::Matrix;
 pub use threadgroup::{dgemm_threadgroups, ThreadgroupConfig, ThreadgroupRun};

@@ -1,0 +1,40 @@
+//! Manual perf probe (ignored by default): packed vs unpacked DGEMM
+//! GFLOPS across sizes. Run with
+//! `cargo test --release -p enprop-kernels --test perf_probe -- --ignored --nocapture`.
+
+use enprop_kernels::{dgemm_blocked, dgemm_blocked_unpacked};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn probe_packed_vs_unpacked() {
+    for &n in &[256usize, 384, 512] {
+        for &bs in &[32usize, 64, 128] {
+            let a: Vec<f64> = (0..n * n).map(|i| ((i % 11) as f64 - 5.0) * 0.25).collect();
+            let b: Vec<f64> = (0..n * n).map(|i| ((i % 13) as f64 - 6.0) * 0.125).collect();
+            let c0: Vec<f64> = (0..n * n).map(|i| ((i % 7) as f64 - 3.0) * 0.5).collect();
+            let flops = 2.0 * (n as f64).powi(3);
+
+            let mut up = f64::INFINITY;
+            for _ in 0..3 {
+                let mut c = c0.clone();
+                let t = Instant::now();
+                dgemm_blocked_unpacked(1.25, &a, &b, 0.75, &mut c, n, n, n, bs);
+                up = up.min(t.elapsed().as_secs_f64());
+            }
+            let mut pk = f64::INFINITY;
+            for _ in 0..3 {
+                let mut c = c0.clone();
+                let t = Instant::now();
+                dgemm_blocked(1.25, &a, &b, 0.75, &mut c, n, n, n, bs);
+                pk = pk.min(t.elapsed().as_secs_f64());
+            }
+            println!(
+                "n={n} bs={bs}: unpacked {:.2} GFLOPS, packed {:.2} GFLOPS, speedup {:.2}x",
+                flops / up / 1e9,
+                flops / pk / 1e9,
+                up / pk
+            );
+        }
+    }
+}

@@ -13,11 +13,101 @@ use crate::monitor::{BufferTable, LaunchMonitor};
 use crate::prelaunch;
 use crate::report::Finding;
 use enprop_gpusim::emulator::{
-    run_grid_monitored, BlockKernel, Dim2, EmuDgemm, EmuRowFft, EventCounters, GlobalMem,
+    run_grid_monitored_sampled, BlockKernel, Dim2, EmuDgemm, EmuRowFft, EventCounters, GlobalMem,
 };
 use enprop_gpusim::model::max_group;
 use enprop_gpusim::{GpuArch, TiledDgemmConfig};
 use serde::Serialize;
+
+/// Deterministic 1-in-k block sampling for production-scale sanitizing.
+///
+/// Selection is a pure function of the run seed and the block's linear
+/// index (SplitMix64 finalizer, `hash % k == 0`), so a given
+/// `(seed, k, launch)` always monitors the same blocks — reports stay
+/// bit-for-bit reproducible across runs and machines, exactly like full
+/// monitoring. [`SampleSpec::full`] (k = 1) monitors every block and is
+/// the default everywhere.
+///
+/// Sampling trades checker *coverage* for speed: unselected blocks run on
+/// the uninstrumented (batched) fast path, so intra-block hazards in them
+/// and inter-block hazards involving only unselected blocks go unseen.
+/// The kernels' block-symmetric structure makes one monitored block
+/// representative; see DESIGN.md for the full soundness argument. The
+/// drivers guarantee every launch monitors at least one block (via
+/// [`SampleSpec::fallback_block`], when the hash selects none of a small
+/// grid), and the self-test corpus always runs unsampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub struct SampleSpec {
+    k: u64,
+    seed: u64,
+}
+
+impl SampleSpec {
+    /// Full monitoring: every block is selected (`k = 1`).
+    pub fn full() -> Self {
+        Self { k: 1, seed: 0 }
+    }
+
+    /// Monitor one block in `k`, selected deterministically from `seed`.
+    /// `k = 1` (or 0) degrades to full monitoring.
+    pub fn one_in(k: u64, seed: u64) -> Self {
+        Self { k: k.max(1), seed }
+    }
+
+    /// The sampling rate denominator (1 = full monitoring).
+    pub fn rate(&self) -> u64 {
+        self.k
+    }
+
+    /// Whether every block is monitored.
+    pub fn is_full(&self) -> bool {
+        self.k <= 1
+    }
+
+    /// Whether block `(bx, by)` of a grid `grid_x` blocks wide is
+    /// monitored. Pure and deterministic in `(seed, k, index)`.
+    pub fn selects(&self, grid_x: usize, bx: usize, by: usize) -> bool {
+        self.k <= 1 || self.hash(grid_x, bx, by).is_multiple_of(self.k)
+    }
+
+    /// The block a driver must monitor anyway when the hash selects no
+    /// block of a `grid_x × grid_y` grid (small grids under large `k`):
+    /// the minimal-hash block, so the choice is as deterministic as
+    /// [`selects`](SampleSpec::selects) itself. `None` when at least one
+    /// block is already selected — every launch thus monitors ≥ 1 block.
+    pub fn fallback_block(&self, grid_x: usize, grid_y: usize) -> Option<(usize, usize)> {
+        if self.k <= 1 {
+            return None;
+        }
+        let mut best = (0usize, 0usize);
+        let mut best_hash = u64::MAX;
+        for by in 0..grid_y {
+            for bx in 0..grid_x {
+                let h = self.hash(grid_x, bx, by);
+                if h.is_multiple_of(self.k) {
+                    return None;
+                }
+                if h < best_hash {
+                    best_hash = h;
+                    best = (bx, by);
+                }
+            }
+        }
+        Some(best)
+    }
+
+    /// SplitMix64 finalizer over the block's linear index, keyed by the
+    /// run seed.
+    fn hash(&self, grid_x: usize, bx: usize, by: usize) -> u64 {
+        let lin = (by * grid_x + bx) as u64;
+        let mut z = self.seed ^ lin.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        z
+    }
+}
 
 /// The sanitized outcome of one kernel launch (or of its rejected
 /// pre-launch validation, in which case `blocks == 0`).
@@ -27,6 +117,9 @@ pub struct KernelReport {
     pub kernel: String,
     /// Thread blocks executed (0 when pre-launch validation rejected).
     pub blocks: usize,
+    /// Thread blocks that ran under the monitor (`== blocks` when
+    /// monitoring is full; fewer under [`SampleSpec`] sampling).
+    pub monitored_blocks: usize,
     /// Every finding, in deterministic discovery order.
     pub findings: Vec<Finding>,
     /// Findings dropped past the per-launch reporting cap.
@@ -79,20 +172,37 @@ pub(crate) fn fill(len: usize, seed: u64) -> Vec<f64> {
 
 /// Runs an arbitrary [`BlockKernel`] under a fresh [`LaunchMonitor`] and
 /// packages the outcome. The generic entry point the shipped-kernel
-/// drivers and the seeded fixtures share.
+/// drivers and the seeded fixtures share; every block is monitored.
 pub fn sanitize_kernel<K: BlockKernel>(
     label: &str,
     grid: Dim2,
     kernel: &K,
     table: BufferTable,
 ) -> KernelReport {
+    sanitize_kernel_sampled(label, grid, kernel, table, SampleSpec::full())
+}
+
+/// [`sanitize_kernel`] under a [`SampleSpec`]: only selected blocks run
+/// instrumented; the rest take the uninstrumented (batched) fast path and
+/// are invisible to the checkers.
+pub fn sanitize_kernel_sampled<K: BlockKernel>(
+    label: &str,
+    grid: Dim2,
+    kernel: &K,
+    table: BufferTable,
+    sample: SampleSpec,
+) -> KernelReport {
     let monitor = LaunchMonitor::new(table, kernel.shared_len());
     let events = EventCounters::new();
-    run_grid_monitored(
+    let fallback = sample.fallback_block(grid.x, grid.y);
+    let mut monitored = 0usize;
+    run_grid_monitored_sampled(
         grid,
         kernel,
         &events,
+        |bx, by| sample.selects(grid.x, bx, by) || fallback == Some((bx, by)),
         |_, _| {
+            monitored += 1;
             monitor.begin_block();
             monitor.sink()
         },
@@ -102,6 +212,7 @@ pub fn sanitize_kernel<K: BlockKernel>(
     KernelReport {
         kernel: label.to_string(),
         blocks: grid.count(),
+        monitored_blocks: monitored,
         findings: out.findings,
         suppressed: out.suppressed,
     }
@@ -110,10 +221,25 @@ pub fn sanitize_kernel<K: BlockKernel>(
 /// Sanitizes one tiled-DGEMM launch: pre-launch geometry validation, then
 /// (if launchable) a fully monitored execution over deterministic inputs.
 pub fn sanitize_dgemm(cfg: TiledDgemmConfig, arch: &GpuArch) -> KernelReport {
+    sanitize_dgemm_sampled(cfg, arch, SampleSpec::full())
+}
+
+/// [`sanitize_dgemm`] under a [`SampleSpec`].
+pub fn sanitize_dgemm_sampled(
+    cfg: TiledDgemmConfig,
+    arch: &GpuArch,
+    sample: SampleSpec,
+) -> KernelReport {
     let label = format!("dgemm N={} BS={} G={} R={}", cfg.n, cfg.bs, cfg.g, cfg.r);
     let findings = prelaunch::check_dgemm(&cfg, arch);
     if !findings.is_empty() {
-        return KernelReport { kernel: label, blocks: 0, findings, suppressed: 0 };
+        return KernelReport {
+            kernel: label,
+            blocks: 0,
+            monitored_blocks: 0,
+            findings,
+            suppressed: 0,
+        };
     }
 
     let n = cfg.n;
@@ -125,22 +251,27 @@ pub fn sanitize_dgemm(cfg: TiledDgemmConfig, arch: &GpuArch) -> KernelReport {
     table.register(b.id(), "B", n * n);
     table.register(c.id(), "C", n * n);
 
+    let tiles = n / cfg.bs;
     let monitor = LaunchMonitor::new(table, 2 * cfg.bs * cfg.bs);
-    EmuDgemm::new(cfg).run_monitored(
+    let fallback = sample.fallback_block(tiles, tiles);
+    let mut monitored = 0usize;
+    EmuDgemm::new(cfg).run_monitored_sampled(
         &a,
         &b,
         &c,
+        |bx, by| sample.selects(tiles, bx, by) || fallback == Some((bx, by)),
         |_, _| {
+            monitored += 1;
             monitor.begin_block();
             monitor.sink()
         },
         |bx, by, _sink, exit| monitor.end_block(bx, by, &exit),
     );
     let out = monitor.finish();
-    let tiles = n / cfg.bs;
     KernelReport {
         kernel: label,
         blocks: tiles * tiles,
+        monitored_blocks: monitored,
         findings: out.findings,
         suppressed: out.suppressed,
     }
@@ -148,10 +279,26 @@ pub fn sanitize_dgemm(cfg: TiledDgemmConfig, arch: &GpuArch) -> KernelReport {
 
 /// Sanitizes one row-FFT launch, analogously to [`sanitize_dgemm`].
 pub fn sanitize_fft(n: usize, rows: usize, arch: &GpuArch) -> KernelReport {
+    sanitize_fft_sampled(n, rows, arch, SampleSpec::full())
+}
+
+/// [`sanitize_fft`] under a [`SampleSpec`].
+pub fn sanitize_fft_sampled(
+    n: usize,
+    rows: usize,
+    arch: &GpuArch,
+    sample: SampleSpec,
+) -> KernelReport {
     let label = format!("fft n={n} rows={rows}");
     let findings = prelaunch::check_fft(n, rows, arch);
     if !findings.is_empty() {
-        return KernelReport { kernel: label, blocks: 0, findings, suppressed: 0 };
+        return KernelReport {
+            kernel: label,
+            blocks: 0,
+            monitored_blocks: 0,
+            findings,
+            suppressed: 0,
+        };
     }
 
     let data = GlobalMem::from_slice(&fill(2 * rows * n, 0xF0F7));
@@ -159,16 +306,26 @@ pub fn sanitize_fft(n: usize, rows: usize, arch: &GpuArch) -> KernelReport {
     table.register(data.id(), "signal", 2 * rows * n);
 
     let monitor = LaunchMonitor::new(table, 2 * n);
-    EmuRowFft::new(n, rows).run_monitored(
+    let fallback = sample.fallback_block(1, rows);
+    let mut monitored = 0usize;
+    EmuRowFft::new(n, rows).run_monitored_sampled(
         &data,
+        |bx, by| sample.selects(1, bx, by) || fallback == Some((bx, by)),
         |_, _| {
+            monitored += 1;
             monitor.begin_block();
             monitor.sink()
         },
         |bx, by, _sink, exit| monitor.end_block(bx, by, &exit),
     );
     let out = monitor.finish();
-    KernelReport { kernel: label, blocks: rows, findings: out.findings, suppressed: out.suppressed }
+    KernelReport {
+        kernel: label,
+        blocks: rows,
+        monitored_blocks: monitored,
+        findings: out.findings,
+        suppressed: out.suppressed,
+    }
 }
 
 /// The DGEMM configurations a sweep sanitizes: every valid `BS` for each
@@ -214,12 +371,18 @@ pub fn fft_grid(all: bool) -> Vec<(usize, usize)> {
 
 /// Sanitizes every shipped kernel configuration on `arch`.
 pub fn sanitize_all(arch: &GpuArch, all: bool) -> SanitizeReport {
+    sanitize_all_sampled(arch, all, SampleSpec::full())
+}
+
+/// [`sanitize_all`] under a [`SampleSpec`]: the production-scale sweep
+/// mode (`repro sanitize --sample K`).
+pub fn sanitize_all_sampled(arch: &GpuArch, all: bool, sample: SampleSpec) -> SanitizeReport {
     let mut kernels = Vec::new();
     for cfg in dgemm_grid(arch, all) {
-        kernels.push(sanitize_dgemm(cfg, arch));
+        kernels.push(sanitize_dgemm_sampled(cfg, arch, sample));
     }
     for (n, rows) in fft_grid(all) {
-        kernels.push(sanitize_fft(n, rows, arch));
+        kernels.push(sanitize_fft_sampled(n, rows, arch, sample));
     }
     SanitizeReport { arch: arch.name.clone(), kernels }
 }
