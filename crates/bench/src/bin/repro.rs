@@ -3,7 +3,7 @@
 //! ```text
 //! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json|sanitize]
 //!       [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] [--check]
-//!       [--checkpoint DIR] [--resume] [--all] [--self-test] [--sample K]
+//!       [--checkpoint DIR] [--resume] [--all] [--full] [--self-test] [--sample K]
 //! ```
 //!
 //! With `--json DIR` each generated artifact is additionally written as a
@@ -29,9 +29,12 @@
 //!
 //! The `bench-json` subcommand times (a) the Fig. 7 measured sweep
 //! serially and in parallel, verifying both produce identical results,
-//! (b) the functional emulator running tiled DGEMM (N = 256, BS = 16) on
-//! the retired OS-thread engine vs the barrier-phase interpreter, and
-//! (c) a fault-injection smoke sweep — the K40c N = 8704 workload (102
+//! (b) the functional emulator running tiled DGEMM on the retired
+//! OS-thread engine vs the barrier-phase interpreter (N = 128 by default
+//! — the OS-thread engine spawns one thread per CUDA thread and dominates
+//! the benchmark's wall-clock; `--full` restores the historical N = 256
+//! workload; either way the JSON `workload` string names the size used),
+//! and (c) a fault-injection smoke sweep — the K40c N = 8704 workload (102
 //! configurations) under a 5% transient-failure rate with the default
 //! 3-attempt retry policy, run at 1, 2, and 8 threads and compared for
 //! exact equality of both the surviving points and the exhausted-retry
@@ -40,27 +43,45 @@
 //! final record torn), then resumed at 1, 2, and 8 threads and compared
 //! bitwise against the uninterrupted run, with the journal's wall-clock
 //! overhead measured — and writes everything, including `host_cores`, to
-//! `BENCH_sweep.json`. Three further sections measure this tree's fast
-//! paths: `emulator_batch` (the batched SoA phase bodies vs the scalar
-//! per-thread interpreter, results and counters compared exactly),
-//! `host_kernels` (the packed 4 × 8 register-tiled DGEMM vs the retained
-//! unpacked baseline in GFLOPS, plus the twiddle-hoisted 2-D FFT), and
-//! `sanitize_sampled` (1-in-8 sampled monitoring vs full monitoring vs
-//! the scalar baseline). With `--check` it exits non-zero on a
-//! performance regression: sweep parallel speedup < 1.5× at ≥ 4 threads
-//! (enforced only when the host has ≥ 4 cores — on fewer cores
+//! `BENCH_sweep.json`. Five further sections measure this tree's fast
+//! paths: `emulator_batch` (the explicit-SIMD batched SoA phase bodies vs
+//! the scalar per-thread interpreter AND vs the same batch bodies pinned
+//! to the scalar-sse2 tier — the PR 7 auto-vectorized baseline — with
+//! results and counters compared exactly), `host_kernels` (the packed
+//! 4 × 8 register-tiled DGEMM vs the retained unpacked baseline in
+//! GFLOPS, plus the twiddle-hoisted 2-D FFT), `host_kernels_mt` (the
+//! multi-threaded packed DGEMM and chunk-claiming 2-D FFT vs their serial
+//! forms, bitwise-identical across 1/2/8 threads), `sanitize_sampled`
+//! (1-in-8 sampled monitoring vs full monitoring vs the scalar baseline),
+//! and `sanitize_batched` (full monitoring riding the batched bulk trace
+//! path vs per-access scalar-hook monitoring vs the uninstrumented scalar
+//! interpreter, findings compared exactly). Every kernel-related section
+//! records the selected SIMD dispatch path (`avx512` / `avx2` /
+//! `scalar-sse2` for the emulator, `avx2` / `scalar` for the host
+//! kernels) as a `simd_dispatch` field. With `--check` it exits non-zero
+//! on a performance regression: sweep parallel speedup < 1.5× at ≥ 4
+//! threads (enforced only when the host has ≥ 4 cores — on fewer cores
 //! wall-clock speedup is physically impossible and the gate reduces to
 //! the bitwise-identity check; the skip is recorded in the JSON as a
 //! self-describing `speedup_gate` object), phase-interpreter speedup over
 //! the legacy engine < 10×, batched-vs-scalar emulator speedup < 2×,
-//! packed-vs-unpacked DGEMM speedup < 1.5×, sampled-sanitizer overhead
-//! above 3× over the scalar baseline at k = 8 (or a sampled run that
-//! misses a self-test fixture), a fault-smoke sweep that loses configurations
-//! without recording them, fault-smoke output that differs across thread
-//! counts, a sanitized DGEMM run that reports findings, a resumed sweep
-//! that is not bitwise-identical to the uninterrupted one, a torn journal
-//! record that is not detected and dropped, a replayed + recomputed count
-//! that does not cover the sweep, or journal overhead above 10%.
+//! explicit-SIMD speedup over the pinned scalar-sse2 batch bodies < 1.3×
+//! (skipped self-describingly when the host dispatches scalar-sse2),
+//! packed-vs-unpacked DGEMM speedup < 1.5×, a multi-threaded host kernel
+//! that is not bitwise-identical to its serial form at 1/2/8 threads (the
+//! MT *speedup* gate follows the `speedup_gate` convention and is skipped
+//! on small hosts), sampled-sanitizer overhead above 3× over the scalar
+//! baseline at k = 8 (or a sampled run that misses a self-test fixture),
+//! batched-monitoring overhead above 8× over the uninstrumented scalar
+//! baseline (or batched-monitoring findings that differ from the scalar
+//! monitored run, or a fixture missed), a fault-smoke sweep that loses
+//! configurations without recording them, fault-smoke output that differs
+//! across thread counts, a sanitized DGEMM run that reports findings, a
+//! resumed sweep that is not bitwise-identical to the uninterrupted one,
+//! a torn journal record that is not detected and dropped, a replayed +
+//! recomputed count that does not cover the sweep, or journal overhead
+//! above 10% (measured as an interleaved median-of-5 so scheduler jitter
+//! cannot masquerade as a journal cost or saving).
 //!
 //! The `sanitize` subcommand runs the `enprop-sanitize` checkers
 //! (racecheck / memcheck / synccheck / prelaunch) over every shipped
@@ -77,7 +98,7 @@
 use enprop_apps::checkpoint::{CrashPlan, SweepCheckpoint};
 use enprop_apps::{GpuMatMulApp, RetryPolicy, SweepExecutor, SweepFailure};
 use enprop_bench::figures;
-use enprop_gpusim::emulator::{EmuDgemm, GlobalMem, WavePlan};
+use enprop_gpusim::emulator::{EmuDgemm, ForceScalar, GlobalMem, SimdPath, WavePlan};
 use enprop_gpusim::{GpuArch, TiledDgemmConfig};
 use enprop_power::FaultPlan;
 use std::io::Write;
@@ -101,6 +122,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut faults: Option<f64> = None;
     let mut check = false;
+    let mut full = false;
     let mut sanitize_all = false;
     let mut self_test = false;
     let mut sample_k: Option<u64> = None;
@@ -119,6 +141,7 @@ fn main() {
             }
             "--resume" => resume = true,
             "--all" => sanitize_all = true,
+            "--full" => full = true,
             "--self-test" => self_test = true,
             "--sample" => {
                 let k = it
@@ -171,7 +194,13 @@ fn main() {
     let checkpoint = checkpoint_dir.as_deref().map(|dir| (dir, resume));
 
     if which == "bench-json" {
-        bench_sweep(threads, faults.unwrap_or(DEFAULT_FAULT_RATE), json_dir.as_deref(), check);
+        bench_sweep(
+            threads,
+            faults.unwrap_or(DEFAULT_FAULT_RATE),
+            json_dir.as_deref(),
+            check,
+            full,
+        );
         return;
     }
 
@@ -508,6 +537,8 @@ struct SweepBench {
 struct EmulatorBench {
     workload: String,
     blocks: usize,
+    /// SIMD tier the phase interpreter's batched bodies dispatched to.
+    simd_dispatch: String,
     legacy_secs: f64,
     phase_secs: f64,
     legacy_blocks_per_sec: f64,
@@ -572,6 +603,8 @@ struct CheckpointRecovery {
 #[derive(serde::Serialize)]
 struct SanitizeOverhead {
     workload: String,
+    /// SIMD tier of the batched phase bodies both sides run on.
+    simd_dispatch: String,
     /// Uninstrumented serial phase-interpreter run (best of 3).
     uninstrumented_secs: f64,
     /// The same launch under a `LaunchMonitor` (best of 3).
@@ -586,23 +619,38 @@ struct SanitizeOverhead {
 
 /// The batched SoA fast path vs the scalar per-thread interpreter, both
 /// uninstrumented and serial, with results and event-counter totals
-/// compared exactly.
+/// compared exactly — plus the explicit-SIMD bodies vs the same batch
+/// bodies pinned to the scalar-sse2 tier (the PR 7 auto-vectorized
+/// baseline).
 #[derive(serde::Serialize)]
 struct EmulatorBatchBench {
     workload: String,
     blocks: usize,
+    /// SIMD tier the production batched bodies dispatched to.
+    simd_dispatch: String,
     /// Scalar per-thread phase loop (`ScalarProbe` baseline), best of 3.
     scalar_secs: f64,
-    /// Batched SoA phase bodies (the production `NoSink` path), best of 3.
+    /// Batched SoA phase bodies (the production `NoSink` path, explicit
+    /// SIMD at `simd_dispatch`), best of 3.
     batched_secs: f64,
+    /// The same batch bodies pinned to the scalar-sse2 tier — PR 7's
+    /// auto-vectorized loops — best of 3.
+    autovec_batched_secs: f64,
     scalar_blocks_per_sec: f64,
     batched_blocks_per_sec: f64,
     /// `scalar_secs / batched_secs` — gated >= 2x by `--check`.
     speedup: f64,
+    /// `autovec_batched_secs / batched_secs` — gated >= 1.3x by `--check`
+    /// whenever `simd_dispatch` is not `scalar-sse2` (on a scalar host the
+    /// two paths are the same code and the gate is skipped).
+    simd_speedup: f64,
     /// The batched output is bitwise-identical to the scalar output.
     results_identical: bool,
     /// The batched event-counter totals equal the scalar totals exactly.
     counters_identical: bool,
+    /// The explicit-SIMD output and counters are bitwise-identical to the
+    /// pinned scalar-sse2 batch bodies.
+    simd_results_identical: bool,
 }
 
 /// Packed register-tiled host DGEMM vs the unpacked blocked baseline, and
@@ -628,6 +676,44 @@ struct HostKernelsBench {
     fft2d_secs: f64,
     /// By the paper's work measure `5 N^2 log2 N`.
     fft2d_gflops: f64,
+    /// Instruction-set tier the host DGEMM driver dispatched to
+    /// (`avx2` or `scalar`).
+    simd_dispatch: String,
+}
+
+/// Multi-threaded host kernels (PR 8): the packed DGEMM run over
+/// cursor-claimed row slabs and the chunk-claiming 2-D FFT, against their
+/// serial forms. Identity is bitwise at every thread count; the wall-clock
+/// speedup gate follows the `speedup_gate` convention (skipped
+/// self-describingly on hosts that cannot speed up).
+#[derive(serde::Serialize)]
+struct HostKernelsMt {
+    workload: String,
+    /// Instruction-set tier the packed DGEMM driver dispatched to.
+    simd_dispatch: String,
+    /// Worker count of the timed MT runs below (identity is additionally
+    /// checked at 1, 2, and 8 threads).
+    threads: usize,
+    /// Serial packed DGEMM, best of 3.
+    dgemm_serial_secs: f64,
+    /// `dgemm_blocked_mt` at `threads` workers, best of 3.
+    dgemm_mt_secs: f64,
+    /// `dgemm_serial_secs / dgemm_mt_secs`.
+    dgemm_speedup: f64,
+    /// MT output bitwise-equals the serial output at 1, 2, and 8 threads.
+    dgemm_identical_across_threads: bool,
+    /// Serial 2-D FFT, best of 3.
+    fft2d_serial_secs: f64,
+    /// `fft2d_parallel` at `threads` workers, best of 3.
+    fft2d_mt_secs: f64,
+    /// `fft2d_serial_secs / fft2d_mt_secs`.
+    fft2d_speedup: f64,
+    /// Parallel output bitwise-equals the serial output at 1, 2, and 8
+    /// threads.
+    fft2d_identical_across_threads: bool,
+    /// Whether the `--check` MT speedup gate applies to this run, and if
+    /// not, why (1-core hosts cannot speed up; identity is still gated).
+    speedup_gate: SpeedupGate,
 }
 
 /// 1-in-k sampled sanitizing vs full monitoring vs the uninstrumented
@@ -661,6 +747,44 @@ struct SanitizeSampled {
     /// equal `selftest_total`.
     selftest_caught: usize,
     selftest_total: usize,
+    /// SIMD tier of the batched bodies the unmonitored blocks run on.
+    simd_dispatch: String,
+}
+
+/// Full monitoring riding the batched bulk trace path (PR 8 —
+/// `MonitorSink::BULK` consumes per-phase access batches) vs per-access
+/// scalar-hook monitoring (pinned via `ForceScalar`) vs the
+/// uninstrumented scalar interpreter.
+#[derive(serde::Serialize)]
+struct SanitizeBatched {
+    workload: String,
+    /// SIMD tier of the batched bodies the monitored run executes.
+    simd_dispatch: String,
+    /// Uninstrumented scalar-interpreter baseline, best of 3.
+    scalar_secs: f64,
+    /// Full monitoring through the per-access scalar hooks
+    /// (`ForceScalar` pins the interpreter loop), best of 2.
+    monitored_scalar_secs: f64,
+    /// Full monitoring riding the batched bulk trace path, best of 3.
+    monitored_batched_secs: f64,
+    /// `monitored_batched_secs / scalar_secs` — gated <= 8x by `--check`.
+    overhead_vs_scalar: f64,
+    /// `monitored_scalar_secs / monitored_batched_secs` — what the bulk
+    /// path buys over per-access monitoring (informative).
+    speedup_vs_scalar_monitoring: f64,
+    /// Findings from the batched-monitored run — must be 0 for the
+    /// shipped kernel.
+    findings: usize,
+    /// The batched-monitored findings equal the scalar-monitored findings
+    /// exactly (count, order, and content).
+    findings_identical: bool,
+    /// Both monitored runs left the output bitwise-identical to the
+    /// uninstrumented run.
+    results_identical: bool,
+    /// Self-test fixtures still caught with the bulk-capable sink — must
+    /// equal `selftest_total`.
+    selftest_caught: usize,
+    selftest_total: usize,
 }
 
 #[derive(serde::Serialize)]
@@ -672,17 +796,26 @@ struct BenchReport {
     emulator: EmulatorBench,
     emulator_batch: EmulatorBatchBench,
     host_kernels: HostKernelsBench,
+    host_kernels_mt: HostKernelsMt,
     fault_smoke: FaultSmoke,
     checkpoint_recovery: CheckpointRecovery,
     sanitize_overhead: SanitizeOverhead,
     sanitize_sampled: SanitizeSampled,
+    sanitize_batched: SanitizeBatched,
 }
 
 /// Times the Fig. 7 measured workload (K40c, N = 8704 and 10240) serially
 /// and in parallel, checks bitwise identity; times the emulator old-vs-new
-/// engines on tiled DGEMM (N = 256, BS = 16); writes `BENCH_sweep.json`.
-/// With `check`, exits non-zero on a perf regression (see module docs).
-fn bench_sweep(threads: Option<usize>, fault_rate: f64, json_dir: Option<&str>, check: bool) {
+/// engines on tiled DGEMM (N = 128, or 256 with `full`); writes
+/// `BENCH_sweep.json`. With `check`, exits non-zero on a perf regression
+/// (see module docs).
+fn bench_sweep(
+    threads: Option<usize>,
+    fault_rate: f64,
+    json_dir: Option<&str>,
+    check: bool,
+    full: bool,
+) {
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let app = GpuMatMulApp::new(GpuArch::k40c(), 8);
@@ -750,12 +883,13 @@ fn bench_sweep(threads: Option<usize>, fault_rate: f64, json_dir: Option<&str>, 
     );
     assert!(bitwise_identical, "parallel sweep diverged from serial output");
 
-    let emulator = bench_emulator_engines();
+    let emulator = bench_emulator_engines(full);
     println!(
-        "emulator: {} ({} blocks): legacy {:.2}s ({:.0} blk/s), \
+        "emulator: {} ({} blocks, {}): legacy {:.2}s ({:.0} blk/s), \
          phase {:.3}s ({:.0} blk/s), speedup {:.1}x, identical: {}",
         emulator.workload,
         emulator.blocks,
+        emulator.simd_dispatch,
         emulator.legacy_secs,
         emulator.legacy_blocks_per_sec,
         emulator.phase_secs,
@@ -767,20 +901,29 @@ fn bench_sweep(threads: Option<usize>, fault_rate: f64, json_dir: Option<&str>, 
 
     let emulator_batch = bench_emulator_batch();
     println!(
-        "emulator batch: {} ({} blocks): scalar {:.3}s ({:.0} blk/s), \
-         batched {:.3}s ({:.0} blk/s), speedup {:.2}x, identical: {} (counters: {})",
+        "emulator batch: {} ({} blocks, {}): scalar {:.3}s ({:.0} blk/s), \
+         autovec {:.3}s, batched {:.3}s ({:.0} blk/s), speedup {:.2}x \
+         (simd {:.2}x), identical: {} (counters: {}, simd: {})",
         emulator_batch.workload,
         emulator_batch.blocks,
+        emulator_batch.simd_dispatch,
         emulator_batch.scalar_secs,
         emulator_batch.scalar_blocks_per_sec,
+        emulator_batch.autovec_batched_secs,
         emulator_batch.batched_secs,
         emulator_batch.batched_blocks_per_sec,
         emulator_batch.speedup,
+        emulator_batch.simd_speedup,
         emulator_batch.results_identical,
-        emulator_batch.counters_identical
+        emulator_batch.counters_identical,
+        emulator_batch.simd_results_identical
     );
     assert!(emulator_batch.results_identical, "batched path diverged from scalar output");
     assert!(emulator_batch.counters_identical, "batched path diverged from scalar counters");
+    assert!(
+        emulator_batch.simd_results_identical,
+        "explicit-SIMD bodies diverged from the pinned scalar-sse2 batch bodies"
+    );
 
     let host_kernels = bench_host_kernels();
     println!(
@@ -799,6 +942,32 @@ fn bench_sweep(threads: Option<usize>, fault_rate: f64, json_dir: Option<&str>, 
         host_kernels.fft2d_gflops
     );
     assert!(host_kernels.dgemm_results_match, "packed DGEMM diverged from the unpacked baseline");
+
+    let host_kernels_mt = bench_host_kernels_mt(host_cores);
+    println!(
+        "host kernels mt: {} ({}, {} thread(s)): dgemm serial {:.3}s, \
+         mt {:.3}s ({:.2}x), identical across 1/2/8: {}; \
+         fft2d serial {:.3}s, mt {:.3}s ({:.2}x), identical across 1/2/8: {}",
+        host_kernels_mt.workload,
+        host_kernels_mt.simd_dispatch,
+        host_kernels_mt.threads,
+        host_kernels_mt.dgemm_serial_secs,
+        host_kernels_mt.dgemm_mt_secs,
+        host_kernels_mt.dgemm_speedup,
+        host_kernels_mt.dgemm_identical_across_threads,
+        host_kernels_mt.fft2d_serial_secs,
+        host_kernels_mt.fft2d_mt_secs,
+        host_kernels_mt.fft2d_speedup,
+        host_kernels_mt.fft2d_identical_across_threads
+    );
+    assert!(
+        host_kernels_mt.dgemm_identical_across_threads,
+        "multi-threaded DGEMM diverged from the serial kernel"
+    );
+    assert!(
+        host_kernels_mt.fft2d_identical_across_threads,
+        "parallel 2-D FFT diverged from the serial kernel"
+    );
 
     let fault_smoke = bench_fault_smoke(fault_rate);
     println!(
@@ -870,16 +1039,46 @@ fn bench_sweep(threads: Option<usize>, fault_rate: f64, json_dir: Option<&str>, 
         sanitize_sampled.selftest_total
     );
 
+    let sanitize_batched = bench_sanitize_batched();
+    println!(
+        "sanitize batched: {} ({}): scalar {:.3}s, monitored scalar {:.3}s, \
+         monitored batched {:.3}s ({:.2}x over scalar, {:.2}x faster than \
+         scalar monitoring), {} finding(s), findings identical: {}, \
+         results identical: {}, self-test {}/{}",
+        sanitize_batched.workload,
+        sanitize_batched.simd_dispatch,
+        sanitize_batched.scalar_secs,
+        sanitize_batched.monitored_scalar_secs,
+        sanitize_batched.monitored_batched_secs,
+        sanitize_batched.overhead_vs_scalar,
+        sanitize_batched.speedup_vs_scalar_monitoring,
+        sanitize_batched.findings,
+        sanitize_batched.findings_identical,
+        sanitize_batched.results_identical,
+        sanitize_batched.selftest_caught,
+        sanitize_batched.selftest_total
+    );
+    assert!(
+        sanitize_batched.findings_identical,
+        "batched-monitoring findings diverged from the scalar monitored run"
+    );
+    assert!(
+        sanitize_batched.results_identical,
+        "a monitored run diverged from the uninstrumented scalar output"
+    );
+
     let report = BenchReport {
         host_cores,
         sweep,
         emulator,
         emulator_batch,
         host_kernels,
+        host_kernels_mt,
         fault_smoke,
         checkpoint_recovery,
         sanitize_overhead,
         sanitize_sampled,
+        sanitize_batched,
     };
 
     let dir = json_dir.unwrap_or(".");
@@ -894,11 +1093,15 @@ fn bench_sweep(threads: Option<usize>, fault_rate: f64, json_dir: Option<&str>, 
     }
 }
 
-/// Old-vs-new engine comparison: tiled DGEMM at N = 256, BS = 16 — one
-/// 16 × 16 grid of 256-thread blocks through the retired OS-thread engine
-/// and the phase interpreter, same inputs, results compared bitwise.
-fn bench_emulator_engines() -> EmulatorBench {
-    let n = 256usize;
+/// Old-vs-new engine comparison: tiled DGEMM at BS = 16 — a grid of
+/// 256-thread blocks through the retired OS-thread engine and the phase
+/// interpreter, same inputs, results compared bitwise. Defaults to
+/// N = 128 (an 8 × 8 grid): the OS-thread engine spawns one OS thread per
+/// CUDA thread and used to spend ~15 s of the benchmark's wall-clock on
+/// the N = 256 workload; `full` restores that historical size. The
+/// workload string names the size actually used.
+fn bench_emulator_engines(full: bool) -> EmulatorBench {
+    let n = if full { 256usize } else { 128 };
     let bs = 16usize;
     let cfg = TiledDgemmConfig { n, bs, g: 1, r: 1 };
     let blocks = (n / bs) * (n / bs);
@@ -925,8 +1128,12 @@ fn bench_emulator_engines() -> EmulatorBench {
 
     let bits = |m: &GlobalMem| m.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
     EmulatorBench {
-        workload: "tiled DGEMM (N = 256, BS = 16, G = 1, R = 1)".into(),
+        workload: format!(
+            "tiled DGEMM (N = {n}, BS = {bs}, G = 1, R = 1{})",
+            if full { "" } else { "; default-reduced, --full restores N = 256" }
+        ),
         blocks,
+        simd_dispatch: SimdPath::detect().as_str().to_string(),
         legacy_secs,
         phase_secs,
         legacy_blocks_per_sec: blocks as f64 / legacy_secs,
@@ -938,10 +1145,14 @@ fn bench_emulator_engines() -> EmulatorBench {
 
 /// Instrumentation cost of the sanitizer on tiled DGEMM at N = 256,
 /// BS = 16: the serial phase interpreter with the no-op sink (which
-/// monomorphizes away) vs the same launch under a `LaunchMonitor` with
-/// every access flowing through the checkers. Both sides run serially so
-/// the ratio isolates the shadow-memory cost rather than parallelism,
-/// and both are best-of-3.
+/// monomorphizes away) vs the same launch under a `LaunchMonitor`. Since
+/// PR 8 the monitored side rides the batched bulk trace path
+/// (`MonitorSink::BULK` consumes per-phase access batches), so this ratio
+/// prices full monitoring against the *batched* fast path — the
+/// apples-to-apples cost against the scalar interpreter is in the
+/// `sanitize_batched` section. Both sides run serially so the ratio
+/// isolates the shadow-memory cost rather than parallelism, and both are
+/// best-of-3.
 fn bench_sanitize_overhead() -> SanitizeOverhead {
     let n = 256usize;
     let bs = 16usize;
@@ -991,6 +1202,7 @@ fn bench_sanitize_overhead() -> SanitizeOverhead {
     let bits = |m: &GlobalMem| m.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
     SanitizeOverhead {
         workload: "tiled DGEMM (N = 256, BS = 16, G = 1, R = 1), serial waves".into(),
+        simd_dispatch: SimdPath::detect().as_str().to_string(),
         uninstrumented_secs: plain_secs,
         sanitized_secs,
         overhead_ratio: sanitized_secs / plain_secs,
@@ -1002,8 +1214,11 @@ fn bench_sanitize_overhead() -> SanitizeOverhead {
 /// Batched-vs-scalar comparison on the uninstrumented interpreter: tiled
 /// DGEMM at N = 256, BS = 16, serial waves. The scalar side runs through
 /// `run_unbatched` (a transparent non-inert sink pins the per-thread phase
-/// loop); the batched side is the production `run` path with its SoA phase
-/// bodies. Results and event-counter totals must both match exactly.
+/// loop); the batched side is the production `run` path with its
+/// explicit-SIMD SoA phase bodies; a third side pins the same batch
+/// bodies to the scalar-sse2 tier (PR 7's auto-vectorized loops) to price
+/// the explicit SIMD alone. Results and event-counter totals must all
+/// match exactly.
 fn bench_emulator_batch() -> EmulatorBatchBench {
     let n = 256usize;
     let bs = 16usize;
@@ -1038,17 +1253,34 @@ fn bench_emulator_batch() -> EmulatorBatchBench {
         ev_batched = ev;
     }
 
+    let pinned = EmuDgemm::new(cfg).with_wave(WavePlan::fixed(1)).with_simd(SimdPath::ScalarSse2);
+    let mut autovec_batched_secs = f64::INFINITY;
+    let mut c_pinned = GlobalMem::zeroed(n * n);
+    let mut ev_pinned = Default::default();
+    for _ in 0..3 {
+        let c = GlobalMem::zeroed(n * n);
+        let start = Instant::now();
+        let ev = pinned.run(&a, &b, &c);
+        autovec_batched_secs = autovec_batched_secs.min(start.elapsed().as_secs_f64());
+        c_pinned = c;
+        ev_pinned = ev;
+    }
+
     let bits = |m: &GlobalMem| m.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
     EmulatorBatchBench {
         workload: "tiled DGEMM (N = 256, BS = 16, G = 1, R = 1), serial waves".into(),
         blocks,
+        simd_dispatch: emu.simd().as_str().to_string(),
         scalar_secs,
         batched_secs,
+        autovec_batched_secs,
         scalar_blocks_per_sec: blocks as f64 / scalar_secs,
         batched_blocks_per_sec: blocks as f64 / batched_secs,
         speedup: scalar_secs / batched_secs,
+        simd_speedup: autovec_batched_secs / batched_secs,
         results_identical: bits(&c_scalar) == bits(&c_batched),
         counters_identical: ev_scalar == ev_batched,
+        simd_results_identical: bits(&c_batched) == bits(&c_pinned) && ev_batched == ev_pinned,
     }
 }
 
@@ -1115,6 +1347,117 @@ fn bench_host_kernels() -> HostKernelsBench {
         fft2d_shape: format!("{fft_n} x {fft_n}"),
         fft2d_secs,
         fft2d_gflops: fft_work / fft2d_secs / 1e9,
+        simd_dispatch: enprop_kernels::simd_dispatch().to_string(),
+    }
+}
+
+/// Multi-threaded host kernels against their serial forms: the packed
+/// DGEMM over cursor-claimed row slabs (`dgemm_blocked_mt`) and the
+/// chunk-claiming 2-D FFT (`fft2d_parallel`). Output must be
+/// bitwise-identical to the serial kernel at 1, 2, and 8 threads — the
+/// slab/row decompositions never reorder any element's arithmetic — and
+/// the 8-thread wall-clock is reported. The speedup gate follows the
+/// `speedup_gate` convention: on hosts under 4 cores wall-clock speedup
+/// is physically impossible, so only identity is gated.
+fn bench_host_kernels_mt(host_cores: usize) -> HostKernelsMt {
+    use enprop_kernels::{dgemm_blocked, dgemm_blocked_mt, fft2d_parallel, fft2d_serial, Complex};
+
+    let threads = 8usize;
+    let fbits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    let cbits = |s: &[Complex]| {
+        s.iter().flat_map(|c| [c.re.to_bits(), c.im.to_bits()]).collect::<Vec<_>>()
+    };
+
+    let (m, k, n, bs) = (256usize, 256usize, 256usize, 64usize);
+    let a: Vec<f64> = (0..m * k).map(|i| ((i % 11) as f64 - 5.0) * 0.25).collect();
+    let b: Vec<f64> = (0..k * n).map(|i| ((i % 13) as f64 - 6.0) * 0.125).collect();
+    let c0: Vec<f64> = (0..m * n).map(|i| ((i % 7) as f64 - 3.0) * 0.5).collect();
+
+    let mut dgemm_serial_secs = f64::INFINITY;
+    let mut c_serial = Vec::new();
+    for _ in 0..3 {
+        let mut c = c0.clone();
+        let start = Instant::now();
+        dgemm_blocked(1.25, &a, &b, 0.75, &mut c, m, k, n, bs);
+        dgemm_serial_secs = dgemm_serial_secs.min(start.elapsed().as_secs_f64());
+        c_serial = c;
+    }
+    let dgemm_reference = fbits(&c_serial);
+
+    let mut dgemm_mt_secs = f64::INFINITY;
+    let mut dgemm_identical_across_threads = true;
+    for t in [1usize, 2, threads] {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut c = c0.clone();
+            let start = Instant::now();
+            dgemm_blocked_mt(1.25, &a, &b, 0.75, &mut c, m, k, n, bs, t);
+            best = best.min(start.elapsed().as_secs_f64());
+            dgemm_identical_across_threads &= fbits(&c) == dgemm_reference;
+        }
+        if t == threads {
+            dgemm_mt_secs = best;
+        }
+    }
+
+    let fft_n = 512usize;
+    let signal: Vec<Complex> = (0..fft_n * fft_n)
+        .map(|i| Complex::new(((i % 17) as f64 - 8.0) * 0.1, ((i % 19) as f64 - 9.0) * 0.1))
+        .collect();
+    let mut fft2d_serial_secs = f64::INFINITY;
+    let mut fft_serial = Vec::new();
+    for _ in 0..3 {
+        let mut x = signal.clone();
+        let start = Instant::now();
+        fft2d_serial(&mut x, fft_n);
+        fft2d_serial_secs = fft2d_serial_secs.min(start.elapsed().as_secs_f64());
+        fft_serial = x;
+    }
+    let fft_reference = cbits(&fft_serial);
+
+    let mut fft2d_mt_secs = f64::INFINITY;
+    let mut fft2d_identical_across_threads = true;
+    for t in [1usize, 2, threads] {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut x = signal.clone();
+            let start = Instant::now();
+            fft2d_parallel(&mut x, fft_n, t);
+            best = best.min(start.elapsed().as_secs_f64());
+            fft2d_identical_across_threads &= cbits(&x) == fft_reference;
+        }
+        if t == threads {
+            fft2d_mt_secs = best;
+        }
+    }
+
+    let speedup_gate = if host_cores < 4 {
+        SpeedupGate {
+            enforced: false,
+            skipped: true,
+            host_cores,
+            reason: Some(format!(
+                "host has {host_cores} core(s), so wall-clock MT-kernel speedup is \
+                 physically impossible; bitwise identity is still verified"
+            )),
+        }
+    } else {
+        SpeedupGate { enforced: true, skipped: false, host_cores, reason: None }
+    };
+
+    HostKernelsMt {
+        workload: format!("dgemm m=k=n={m}, bs={bs}; fft2d {fft_n} x {fft_n}"),
+        simd_dispatch: enprop_kernels::simd_dispatch().to_string(),
+        threads,
+        dgemm_serial_secs,
+        dgemm_mt_secs,
+        dgemm_speedup: dgemm_serial_secs / dgemm_mt_secs,
+        dgemm_identical_across_threads,
+        fft2d_serial_secs,
+        fft2d_mt_secs,
+        fft2d_speedup: fft2d_serial_secs / fft2d_mt_secs,
+        fft2d_identical_across_threads,
+        speedup_gate,
     }
 }
 
@@ -1210,6 +1553,124 @@ fn bench_sanitize_sampled() -> SanitizeSampled {
         results_identical: bits(&c_scalar) == bits(&c_sampled),
         selftest_caught,
         selftest_total,
+        simd_dispatch: SimdPath::detect().as_str().to_string(),
+    }
+}
+
+/// Full monitoring on the batched bulk trace path vs per-access
+/// scalar-hook monitoring vs the uninstrumented scalar interpreter, all
+/// on tiled DGEMM (N = 256, BS = 16, serial waves). `ForceScalar` pins
+/// the per-access side; findings are compared rendering-exact, outputs
+/// bitwise. This is the section behind the `--check` rule that full
+/// monitoring must cost no more than 8x the uninstrumented *scalar*
+/// interpreter now that shadow updates ride the batched path.
+fn bench_sanitize_batched() -> SanitizeBatched {
+    let n = 256usize;
+    let bs = 16usize;
+    let cfg = TiledDgemmConfig { n, bs, g: 1, r: 1 };
+    let host_a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 - 3.0).collect();
+    let host_b: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64 - 2.0).collect();
+    let emu = EmuDgemm::new(cfg).with_wave(WavePlan::fixed(1));
+    let (a, b) = (GlobalMem::from_slice(&host_a), GlobalMem::from_slice(&host_b));
+
+    let mut scalar_secs = f64::INFINITY;
+    let mut c_scalar = GlobalMem::zeroed(n * n);
+    for _ in 0..3 {
+        let c = GlobalMem::zeroed(n * n);
+        let start = Instant::now();
+        emu.run_unbatched(&a, &b, &c);
+        scalar_secs = scalar_secs.min(start.elapsed().as_secs_f64());
+        c_scalar = c;
+    }
+
+    let render = |findings: &[enprop_sanitize::Finding]| {
+        findings.iter().map(|f| format!("{f:?}")).collect::<Vec<_>>()
+    };
+
+    // One fully-monitored run per round: bulk rides `monitor.sink()`
+    // straight (MonitorSink::BULK consumes phase batches), scalar wraps it
+    // in ForceScalar to pin the per-access interpreter loop.
+    let mut monitored_batched_secs = f64::INFINITY;
+    let mut batched_findings = Vec::new();
+    let mut batched_suppressed = 0usize;
+    let mut c_batched = GlobalMem::zeroed(n * n);
+    for _ in 0..3 {
+        let c = GlobalMem::zeroed(n * n);
+        let mut table = enprop_sanitize::BufferTable::new();
+        table.register(a.id(), "A", n * n);
+        table.register(b.id(), "B", n * n);
+        table.register(c.id(), "C", n * n);
+        let monitor = enprop_sanitize::LaunchMonitor::new(table, 2 * bs * bs);
+        let start = Instant::now();
+        emu.run_monitored(
+            &a,
+            &b,
+            &c,
+            |_, _| {
+                monitor.begin_block();
+                monitor.sink()
+            },
+            |bx, by, _sink, exit| monitor.end_block(bx, by, &exit),
+        );
+        monitored_batched_secs = monitored_batched_secs.min(start.elapsed().as_secs_f64());
+        let out = monitor.finish();
+        batched_findings = render(&out.findings);
+        batched_suppressed = out.suppressed;
+        c_batched = c;
+    }
+
+    let mut monitored_scalar_secs = f64::INFINITY;
+    let mut scalar_findings = Vec::new();
+    let mut scalar_suppressed = 0usize;
+    let mut c_mon_scalar = GlobalMem::zeroed(n * n);
+    for _ in 0..2 {
+        let c = GlobalMem::zeroed(n * n);
+        let mut table = enprop_sanitize::BufferTable::new();
+        table.register(a.id(), "A", n * n);
+        table.register(b.id(), "B", n * n);
+        table.register(c.id(), "C", n * n);
+        let monitor = enprop_sanitize::LaunchMonitor::new(table, 2 * bs * bs);
+        let start = Instant::now();
+        emu.run_monitored(
+            &a,
+            &b,
+            &c,
+            |_, _| {
+                monitor.begin_block();
+                ForceScalar(monitor.sink())
+            },
+            |bx, by, _sink, exit| monitor.end_block(bx, by, &exit),
+        );
+        monitored_scalar_secs = monitored_scalar_secs.min(start.elapsed().as_secs_f64());
+        let out = monitor.finish();
+        scalar_findings = render(&out.findings);
+        scalar_suppressed = out.suppressed;
+        c_mon_scalar = c;
+    }
+
+    let corpus = enprop_sanitize::fixtures::self_test();
+    let selftest_total = corpus.len();
+    let selftest_caught = corpus
+        .iter()
+        .filter(|(expected, rep)| rep.findings.iter().any(|f| f.checker == *expected))
+        .count();
+
+    let bits = |m: &GlobalMem| m.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    SanitizeBatched {
+        workload: "tiled DGEMM (N = 256, BS = 16, G = 1, R = 1), serial waves".into(),
+        simd_dispatch: SimdPath::detect().as_str().to_string(),
+        scalar_secs,
+        monitored_scalar_secs,
+        monitored_batched_secs,
+        overhead_vs_scalar: monitored_batched_secs / scalar_secs,
+        speedup_vs_scalar_monitoring: monitored_scalar_secs / monitored_batched_secs,
+        findings: batched_findings.len() + batched_suppressed,
+        findings_identical: batched_findings == scalar_findings
+            && batched_suppressed == scalar_suppressed,
+        results_identical: bits(&c_batched) == bits(&c_scalar)
+            && bits(&c_mon_scalar) == bits(&c_scalar),
+        selftest_caught,
+        selftest_total,
     }
 }
 
@@ -1253,6 +1714,14 @@ fn bench_fault_smoke(fault_rate: f64) -> FaultSmoke {
     }
 }
 
+/// Median of a timing sample (sorts in place; odd-length upper median for
+/// even counts — fine for ratio-of-medians at the sizes used here).
+fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of an empty sample");
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
 /// Copies a flat journal directory (MANIFEST.json + segment files) so one
 /// crashed journal can seed several independent resume attempts.
 fn copy_journal(src: &Path, dst: &Path) {
@@ -1265,8 +1734,9 @@ fn copy_journal(src: &Path, dst: &Path) {
 
 /// The checkpoint-recovery drill behind `BENCH_sweep.json`'s
 /// `checkpoint_recovery` section: run the fault-smoke sweep (K40c,
-/// N = 8704, 102 configurations) once plain and once journaled at one
-/// thread to price the durability tax, then run it with an injected crash
+/// N = 8704, 102 configurations) plain and journaled — interleaved over
+/// 5 rounds at one thread, ratio of medians — to price the durability
+/// tax, then run it with an injected crash
 /// that kills the journal writer mid-sweep — tearing the final record —
 /// and resume the crashed journal at 1, 2, and 8 threads, requiring every
 /// resume to be bitwise-identical to the uninterrupted sweep.
@@ -1282,21 +1752,20 @@ fn bench_checkpoint_recovery(fault_rate: f64) -> CheckpointRecovery {
         .join(format!("enprop-bench-checkpoint-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
 
-    // Reference sweep and the durability tax, both single-threaded and
-    // best-of-2 so scheduler jitter doesn't swamp the ~percent-level ratio.
-    let mut plain_secs = f64::INFINITY;
+    // Reference sweep and the durability tax, single-threaded. The two
+    // sides are interleaved within each of 5 rounds and the ratio is
+    // taken over per-side *medians*, so a one-off scheduler stall cannot
+    // masquerade as a journal cost — or a saving (best-of-2 once reported
+    // a 0.94x "overhead", i.e. pure timing noise at this ~percent scale).
+    let mut plain_rounds = Vec::with_capacity(5);
+    let mut journaled_rounds = Vec::with_capacity(5);
     let mut plain = None;
-    for _ in 0..2 {
+    for round in 0..5 {
         let start = Instant::now();
         let sweep = app.sweep_measured_robust(n, &exec1, policy, plan);
-        plain_secs = plain_secs.min(start.elapsed().as_secs_f64());
+        plain_rounds.push(start.elapsed().as_secs_f64());
         plain = Some(sweep);
-    }
-    let plain = plain.expect("plain sweep ran");
-    let configs = plain.total;
 
-    let mut journaled_secs = f64::INFINITY;
-    for round in 0..2 {
         let journaled_dir = root.join(format!("journaled-{round}"));
         let checkpoint = SweepCheckpoint::fresh(&journaled_dir, manifest.clone())
             .expect("fresh journal for the overhead run");
@@ -1304,9 +1773,16 @@ fn bench_checkpoint_recovery(fault_rate: f64) -> CheckpointRecovery {
         let journaled = app
             .sweep_measured_robust_resumable(n, &exec1, policy, plan, checkpoint)
             .expect("journaled sweep");
-        journaled_secs = journaled_secs.min(start.elapsed().as_secs_f64());
-        assert!(journaled.sweep == plain, "journaled sweep diverged from the plain sweep");
+        journaled_rounds.push(start.elapsed().as_secs_f64());
+        assert!(
+            journaled.sweep == *plain.as_ref().expect("plain sweep ran"),
+            "journaled sweep diverged from the plain sweep"
+        );
     }
+    let plain = plain.expect("plain sweep ran");
+    let configs = plain.total;
+    let plain_secs = median(&mut plain_rounds);
+    let journaled_secs = median(&mut journaled_rounds);
 
     // Crash mid-journal: kill the writer after about half the records are
     // durable, with a 9-byte torn frame dangling past the last good one.
@@ -1383,6 +1859,25 @@ fn run_perf_gate(report: &BenchReport) {
                 .to_string(),
         );
     }
+    if batch.simd_dispatch == "scalar-sse2" {
+        eprintln!(
+            "check: skipping explicit-SIMD speedup gate — host dispatches scalar-sse2, \
+             so the explicit-SIMD bodies and the pinned baseline are the same code"
+        );
+    } else if batch.simd_speedup < 1.3 {
+        failures.push(format!(
+            "explicit-SIMD ({}) speedup {:.2}x over the pinned scalar-sse2 batch bodies \
+             is below 1.3x",
+            batch.simd_dispatch, batch.simd_speedup
+        ));
+    }
+    if !batch.simd_results_identical {
+        failures.push(
+            "explicit-SIMD batch bodies diverged from the pinned scalar-sse2 bodies \
+             (results or counters)"
+                .to_string(),
+        );
+    }
 
     let host = &report.host_kernels;
     if host.dgemm_speedup < 1.5 {
@@ -1393,6 +1888,40 @@ fn run_perf_gate(report: &BenchReport) {
     }
     if !host.dgemm_results_match {
         failures.push("packed DGEMM output diverged from the unpacked baseline".to_string());
+    }
+
+    let mt = &report.host_kernels_mt;
+    if !mt.dgemm_identical_across_threads {
+        failures.push(
+            "multi-threaded DGEMM is not bitwise-identical to the serial kernel \
+             at 1/2/8 threads"
+                .to_string(),
+        );
+    }
+    if !mt.fft2d_identical_across_threads {
+        failures.push(
+            "parallel 2-D FFT is not bitwise-identical to the serial kernel \
+             at 1/2/8 threads"
+                .to_string(),
+        );
+    }
+    if mt.speedup_gate.enforced {
+        if mt.dgemm_speedup < 1.3 {
+            failures.push(format!(
+                "multi-threaded DGEMM speedup {:.2}x at {} threads is below 1.3x \
+                 (host has {} cores)",
+                mt.dgemm_speedup, mt.threads, mt.speedup_gate.host_cores
+            ));
+        }
+        if mt.fft2d_speedup < 1.3 {
+            failures.push(format!(
+                "parallel 2-D FFT speedup {:.2}x at {} threads is below 1.3x \
+                 (host has {} cores)",
+                mt.fft2d_speedup, mt.threads, mt.speedup_gate.host_cores
+            ));
+        }
+    } else if let Some(reason) = &mt.speedup_gate.reason {
+        eprintln!("check: skipping MT host-kernel speedup gate — {reason}");
     }
 
     let gate = &report.sweep.speedup_gate;
@@ -1486,6 +2015,39 @@ fn run_perf_gate(report: &BenchReport) {
         ));
     }
 
+    let batched_mon = &report.sanitize_batched;
+    if batched_mon.overhead_vs_scalar > 8.0 {
+        failures.push(format!(
+            "batched-monitoring overhead {:.2}x over the uninstrumented scalar \
+             interpreter exceeds the 8x budget",
+            batched_mon.overhead_vs_scalar
+        ));
+    }
+    if batched_mon.findings != 0 {
+        failures.push(format!(
+            "batched monitoring reported {} finding(s) on the shipped kernel",
+            batched_mon.findings
+        ));
+    }
+    if !batched_mon.findings_identical {
+        failures.push(
+            "batched-monitoring findings differ from the scalar monitored run".to_string(),
+        );
+    }
+    if !batched_mon.results_identical {
+        failures.push(
+            "a monitored run diverged from the uninstrumented scalar output".to_string(),
+        );
+    }
+    if batched_mon.selftest_caught != batched_mon.selftest_total {
+        failures.push(format!(
+            "the bulk-capable sink cost the self-test corpus {} fixture(s): {}/{} caught",
+            batched_mon.selftest_total - batched_mon.selftest_caught,
+            batched_mon.selftest_caught,
+            batched_mon.selftest_total
+        ));
+    }
+
     if failures.is_empty() {
         eprintln!("check: all performance gates passed");
     } else {
@@ -1507,7 +2069,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json|\
          sanitize] [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] [--check] \
-         [--checkpoint DIR] [--resume] [--all] [--self-test] [--sample K]"
+         [--checkpoint DIR] [--resume] [--all] [--full] [--self-test] [--sample K]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

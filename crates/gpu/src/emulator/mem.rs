@@ -97,6 +97,25 @@ impl Cells {
         // SAFETY: callers only snapshot between launches (host side).
         self.cells.iter().map(|c| unsafe { *c.get() }).collect()
     }
+
+    /// Bounds-checked base pointer of the `len` cells starting at `idx`,
+    /// for vectorized bulk access. `UnsafeCell<f64>` is layout-compatible
+    /// with `f64`, so consecutive cells form a contiguous `f64` run.
+    ///
+    /// The caller may read or write through the pointer only under the
+    /// type's concurrency contract (disjoint cells across concurrent
+    /// blocks), and only within the checked range.
+    #[inline]
+    fn range_ptr(&self, op: &str, idx: usize, len: usize) -> *mut f64 {
+        let end = idx.saturating_add(len);
+        if end > self.cells.len() {
+            self.oob(op, end.max(1) - 1);
+        }
+        if len == 0 {
+            return std::ptr::NonNull::<f64>::dangling().as_ptr();
+        }
+        self.cells[idx].get()
+    }
 }
 
 /// A launch-stable identity of one [`GlobalMem`] allocation — how an
@@ -156,6 +175,16 @@ impl GlobalMem {
     /// Downloads device data back to the host.
     pub fn to_vec(&self) -> Vec<f64> {
         self.cells.to_vec()
+    }
+
+    /// Bounds-checked base pointer of `len` contiguous doubles starting at
+    /// `idx`, for vectorized batch phase bodies. Panics (attributably) if
+    /// the range overruns the allocation. Reads and writes through the
+    /// pointer are subject to the same disjoint-cell concurrency contract
+    /// as [`GlobalMem::load`] / [`GlobalMem::store`].
+    #[inline]
+    pub fn range_ptr(&self, idx: usize, len: usize) -> *mut f64 {
+        self.cells.range_ptr("range access", idx, len)
     }
 }
 

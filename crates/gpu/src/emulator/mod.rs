@@ -25,13 +25,15 @@ pub mod exec;
 pub mod fft_kernel;
 pub mod legacy;
 pub mod mem;
+pub mod simd;
 pub mod tiled_dgemm;
 
 pub use exec::{
     run_grid, run_grid_monitored, run_grid_monitored_sampled, run_grid_unbatched, AccessPoint,
-    AccessSink, BatchCtx, BlockExit, BlockKernel, Dim2, NoSink, PhaseCtx, PhaseOutcome,
-    ScalarProbe, WavePlan,
+    AccessSink, BatchAccess, BatchCtx, BlockExit, BlockKernel, Dim2, ForceScalar, GlobalBatch,
+    GlobalRun, NoSink, PhaseCtx, PhaseOutcome, PhaseTrace, ScalarProbe, SharedBatch, WavePlan,
 };
 pub use fft_kernel::EmuRowFft;
+pub use simd::SimdPath;
 pub use mem::{BlockCounters, BufId, EmuEvents, EventCounters, GlobalMem, SharedMem};
 pub use tiled_dgemm::EmuDgemm;

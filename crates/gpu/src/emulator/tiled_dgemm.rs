@@ -18,10 +18,11 @@
 
 use super::exec::{
     run_grid, run_grid_monitored, run_grid_monitored_sampled, run_grid_unbatched, AccessSink,
-    BatchCtx, BlockExit, BlockKernel, Dim2, PhaseCtx, PhaseOutcome, WavePlan,
+    BatchCtx, BlockExit, BlockKernel, Dim2, PhaseCtx, PhaseOutcome, PhaseTrace, WavePlan,
 };
 use super::legacy;
 use super::mem::{EmuEvents, EventCounters, GlobalMem};
+use super::simd::SimdPath;
 use crate::model::{shared_bytes, TiledDgemmConfig};
 use crate::GpuArch;
 
@@ -33,17 +34,20 @@ use crate::GpuArch;
 pub struct EmuDgemm {
     cfg: TiledDgemmConfig,
     wave: WavePlan,
+    simd: SimdPath,
 }
 
 impl EmuDgemm {
     /// Wraps a configuration. Panics unless `BS | N` and the group size is
-    /// within the Fig. 5 family limits.
+    /// within the Fig. 5 family limits. The batched phase bodies run on
+    /// the widest SIMD tier the host supports ([`SimdPath::detect`]);
+    /// pin a narrower tier with [`with_simd`](EmuDgemm::with_simd).
     pub fn new(cfg: TiledDgemmConfig) -> Self {
         assert!(cfg.bs >= 1 && cfg.bs <= 32, "BS out of range: {}", cfg.bs);
         assert!(cfg.n.is_multiple_of(cfg.bs), "emulator requires BS | N ({} % {})", cfg.n, cfg.bs);
         assert!(cfg.g >= 1 && cfg.g <= 8, "G out of range: {}", cfg.g);
         assert!(cfg.r >= 1, "R must be positive");
-        Self { cfg, wave: WavePlan::auto() }
+        Self { cfg, wave: WavePlan::auto(), simd: SimdPath::detect() }
     }
 
     /// Binds the block-wave width to `arch`'s occupancy: at most as many
@@ -59,6 +63,20 @@ impl EmuDgemm {
     pub fn with_wave(mut self, wave: WavePlan) -> Self {
         self.wave = wave;
         self
+    }
+
+    /// Pins the batched phase bodies to a SIMD tier, clamped to what the
+    /// host supports ([`SimdPath::pin`]). The forced-fallback equivalence
+    /// suite and the explicit-SIMD benchmark baseline use this; every
+    /// tier is bitwise-identical by contract.
+    pub fn with_simd(mut self, path: SimdPath) -> Self {
+        self.simd = path.pin();
+        self
+    }
+
+    /// The SIMD tier the batched phase bodies run on.
+    pub fn simd(&self) -> SimdPath {
+        self.simd
     }
 
     /// The wrapped configuration.
@@ -77,7 +95,7 @@ impl EmuDgemm {
 
         let tiles = n / bs;
         let events = EventCounters::new();
-        let kernel = DgemmKernel { cfg: self.cfg, tiles, a, b, c };
+        let kernel = DgemmKernel { cfg: self.cfg, tiles, simd: self.simd, a, b, c };
         run_grid(Dim2::new(tiles, tiles), &kernel, &events, self.wave);
         events.snapshot()
     }
@@ -96,7 +114,7 @@ impl EmuDgemm {
 
         let tiles = n / bs;
         let events = EventCounters::new();
-        let kernel = DgemmKernel { cfg: self.cfg, tiles, a, b, c };
+        let kernel = DgemmKernel { cfg: self.cfg, tiles, simd: self.simd, a, b, c };
         run_grid_unbatched(Dim2::new(tiles, tiles), &kernel, &events, self.wave);
         events.snapshot()
     }
@@ -123,7 +141,7 @@ impl EmuDgemm {
 
         let tiles = n / bs;
         let events = EventCounters::new();
-        let kernel = DgemmKernel { cfg: self.cfg, tiles, a, b, c };
+        let kernel = DgemmKernel { cfg: self.cfg, tiles, simd: self.simd, a, b, c };
         run_grid_monitored(Dim2::new(tiles, tiles), &kernel, &events, make_sink, collect);
         events.snapshot()
     }
@@ -150,7 +168,7 @@ impl EmuDgemm {
 
         let tiles = n / bs;
         let events = EventCounters::new();
-        let kernel = DgemmKernel { cfg: self.cfg, tiles, a, b, c };
+        let kernel = DgemmKernel { cfg: self.cfg, tiles, simd: self.simd, a, b, c };
         run_grid_monitored_sampled(
             Dim2::new(tiles, tiles),
             &kernel,
@@ -200,6 +218,7 @@ impl EmuDgemm {
 struct DgemmKernel<'a> {
     cfg: TiledDgemmConfig,
     tiles: usize,
+    simd: SimdPath,
     a: &'a GlobalMem,
     b: &'a GlobalMem,
     c: &'a GlobalMem,
@@ -365,6 +384,403 @@ impl DgemmKernel<'_> {
         counts.global_loads += (bs * bs) as u64;
         counts.global_stores += (bs * bs) as u64;
     }
+
+    // ---- explicit-SIMD dispatch --------------------------------------
+    //
+    // The tier is carried as data ([`SimdPath`]), resolved once at
+    // `EmuDgemm` construction and clamped to host support, so the
+    // `unsafe` feature-gated calls below are sound by construction.
+
+    fn stage_dispatch(&self, states: &[DgemmState], ctx: &mut BatchCtx<'_>) {
+        match self.simd {
+            // SAFETY: `simd` never exceeds `SimdPath::detect()`.
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx512 => unsafe { self.batch_stage_avx512(states, ctx) },
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx2 => unsafe { self.batch_stage_avx2(states, ctx) },
+            _ => self.batch_stage(states, ctx),
+        }
+    }
+
+    fn mac_dispatch(&self, states: &mut [DgemmState], ctx: &mut BatchCtx<'_>) {
+        match self.simd {
+            // SAFETY: `simd` never exceeds `SimdPath::detect()`.
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx512 => unsafe { self.batch_mac_avx512(states, ctx) },
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx2 => unsafe { self.batch_mac_avx2(states, ctx) },
+            _ => self.batch_mac(states, ctx),
+        }
+    }
+
+    fn retire_dispatch(&self, states: &[DgemmState], ctx: &mut BatchCtx<'_>) {
+        match self.simd {
+            // SAFETY: `simd` never exceeds `SimdPath::detect()`.
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx512 => unsafe { self.batch_retire_avx512(states, ctx) },
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx2 => unsafe { self.batch_retire_avx2(states, ctx) },
+            _ => self.batch_retire(states, ctx),
+        }
+    }
+
+    /// Explicit-SIMD stage (AVX2): the row copies of
+    /// [`batch_stage`](Self::batch_stage) as 4-lane vector moves. Pure
+    /// copies — no arithmetic — so bitwise identity is trivial; the
+    /// `range_ptr` bounds check covers each row once up front.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn batch_stage_avx2(&self, states: &[DgemmState], ctx: &mut BatchCtx<'_>) {
+        use core::arch::x86_64::{_mm256_loadu_pd, _mm256_storeu_pd};
+        let (n, bs) = (self.cfg.n, self.cfg.bs);
+        let (ai, bi) = (states[0].ai, states[0].bi);
+        let bs2 = bs * bs;
+        let (as_tile, bs_tile) = ctx.shared().split_at_mut(bs2);
+        for ty in 0..bs {
+            let a_src = self.a.range_ptr(ai + n * ty, bs);
+            let b_src = self.b.range_ptr(bi + n * ty, bs);
+            let a_dst = as_tile[ty * bs..(ty + 1) * bs].as_mut_ptr();
+            let b_dst = bs_tile[ty * bs..(ty + 1) * bs].as_mut_ptr();
+            let mut tx = 0;
+            // SAFETY: sources are `range_ptr`-checked `bs`-length rows,
+            // destinations are `bs`-length subslices, and `tx + lanes ≤ bs`.
+            unsafe {
+                while tx + 4 <= bs {
+                    _mm256_storeu_pd(a_dst.add(tx), _mm256_loadu_pd(a_src.add(tx)));
+                    _mm256_storeu_pd(b_dst.add(tx), _mm256_loadu_pd(b_src.add(tx)));
+                    tx += 4;
+                }
+                while tx < bs {
+                    *a_dst.add(tx) = *a_src.add(tx);
+                    *b_dst.add(tx) = *b_src.add(tx);
+                    tx += 1;
+                }
+            }
+        }
+        let counts = ctx.counters();
+        counts.global_loads += 2 * bs2 as u64;
+        counts.shared_stores += 2 * bs2 as u64;
+    }
+
+    /// Explicit-SIMD stage (AVX-512): 8-lane vector moves.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn batch_stage_avx512(&self, states: &[DgemmState], ctx: &mut BatchCtx<'_>) {
+        use core::arch::x86_64::{_mm512_loadu_pd, _mm512_storeu_pd};
+        let (n, bs) = (self.cfg.n, self.cfg.bs);
+        let (ai, bi) = (states[0].ai, states[0].bi);
+        let bs2 = bs * bs;
+        let (as_tile, bs_tile) = ctx.shared().split_at_mut(bs2);
+        for ty in 0..bs {
+            let a_src = self.a.range_ptr(ai + n * ty, bs);
+            let b_src = self.b.range_ptr(bi + n * ty, bs);
+            let a_dst = as_tile[ty * bs..(ty + 1) * bs].as_mut_ptr();
+            let b_dst = bs_tile[ty * bs..(ty + 1) * bs].as_mut_ptr();
+            let mut tx = 0;
+            // SAFETY: sources are `range_ptr`-checked `bs`-length rows,
+            // destinations are `bs`-length subslices, and `tx + lanes ≤ bs`.
+            unsafe {
+                while tx + 8 <= bs {
+                    _mm512_storeu_pd(a_dst.add(tx), _mm512_loadu_pd(a_src.add(tx)));
+                    _mm512_storeu_pd(b_dst.add(tx), _mm512_loadu_pd(b_src.add(tx)));
+                    tx += 8;
+                }
+                while tx < bs {
+                    *a_dst.add(tx) = *a_src.add(tx);
+                    *b_dst.add(tx) = *b_src.add(tx);
+                    tx += 1;
+                }
+            }
+        }
+        let counts = ctx.counters();
+        counts.global_loads += 2 * bs2 as u64;
+        counts.shared_stores += 2 * bs2 as u64;
+    }
+
+    /// Explicit-SIMD inner product (AVX2): vector lanes map across `tx`
+    /// — four *threads* per vector — so each lane's `k` chain stays one
+    /// sequential accumulator in scalar program order. Multiply and add
+    /// stay separate instructions (never FMA): the scalar oracle rounds
+    /// after every operation, and fusing would skip that rounding.
+    /// Independent `tx` chunks are interleaved to overlap add latency —
+    /// parallelism across threads, never within one chain. The strided
+    /// `csub` registers are gathered into a contiguous scratch row once
+    /// per thread row (`O(bs²)` traffic against `O(bs³)` compute).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn batch_mac_avx2(&self, states: &mut [DgemmState], ctx: &mut BatchCtx<'_>) {
+        use core::arch::x86_64::{
+            _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+        };
+        let bs = self.cfg.bs;
+        let bs2 = bs * bs;
+        let (as_tile, bs_tile) = ctx.shared().split_at(bs2);
+        let bt = bs_tile.as_ptr();
+        let mut acc = [0.0f64; 32];
+        for ty in 0..bs {
+            let a_row = &as_tile[ty * bs..(ty + 1) * bs];
+            let row = &mut states[ty * bs..(ty + 1) * bs];
+            for (tx, st) in row.iter().enumerate() {
+                acc[tx] = st.csub;
+            }
+            let ap = acc.as_mut_ptr();
+            let mut tx = 0;
+            // SAFETY: `acc` holds `bs ≤ 32` live lanes, `bt` spans the
+            // `bs²` `Bs` tile, and every offset keeps `tx + lanes ≤ bs`
+            // with `k < bs`.
+            unsafe {
+                while tx + 16 <= bs {
+                    let mut v0 = _mm256_loadu_pd(ap.add(tx));
+                    let mut v1 = _mm256_loadu_pd(ap.add(tx + 4));
+                    let mut v2 = _mm256_loadu_pd(ap.add(tx + 8));
+                    let mut v3 = _mm256_loadu_pd(ap.add(tx + 12));
+                    for (k, &a_k) in a_row.iter().enumerate() {
+                        let w = _mm256_set1_pd(a_k);
+                        let b = bt.add(k * bs + tx);
+                        v0 = _mm256_add_pd(v0, _mm256_mul_pd(w, _mm256_loadu_pd(b)));
+                        v1 = _mm256_add_pd(v1, _mm256_mul_pd(w, _mm256_loadu_pd(b.add(4))));
+                        v2 = _mm256_add_pd(v2, _mm256_mul_pd(w, _mm256_loadu_pd(b.add(8))));
+                        v3 = _mm256_add_pd(v3, _mm256_mul_pd(w, _mm256_loadu_pd(b.add(12))));
+                    }
+                    _mm256_storeu_pd(ap.add(tx), v0);
+                    _mm256_storeu_pd(ap.add(tx + 4), v1);
+                    _mm256_storeu_pd(ap.add(tx + 8), v2);
+                    _mm256_storeu_pd(ap.add(tx + 12), v3);
+                    tx += 16;
+                }
+                while tx + 4 <= bs {
+                    let mut v = _mm256_loadu_pd(ap.add(tx));
+                    for (k, &a_k) in a_row.iter().enumerate() {
+                        let w = _mm256_set1_pd(a_k);
+                        v = _mm256_add_pd(v, _mm256_mul_pd(w, _mm256_loadu_pd(bt.add(k * bs + tx))));
+                    }
+                    _mm256_storeu_pd(ap.add(tx), v);
+                    tx += 4;
+                }
+            }
+            while tx < bs {
+                let mut s = acc[tx];
+                for (k, &a_k) in a_row.iter().enumerate() {
+                    s += a_k * bs_tile[k * bs + tx];
+                }
+                acc[tx] = s;
+                tx += 1;
+            }
+            for (tx, st) in row.iter_mut().enumerate() {
+                st.csub = acc[tx];
+            }
+        }
+        let counts = ctx.counters();
+        let muls = (bs * bs2) as u64;
+        counts.flops += 2 * muls;
+        counts.shared_loads += 2 * muls;
+    }
+
+    /// Explicit-SIMD inner product (AVX-512): the AVX2 body's contract
+    /// at 8 lanes per vector.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn batch_mac_avx512(&self, states: &mut [DgemmState], ctx: &mut BatchCtx<'_>) {
+        use core::arch::x86_64::{
+            _mm512_add_pd, _mm512_loadu_pd, _mm512_mul_pd, _mm512_set1_pd, _mm512_storeu_pd,
+        };
+        let bs = self.cfg.bs;
+        let bs2 = bs * bs;
+        let (as_tile, bs_tile) = ctx.shared().split_at(bs2);
+        let bt = bs_tile.as_ptr();
+        let mut acc = [0.0f64; 32];
+        for ty in 0..bs {
+            let a_row = &as_tile[ty * bs..(ty + 1) * bs];
+            let row = &mut states[ty * bs..(ty + 1) * bs];
+            for (tx, st) in row.iter().enumerate() {
+                acc[tx] = st.csub;
+            }
+            let ap = acc.as_mut_ptr();
+            let mut tx = 0;
+            // SAFETY: `acc` holds `bs ≤ 32` live lanes, `bt` spans the
+            // `bs²` `Bs` tile, and every offset keeps `tx + lanes ≤ bs`
+            // with `k < bs`.
+            unsafe {
+                while tx + 16 <= bs {
+                    let mut v0 = _mm512_loadu_pd(ap.add(tx));
+                    let mut v1 = _mm512_loadu_pd(ap.add(tx + 8));
+                    for (k, &a_k) in a_row.iter().enumerate() {
+                        let w = _mm512_set1_pd(a_k);
+                        let b = bt.add(k * bs + tx);
+                        v0 = _mm512_add_pd(v0, _mm512_mul_pd(w, _mm512_loadu_pd(b)));
+                        v1 = _mm512_add_pd(v1, _mm512_mul_pd(w, _mm512_loadu_pd(b.add(8))));
+                    }
+                    _mm512_storeu_pd(ap.add(tx), v0);
+                    _mm512_storeu_pd(ap.add(tx + 8), v1);
+                    tx += 16;
+                }
+                while tx + 8 <= bs {
+                    let mut v = _mm512_loadu_pd(ap.add(tx));
+                    for (k, &a_k) in a_row.iter().enumerate() {
+                        let w = _mm512_set1_pd(a_k);
+                        v = _mm512_add_pd(v, _mm512_mul_pd(w, _mm512_loadu_pd(bt.add(k * bs + tx))));
+                    }
+                    _mm512_storeu_pd(ap.add(tx), v);
+                    tx += 8;
+                }
+            }
+            while tx < bs {
+                let mut s = acc[tx];
+                for (k, &a_k) in a_row.iter().enumerate() {
+                    s += a_k * bs_tile[k * bs + tx];
+                }
+                acc[tx] = s;
+                tx += 1;
+            }
+            for (tx, st) in row.iter_mut().enumerate() {
+                st.csub = acc[tx];
+            }
+        }
+        let counts = ctx.counters();
+        let muls = (bs * bs2) as u64;
+        counts.flops += 2 * muls;
+        counts.shared_loads += 2 * muls;
+    }
+
+    /// Explicit-SIMD retire (AVX2): vectorized `C += Csub` row
+    /// read-modify-writes; one add per element, same order as scalar.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn batch_retire_avx2(&self, states: &[DgemmState], ctx: &mut BatchCtx<'_>) {
+        use core::arch::x86_64::{_mm256_add_pd, _mm256_loadu_pd, _mm256_storeu_pd};
+        let (n, bs) = (self.cfg.n, self.cfg.bs);
+        let base = n * bs * ctx.by + bs * ctx.bx;
+        let mut csub = [0.0f64; 32];
+        for ty in 0..bs {
+            let row = &states[ty * bs..(ty + 1) * bs];
+            for (tx, st) in row.iter().enumerate() {
+                csub[tx] = st.csub;
+            }
+            let c_row = self.c.range_ptr(base + n * ty, bs);
+            let sp = csub.as_ptr();
+            let mut tx = 0;
+            // SAFETY: `c_row` is a `range_ptr`-checked `bs`-length row,
+            // `csub` holds `bs ≤ 32` live lanes, and `tx + lanes ≤ bs`.
+            unsafe {
+                while tx + 4 <= bs {
+                    let prev = _mm256_loadu_pd(c_row.add(tx));
+                    let s = _mm256_loadu_pd(sp.add(tx));
+                    _mm256_storeu_pd(c_row.add(tx), _mm256_add_pd(prev, s));
+                    tx += 4;
+                }
+                while tx < bs {
+                    *c_row.add(tx) += csub[tx];
+                    tx += 1;
+                }
+            }
+        }
+        let counts = ctx.counters();
+        counts.global_loads += (bs * bs) as u64;
+        counts.global_stores += (bs * bs) as u64;
+    }
+
+    /// Explicit-SIMD retire (AVX-512): 8-lane `C += Csub`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn batch_retire_avx512(&self, states: &[DgemmState], ctx: &mut BatchCtx<'_>) {
+        use core::arch::x86_64::{_mm512_add_pd, _mm512_loadu_pd, _mm512_storeu_pd};
+        let (n, bs) = (self.cfg.n, self.cfg.bs);
+        let base = n * bs * ctx.by + bs * ctx.bx;
+        let mut csub = [0.0f64; 32];
+        for ty in 0..bs {
+            let row = &states[ty * bs..(ty + 1) * bs];
+            for (tx, st) in row.iter().enumerate() {
+                csub[tx] = st.csub;
+            }
+            let c_row = self.c.range_ptr(base + n * ty, bs);
+            let sp = csub.as_ptr();
+            let mut tx = 0;
+            // SAFETY: `c_row` is a `range_ptr`-checked `bs`-length row,
+            // `csub` holds `bs ≤ 32` live lanes, and `tx + lanes ≤ bs`.
+            unsafe {
+                while tx + 8 <= bs {
+                    let prev = _mm512_loadu_pd(c_row.add(tx));
+                    let s = _mm512_loadu_pd(sp.add(tx));
+                    _mm512_storeu_pd(c_row.add(tx), _mm512_add_pd(prev, s));
+                    tx += 8;
+                }
+                while tx < bs {
+                    *c_row.add(tx) += csub[tx];
+                    tx += 1;
+                }
+            }
+        }
+        let counts = ctx.counters();
+        counts.global_loads += (bs * bs) as u64;
+        counts.global_stores += (bs * bs) as u64;
+    }
+
+    // ---- access-trace emission (bulk-sink monitored path) ------------
+    //
+    // Record streams must match what the scalar loop's per-access hooks
+    // would have reported: thread-major within a phase, per-thread
+    // accesses in scalar program order, global records grouped into
+    // per-buffer runs (each cell here belongs to exactly one thread per
+    // phase, so per-cell shadow order is preserved by construction).
+
+    /// Stage records: global loads of the `A` and `B` tile rows, shared
+    /// stores into `As`/`Bs`.
+    fn trace_stage(&self, ai: usize, bi: usize, t: &mut PhaseTrace) {
+        let (n, bs) = (self.cfg.n, self.cfg.bs);
+        let bs2 = bs * bs;
+        t.shared.reserve(2 * bs2);
+        t.global.reserve(2 * bs2);
+        t.global.begin_run(self.a.id(), self.a.len());
+        for ty in 0..bs {
+            let base = ai + n * ty;
+            for tx in 0..bs {
+                t.global.push_load(tx, ty, base + tx);
+            }
+        }
+        t.global.begin_run(self.b.id(), self.b.len());
+        for ty in 0..bs {
+            let base = bi + n * ty;
+            for tx in 0..bs {
+                t.global.push_load(tx, ty, base + tx);
+            }
+        }
+        for ty in 0..bs {
+            for tx in 0..bs {
+                t.shared.push_store(tx, ty, self.as_idx(ty, tx));
+                t.shared.push_store(tx, ty, self.bs_idx(ty, tx));
+            }
+        }
+    }
+
+    /// Mac records: each thread's interleaved `As`/`Bs` shared loads, `k`
+    /// ascending — the exact scalar hook order.
+    fn trace_mac(&self, t: &mut PhaseTrace) {
+        let bs = self.cfg.bs;
+        t.shared.reserve(2 * bs * bs * bs);
+        for ty in 0..bs {
+            for tx in 0..bs {
+                for k in 0..bs {
+                    t.shared.push_load(tx, ty, self.as_idx(ty, k));
+                    t.shared.push_load(tx, ty, self.bs_idx(k, tx));
+                }
+            }
+        }
+    }
+
+    /// Retire records: one `C` run of load + store per element.
+    fn trace_retire(&self, bx: usize, by: usize, t: &mut PhaseTrace) {
+        let (n, bs) = (self.cfg.n, self.cfg.bs);
+        let base = n * bs * by + bs * bx;
+        t.global.reserve(2 * bs * bs);
+        t.global.begin_run(self.c.id(), self.c.len());
+        for ty in 0..bs {
+            let row = base + n * ty;
+            for tx in 0..bs {
+                t.global.push_load(tx, ty, row + tx);
+                t.global.push_store(tx, ty, row + tx);
+            }
+        }
+    }
 }
 
 impl BlockKernel for DgemmKernel<'_> {
@@ -442,14 +858,20 @@ impl BlockKernel for DgemmKernel<'_> {
         // uniform registers back to every state.
         match states[0].step {
             Step::Stage => {
-                self.batch_stage(states, ctx);
+                if let Some(t) = ctx.trace() {
+                    self.trace_stage(states[0].ai, states[0].bi, t);
+                }
+                self.stage_dispatch(states, ctx);
                 for st in states.iter_mut() {
                     st.step = Step::Mac;
                 }
                 Some(PhaseOutcome::Sync)
             }
             Step::Mac => {
-                self.batch_mac(states, ctx);
+                if let Some(t) = ctx.trace() {
+                    self.trace_mac(t);
+                }
+                self.mac_dispatch(states, ctx);
                 for st in states.iter_mut() {
                     st.tile += 1;
                     st.ai += bs;
@@ -459,7 +881,11 @@ impl BlockKernel for DgemmKernel<'_> {
                 Some(PhaseOutcome::Sync)
             }
             Step::Retire => {
-                self.batch_retire(states, ctx);
+                let (bx, by) = (ctx.bx, ctx.by);
+                if let Some(t) = ctx.trace() {
+                    self.trace_retire(bx, by, t);
+                }
+                self.retire_dispatch(states, ctx);
                 let product = states[0].product + 1;
                 if product == g * r {
                     for st in states.iter_mut() {
@@ -479,7 +905,10 @@ impl BlockKernel for DgemmKernel<'_> {
                     // Run boundary: retire flows straight into the next
                     // run's first stage within the same barrier segment,
                     // exactly as the scalar body does.
-                    self.batch_stage(states, ctx);
+                    if let Some(t) = ctx.trace() {
+                        self.trace_stage(ai, bi, t);
+                    }
+                    self.stage_dispatch(states, ctx);
                     for st in states.iter_mut() {
                         st.step = Step::Mac;
                     }

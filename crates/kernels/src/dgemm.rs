@@ -6,6 +6,7 @@
 //! played by the L1/L2-resident tiles.
 
 use crate::matrix::Matrix;
+use crate::par;
 
 /// Naive triple loop, used as the correctness reference.
 pub fn dgemm_naive(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
@@ -76,6 +77,77 @@ pub fn dgemm_blocked(
         }
     }
     dgemm_blocked_body(alpha, a, b, beta, c, m, k, n, bs);
+}
+
+/// The instruction-set tier [`dgemm_blocked`] dispatches to on this host,
+/// recorded as the `simd_dispatch` field of kernel benchmark sections:
+/// `"avx2"` or `"scalar"`.
+pub fn simd_dispatch() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return "avx2";
+    }
+    "scalar"
+}
+
+/// Multi-threaded [`dgemm_blocked`]: the packed driver over disjoint row
+/// slabs of `A` and `C`, claimed in [`MR`]-row strips from a shared
+/// chunked cursor ([`par::claim_chunks`]).
+///
+/// Bitwise-identical to the serial kernel at **any** thread count. Each
+/// `C` element accrues exactly one `C += α·acc` spill per `bs`-sized
+/// k-block, in ascending k-block order, and the in-register accumulator
+/// chain inside a k-block sums in ascending-`k` order — a sequence fixed
+/// entirely by the `kc` blocking of `k`, never by how rows are grouped
+/// into cache tiles or slabs (packing only copies values, and ragged
+/// strips pad with zeros that are never written back). Restarting the
+/// driver's `i0` loop at each slab base therefore changes no element's
+/// operation sequence. β-scaling runs once up front (the same element-wise
+/// loop the serial driver uses), after which every slab runs with `β = 1`.
+#[allow(clippy::too_many_arguments)] // deliberately BLAS-shaped signature
+pub fn dgemm_blocked_mt(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    bs: usize,
+    threads: usize,
+) {
+    assert!(threads >= 1, "need at least one thread");
+    assert!(bs > 0, "block size must be positive");
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+
+    let strips = m.div_ceil(MR);
+    let workers = threads.min(strips);
+    if workers <= 1 {
+        return dgemm_blocked(alpha, a, b, beta, c, m, k, n, bs);
+    }
+
+    // Scale C by beta once up front, so each slab call passes β = 1 and
+    // the per-slab driver's scaling is a no-op.
+    if beta != 1.0 {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+
+    let c_base = par::SendPtr::new(c.as_mut_ptr());
+    par::claim_chunks(strips, workers, |s0, s1| {
+        let r0 = s0 * MR;
+        let r1 = (s1 * MR).min(m);
+        let rows = r1 - r0;
+        // SAFETY: the claiming cursor hands out disjoint strip ranges, so
+        // this `rows × n` slab of C is touched by exactly one worker; the
+        // scope join inside `claim_chunks` publishes the writes.
+        let c_slab = unsafe { std::slice::from_raw_parts_mut(c_base.get().add(r0 * n), rows * n) };
+        dgemm_blocked(alpha, &a[r0 * k..r1 * k], b, 1.0, c_slab, rows, k, n, bs);
+    });
 }
 
 /// The packed driver compiled with AVX2 enabled (same safe body).
@@ -376,6 +448,76 @@ mod tests {
         blocked_on_matrices(1.0, &a, &b, 0.0, &mut c1, 4);
         blocked_on_matrices(1.0, &a, &b, 0.0, &mut c2, 4);
         assert!(c1.max_abs_diff(&c2) < 1e-12);
+    }
+
+    fn bits(s: &[f64]) -> Vec<u64> {
+        s.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn mt_bitwise_identical_across_thread_counts() {
+        // Square, ragged (m not a multiple of MR or bs), and rectangular
+        // shapes; α/β exercised away from 0 and 1 so the hoisted β-scaling
+        // path is covered too.
+        for &(m, k, n, bs) in &[
+            (64usize, 64usize, 64usize, 16usize),
+            (33, 17, 29, 8),
+            (7, 13, 9, 4),
+            (4, 4, 4, 4),
+        ] {
+            let a = Matrix::filled(m, k, 51);
+            let b = Matrix::filled(k, n, 52);
+            let c0 = Matrix::filled(m, n, 53);
+            let mut reference = c0.clone();
+            dgemm_blocked(
+                1.25,
+                a.as_slice(),
+                b.as_slice(),
+                0.75,
+                reference.as_mut_slice(),
+                m,
+                k,
+                n,
+                bs,
+            );
+            for &threads in &[1usize, 2, 8] {
+                let mut c = c0.clone();
+                dgemm_blocked_mt(
+                    1.25,
+                    a.as_slice(),
+                    b.as_slice(),
+                    0.75,
+                    c.as_mut_slice(),
+                    m,
+                    k,
+                    n,
+                    bs,
+                    threads,
+                );
+                assert_eq!(
+                    bits(reference.as_slice()),
+                    bits(c.as_slice()),
+                    "m={m} k={k} n={n} bs={bs} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mt_beta_zero_matches_serial_bitwise() {
+        let (m, k, n, bs) = (19, 11, 23, 8);
+        let a = Matrix::filled(m, k, 61);
+        let b = Matrix::filled(k, n, 62);
+        let mut reference = Matrix::filled(m, n, 99);
+        let mut c = reference.clone();
+        dgemm_blocked(2.0, a.as_slice(), b.as_slice(), 0.0, reference.as_mut_slice(), m, k, n, bs);
+        dgemm_blocked_mt(2.0, a.as_slice(), b.as_slice(), 0.0, c.as_mut_slice(), m, k, n, bs, 8);
+        assert_eq!(bits(reference.as_slice()), bits(c.as_slice()));
+    }
+
+    #[test]
+    fn simd_dispatch_reports_known_tier() {
+        assert!(matches!(simd_dispatch(), "avx2" | "scalar"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! back.
 
 use crate::fft::{Complex, Twiddles};
+use crate::par;
 
 /// The paper's work measure for an `N × N` 2-D FFT: `W = 5 N² log₂ N`.
 pub fn fft2d_work(n: usize) -> f64 {
@@ -32,9 +33,10 @@ pub fn fft2d_serial(data: &mut [Complex], n: usize) {
     transpose(data, n);
 }
 
-/// Thread-parallel 2-D FFT: rows are distributed equally over `threads`
-/// workers in both passes (no inter-thread communication). All workers
-/// share one read-only [`Twiddles`] table.
+/// Thread-parallel 2-D FFT: rows are claimed dynamically by `threads`
+/// workers in both passes (no inter-thread communication beyond the claim
+/// cursor). All workers share one read-only [`Twiddles`] table; output is
+/// bitwise-identical to [`fft2d_serial`] at any thread count.
 pub fn fft2d_parallel(data: &mut [Complex], n: usize, threads: usize) {
     assert_eq!(data.len(), n * n, "signal must be n×n");
     assert!(threads >= 1, "need at least one thread");
@@ -46,24 +48,24 @@ pub fn fft2d_parallel(data: &mut [Complex], n: usize, threads: usize) {
     transpose(data, n);
 }
 
-/// FFT of each row, with rows split into `threads` contiguous bands.
+/// FFT of each row, with rows claimed in chunks from a shared atomic
+/// cursor ([`par::claim_chunks`]) rather than the former static banding,
+/// so a straggling worker cannot idle the rest.
+///
+/// Every row is an independent in-place transform over the shared
+/// read-only twiddle table, so the row-to-worker assignment cannot affect
+/// the result: output is bitwise-identical at any thread count.
 fn parallel_rows(data: &mut [Complex], n: usize, threads: usize, tw: &Twiddles) {
-    let rows_base = n / threads;
-    let rows_extra = n % threads;
-    crossbeam::thread::scope(|scope| {
-        let mut rest = data;
-        for k in 0..threads {
-            let rows_here = rows_base + usize::from(k < rows_extra);
-            let (band, tail) = rest.split_at_mut(rows_here * n);
-            rest = tail;
-            scope.spawn(move |_| {
-                for row in band.chunks_mut(n) {
-                    tw.apply(row);
-                }
-            });
+    let base = par::SendPtr::new(data.as_mut_ptr());
+    par::claim_chunks(n, threads, |r0, r1| {
+        // SAFETY: the claiming cursor hands out disjoint row ranges, so
+        // this band is touched by exactly one worker; the scope join
+        // inside `claim_chunks` publishes the writes.
+        let band = unsafe { std::slice::from_raw_parts_mut(base.get().add(r0 * n), (r1 - r0) * n) };
+        for row in band.chunks_mut(n) {
+            tw.apply(row);
         }
-    })
-    .expect("FFT thread scope failed");
+    });
 }
 
 /// In-place square transpose, with the row bases carried as running
@@ -138,6 +140,22 @@ mod tests {
             let mut x = sig.clone();
             fft2d_parallel(&mut x, n, threads);
             assert!(max_err(&x, &reference) < 1e-12, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_bitwise_identical_across_thread_counts() {
+        let n = 32;
+        let sig = signal2d(n, 9);
+        let bits = |s: &[Complex]| -> Vec<u64> {
+            s.iter().flat_map(|c| [c.re.to_bits(), c.im.to_bits()]).collect()
+        };
+        let mut reference = sig.clone();
+        fft2d_serial(&mut reference, n);
+        for &threads in &[1usize, 2, 3, 8, 100] {
+            let mut x = sig.clone();
+            fft2d_parallel(&mut x, n, threads);
+            assert_eq!(bits(&reference), bits(&x), "threads = {threads}");
         }
     }
 

@@ -9,7 +9,9 @@
 //! work accounting (`2 N³` flops for DGEMM, `5 N² log₂ N` for the FFT):
 //!
 //! * [`matrix`] — dense row-major matrices with deterministic fills;
-//! * [`dgemm`] — blocked serial `C ← α A B + β C`;
+//! * [`dgemm`] — blocked `C ← α A B + β C`, serial and multi-threaded
+//!   (row slabs over a chunked work-claiming cursor, bitwise-identical at
+//!   any thread count);
 //! * [`threadgroup`] — the paper's Fig. 3 decomposition: `p` threadgroups ×
 //!   `t` threads, A and C horizontally partitioned, B shared, no
 //!   inter-thread communication;
@@ -24,9 +26,10 @@ pub mod dgemm;
 pub mod fft;
 pub mod fft2d;
 pub mod matrix;
+mod par;
 pub mod threadgroup;
 
-pub use dgemm::{dgemm_blocked, dgemm_blocked_unpacked, dgemm_naive};
+pub use dgemm::{dgemm_blocked, dgemm_blocked_mt, dgemm_blocked_unpacked, dgemm_naive, simd_dispatch};
 pub use fft::{fft_inplace, ifft_inplace, Complex, Twiddles};
 pub use fft2d::{fft2d_parallel, fft2d_serial, fft2d_work};
 pub use matrix::Matrix;

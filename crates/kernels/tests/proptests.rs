@@ -1,8 +1,8 @@
 //! Property-based tests of the real compute kernels.
 
 use enprop_kernels::{
-    dgemm_naive, dgemm_threadgroups, fft2d_parallel, fft2d_serial, fft_inplace, ifft_inplace,
-    Complex, Matrix, ThreadgroupConfig,
+    dgemm_blocked, dgemm_blocked_mt, dgemm_naive, dgemm_threadgroups, fft2d_parallel,
+    fft2d_serial, fft_inplace, ifft_inplace, Complex, Matrix, ThreadgroupConfig,
 };
 use proptest::prelude::*;
 
@@ -79,6 +79,52 @@ proptest! {
         for (a, b) in parallel.iter().zip(&serial) {
             prop_assert!((a.re - b.re).abs() < 1e-10);
             prop_assert!((a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    /// The multi-threaded packed DGEMM is *bitwise*-identical to the
+    /// serial packed DGEMM for any shape, block size, and thread count.
+    #[test]
+    fn dgemm_mt_bitwise_thread_invariance(
+        m in 1usize..40,
+        k in 1usize..24,
+        n in 1usize..24,
+        bs in 1usize..12,
+        threads in 1usize..9,
+        seed in 0u64..50,
+    ) {
+        let a = Matrix::filled(m, k, seed);
+        let b = Matrix::filled(k, n, seed + 1);
+        let c0 = Matrix::filled(m, n, seed + 2);
+        let mut reference = c0.clone();
+        dgemm_blocked(
+            1.5, a.as_slice(), b.as_slice(), 0.5, reference.as_mut_slice(), m, k, n, bs,
+        );
+        let mut c = c0.clone();
+        dgemm_blocked_mt(
+            1.5, a.as_slice(), b.as_slice(), 0.5, c.as_mut_slice(), m, k, n, bs, threads,
+        );
+        let bits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(reference.as_slice()), bits(c.as_slice()));
+    }
+
+    /// The chunk-claiming parallel 2-D FFT is *bitwise*-identical to the
+    /// serial one for any thread count (rows are independent transforms).
+    #[test]
+    fn fft2d_bitwise_thread_invariance(log_n in 1u32..6, threads in 1usize..9, seed in 0u64..50) {
+        let n = 1usize << log_n;
+        let re = Matrix::filled(n, n, seed);
+        let im = Matrix::filled(n, n, seed + 7);
+        let signal: Vec<Complex> = (0..n * n)
+            .map(|j| Complex::new(re.as_slice()[j], im.as_slice()[j]))
+            .collect();
+        let mut serial = signal.clone();
+        fft2d_serial(&mut serial, n);
+        let mut parallel = signal;
+        fft2d_parallel(&mut parallel, n, threads);
+        for (a, b) in parallel.iter().zip(&serial) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
         }
     }
 

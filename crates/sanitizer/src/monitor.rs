@@ -24,7 +24,9 @@
 //! keeps each seeded fixture attributable to exactly one checker.
 
 use crate::report::{AccessKind, Finding, MemSpace};
-use enprop_gpusim::emulator::{AccessPoint, AccessSink, BlockExit, BufId};
+use enprop_gpusim::emulator::{
+    AccessPoint, AccessSink, BlockExit, BufId, GlobalBatch, SharedBatch,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -218,6 +220,11 @@ impl MonitorState {
             cell.read2 = token;
         }
 
+        if intra.is_none() && inter.is_none() {
+            return;
+        }
+        // Only a reporting access pays for the owned buffer name — the
+        // clean-access fast path stays allocation-free.
         let name = self.table.name(ordinal).to_owned();
         if let Some(hit) = intra {
             self.push(Finding::race(
@@ -341,6 +348,11 @@ pub struct MonitorSink {
 }
 
 impl AccessSink for MonitorSink {
+    /// The monitor consumes per-phase bulk records, so kernels with
+    /// batched phase bodies run monitored on the batched interpreter —
+    /// one `RefCell` borrow per phase instead of one per access.
+    const BULK: bool = true;
+
     fn shared_load(&mut self, at: AccessPoint, idx: usize, len: usize) -> bool {
         let mut guard = self.state.borrow_mut();
         let st = &mut *guard;
@@ -430,5 +442,91 @@ impl AccessSink for MonitorSink {
             st.global_access(o, idx, at, AccessKind::Write);
         }
         true
+    }
+
+    /// The batched counterpart of [`shared_load`](Self::shared_load) /
+    /// [`shared_store`](Self::shared_store): the same checks in the same
+    /// per-record order, under a single `RefCell` borrow for the whole
+    /// phase. Bulk sinks cannot veto, so an out-of-bounds record is
+    /// reported without suppression — batched bodies bounds-check their
+    /// own accesses, making a veto unreachable here anyway.
+    fn observe_shared_batch(
+        &mut self,
+        bx: usize,
+        by: usize,
+        phase: usize,
+        len: usize,
+        batch: &SharedBatch,
+    ) {
+        let mut guard = self.state.borrow_mut();
+        let st = &mut *guard;
+        for a in batch.iter() {
+            let at = AccessPoint { bx, by, tx: a.tx, ty: a.ty, phase };
+            if a.idx >= len {
+                let kind = if a.store { AccessKind::Write } else { AccessKind::Read };
+                st.push(Finding::oob(MemSpace::Shared, None, at, kind, a.idx, len));
+                continue;
+            }
+            if a.store {
+                st.shared_written[a.idx] = true;
+                if let Some(hit) = race_step(&mut st.shared[a.idx], at, AccessKind::Write) {
+                    st.push(Finding::race(
+                        MemSpace::Shared,
+                        None,
+                        a.idx,
+                        at,
+                        AccessKind::Write,
+                        hit.thread,
+                        hit.kind,
+                    ));
+                }
+            } else {
+                if !st.shared_written[a.idx] && !st.uninit_seen[a.idx] {
+                    st.uninit_seen[a.idx] = true;
+                    st.uninit.push((a.idx, at));
+                }
+                if let Some(hit) = race_step(&mut st.shared[a.idx], at, AccessKind::Read) {
+                    st.push(Finding::race(
+                        MemSpace::Shared,
+                        None,
+                        a.idx,
+                        at,
+                        AccessKind::Read,
+                        hit.thread,
+                        hit.kind,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The batched counterpart of [`global_load`](Self::global_load) /
+    /// [`global_store`](Self::global_store). The buffer table is
+    /// consulted once per run instead of once per access.
+    fn observe_global_batch(&mut self, bx: usize, by: usize, phase: usize, batch: &GlobalBatch) {
+        let mut guard = self.state.borrow_mut();
+        let st = &mut *guard;
+        for run in batch.runs() {
+            let ordinal = st.table.ordinal(run.buf);
+            for a in run.accesses() {
+                let at = AccessPoint { bx, by, tx: a.tx, ty: a.ty, phase };
+                let kind = if a.store { AccessKind::Write } else { AccessKind::Read };
+                if a.idx >= run.len {
+                    let name = ordinal.map(|o| st.table.name(o).to_owned());
+                    st.push(Finding::oob(
+                        MemSpace::Global,
+                        name.as_deref(),
+                        at,
+                        kind,
+                        a.idx,
+                        run.len,
+                    ));
+                    continue;
+                }
+                if let Some(o) = ordinal {
+                    st.global_access(o, a.idx, at, kind);
+                }
+            }
+        }
     }
 }
