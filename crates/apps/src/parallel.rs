@@ -30,8 +30,9 @@ use serde::{Deserialize, DeserializeOwned, Serialize};
 use std::cell::UnsafeCell;
 use std::collections::HashSet;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Write-once result slots shared by the sweep workers, one per item.
@@ -42,9 +43,10 @@ use std::time::{Duration, Instant};
 /// `UnsafeCell<MaybeUninit<T>>` sound and replaces the previous
 /// `Vec<Mutex<Option<T>>>` (a lock round-trip per result). The scope join
 /// between the writes and [`into_vec`](ResultSlots::into_vec) provides the
-/// happens-before edge that publishes the values. If a worker panics the
-/// whole sweep panics at the scope join and the slots are leaked, never
-/// read: no use of uninitialized memory.
+/// happens-before edge that publishes the values. If a measurement closure
+/// panics, the unwind is caught, the sweep aborts and re-panics *after* the
+/// scope join with a diagnostic naming the configuration — and the slots
+/// are leaked, never read: no use of uninitialized memory.
 struct ResultSlots<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
@@ -87,6 +89,32 @@ impl<T> ResultSlots<T> {
             // initialized `T` and the join published it to this thread.
             .map(|slot| unsafe { slot.into_inner().assume_init() })
             .collect()
+    }
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Sweep workers share two kinds of mutexes (the journal writer and the
+/// first-error slot), and a worker that panics mid-critical-section poisons
+/// them. The data they guard stays coherent — a half-appended journal
+/// record is exactly what the CRC-framed journal is built to tolerate, and
+/// the error slot is a monotonic `Option` — so propagating the poison would
+/// only replace the *real* failure with a misleading
+/// `"journal lock poisoned"` panic in every other worker. Recover the guard
+/// and let the original error surface instead.
+fn lock_unpoisoned<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload for sweep diagnostics (`panic!` with a
+/// message produces `&str` or `String`; anything else is opaque).
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -195,7 +223,16 @@ impl SweepExecutor {
             return items
                 .iter()
                 .enumerate()
-                .map(|(i, item)| f(&mut state, item, self.config_seed(i)))
+                .map(|(i, item)| {
+                    catch_unwind(AssertUnwindSafe(|| f(&mut state, item, self.config_seed(i))))
+                        .unwrap_or_else(|payload| {
+                            panic!(
+                                "sweep worker panicked on config #{i} of {}: {}",
+                                items.len(),
+                                panic_payload_message(payload.as_ref())
+                            )
+                        })
+                })
                 .collect();
         }
 
@@ -205,21 +242,48 @@ impl SweepExecutor {
         let chunk = items.len().div_ceil(workers * 4).clamp(1, 64);
         let cursor = AtomicUsize::new(0);
         let slots = ResultSlots::new(items.len());
+        // A panicking closure aborts the sweep, but with a *diagnostic*:
+        // the unwind is caught in the worker, the failing configuration and
+        // chunk are recorded here (first panic wins), the other workers
+        // stop claiming, and the sweep re-panics after the join with the
+        // config index in the message. The opaque alternative — letting the
+        // unwind tear down the scope — would lose which request killed the
+        // pool, which a serving layer cannot afford.
+        let panic_note: Mutex<Option<String>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
         let run_worker = || {
             // Worker state is built once per worker, outside the steal loop.
             let mut state = make_state();
             loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
                 let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                 if start >= items.len() {
                     break;
                 }
                 let end = (start + chunk).min(items.len());
                 for (i, item) in (start..end).zip(&items[start..end]) {
-                    let out = f(&mut state, item, self.config_seed(i));
-                    // SAFETY: the `fetch_add` cursor hands out disjoint
-                    // chunks, so index `i` is claimed by this worker alone
-                    // and written exactly once — the contract of `write`.
-                    unsafe { slots.write(i, out) };
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        f(&mut state, item, self.config_seed(i))
+                    })) {
+                        // SAFETY: the `fetch_add` cursor hands out disjoint
+                        // chunks, so index `i` is claimed by this worker
+                        // alone and written exactly once — the contract of
+                        // `write`.
+                        Ok(out) => unsafe { slots.write(i, out) },
+                        Err(payload) => {
+                            let msg = format!(
+                                "sweep worker panicked on config #{i} \
+                                 (chunk {start}..{end} of {}): {}",
+                                items.len(),
+                                panic_payload_message(payload.as_ref())
+                            );
+                            lock_unpoisoned(&panic_note).get_or_insert(msg);
+                            abort.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
                 }
             }
         };
@@ -228,10 +292,15 @@ impl SweepExecutor {
                 scope.spawn(|_| run_worker());
             }
         })
-        .expect("sweep worker panicked");
+        .expect("sweep scope panicked outside the worker catch-unwind");
+        if let Some(msg) = panic_note.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            // The slots are leaked, never read — see the `ResultSlots` doc.
+            panic!("{msg}");
+        }
 
-        // SAFETY: the scope joined every worker and all indices up to
-        // `items.len()` were claimed, so every slot is initialized.
+        // SAFETY: the scope joined every worker, no worker panicked, and
+        // all indices up to `items.len()` were claimed, so every slot is
+        // initialized.
         unsafe { slots.into_vec() }
     }
 
@@ -369,7 +438,11 @@ impl SweepExecutor {
         // Workers finish in nondeterministic order, so the journal is an
         // unordered log behind one mutex; contention is negligible next to
         // a measurement. The first append error is kept and surfaced after
-        // the join — the sweep itself still completes.
+        // the join — the sweep itself still completes. Both locks are taken
+        // through [`lock_unpoisoned`]: a worker that panics while holding
+        // one must not convert every other worker's append into a
+        // misleading "journal lock poisoned" panic that masks the original
+        // failure.
         let writer = Mutex::new(&mut checkpoint.writer);
         let append_error: Mutex<Option<CheckpointError>> = Mutex::new(None);
         let executed: Vec<(usize, SweepOutcome<T>)> =
@@ -385,13 +458,12 @@ impl SweepExecutor {
                     &f,
                 );
                 let record = JournalRecord { index, outcome: outcome.clone() };
-                if let Err(e) = writer.lock().expect("journal lock poisoned").append(&record) {
-                    let mut slot = append_error.lock().expect("journal lock poisoned");
-                    slot.get_or_insert(e);
+                if let Err(e) = lock_unpoisoned(&writer).append(&record) {
+                    lock_unpoisoned(&append_error).get_or_insert(e);
                 }
                 (index, outcome)
             });
-        if let Some(e) = append_error.into_inner().expect("journal lock poisoned") {
+        if let Some(e) = append_error.into_inner().unwrap_or_else(PoisonError::into_inner) {
             return Err(e);
         }
         checkpoint.writer.finish()?;
@@ -954,6 +1026,116 @@ mod tests {
         let json = serde_json::to_string(&f).unwrap();
         let back: SweepFailure<f64> = serde_json::from_str(&json).unwrap();
         assert_eq!(f, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked on config #7")]
+    fn parallel_worker_panic_names_the_config() {
+        // The improved diagnostic: the sweep still aborts on a panicking
+        // closure, but the message names the configuration instead of the
+        // old opaque "sweep worker panicked".
+        let items: Vec<usize> = (0..64).collect();
+        let exec = SweepExecutor::new(1).with_threads(4);
+        exec.map(&items, |&x, _| {
+            assert!(x != 7, "bad config");
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked on config #3 of 8")]
+    fn serial_worker_panic_names_the_config() {
+        let items: Vec<usize> = (0..8).collect();
+        SweepExecutor::serial(1).map(&items, |&x, _| {
+            assert!(x != 3, "bad config");
+            x
+        });
+    }
+
+    #[test]
+    fn worker_panic_diagnostic_carries_the_original_payload() {
+        let items: Vec<usize> = (0..32).collect();
+        let exec = SweepExecutor::new(5).with_threads(4);
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            exec.map(&items, |&x, _| {
+                if x == 19 {
+                    panic!("meter wedged on config {x}");
+                }
+                x
+            });
+        }))
+        .expect_err("the sweep must re-panic");
+        let msg = panic_payload_message(payload.as_ref());
+        assert!(msg.contains("config #19"), "{msg}");
+        assert!(msg.contains("meter wedged on config 19"), "{msg}");
+        assert!(msg.contains("of 32"), "{msg}");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        // A worker that panics while holding a shared mutex must not turn
+        // every later lock into a "poisoned" panic: `lock_unpoisoned`
+        // recovers the guard and the data stays usable.
+        let shared = std::sync::Arc::new(Mutex::new(Vec::<u64>::new()));
+        let poisoner = std::sync::Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let mut guard = poisoner.lock().unwrap();
+            guard.push(1);
+            panic!("worker dies while holding the lock");
+        })
+        .join();
+        assert!(shared.is_poisoned(), "the panic must have poisoned the lock");
+        lock_unpoisoned(&shared).push(2);
+        assert_eq!(*lock_unpoisoned(&shared), vec![1, 2]);
+    }
+
+    #[test]
+    fn poisoned_journal_lock_still_appends_durably() {
+        // The journal-specific regression: poison the writer lock exactly
+        // as a mid-append worker panic would, then keep appending through
+        // the recovery path and verify every record survives replay.
+        use crate::checkpoint::{replay, JournalRecord, SweepCheckpoint, SweepManifest};
+
+        let dir = std::env::temp_dir()
+            .join(format!("enprop-poisoned-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = SweepManifest::new(7, 2, 1, "poison-regression".to_string());
+        let ckpt: SweepCheckpoint<f64> = SweepCheckpoint::fresh(&dir, manifest).unwrap();
+        let shared = std::sync::Arc::new(Mutex::new(ckpt));
+
+        let poisoner = std::sync::Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let mut guard = poisoner.lock().unwrap();
+            guard
+                .writer_mut()
+                .append(&JournalRecord {
+                    index: 0,
+                    outcome: SweepOutcome::Ok { point: 1.5f64, attempts: 1 },
+                })
+                .unwrap();
+            panic!("worker dies while holding the journal lock");
+        })
+        .join();
+        assert!(shared.is_poisoned(), "the panic must have poisoned the lock");
+
+        // The old code's `.expect("journal lock poisoned")` would panic
+        // here; the recovered guard keeps journaling.
+        let mut guard = lock_unpoisoned(&shared);
+        guard
+            .writer_mut()
+            .append(&JournalRecord {
+                index: 1,
+                outcome: SweepOutcome::Ok { point: 2.5f64, attempts: 1 },
+            })
+            .unwrap();
+        guard.writer_mut().finish().unwrap();
+        drop(guard);
+
+        let replayed = replay::<f64>(&dir).unwrap();
+        let mut indices: Vec<usize> = replayed.outcomes.iter().map(|(i, _)| *i).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1], "both appends must be durable");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json|sanitize]
+//! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json|sanitize|serve]
 //!       [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] [--check]
 //!       [--checkpoint DIR] [--resume] [--all] [--full] [--self-test] [--sample K]
+//!       [--port PORT] [--cache DIR]
 //! ```
 //!
 //! With `--json DIR` each generated artifact is additionally written as a
@@ -83,6 +84,18 @@
 //! above 10% (measured as an interleaved median-of-5 so scheduler jitter
 //! cannot masquerade as a journal cost or saving).
 //!
+//! The `serve_throughput` section exercises the `enprop-serve` daemon
+//! end-to-end: an in-process server on an ephemeral loopback port, a
+//! freshly computed (`no_cache`) sweep compared bitwise against the cold
+//! cached response and against a warm cache hit, then the mixed hot/cold
+//! load generator (8 concurrent clients). `--check` fails on any
+//! non-identical body, a failed request, or a zero cache-hit rate; on a
+//! host where loopback sockets cannot bind, the section records a
+//! self-describing `socket_gate` skip instead (the same convention as
+//! `speedup_gate`). The `serve` subcommand runs the daemon in the
+//! foreground (`--port PORT`, default 7271; `--cache DIR` enables the
+//! persistent result store; `--threads N` caps sweep workers).
+//!
 //! The `sanitize` subcommand runs the `enprop-sanitize` checkers
 //! (racecheck / memcheck / synccheck / prelaunch) over every shipped
 //! DGEMM and FFT configuration, prints one line per launch plus every
@@ -128,6 +141,8 @@ fn main() {
     let mut sample_k: Option<u64> = None;
     let mut checkpoint_dir: Option<String> = None;
     let mut resume = false;
+    let mut port: u16 = 7271;
+    let mut serve_cache: Option<String> = None;
     let mut it = args.into_iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -180,6 +195,16 @@ fn main() {
                 }
                 faults = Some(rate);
             }
+            "--port" => {
+                port = it
+                    .next()
+                    .and_then(|s| s.parse::<u16>().ok())
+                    .unwrap_or_else(|| usage("--port requires a port number"));
+            }
+            "--cache" => {
+                serve_cache =
+                    Some(it.next().unwrap_or_else(|| usage("missing --cache DIR")))
+            }
             "-h" | "--help" => usage(""),
             other => which = other.to_string(),
         }
@@ -206,6 +231,11 @@ fn main() {
 
     if which == "sanitize" {
         run_sanitize(sanitize_all, self_test, sample_k, json_dir.as_deref());
+        return;
+    }
+
+    if which == "serve" {
+        run_serve(port, threads, serve_cache.as_deref());
         return;
     }
 
@@ -787,6 +817,40 @@ struct SanitizeBatched {
     selftest_total: usize,
 }
 
+/// The sweep-serving daemon exercised end-to-end in-process: request
+/// bytes must be a pure function of the request (cold compute, warm hit,
+/// and a cache-bypassing recomputation all bitwise-equal), and the mixed
+/// hot/cold concurrent load must produce hits and identical hot bodies.
+#[derive(serde::Serialize)]
+struct ServeThroughput {
+    workload: String,
+    /// Concurrent load-generator clients.
+    clients: usize,
+    /// Total requests the load generator issued.
+    requests: usize,
+    /// Requests answered 200 with a well-formed body.
+    ok: usize,
+    /// Wall-clock of the load run, seconds.
+    secs: f64,
+    requests_per_sec: f64,
+    /// `hits / (hits + misses)` over the load run — gated > 0 by `--check`.
+    cache_hit_rate: f64,
+    /// `X-Cache: hit` responses in the load run.
+    hits: usize,
+    /// `X-Cache: miss` responses in the load run.
+    misses: usize,
+    /// Every hot key's responses were byte-identical across all clients.
+    hot_bodies_identical: bool,
+    /// A `no_cache` recomputation equals the cached body bitwise — the
+    /// cache serves *exact* results, not stale approximations.
+    cached_equals_fresh: bool,
+    /// The warm cache hit replayed the cold body bitwise.
+    hit_equals_cold: bool,
+    /// Whether the daemon could run at all, and if not, why (hosts
+    /// without loopback sockets skip self-describingly).
+    socket_gate: SpeedupGate,
+}
+
 #[derive(serde::Serialize)]
 struct BenchReport {
     /// Host cores available to the process — the physical ceiling on any
@@ -802,6 +866,7 @@ struct BenchReport {
     sanitize_overhead: SanitizeOverhead,
     sanitize_sampled: SanitizeSampled,
     sanitize_batched: SanitizeBatched,
+    serve_throughput: ServeThroughput,
 }
 
 /// Times the Fig. 7 measured workload (K40c, N = 8704 and 10240) serially
@@ -1067,6 +1132,31 @@ fn bench_sweep(
         "a monitored run diverged from the uninstrumented scalar output"
     );
 
+    let serve_throughput = bench_serve_throughput(host_cores);
+    if serve_throughput.socket_gate.skipped {
+        println!(
+            "serve throughput: SKIPPED — {}",
+            serve_throughput.socket_gate.reason.as_deref().unwrap_or("unknown reason")
+        );
+    } else {
+        println!(
+            "serve throughput: {} ({} clients): {}/{} ok, {:.0} req/s, \
+             hit rate {:.2} ({} hits / {} misses), hot identical: {}, \
+             cached == fresh: {}, hit == cold: {}",
+            serve_throughput.workload,
+            serve_throughput.clients,
+            serve_throughput.ok,
+            serve_throughput.requests,
+            serve_throughput.requests_per_sec,
+            serve_throughput.cache_hit_rate,
+            serve_throughput.hits,
+            serve_throughput.misses,
+            serve_throughput.hot_bodies_identical,
+            serve_throughput.cached_equals_fresh,
+            serve_throughput.hit_equals_cold
+        );
+    }
+
     let report = BenchReport {
         host_cores,
         sweep,
@@ -1079,6 +1169,7 @@ fn bench_sweep(
         sanitize_overhead,
         sanitize_sampled,
         sanitize_batched,
+        serve_throughput,
     };
 
     let dir = json_dir.unwrap_or(".");
@@ -2048,6 +2139,43 @@ fn run_perf_gate(report: &BenchReport) {
         ));
     }
 
+    let serve = &report.serve_throughput;
+    if serve.socket_gate.enforced {
+        if !serve.cached_equals_fresh {
+            failures.push(
+                "serve: a cache-bypassing recomputation is not bitwise-identical to \
+                 the cached body"
+                    .to_string(),
+            );
+        }
+        if !serve.hit_equals_cold {
+            failures.push(
+                "serve: a warm cache hit did not replay the cold body bitwise".to_string(),
+            );
+        }
+        if !serve.hot_bodies_identical {
+            failures.push(
+                "serve: concurrent clients saw different bytes for the same hot key"
+                    .to_string(),
+            );
+        }
+        if serve.cache_hit_rate <= 0.0 {
+            failures.push(format!(
+                "serve: cache hit rate {:.2} under the hot/cold load — deduplication \
+                 is not happening",
+                serve.cache_hit_rate
+            ));
+        }
+        if serve.ok != serve.requests {
+            failures.push(format!(
+                "serve: only {}/{} load-generator requests succeeded",
+                serve.ok, serve.requests
+            ));
+        }
+    } else if let Some(reason) = &serve.socket_gate.reason {
+        eprintln!("check: skipping serve-throughput gate — {reason}");
+    }
+
     if failures.is_empty() {
         eprintln!("check: all performance gates passed");
     } else {
@@ -2056,6 +2184,155 @@ fn run_perf_gate(report: &BenchReport) {
         }
         std::process::exit(1);
     }
+}
+
+/// The `serve_throughput` bench section: an in-process daemon on an
+/// ephemeral loopback port, the three-way bitwise-identity check (cold
+/// miss == warm hit == `no_cache` recomputation), then the mixed hot/cold
+/// concurrent load. Hosts where loopback cannot bind record a
+/// self-describing skip instead of failing.
+fn bench_serve_throughput(host_cores: usize) -> ServeThroughput {
+    use enprop_serve::{LoadOptions, ServeConfig, Server, SweepRequest};
+
+    let options = LoadOptions {
+        clients: 8,
+        requests_per_client: 6,
+        hot_keys: 3,
+        seed_base: 42,
+        arch: "k40c".to_string(),
+        n: 512,
+        products: 4,
+        chunk: 16,
+    };
+    let workload = format!(
+        "gpu-matmul sweep service (k40c, N = {}, {} products, chunk {})",
+        options.n, options.products, options.chunk
+    );
+    let skipped = |reason: String| ServeThroughput {
+        workload: workload.clone(),
+        clients: options.clients,
+        requests: 0,
+        ok: 0,
+        secs: 0.0,
+        requests_per_sec: 0.0,
+        cache_hit_rate: 0.0,
+        hits: 0,
+        misses: 0,
+        hot_bodies_identical: false,
+        cached_equals_fresh: false,
+        hit_equals_cold: false,
+        socket_gate: SpeedupGate {
+            enforced: false,
+            skipped: true,
+            host_cores,
+            reason: Some(reason),
+        },
+    };
+
+    let config = ServeConfig { threads: 0, ..ServeConfig::default() };
+    let server = match Server::start(config, "127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            return skipped(format!(
+                "cannot bind a loopback socket ({e}); the serve section needs local \
+                 TCP and is skipped, not failed, where the host forbids it"
+            ))
+        }
+    };
+
+    // Three-way bitwise identity on one hot key before the load runs:
+    // cold compute (fills the cache), warm hit (replays it), and a
+    // `no_cache` recomputation (proves the cached bytes are exact).
+    let key_request = |no_cache: bool| SweepRequest {
+        arch: options.arch.clone(),
+        n: options.n,
+        products: options.products,
+        seed: options.seed_base,
+        chunk: options.chunk,
+        no_cache,
+    };
+    let post = |request: &SweepRequest| {
+        enprop_serve::http::http_request(
+            server.addr(),
+            "POST",
+            "/sweep",
+            request.to_json().as_bytes(),
+        )
+    };
+    let cold = match post(&key_request(false)) {
+        Ok(r) if r.status == 200 => r.body,
+        Ok(r) => {
+            server.shutdown();
+            return skipped(format!("cold sweep request answered status {}", r.status));
+        }
+        Err(e) => {
+            server.shutdown();
+            return skipped(format!("cold sweep request failed: {e}"));
+        }
+    };
+    let hit = post(&key_request(false)).map(|r| r.body).unwrap_or_default();
+    let fresh = post(&key_request(true)).map(|r| r.body).unwrap_or_default();
+    let hit_equals_cold = !cold.is_empty() && hit == cold;
+    let cached_equals_fresh = !cold.is_empty() && fresh == cold;
+
+    let load = enprop_serve::run_load(server.addr(), &options);
+    for error in &load.errors {
+        eprintln!("serve load: {error}");
+    }
+    let report = ServeThroughput {
+        workload,
+        clients: options.clients,
+        requests: load.requests,
+        ok: load.ok,
+        secs: load.secs,
+        requests_per_sec: load.requests_per_sec,
+        cache_hit_rate: load.cache_hit_rate,
+        hits: load.hits,
+        misses: load.misses,
+        hot_bodies_identical: load.hot_identical,
+        cached_equals_fresh,
+        hit_equals_cold,
+        socket_gate: SpeedupGate {
+            enforced: true,
+            skipped: false,
+            host_cores,
+            reason: None,
+        },
+    };
+    server.shutdown();
+    report
+}
+
+/// The `serve` subcommand: runs the sweep daemon in the foreground until
+/// killed.
+fn run_serve(port: u16, threads: Option<usize>, cache_dir: Option<&str>) {
+    use enprop_serve::{ServeConfig, Server};
+
+    let config = ServeConfig {
+        threads: threads.unwrap_or(0),
+        cache_dir: cache_dir.map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let server = match Server::start(config, &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = server.cache_load_report();
+    println!("serve: listening on http://{}", server.addr());
+    if report.replayed > 0 || report.torn_tail_bytes > 0 {
+        println!(
+            "serve: cache store replayed {} entr{} ({} torn-tail byte(s) discarded)",
+            report.replayed,
+            if report.replayed == 1 { "y" } else { "ies" },
+            report.torn_tail_bytes
+        );
+    }
+    println!("serve: POST /sweep, GET /stats, GET /healthz (Ctrl-C to stop)");
+    server.serve_forever();
 }
 
 fn to_json<T: serde::Serialize>(v: &T) -> String {
@@ -2068,8 +2345,9 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json|\
-         sanitize] [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] [--check] \
-         [--checkpoint DIR] [--resume] [--all] [--full] [--self-test] [--sample K]"
+         sanitize|serve] [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] \
+         [--check] [--checkpoint DIR] [--resume] [--all] [--full] [--self-test] [--sample K] \
+         [--port PORT] [--cache DIR]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -1,0 +1,65 @@
+//! Standalone sweep-serving daemon.
+//!
+//! ```text
+//! enprop-serve [--addr HOST:PORT] [--threads N] [--cache DIR]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7271`), prints the resolved
+//! address and the persistent-store load report, then serves until killed.
+
+use enprop_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7271".to_string();
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage("--addr needs HOST:PORT"),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.threads = v,
+                None => return usage("--threads needs an integer"),
+            },
+            "--cache" => match args.next() {
+                Some(v) => config.cache_dir = Some(PathBuf::from(v)),
+                None => return usage("--cache needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let server = match Server::start(config, &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("enprop-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = server.cache_load_report();
+    println!("enprop-serve: listening on http://{}", server.addr());
+    if report.replayed > 0 || report.torn_tail_bytes > 0 {
+        println!(
+            "enprop-serve: cache store replayed {} entr{} ({} torn-tail byte(s) discarded)",
+            report.replayed,
+            if report.replayed == 1 { "y" } else { "ies" },
+            report.torn_tail_bytes
+        );
+    }
+    println!("enprop-serve: POST /sweep, GET /stats, GET /healthz");
+    server.serve_forever();
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("enprop-serve: {error}");
+    }
+    eprintln!("usage: enprop-serve [--addr HOST:PORT] [--threads N] [--cache DIR]");
+    if error.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}
