@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json|sanitize|serve]
+//! repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json|sanitize|
+//!        verify-static|serve]
 //!       [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] [--check]
 //!       [--checkpoint DIR] [--resume] [--all] [--full] [--self-test] [--sample K]
 //!       [--port PORT] [--cache DIR]
@@ -107,6 +108,27 @@
 //! the seeded buggy-kernel corpus (always unsampled, whatever `--sample`
 //! says) and exits non-zero unless each fixture is caught by exactly its
 //! intended checker.
+//!
+//! The `verify-static` subcommand proves the same safety properties
+//! *without executing the swept configurations*: the `enprop-staticcheck`
+//! analyzer learns the tiled-DGEMM family from a set of tiny instrumented
+//! probe launches (every access fitted to a verified affine form, every
+//! coefficient refitted as an exact integer polynomial in the config
+//! parameters), then analytically sweeps every fig7/fig8 lattice
+//! configuration — race, out-of-bounds, and barrier checks plus
+//! closed-form event counts, in microseconds per config. It also re-runs
+//! the static analyzer over the seeded buggy fixture corpus (each must be
+//! flagged by the same checker, naming the same phase and buffer as the
+//! dynamic sanitizer) and cross-validates the closed-form counters
+//! bitwise against flushed `EmuEvents` on executable validation configs.
+//! `--json DIR` writes `VERIFY_static.json`; the exit code is non-zero on
+//! any finding, fallback, missed fixture, parity failure, or count
+//! mismatch. The matching `static_verify` section of `bench-json` times
+//! the full static pipeline (model learning + four-lattice analytic
+//! sweep) against the dynamic `sanitize --all` instrumented sweep and,
+//! with `--check`, fails unless the static path is at least 10x faster,
+//! the lattices are proven clean, all fixtures are caught with dynamic
+//! parity, and every validated count is bitwise-exact.
 
 use enprop_apps::checkpoint::{CrashPlan, SweepCheckpoint};
 use enprop_apps::{GpuMatMulApp, RetryPolicy, SweepExecutor, SweepFailure};
@@ -236,6 +258,11 @@ fn main() {
 
     if which == "serve" {
         run_serve(port, threads, serve_cache.as_deref());
+        return;
+    }
+
+    if which == "verify-static" {
+        run_verify_static(json_dir.as_deref());
         return;
     }
 
@@ -866,7 +893,56 @@ struct BenchReport {
     sanitize_overhead: SanitizeOverhead,
     sanitize_sampled: SanitizeSampled,
     sanitize_batched: SanitizeBatched,
+    static_verify: StaticVerifyBench,
     serve_throughput: ServeThroughput,
+}
+
+/// The `static_verify` bench section: the static launch-space verifier's
+/// full pipeline (probe-based model learning + the analytic sweep of
+/// every fig7/fig8 lattice config) timed against the dynamic
+/// `sanitize --all` instrumented sweep, plus the fixture corpus and the
+/// closed-form counter cross-validation.
+#[derive(serde::Serialize)]
+struct StaticVerifyBench {
+    /// Workload description.
+    workload: String,
+    /// Tiny instrumented probe launches the family model learned from.
+    probe_launches: usize,
+    /// Lattice configurations verified analytically across all four
+    /// fig7/fig8 sweeps.
+    lattice_configs: usize,
+    /// Static findings across the lattice sweep (a clean tree has 0).
+    findings: usize,
+    /// Static fallbacks across the lattice sweep (0: every config was
+    /// actually proven, none silently handed back to the dynamic path).
+    fallbacks: usize,
+    /// Seeded buggy fixtures flagged statically by exactly the intended
+    /// checker.
+    fixtures_flagged: usize,
+    /// Fixtures whose static diagnostics name the same checker / phase /
+    /// buffer as the dynamic sanitizer's findings.
+    fixtures_parity: usize,
+    /// Fixtures in the corpus.
+    fixtures_total: usize,
+    /// Executable validation configs whose closed-form event counts
+    /// equal the flushed `EmuEvents` bitwise.
+    counts_exact: usize,
+    /// Executable validation configs run.
+    counts_validated: usize,
+    /// Model learning wall-clock (probe + fit + verify).
+    learn_secs: f64,
+    /// Analytic four-lattice sweep wall-clock.
+    sweep_secs: f64,
+    /// Total static wall-clock (`learn_secs + sweep_secs`).
+    static_secs: f64,
+    /// Dynamic reference: the `sanitize --all` instrumented sweep.
+    dynamic_secs: f64,
+    /// `dynamic_secs / static_secs`.
+    speedup: f64,
+    /// The dynamic reference sweep was itself clean (context for the
+    /// zero-findings claim, not a gated value — the `sanitize_overhead`
+    /// section owns that gate).
+    dynamic_clean: bool,
 }
 
 /// Times the Fig. 7 measured workload (K40c, N = 8704 and 10240) serially
@@ -1132,6 +1208,27 @@ fn bench_sweep(
         "a monitored run diverged from the uninstrumented scalar output"
     );
 
+    let static_verify = bench_static_verify();
+    println!(
+        "static verify: {}: dynamic {:.2}s, static {:.3}s (learn {:.3}s + sweep {:.3}s), \
+         speedup {:.1}x; {} lattice config(s), {} finding(s), {} fallback(s); \
+         fixtures {}/{} caught ({} parity); counts exact {}/{}",
+        static_verify.workload,
+        static_verify.dynamic_secs,
+        static_verify.static_secs,
+        static_verify.learn_secs,
+        static_verify.sweep_secs,
+        static_verify.speedup,
+        static_verify.lattice_configs,
+        static_verify.findings,
+        static_verify.fallbacks,
+        static_verify.fixtures_flagged,
+        static_verify.fixtures_total,
+        static_verify.fixtures_parity,
+        static_verify.counts_exact,
+        static_verify.counts_validated
+    );
+
     let serve_throughput = bench_serve_throughput(host_cores);
     if serve_throughput.socket_gate.skipped {
         println!(
@@ -1169,6 +1266,7 @@ fn bench_sweep(
         sanitize_overhead,
         sanitize_sampled,
         sanitize_batched,
+        static_verify,
         serve_throughput,
     };
 
@@ -2139,6 +2237,39 @@ fn run_perf_gate(report: &BenchReport) {
         ));
     }
 
+    let stat = &report.static_verify;
+    if stat.findings != 0 || stat.fallbacks != 0 {
+        failures.push(format!(
+            "static verifier did not prove the sweep lattice clean: {} finding(s), \
+             {} fallback(s) across {} config(s)",
+            stat.findings, stat.fallbacks, stat.lattice_configs
+        ));
+    }
+    if stat.fixtures_flagged != stat.fixtures_total || stat.fixtures_parity != stat.fixtures_total
+    {
+        failures.push(format!(
+            "static verifier missed seeded fixtures: {}/{} flagged, {}/{} with dynamic \
+             parity",
+            stat.fixtures_flagged, stat.fixtures_total, stat.fixtures_parity,
+            stat.fixtures_total
+        ));
+    }
+    if stat.counts_exact != stat.counts_validated {
+        failures.push(format!(
+            "closed-form event counts diverged from flushed counters on {} of {} \
+             validation config(s)",
+            stat.counts_validated - stat.counts_exact,
+            stat.counts_validated
+        ));
+    }
+    if stat.static_secs * 10.0 > stat.dynamic_secs {
+        failures.push(format!(
+            "static lattice verification ({:.3}s) is not >= 10x faster than the dynamic \
+             sanitize --all sweep ({:.2}s): speedup {:.1}x",
+            stat.static_secs, stat.dynamic_secs, stat.speedup
+        ));
+    }
+
     let serve = &report.serve_throughput;
     if serve.socket_gate.enforced {
         if !serve.cached_equals_fresh {
@@ -2303,6 +2434,248 @@ fn bench_serve_throughput(host_cores: usize) -> ServeThroughput {
     report
 }
 
+/// Common core of the `static_verify` section and the `verify-static`
+/// subcommand: learn the DGEMM family model, analytically sweep the four
+/// fig7/fig8 lattices, re-verify the fixture corpus, and cross-validate
+/// the closed-form counters. The dynamic `sanitize --all` reference
+/// sweep is timed first so the speedup compares full coverage against
+/// full coverage.
+fn bench_static_verify() -> StaticVerifyBench {
+    use enprop_staticcheck::dgemm::{validate_counts, validation_set};
+    use enprop_staticcheck::fixtures::analyze_fixtures;
+    use enprop_staticcheck::{verify_fig_lattices, DgemmStaticModel};
+
+    let start = Instant::now();
+    let dynamic_report = enprop_sanitize::sanitize_all(&GpuArch::k40c(), true);
+    let dynamic_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let model = DgemmStaticModel::learn();
+    let learn_secs = start.elapsed().as_secs_f64();
+
+    let (probe_launches, lattice_configs, findings, fallbacks, sweep_secs) = match &model {
+        Ok(m) => {
+            let start = Instant::now();
+            let sweeps = verify_fig_lattices(m);
+            let sweep_secs = start.elapsed().as_secs_f64();
+            (
+                m.probe_configs.len(),
+                sweeps.iter().map(|s| s.configs).sum(),
+                sweeps.iter().map(|s| s.findings).sum(),
+                sweeps.iter().map(|s| s.fallbacks).sum(),
+                sweep_secs,
+            )
+        }
+        // A model that cannot be learned is a fallback of the whole
+        // lattice: the gate fails on `fallbacks != 0`.
+        Err(_) => (0, 0, 0, 1, 0.0),
+    };
+
+    let outcomes = analyze_fixtures();
+    let fixtures_flagged = outcomes.iter().filter(|o| o.caught).count();
+    let fixtures_parity = outcomes.iter().filter(|o| o.parity).count();
+
+    let vals = validation_set();
+    let counts_exact = match &model {
+        Ok(m) => vals
+            .iter()
+            .filter(|cfg| {
+                let (stat, dynamic) = validate_counts(m, cfg);
+                stat == dynamic
+            })
+            .count(),
+        Err(_) => 0,
+    };
+
+    let static_secs = learn_secs + sweep_secs;
+    StaticVerifyBench {
+        workload: "fig7/fig8 lattice race/OOB/barrier safety + event counts".into(),
+        probe_launches,
+        lattice_configs,
+        findings,
+        fallbacks,
+        fixtures_flagged,
+        fixtures_parity,
+        fixtures_total: outcomes.len(),
+        counts_exact,
+        counts_validated: vals.len(),
+        learn_secs,
+        sweep_secs,
+        static_secs,
+        dynamic_secs,
+        speedup: dynamic_secs / static_secs,
+        dynamic_clean: dynamic_report.clean(),
+    }
+}
+
+/// The `verify-static` subcommand: proves race / out-of-bounds / barrier
+/// safety and closed-form event counts for every fig7/fig8 lattice
+/// configuration analytically, re-verifies the seeded buggy fixture
+/// corpus statically (with dynamic-diagnostic parity), and exits
+/// non-zero on any finding, fallback, missed fixture, or count mismatch.
+fn run_verify_static(json_dir: Option<&str>) {
+    use enprop_staticcheck::dgemm::{validate_counts, validation_set};
+    use enprop_staticcheck::fixtures::analyze_fixtures;
+    use enprop_staticcheck::{verify_fig_lattices, DgemmStaticModel};
+
+    let mut failed = false;
+
+    let start = Instant::now();
+    let model = match DgemmStaticModel::learn() {
+        Ok(m) => m,
+        Err(fb) => {
+            eprintln!("verify-static: cannot learn the DGEMM family model: {fb}");
+            std::process::exit(1);
+        }
+    };
+    let learn_secs = start.elapsed().as_secs_f64();
+    println!(
+        "verify-static: DGEMM family model learned and verified from {} tiny probe \
+         launches in {:.3}s",
+        model.probe_configs.len(),
+        learn_secs
+    );
+
+    let start = Instant::now();
+    let sweeps = verify_fig_lattices(&model);
+    let sweep_secs = start.elapsed().as_secs_f64();
+    for s in &sweeps {
+        let clean = s.findings == 0 && s.fallbacks == 0;
+        println!(
+            "verify-static: {}: {} configuration(s) — {} finding(s), {} fallback(s){}",
+            s.label,
+            s.configs,
+            s.findings,
+            s.fallbacks,
+            if clean { "; proven race/OOB/barrier-clean" } else { "" }
+        );
+        for r in &s.dirty {
+            for f in &r.findings {
+                println!("  {}: {f}", r.label);
+            }
+            for fb in &r.fallbacks {
+                println!("  {}: {fb}", r.label);
+            }
+        }
+        failed |= !clean;
+    }
+    let total: usize = sweeps.iter().map(|s| s.configs).sum();
+    println!(
+        "verify-static: analytic sweep of {total} lattice configuration(s) in {sweep_secs:.3}s"
+    );
+
+    let outcomes = analyze_fixtures();
+    for o in &outcomes {
+        let ok = o.caught && o.parity;
+        println!(
+            "verify-static: {} {} — {} static finding(s) (expected {}), dynamic parity: {}",
+            if ok { "caught" } else { "MISSED" },
+            o.label,
+            o.report.findings.len(),
+            o.expected.as_str(),
+            o.parity
+        );
+        if let Some(f) = o.report.findings.first() {
+            println!("  {f}");
+        }
+        for fb in &o.report.fallbacks {
+            println!("  {fb}");
+        }
+        failed |= !ok;
+    }
+
+    let vals = validation_set();
+    let mut counts_exact = 0usize;
+    for cfg in &vals {
+        let (stat, dynamic) = validate_counts(&model, cfg);
+        if stat == dynamic {
+            counts_exact += 1;
+        } else {
+            println!(
+                "verify-static: COUNT MISMATCH at {cfg}: static {stat:?} != flushed {dynamic:?}"
+            );
+            failed = true;
+        }
+    }
+    println!(
+        "verify-static: closed-form event counts bitwise-exact on {counts_exact}/{} \
+         executed validation configuration(s)",
+        vals.len()
+    );
+
+    if let Some(dir) = json_dir {
+        #[derive(serde::Serialize)]
+        struct LatticeJson {
+            label: String,
+            configs: usize,
+            findings: usize,
+            fallbacks: usize,
+        }
+        #[derive(serde::Serialize)]
+        struct FixtureJson {
+            label: String,
+            expected: &'static str,
+            findings: usize,
+            caught: bool,
+            parity: bool,
+        }
+        #[derive(serde::Serialize)]
+        struct VerifyStaticJson {
+            probe_launches: usize,
+            learn_secs: f64,
+            sweep_secs: f64,
+            lattices: Vec<LatticeJson>,
+            fixtures: Vec<FixtureJson>,
+            counts_exact: usize,
+            counts_validated: usize,
+            clean: bool,
+        }
+        let artifact = VerifyStaticJson {
+            probe_launches: model.probe_configs.len(),
+            learn_secs,
+            sweep_secs,
+            lattices: sweeps
+                .iter()
+                .map(|s| LatticeJson {
+                    label: s.label.clone(),
+                    configs: s.configs,
+                    findings: s.findings,
+                    fallbacks: s.fallbacks,
+                })
+                .collect(),
+            fixtures: outcomes
+                .iter()
+                .map(|o| FixtureJson {
+                    label: o.label.clone(),
+                    expected: o.expected.as_str(),
+                    findings: o.report.findings.len(),
+                    caught: o.caught,
+                    parity: o.parity,
+                })
+                .collect(),
+            counts_exact,
+            counts_validated: vals.len(),
+            clean: !failed,
+        };
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/VERIFY_static.json");
+        let mut f = std::fs::File::create(&path).expect("create VERIFY_static.json");
+        f.write_all(to_json(&artifact).as_bytes()).expect("write VERIFY_static.json");
+        eprintln!("wrote {path}");
+    }
+
+    if failed {
+        eprintln!("verify-static: FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "verify-static: all {total} lattice configuration(s) proven clean, {}/{} fixtures \
+         caught with parity, counts exact",
+        outcomes.iter().filter(|o| o.caught && o.parity).count(),
+        outcomes.len()
+    );
+}
+
 /// The `serve` subcommand: runs the sweep daemon in the foreground until
 /// killed.
 fn run_serve(port: u16, threads: Option<usize>, cache_dir: Option<&str>) {
@@ -2345,7 +2718,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [all|table1|fig1|fig2|fig4|fig6|fig7|fig8|theory|headline|bench-json|\
-         sanitize|serve] [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] \
+         sanitize|verify-static|serve] [--json DIR] [--measured [SEED]] [--threads N] [--faults [RATE]] \
          [--check] [--checkpoint DIR] [--resume] [--all] [--full] [--self-test] [--sample K] \
          [--port PORT] [--cache DIR]"
     );

@@ -436,6 +436,7 @@ impl FftKernel<'_> {
             #[cfg(target_arch = "x86_64")]
             SimdPath::Avx2 => {
                 let tw = self.twiddles(len);
+                // SAFETY: as above — `simd` never exceeds host support.
                 unsafe { self.batch_butterfly_avx2(len, &tw, ctx) }
             }
             _ => self.batch_butterfly(len, ctx),
@@ -477,6 +478,11 @@ impl FftKernel<'_> {
     /// (one-complex) vector moves. Pure copies — bitwise identity is
     /// trivial. Needs only the x86-64 SSE2 baseline, so both AVX tiers
     /// share it.
+    ///
+    /// # Safety
+    /// None beyond compiling for x86-64 (SSE2 is baseline there); the fn
+    /// is `unsafe` only for uniformity with the feature-gated dispatch
+    /// arms.
     #[cfg(target_arch = "x86_64")]
     unsafe fn batch_load_sse2(&self, base: usize, ctx: &mut BatchCtx<'_>) {
         use core::arch::x86_64::{_mm_loadu_pd, _mm_storeu_pd};

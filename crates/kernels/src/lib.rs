@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 //! Real compute kernels backing the paper's applications.
 //!

@@ -18,7 +18,7 @@ use crate::driver::{fill, sanitize_kernel, KernelReport};
 use crate::monitor::BufferTable;
 use crate::report::Checker;
 use enprop_gpusim::emulator::{
-    AccessSink, BlockKernel, Dim2, GlobalMem, PhaseCtx, PhaseOutcome,
+    AccessSink, BlockKernel, BufId, Dim2, GlobalMem, PhaseCtx, PhaseOutcome,
 };
 
 /// Tiled DGEMM with the stage→MAC `__syncthreads` removed: each phase
@@ -300,4 +300,66 @@ pub fn self_test() -> Vec<(Checker, KernelReport)> {
         (Checker::Memcheck, uninit_accumulator_report()),
         (Checker::Synccheck, divergence_report()),
     ]
+}
+
+/// Callback over the fixture corpus. The fixture kernel types stay
+/// private; external analyzers (the static verifier) see each one only
+/// through its [`BlockKernel`] impl, exactly like the monitor does.
+pub trait FixtureVisitor {
+    /// Called once per fixture with its launch geometry, kernel, the
+    /// registered `(id, name, len)` buffers and the checker expected to
+    /// catch the seeded bug.
+    fn visit<K: BlockKernel>(
+        &mut self,
+        label: &str,
+        expected: Checker,
+        grid: Dim2,
+        kernel: &K,
+        buffers: &[(BufId, &'static str, usize)],
+    );
+}
+
+/// Drives `v` over the same four seeded fixtures as [`self_test`], with
+/// identical geometry, inputs and labels.
+pub fn visit_fixtures<V: FixtureVisitor>(v: &mut V) {
+    {
+        let (n, bs) = (8usize, 4usize);
+        let a = GlobalMem::from_slice(&fill(n * n, 11));
+        let b = GlobalMem::from_slice(&fill(n * n, 12));
+        let c = GlobalMem::from_slice(&fill(n * n, 13));
+        let kernel = MissingBarrierDgemm { n, bs, tiles: n / bs, a: &a, b: &b, c: &c };
+        let bufs = [(a.id(), "A", n * n), (b.id(), "B", n * n), (c.id(), "C", n * n)];
+        v.visit(
+            "fixture:missing-barrier-dgemm",
+            Checker::Racecheck,
+            Dim2::new(n / bs, n / bs),
+            &kernel,
+            &bufs,
+        );
+    }
+    {
+        let n = 8usize;
+        let a = GlobalMem::from_slice(&fill(n * n, 21));
+        let b = GlobalMem::from_slice(&fill(n * n, 22));
+        let c = GlobalMem::from_slice(&fill(n * n, 23));
+        let kernel = OffByOneTileDgemm { n, a: &a, b: &b, c: &c };
+        let bufs = [(a.id(), "A", n * n), (b.id(), "B", n * n), (c.id(), "C", n * n)];
+        v.visit("fixture:off-by-one-tile-dgemm", Checker::Memcheck, Dim2::new(1, 1), &kernel, &bufs);
+    }
+    {
+        let n = 4usize;
+        let a = GlobalMem::from_slice(&fill(n * n, 31));
+        let b = GlobalMem::from_slice(&fill(n * n, 32));
+        let c = GlobalMem::from_slice(&fill(n * n, 33));
+        let kernel = UninitAccumulatorDgemm { n, a: &a, b: &b, c: &c };
+        let bufs = [(a.id(), "A", n * n), (b.id(), "B", n * n), (c.id(), "C", n * n)];
+        v.visit(
+            "fixture:uninit-accumulator-dgemm",
+            Checker::Memcheck,
+            Dim2::new(1, 1),
+            &kernel,
+            &bufs,
+        );
+    }
+    v.visit("fixture:early-exit", Checker::Synccheck, Dim2::new(1, 1), &EarlyExit, &[]);
 }

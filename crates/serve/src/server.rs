@@ -198,6 +198,13 @@ pub struct ServeStatsSnapshot {
     pub cache_coalesced: u64,
     /// Completed entries in memory.
     pub cache_entries: usize,
+    /// Entries replayed from the persistent store's clean log prefix at
+    /// startup (0 for in-memory caches).
+    pub cache_replayed: usize,
+    /// Torn trailing bytes truncated from the persistent log during
+    /// replay (a nonzero value records a crash mid-append that the store
+    /// recovered from).
+    pub cache_torn_tail_bytes: u64,
 }
 
 struct ServerState {
@@ -283,6 +290,7 @@ impl Server {
 
 fn snapshot(state: &ServerState) -> ServeStatsSnapshot {
     let cache = state.cache.stats();
+    let load = state.cache.load_report();
     ServeStatsSnapshot {
         requests: state.stats.requests.load(Ordering::Relaxed),
         sweeps: state.stats.sweeps.load(Ordering::Relaxed),
@@ -292,6 +300,8 @@ fn snapshot(state: &ServerState) -> ServeStatsSnapshot {
         cache_misses: cache.misses,
         cache_coalesced: cache.coalesced,
         cache_entries: state.cache.entries(),
+        cache_replayed: load.replayed,
+        cache_torn_tail_bytes: load.torn_tail_bytes,
     }
 }
 

@@ -295,6 +295,16 @@ fn persistent_cache_survives_restart_and_torn_tail() {
     assert_eq!(status, 200);
     assert_eq!(cache.as_deref(), Some("hit"), "the replayed entry must serve as a hit");
     assert_eq!(original, replayed, "replayed bytes must be bitwise-identical");
+
+    // The replay health is operator-visible through `GET /stats`.
+    let stats = server_b.stats();
+    assert_eq!(stats.cache_replayed, 1);
+    assert_eq!(stats.cache_torn_tail_bytes, report.torn_tail_bytes);
+    let r = http_request(server_b.addr(), "GET", "/stats", b"").unwrap();
+    assert_eq!(r.status, 200);
+    let text = String::from_utf8_lossy(&r.body).to_string();
+    assert!(text.contains("\"cache_replayed\": 1"), "{text}");
+    assert!(text.contains("\"cache_torn_tail_bytes\": 5"), "{text}");
     server_b.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,380 @@
+//! Affine access summaries: fitting closed forms to probe streams and
+//! verifying them on every recorded access.
+//!
+//! Per `(phase, space, buffer, kind)` a thread's accesses are split into
+//! *families* — interleaved arithmetic subsequences — and each family is
+//! summarized as
+//!
+//! ```text
+//! addr = c0 + dk·k + c1·tx + c2·ty + c3·bx + c4·by   (k ∈ [0, K))
+//! ```
+//!
+//! The coefficients are *fitted* from structured probe points (origin
+//! thread/block plus one step along each axis) and then *verified*
+//! against every other recorded access: any mismatch is a typed
+//! [`NonAffine`](crate::report::FallbackKind::NonAffine) fallback, never
+//! a silent approximation. Parametric analyses (see [`crate::dgemm`])
+//! extend the form with per-occurrence terms `e1·τ + e2·m`.
+
+use crate::probe::BlockProbe;
+use crate::report::{Fallback, FallbackKind};
+use enprop_gpusim::emulator::BufId;
+use enprop_sanitize::report::{AccessKind, MemSpace};
+use std::collections::BTreeMap;
+
+/// Coefficients of one affine family. `e1`/`e2` (per-tile-step and
+/// per-product drift) are zero for concrete summaries and fitted by the
+/// parametric analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Coeffs {
+    /// Constant term (address of thread (0,0) of block (0,0), k = 0).
+    pub c0: i128,
+    /// Inner-repeat stride (`k` ∈ [0, K)).
+    pub dk: i128,
+    /// Thread-x stride.
+    pub c1: i128,
+    /// Thread-y stride.
+    pub c2: i128,
+    /// Block-x stride.
+    pub c3: i128,
+    /// Block-y stride.
+    pub c4: i128,
+    /// Per-tile-step (τ) drift — parametric summaries only.
+    pub e1: i128,
+    /// Per-product (m) drift — parametric summaries only.
+    pub e2: i128,
+}
+
+impl Coeffs {
+    /// The address at concrete coordinates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn at(&self, k: i128, tx: i128, ty: i128, bx: i128, by: i128, tau: i128, m: i128) -> i128 {
+        self.c0
+            + self.dk * k
+            + self.c1 * tx
+            + self.c2 * ty
+            + self.c3 * bx
+            + self.c4 * by
+            + self.e1 * tau
+            + self.e2 * m
+    }
+}
+
+/// One verified affine family of a phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Family {
+    /// Memory space.
+    pub space: MemSpace,
+    /// Global allocation (registry index), `None` for shared memory.
+    pub buf: Option<usize>,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Inner repeat count per thread per occurrence.
+    pub k: usize,
+    /// The fitted (and verified) coefficients.
+    pub co: Coeffs,
+}
+
+/// All families of one barrier phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseSummary {
+    /// Families in deterministic (space, buffer, kind, position) order.
+    pub families: Vec<Family>,
+}
+
+/// The verified summary of a whole concrete launch.
+#[derive(Debug, Clone)]
+pub struct LaunchShape {
+    /// One summary per barrier phase, in execution order.
+    pub phases: Vec<PhaseSummary>,
+    /// Block dimensions `(width, height)`.
+    pub block: (usize, usize),
+    /// Grid dimensions `(width, height)`.
+    pub grid: (usize, usize),
+}
+
+/// Largest interleave factor the family splitter tries before declaring
+/// a stream non-affine (beyond it, each position becomes its own family
+/// when the stream is short enough).
+const MAX_INTERLEAVE: usize = 4;
+/// Streams up to this length may fall back to one-family-per-position.
+const MAX_SINGLETON_SPLIT: usize = 8;
+
+/// Key identifying one access stream within a phase. Global buffers are
+/// keyed by registry index so the order is deterministic across runs and
+/// configs (BufIds are allocation-derived).
+type StreamKey = (usize, u8, usize); // (space: 0 shared / 1 global, kind, registry index)
+
+fn stream_key(space: MemSpace, kind: AccessKind, buf: Option<usize>) -> StreamKey {
+    let s = match space {
+        MemSpace::Shared => 0,
+        MemSpace::Global => 1,
+    };
+    let k = match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+    };
+    (s, k, buf.unwrap_or(0))
+}
+
+fn non_affine(
+    phase: usize,
+    space: MemSpace,
+    buffer: Option<&str>,
+    detail: String,
+) -> Fallback {
+    Fallback::new(FallbackKind::NonAffine, Some(phase), Some(space), buffer, detail)
+}
+
+/// Splits one thread-indexed stream table into interleaved arithmetic
+/// families: family `f` of interleave `m` holds positions `f, f+m, …`,
+/// and must be arithmetic with a stride shared by *all* threads.
+/// Returns `(interleave, per-family (stride, K))`.
+fn split_families(
+    seqs: &[Vec<i128>],
+    len: usize,
+) -> Option<(usize, Vec<(i128, usize)>)> {
+    'outer: for m in 1..=MAX_INTERLEAVE.min(len) {
+        if !len.is_multiple_of(m) {
+            continue;
+        }
+        let k = len / m;
+        let mut fams = Vec::with_capacity(m);
+        for f in 0..m {
+            let mut stride: Option<i128> = None;
+            for seq in seqs {
+                for j in 1..k {
+                    let d = seq[f + j * m] - seq[f + (j - 1) * m];
+                    match stride {
+                        None => stride = Some(d),
+                        Some(s) if s == d => {}
+                        Some(_) => continue 'outer,
+                    }
+                }
+            }
+            fams.push((stride.unwrap_or(0), k));
+        }
+        return Some((m, fams));
+    }
+    if len <= MAX_SINGLETON_SPLIT {
+        // One family per position (K = 1 each) — always consistent.
+        return Some((len, vec![(0, 1); len]));
+    }
+    None
+}
+
+/// Fits `base(tx, ty) = c0 + c1·tx + c2·ty` from the origin-adjacent
+/// threads and verifies it on all of them. `bases` is indexed
+/// `ty * bw + tx`.
+fn fit_thread_affine(bases: &[i128], bw: usize, bh: usize) -> Option<(i128, i128, i128)> {
+    let c0 = bases[0];
+    let c1 = if bw > 1 { bases[1] - c0 } else { 0 };
+    let c2 = if bh > 1 { bases[bw] - c0 } else { 0 };
+    for ty in 0..bh {
+        for tx in 0..bw {
+            if bases[ty * bw + tx] != c0 + c1 * tx as i128 + c2 * ty as i128 {
+                return None;
+            }
+        }
+    }
+    Some((c0, c1, c2))
+}
+
+/// Summarizes one block's recorded accesses into per-phase families with
+/// block-local bases (`c3 = c4 = 0`; the caller fits those across
+/// blocks). `buf_names` maps registry indices to display names for
+/// diagnostics; `resolve` maps a BufId to its registry index.
+fn summarize_block(
+    probe: &BlockProbe,
+    bw: usize,
+    bh: usize,
+    buf_names: &[String],
+    resolve: &dyn Fn(BufId) -> Option<usize>,
+) -> Result<Vec<PhaseSummary>, Fallback> {
+    let threads = bw * bh;
+    // streams[phase][key] = per-thread sequences.
+    let mut streams: Vec<BTreeMap<StreamKey, Vec<Vec<i128>>>> = Vec::new();
+    let mut spaces: BTreeMap<StreamKey, (MemSpace, AccessKind, Option<usize>)> = BTreeMap::new();
+    for a in &probe.accesses {
+        let buf = match a.buf {
+            None => None,
+            Some(id) => Some(resolve(id).ok_or_else(|| {
+                Fallback::launch(
+                    FallbackKind::Unsupported,
+                    format!("phase {}: access to an unregistered global buffer", a.phase),
+                )
+            })?),
+        };
+        let key = stream_key(a.space, a.kind, buf);
+        spaces.entry(key).or_insert((a.space, a.kind, buf));
+        if a.phase >= streams.len() {
+            streams.resize_with(a.phase + 1, BTreeMap::new);
+        }
+        let per_thread = streams[a.phase]
+            .entry(key)
+            .or_insert_with(|| vec![Vec::new(); threads]);
+        per_thread[a.ty * bw + a.tx].push(a.idx as i128);
+    }
+
+    let mut phases = Vec::with_capacity(streams.len());
+    for (phase, keys) in streams.iter().enumerate() {
+        let mut families = Vec::new();
+        for (key, seqs) in keys {
+            let (space, kind, buf) = spaces[key];
+            let name = buf.map(|b| buf_names[b].as_str());
+            let len = seqs[0].len();
+            if seqs.iter().any(|s| s.len() != len) || len == 0 {
+                return Err(non_affine(
+                    phase,
+                    space,
+                    name,
+                    format!(
+                        "phase {phase}: {} {} count varies across threads",
+                        space.as_str(),
+                        kind.as_str()
+                    ),
+                ));
+            }
+            let (m, fams) = split_families(seqs, len).ok_or_else(|| {
+                non_affine(
+                    phase,
+                    space,
+                    name,
+                    format!(
+                        "phase {phase}: {} {} stream is not an interleave of arithmetic \
+                         sequences",
+                        space.as_str(),
+                        kind.as_str()
+                    ),
+                )
+            })?;
+            for (f, &(dk, k)) in fams.iter().enumerate() {
+                let bases: Vec<i128> = seqs.iter().map(|s| s[f]).collect();
+                let (c0, c1, c2) = fit_thread_affine(&bases, bw, bh).ok_or_else(|| {
+                    non_affine(
+                        phase,
+                        space,
+                        name,
+                        format!(
+                            "phase {phase}: {} {} base address is not affine in (tx, ty) \
+                             (family {f} of {m})",
+                            space.as_str(),
+                            kind.as_str()
+                        ),
+                    )
+                })?;
+                families.push(Family {
+                    space,
+                    buf,
+                    kind,
+                    k,
+                    co: Coeffs { c0, dk, c1, c2, ..Coeffs::default() },
+                });
+            }
+        }
+        phases.push(PhaseSummary { families });
+    }
+    Ok(phases)
+}
+
+/// Summarizes a whole probed launch: per-block summaries, then a
+/// cross-block fit of the `c3`/`c4` strides, verified on every block.
+///
+/// `registry` lists the launch's global buffers as `(id, name, len)`;
+/// every recorded global access must resolve to one of them.
+pub fn summarize_launch(
+    blocks: &[BlockProbe],
+    block_dim: (usize, usize),
+    grid_dim: (usize, usize),
+    registry: &[(BufId, String, usize)],
+) -> Result<LaunchShape, Fallback> {
+    let (bw, bh) = block_dim;
+    let (gx, gy) = grid_dim;
+    assert_eq!(blocks.len(), gx * gy, "probe must cover the whole grid");
+    let buf_names: Vec<String> = registry.iter().map(|(_, n, _)| n.clone()).collect();
+    let resolve = |id: BufId| registry.iter().position(|(rid, _, _)| *rid == id);
+
+    let mut per_block: Vec<Vec<PhaseSummary>> = Vec::with_capacity(blocks.len());
+    for probe in blocks {
+        per_block.push(summarize_block(probe, bw, bh, &buf_names, &resolve)?);
+    }
+
+    // All blocks must agree structurally (phase count, family layout,
+    // thread strides); only the bases may differ, affinely in (bx, by).
+    let origin = blocks.iter().position(|b| b.bx == 0 && b.by == 0).expect("origin block");
+    let base_phases = per_block[origin].clone();
+    let mismatch = |detail: String| Fallback::launch(FallbackKind::NonAffine, detail);
+    for (b, summary) in blocks.iter().zip(&per_block) {
+        if summary.len() != base_phases.len() {
+            return Err(mismatch(format!(
+                "block ({}, {}) ran {} access-bearing phases where block (0, 0) ran {}",
+                b.bx,
+                b.by,
+                summary.len(),
+                base_phases.len()
+            )));
+        }
+    }
+
+    let find = |bx: usize, by: usize| {
+        blocks.iter().position(|b| b.bx == bx && b.by == by).expect("grid block")
+    };
+    let stepx = (gx > 1).then(|| find(1, 0));
+    let stepy = (gy > 1).then(|| find(0, 1));
+
+    let mut phases = Vec::with_capacity(base_phases.len());
+    for (p, base) in base_phases.iter().enumerate() {
+        let mut families = Vec::with_capacity(base.families.len());
+        for (fi, fam) in base.families.iter().enumerate() {
+            let buf_name = fam.buf.map(|b| buf_names[b].as_str());
+            let base_at = |bi: usize| -> Result<i128, Fallback> {
+                let other = &per_block[bi][p];
+                let of = other.families.get(fi).ok_or_else(|| {
+                    mismatch(format!("phase {p}: family layout varies across blocks"))
+                })?;
+                if (of.space, of.buf, of.kind, of.k, of.co.dk, of.co.c1, of.co.c2)
+                    != (fam.space, fam.buf, fam.kind, fam.k, fam.co.dk, fam.co.c1, fam.co.c2)
+                {
+                    return Err(non_affine(
+                        p,
+                        fam.space,
+                        buf_name,
+                        format!("phase {p}: family shape varies across blocks"),
+                    ));
+                }
+                Ok(of.co.c0)
+            };
+            let c0 = fam.co.c0;
+            let c3 = match stepx {
+                Some(bi) => base_at(bi)? - c0,
+                None => 0,
+            };
+            let c4 = match stepy {
+                Some(bi) => base_at(bi)? - c0,
+                None => 0,
+            };
+            // Verify the block fit on every block.
+            for (b, _) in blocks.iter().enumerate() {
+                let expect = c0 + c3 * blocks[b].bx as i128 + c4 * blocks[b].by as i128;
+                if base_at(b)? != expect {
+                    return Err(non_affine(
+                        p,
+                        fam.space,
+                        buf_name,
+                        format!(
+                            "phase {p}: base address is not affine in (bx, by) at block \
+                             ({}, {})",
+                            blocks[b].bx, blocks[b].by
+                        ),
+                    ));
+                }
+            }
+            families.push(Family {
+                co: Coeffs { c3, c4, ..fam.co },
+                ..fam.clone()
+            });
+        }
+        phases.push(PhaseSummary { families });
+    }
+    Ok(LaunchShape { phases, block: block_dim, grid: grid_dim })
+}

@@ -1,0 +1,680 @@
+//! Analytic safety checks over affine access summaries.
+//!
+//! Every check here is pure arithmetic over the fitted families — no
+//! kernel code runs. The engine consumes a [`CheckSpace`]: phase groups
+//! in first-occurrence order, each holding verified families plus the
+//! occurrence domains (`τ` tile-steps × `m` products) the group stands
+//! for. Concrete launches use one singleton group per phase; the
+//! parametric DGEMM analyzer compresses thousands of phases into four
+//! role groups.
+//!
+//! Checks (mirroring the dynamic sanitizer's checkers):
+//!
+//! * **memcheck / OOB** — interval maximization of each affine form over
+//!   its full index domain against the allocation extent.
+//! * **memcheck / uninit** — shared-memory coverage: every read cell
+//!   must be covered by an earlier (or same-phase) write, tracking the
+//!   same deferred-uninit semantics the dynamic monitor uses.
+//! * **racecheck (intra-block)** — same-phase conflicting accesses by
+//!   distinct threads, by exact enumeration of the (small) thread box.
+//! * **racecheck (inter-block)** — global write-sharing across blocks,
+//!   decided by bounded linear-Diophantine solving (extended GCD +
+//!   interval intersection) on coefficient deltas.
+//!
+//! Anything outside the decidable fragment becomes a typed
+//! [`Fallback`], never a silent pass.
+
+use crate::affine::Coeffs;
+use crate::report::{hazard_label, Fallback, FallbackKind, StaticFinding};
+use crate::solve::{div_ceil, div_floor, ext_gcd};
+use enprop_sanitize::report::{AccessKind, Checker, MemSpace};
+use std::collections::HashMap;
+
+/// Findings reported per (group, check) before the engine moves on — a
+/// proof needs one witness, not a flood.
+const FINDING_CAP: usize = 2;
+
+/// One family inside a check group, with its buffer resolved to a name
+/// and extent.
+#[derive(Debug, Clone)]
+pub struct CheckFamily {
+    /// Memory space.
+    pub space: MemSpace,
+    /// Buffer name (global memory only).
+    pub buffer: Option<String>,
+    /// Allocation extent the accesses must stay inside.
+    pub len: usize,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Inner repeat count (`k` ∈ [0, K)).
+    pub k: usize,
+    /// The verified coefficients.
+    pub co: Coeffs,
+}
+
+/// A group of identically-shaped phases (one phase for concrete
+/// launches; a whole role for parametric ones).
+#[derive(Debug, Clone)]
+pub struct CheckGroup {
+    /// Representative phase for diagnostics (first occurrence).
+    pub phase: usize,
+    /// Display label (`"phase 3"`, `"stage"`, …).
+    pub label: String,
+    /// Occurrence domain sizes: τ ∈ [0, tau), m ∈ [0, prod).
+    pub tau: usize,
+    /// See `tau`.
+    pub prod: usize,
+    /// The group's verified families.
+    pub families: Vec<CheckFamily>,
+}
+
+/// Everything the checks need about one launch.
+#[derive(Debug, Clone)]
+pub struct CheckSpace {
+    /// Groups in first-occurrence order (drives shared-memory coverage).
+    pub groups: Vec<CheckGroup>,
+    /// Block dimensions `(width, height)`.
+    pub block: (usize, usize),
+    /// Grid dimensions `(width, height)`.
+    pub grid: (usize, usize),
+    /// Shared allocation length per block.
+    pub shared_len: usize,
+}
+
+/// Interval of an affine form over its box domain, together with the
+/// coordinates attaining the maximum (for witness messages).
+struct Extremes {
+    lo: i128,
+    hi: i128,
+    hi_thread: (usize, usize),
+}
+
+fn term(coef: i128, size: usize) -> (i128, i128) {
+    let top = coef * (size.max(1) as i128 - 1);
+    if coef >= 0 {
+        (0, top)
+    } else {
+        (top, 0)
+    }
+}
+
+fn extremes(f: &CheckFamily, g: &CheckGroup, cs: &CheckSpace) -> Extremes {
+    let dims = [
+        (f.co.dk, f.k),
+        (f.co.c1, cs.block.0),
+        (f.co.c2, cs.block.1),
+        (f.co.c3, cs.grid.0),
+        (f.co.c4, cs.grid.1),
+        (f.co.e1, g.tau),
+        (f.co.e2, g.prod),
+    ];
+    let mut lo = f.co.c0;
+    let mut hi = f.co.c0;
+    for (c, s) in dims {
+        let (l, h) = term(c, s);
+        lo += l;
+        hi += h;
+    }
+    let argmax = |c: i128, s: usize| if c >= 0 { s.max(1) - 1 } else { 0 };
+    Extremes {
+        lo,
+        hi,
+        hi_thread: (argmax(f.co.c1, cs.block.0), argmax(f.co.c2, cs.block.1)),
+    }
+}
+
+/// Checks every family of every group against its allocation extent.
+fn check_oob(cs: &CheckSpace, out: &mut Vec<StaticFinding>) {
+    for g in &cs.groups {
+        let mut reported = 0usize;
+        for f in &g.families {
+            if reported >= FINDING_CAP {
+                break;
+            }
+            let e = extremes(f, g, cs);
+            if e.hi >= f.len as i128 || e.lo < 0 {
+                let (index, side) =
+                    if e.hi >= f.len as i128 { (e.hi, "past the end of") } else { (e.lo, "before") };
+                let target = match (&f.buffer, f.space) {
+                    (Some(name), _) => name.clone(),
+                    (None, MemSpace::Shared) => "shared memory".to_string(),
+                    (None, MemSpace::Global) => "an unregistered buffer".to_string(),
+                };
+                out.push(StaticFinding {
+                    checker: Checker::Memcheck,
+                    phase: Some(g.phase),
+                    space: Some(f.space),
+                    buffer: f.buffer.clone(),
+                    message: format!(
+                        "static memcheck: {} {} of {target} proven out of bounds in {}: \
+                         index {index} {side} len {} (witness thread ({}, {}))",
+                        f.space.as_str(),
+                        f.kind.as_str(),
+                        g.label,
+                        f.len,
+                        e.hi_thread.0,
+                        e.hi_thread.1,
+                    ),
+                });
+                reported += 1;
+            }
+        }
+    }
+}
+
+/// Whether the group's shared families can be compared at a single
+/// occurrence (their per-occurrence drifts are uniform, so address
+/// *differences* are occurrence-invariant).
+fn shared_drift_uniform(g: &CheckGroup) -> bool {
+    let mut drift = None;
+    for f in g.families.iter().filter(|f| f.space == MemSpace::Shared) {
+        match drift {
+            None => drift = Some((f.co.e1, f.co.e2)),
+            Some(d) if d == (f.co.e1, f.co.e2) => {}
+            Some(_) => return false,
+        }
+    }
+    true
+}
+
+/// Enumerates one family's in-range cells at occurrence (τ=0, m=0) of
+/// block (0, 0): `(cell, thread)` pairs.
+fn enumerate_shared(f: &CheckFamily, cs: &CheckSpace, mut visit: impl FnMut(usize, (usize, usize))) {
+    let (bw, bh) = cs.block;
+    for ty in 0..bh {
+        for tx in 0..bw {
+            for k in 0..f.k {
+                let a = f.co.c0 + f.co.dk * k as i128 + f.co.c1 * tx as i128 + f.co.c2 * ty as i128;
+                if a >= 0 && (a as usize) < cs.shared_len {
+                    visit(a as usize, (tx, ty));
+                }
+            }
+        }
+    }
+}
+
+/// Same-phase shared-memory races plus read-before-write coverage.
+///
+/// Coverage mirrors the dynamic monitor's deferred-uninit semantics: a
+/// cell written by *any* thread in the same phase group (or any earlier
+/// group) counts as initialized — a missing barrier is therefore a race,
+/// not an uninit read, exactly as the dynamic sanitizer reports it.
+fn check_shared(cs: &CheckSpace, out: &mut Vec<StaticFinding>, fallbacks: &mut Vec<Fallback>) {
+    if cs.shared_len == 0 {
+        return;
+    }
+    let mut covered = vec![false; cs.shared_len];
+    for g in &cs.groups {
+        let has_shared = g.families.iter().any(|f| f.space == MemSpace::Shared);
+        if !has_shared {
+            continue;
+        }
+        if !shared_drift_uniform(g) {
+            fallbacks.push(Fallback::new(
+                FallbackKind::Unsupported,
+                Some(g.phase),
+                Some(MemSpace::Shared),
+                None,
+                format!(
+                    "{}: shared families drift differently per occurrence; same-phase \
+                     overlap is occurrence-dependent",
+                    g.label
+                ),
+            ));
+            continue;
+        }
+        // Pass 1: writers.
+        let mut writer: Vec<Option<(usize, usize)>> = vec![None; cs.shared_len];
+        let mut races = 0usize;
+        for f in g.families.iter().filter(|f| f.space == MemSpace::Shared) {
+            if f.kind != AccessKind::Write {
+                continue;
+            }
+            enumerate_shared(f, cs, |cell, t| match writer[cell] {
+                None => writer[cell] = Some(t),
+                Some(w) if w == t => {}
+                Some(w) => {
+                    if races < FINDING_CAP {
+                        out.push(shared_race(g, cell, t, AccessKind::Write, w));
+                        races += 1;
+                    }
+                }
+            });
+        }
+        // Pass 2: readers vs same-phase writers; coverage check.
+        let mut uninit = 0usize;
+        for f in g.families.iter().filter(|f| f.space == MemSpace::Shared) {
+            if f.kind != AccessKind::Read {
+                continue;
+            }
+            enumerate_shared(f, cs, |cell, t| {
+                match writer[cell] {
+                    Some(w) if w != t && races < FINDING_CAP => {
+                        out.push(shared_race(g, cell, t, AccessKind::Read, w));
+                        races += 1;
+                    }
+                    _ => {}
+                }
+                if !covered[cell] && writer[cell].is_none() && uninit < FINDING_CAP {
+                    out.push(StaticFinding {
+                        checker: Checker::Memcheck,
+                        phase: Some(g.phase),
+                        space: Some(MemSpace::Shared),
+                        buffer: None,
+                        message: format!(
+                            "static memcheck: uninitialized shared read proven in {}: \
+                             cell {cell} read by thread ({}, {}) is never written by any \
+                             earlier or same-phase store",
+                            g.label, t.0, t.1,
+                        ),
+                    });
+                    uninit += 1;
+                }
+            });
+        }
+        // Fold this group's writes into coverage.
+        for (cell, w) in writer.iter().enumerate() {
+            if w.is_some() {
+                covered[cell] = true;
+            }
+        }
+    }
+}
+
+fn shared_race(
+    g: &CheckGroup,
+    cell: usize,
+    second: (usize, usize),
+    second_kind: AccessKind,
+    first: (usize, usize),
+) -> StaticFinding {
+    StaticFinding {
+        checker: Checker::Racecheck,
+        phase: Some(g.phase),
+        space: Some(MemSpace::Shared),
+        buffer: None,
+        message: format!(
+            "static racecheck: shared {} hazard proven in {}: cell {cell} {} by thread \
+             ({}, {}) conflicts with write by thread ({}, {}) with no __syncthreads \
+             between them",
+            hazard_label(AccessKind::Write, second_kind),
+            g.label,
+            second_kind.as_str(),
+            second.0,
+            second.1,
+            first.0,
+            first.1,
+        ),
+    }
+}
+
+/// Same-phase global races inside one block, by exact enumeration. The
+/// families must agree on block strides and occurrence drifts (so the
+/// overlap question is block/occurrence-invariant); otherwise each block
+/// is enumerated when the grid is small, else the group falls back.
+fn check_global_intra(cs: &CheckSpace, out: &mut Vec<StaticFinding>, fallbacks: &mut Vec<Fallback>) {
+    for g in &cs.groups {
+        let bufs: Vec<&String> = {
+            let mut v: Vec<&String> =
+                g.families.iter().filter_map(|f| f.buffer.as_ref()).collect();
+            v.dedup();
+            v
+        };
+        for buf in bufs {
+            let fams: Vec<&CheckFamily> =
+                g.families.iter().filter(|f| f.buffer.as_ref() == Some(buf)).collect();
+            if !fams.iter().any(|f| f.kind == AccessKind::Write) {
+                continue;
+            }
+            let uniform = fams
+                .windows(2)
+                .all(|w| (w[0].co.c3, w[0].co.c4, w[0].co.e1, w[0].co.e2)
+                    == (w[1].co.c3, w[1].co.c4, w[1].co.e1, w[1].co.e2));
+            if !uniform && cs.grid.0 * cs.grid.1 > 64 {
+                fallbacks.push(Fallback::new(
+                    FallbackKind::Unsupported,
+                    Some(g.phase),
+                    Some(MemSpace::Global),
+                    Some(buf),
+                    format!(
+                        "{}: {} families differ in block strides over a large grid",
+                        g.label, buf
+                    ),
+                ));
+                continue;
+            }
+            // With uniform block strides one representative block
+            // decides all of them; otherwise enumerate each block.
+            let blocks: Vec<(usize, usize)> = if uniform {
+                vec![(0, 0)]
+            } else {
+                (0..cs.grid.1).flat_map(|by| (0..cs.grid.0).map(move |bx| (bx, by))).collect()
+            };
+            let mut reported = 0usize;
+            for (bx, by) in blocks {
+                if reported >= FINDING_CAP {
+                    break;
+                }
+                let mut owner: HashMap<i128, ((usize, usize), AccessKind)> = HashMap::new();
+                for f in &fams {
+                    let (bw, bh) = cs.block;
+                    for ty in 0..bh {
+                        for tx in 0..bw {
+                            for k in 0..f.k {
+                                let a = f.co.at(
+                                    k as i128, tx as i128, ty as i128, bx as i128, by as i128, 0, 0,
+                                );
+                                match owner.get(&a) {
+                                    None => {
+                                        owner.insert(a, ((tx, ty), f.kind));
+                                    }
+                                    Some(&(t, k0)) if t == (tx, ty) => {
+                                        // Same thread may both read and
+                                        // write its cell (RMW): keep the
+                                        // stronger kind.
+                                        if k0 == AccessKind::Read && f.kind == AccessKind::Write {
+                                            owner.insert(a, (t, f.kind));
+                                        }
+                                    }
+                                    Some(&(t, k0)) => {
+                                        if (k0 == AccessKind::Write
+                                            || f.kind == AccessKind::Write)
+                                            && reported < FINDING_CAP
+                                        {
+                                            out.push(StaticFinding {
+                                                checker: Checker::Racecheck,
+                                                phase: Some(g.phase),
+                                                space: Some(MemSpace::Global),
+                                                buffer: Some(buf.clone()),
+                                                message: format!(
+                                                    "static racecheck: global {} hazard \
+                                                     proven in {}: {}[{a}] {} by thread \
+                                                     ({tx}, {ty}) conflicts with {} by \
+                                                     thread ({}, {}) in the same phase",
+                                                    hazard_label(k0, f.kind),
+                                                    g.label,
+                                                    buf,
+                                                    f.kind.as_str(),
+                                                    k0.as_str(),
+                                                    t.0,
+                                                    t.1,
+                                                ),
+                                            });
+                                            reported += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Is there an integer point of `a·x + b·y = c` inside
+/// `[xr.0, xr.1] × [yr.0, yr.1]`, other than `exclude`?
+fn solve_2var(
+    a: i128,
+    b: i128,
+    c: i128,
+    xr: (i128, i128),
+    yr: (i128, i128),
+    exclude: Option<(i128, i128)>,
+) -> Option<(i128, i128)> {
+    let in_x = |x: i128| x >= xr.0 && x <= xr.1;
+    let in_y = |y: i128| y >= yr.0 && y <= yr.1;
+    let ok = |p: (i128, i128)| exclude != Some(p);
+    if a == 0 && b == 0 {
+        if c != 0 {
+            return None;
+        }
+        for x in [xr.0, xr.1] {
+            for y in [yr.0, yr.1] {
+                if ok((x, y)) {
+                    return Some((x, y));
+                }
+            }
+        }
+        // Box degenerate to the excluded point.
+        return None;
+    }
+    if a == 0 {
+        if c % b != 0 {
+            return None;
+        }
+        let y = c / b;
+        if !in_y(y) {
+            return None;
+        }
+        for x in [xr.0, xr.1, 0] {
+            if in_x(x) && ok((x, y)) {
+                return Some((x, y));
+            }
+        }
+        return None;
+    }
+    if b == 0 {
+        if c % a != 0 {
+            return None;
+        }
+        let x = c / a;
+        if !in_x(x) {
+            return None;
+        }
+        for y in [yr.0, yr.1, 0] {
+            if in_y(y) && ok((x, y)) {
+                return Some((x, y));
+            }
+        }
+        return None;
+    }
+    let (g, x0, y0) = ext_gcd(a, b);
+    if c % g != 0 {
+        return None;
+    }
+    let (x0, y0) = (x0 * (c / g), y0 * (c / g));
+    let (sx, sy) = (b / g, -a / g); // x = x0 + sx·t, y = y0 + sy·t
+    let t_range = |p0: i128, s: i128, lo: i128, hi: i128| -> Option<(i128, i128)> {
+        // lo ≤ p0 + s·t ≤ hi
+        if s > 0 {
+            Some((div_ceil(lo - p0, s), div_floor(hi - p0, s)))
+        } else {
+            Some((div_ceil(hi - p0, s), div_floor(lo - p0, s)))
+        }
+    };
+    let (tx0, tx1) = t_range(x0, sx, xr.0, xr.1)?;
+    let (ty0, ty1) = t_range(y0, sy, yr.0, yr.1)?;
+    let (t0, t1) = (tx0.max(ty0), tx1.min(ty1));
+    if t0 > t1 {
+        return None;
+    }
+    for t in [t0, t1, t0 + 1] {
+        if t >= t0 && t <= t1 {
+            let p = (x0 + sx * t, y0 + sy * t);
+            if ok(p) {
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+/// Inter-block global write-sharing: can a store of one family and any
+/// access of another land on the same cell from *different* blocks?
+///
+/// Both families must be occurrence-stationary (or single-occurrence);
+/// with equal linear parts the question reduces to a 2-variable linear
+/// Diophantine problem on block deltas per enumerated thread delta.
+fn check_global_inter(cs: &CheckSpace, out: &mut Vec<StaticFinding>, fallbacks: &mut Vec<Fallback>) {
+    if cs.grid.0 * cs.grid.1 <= 1 {
+        return; // a single block cannot inter-block race
+    }
+    // Collect (group index, family) pairs for global families.
+    let all: Vec<(usize, &CheckGroup, &CheckFamily)> = cs
+        .groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| {
+            g.families
+                .iter()
+                .filter(|f| f.space == MemSpace::Global)
+                .map(move |f| (gi, g, f))
+        })
+        .collect();
+    let mut reported = 0usize;
+    for (_, ga, fa) in all.iter() {
+        if fa.kind != AccessKind::Write {
+            continue;
+        }
+        for (_, gb, fb) in all.iter() {
+            if fb.buffer != fa.buffer || reported >= FINDING_CAP {
+                continue;
+            }
+            let stationary = |g: &CheckGroup, f: &CheckFamily| {
+                (f.co.e1 == 0 || g.tau <= 1) && (f.co.e2 == 0 || g.prod <= 1)
+            };
+            if !stationary(ga, fa) || !stationary(gb, fb) {
+                fallbacks.push(Fallback::new(
+                    FallbackKind::Unsupported,
+                    Some(ga.phase),
+                    Some(MemSpace::Global),
+                    fa.buffer.as_deref(),
+                    format!(
+                        "{}: occurrence-drifting global write cannot be compared across \
+                         blocks analytically",
+                        ga.label
+                    ),
+                ));
+                continue;
+            }
+            let (bw, bh) = (cs.block.0 as i128, cs.block.1 as i128);
+            let (gx, gy) = (cs.grid.0 as i128, cs.grid.1 as i128);
+            if (fa.co.c1, fa.co.c2, fa.co.dk, fa.co.c3, fa.co.c4)
+                == (fb.co.c1, fb.co.c2, fb.co.dk, fb.co.c3, fb.co.c4)
+            {
+                // Equal linear parts: solve on deltas. addrA == addrB ⇔
+                // c1·Δtx + c2·Δty + dk·Δk + c3·Δbx + c4·Δby = c0B − c0A
+                // with (Δbx, Δby) ≠ (0, 0).
+                let kk = fa.k.max(fb.k) as i128;
+                'delta: for dk_ in 1 - kk..kk {
+                    for dtx in 1 - bw..bw {
+                        for dty in 1 - bh..bh {
+                            let rhs = (fb.co.c0 - fa.co.c0)
+                                - fa.co.c1 * dtx
+                                - fa.co.c2 * dty
+                                - fa.co.dk * dk_;
+                            if let Some((dbx, dby)) = solve_2var(
+                                fa.co.c3,
+                                fa.co.c4,
+                                rhs,
+                                (1 - gx, gx - 1),
+                                (1 - gy, gy - 1),
+                                Some((0, 0)),
+                            ) {
+                                out.push(inter_block_finding(
+                                    ga, fa, fb, (dbx, dby), reported,
+                                ));
+                                reported += 1;
+                                break 'delta;
+                            }
+                        }
+                    }
+                }
+            } else if (bw * bh * fa.k as i128) * (bw * bh * fb.k as i128) <= 200_000
+                && gx * gy <= 256
+            {
+                // Unequal linear parts: small enough to enumerate side A
+                // fully (threads × k × blocks), then 2-var solve side B's
+                // block for each of side B's thread points.
+                'full: for tya in 0..bh {
+                    for txa in 0..bw {
+                        for ka in 0..fa.k as i128 {
+                            for bya in 0..gy {
+                                for bxa in 0..gx {
+                                    let aa = fa.co.at(ka, txa, tya, bxa, bya, 0, 0);
+                                    for tyb in 0..bh {
+                                        for txb in 0..bw {
+                                            for kb in 0..fb.k as i128 {
+                                                let base =
+                                                    fb.co.at(kb, txb, tyb, 0, 0, 0, 0);
+                                                if let Some(p) = solve_2var(
+                                                    fb.co.c3,
+                                                    fb.co.c4,
+                                                    aa - base,
+                                                    (0, gx - 1),
+                                                    (0, gy - 1),
+                                                    Some((bxa, bya)),
+                                                ) {
+                                                    out.push(inter_block_finding(
+                                                        ga,
+                                                        fa,
+                                                        fb,
+                                                        (p.0 - bxa, p.1 - bya),
+                                                        reported,
+                                                    ));
+                                                    reported += 1;
+                                                    break 'full;
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                fallbacks.push(Fallback::new(
+                    FallbackKind::Unsupported,
+                    Some(ga.phase),
+                    Some(MemSpace::Global),
+                    fa.buffer.as_deref(),
+                    format!(
+                        "{}: global families with unequal linear parts over a large \
+                         launch cannot be enumerated",
+                        ga.label
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn inter_block_finding(
+    ga: &CheckGroup,
+    fa: &CheckFamily,
+    fb: &CheckFamily,
+    delta: (i128, i128),
+    _reported: usize,
+) -> StaticFinding {
+    StaticFinding {
+        checker: Checker::Racecheck,
+        phase: None,
+        space: Some(MemSpace::Global),
+        buffer: fa.buffer.clone(),
+        message: format!(
+            "static racecheck: inter-block {} hazard proven on {}: blocks separated by \
+             (Δbx, Δby) = ({}, {}) share a cell ({} vs {}) — thread blocks cannot \
+             synchronize within a launch",
+            hazard_label(fa.kind, fb.kind),
+            fa.buffer.as_deref().unwrap_or("unregistered buffer"),
+            delta.0,
+            delta.1,
+            ga.label,
+            fb.kind.as_str(),
+        ),
+    }
+}
+
+/// Runs every analytic check over the space.
+pub fn run_checks(cs: &CheckSpace) -> (Vec<StaticFinding>, Vec<Fallback>) {
+    let mut findings = Vec::new();
+    let mut fallbacks = Vec::new();
+    check_oob(cs, &mut findings);
+    check_shared(cs, &mut findings, &mut fallbacks);
+    check_global_intra(cs, &mut findings, &mut fallbacks);
+    check_global_inter(cs, &mut findings, &mut fallbacks);
+    (findings, fallbacks)
+}

@@ -1,0 +1,109 @@
+//! Static analysis of the dynamic sanitizer's seeded buggy fixtures.
+//!
+//! The four fixtures are the sanitizer's regression corpus: each one is
+//! a deliberately broken kernel caught by exactly one dynamic checker.
+//! This module drives the *static* analyzer over the same kernels (via
+//! the sanitizer's [`FixtureVisitor`] seam, so the fixture types stay
+//! private) and compares verdicts: every fixture must be flagged
+//! statically, by the same checker, with diagnostics naming the same
+//! phase and buffer as the dynamic findings.
+
+use crate::analyze_launch;
+use crate::report::{StaticFinding, StaticReport};
+use enprop_gpusim::emulator::{BlockKernel, BufId, Dim2};
+use enprop_sanitize::fixtures::{self_test, visit_fixtures, FixtureVisitor};
+use enprop_sanitize::report::{Checker, Finding, FindingKind, MemSpace};
+
+/// Static verdict on one fixture, compared against the dynamic run.
+#[derive(Debug)]
+pub struct FixtureOutcome {
+    /// The fixture's label (same as the dynamic report's `kernel`).
+    pub label: String,
+    /// The checker expected to catch the seeded bug.
+    pub expected: Checker,
+    /// The static report.
+    pub report: StaticReport,
+    /// Flagged statically, exclusively by the expected checker.
+    pub caught: bool,
+    /// Some static finding names the same (checker, phase, space,
+    /// buffer) as a dynamic finding.
+    pub parity: bool,
+}
+
+struct Analyzer {
+    outcomes: Vec<(String, Checker, StaticReport)>,
+}
+
+impl FixtureVisitor for Analyzer {
+    fn visit<K: BlockKernel>(
+        &mut self,
+        label: &str,
+        expected: Checker,
+        grid: Dim2,
+        kernel: &K,
+        buffers: &[(BufId, &'static str, usize)],
+    ) {
+        let report = analyze_launch(label, grid, kernel, buffers);
+        self.outcomes.push((label.to_string(), expected, report));
+    }
+}
+
+/// Dynamic finding's (space, buffer) attribution, from its payload.
+fn dyn_space_buffer(kind: &FindingKind) -> (Option<MemSpace>, Option<String>) {
+    match kind {
+        FindingKind::Race { space, buffer, .. } => (Some(*space), buffer.clone()),
+        FindingKind::InterBlockRace { buffer, .. } => (Some(MemSpace::Global), buffer.clone()),
+        FindingKind::OutOfBounds { space, buffer, .. } => (Some(*space), buffer.clone()),
+        FindingKind::UninitRead { .. } => (Some(MemSpace::Shared), None),
+        FindingKind::BarrierDivergence { .. } | FindingKind::Launch { .. } => (None, None),
+    }
+}
+
+/// Whether a static finding names the same checker, phase, space and
+/// buffer as a dynamic one (attributes absent on either side do not
+/// disagree).
+fn finding_matches(sf: &StaticFinding, df: &Finding) -> bool {
+    if sf.checker != df.checker {
+        return false;
+    }
+    let (dspace, dbuf) = dyn_space_buffer(&df.kind);
+    let agree_space = match (sf.space, dspace) {
+        (Some(a), Some(b)) => a == b,
+        _ => true,
+    };
+    let agree_buf = match (&sf.buffer, &dbuf) {
+        (Some(a), Some(b)) => a == b,
+        _ => true,
+    };
+    let agree_phase = match (sf.phase, df.phase) {
+        (Some(a), Some(b)) => a == b,
+        _ => true,
+    };
+    agree_space && agree_buf && agree_phase
+}
+
+/// Statically analyzes every seeded fixture and compares against the
+/// dynamic sanitizer's verdicts on the same kernels.
+pub fn analyze_fixtures() -> Vec<FixtureOutcome> {
+    let mut analyzer = Analyzer { outcomes: Vec::new() };
+    visit_fixtures(&mut analyzer);
+    let dynamic = self_test();
+    analyzer
+        .outcomes
+        .into_iter()
+        .map(|(label, expected, report)| {
+            let caught = !report.findings.is_empty()
+                && report.findings.iter().all(|f| f.checker == expected);
+            let parity = dynamic
+                .iter()
+                .find(|(_, d)| d.kernel == label)
+                .is_some_and(|(_, d)| {
+                    report
+                        .findings
+                        .iter()
+                        .any(|sf| d.findings.iter().any(|df| finding_matches(sf, df)))
+                });
+            FixtureOutcome { label, expected, report, caught, parity }
+        })
+        .collect()
+}

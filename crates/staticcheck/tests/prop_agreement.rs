@@ -1,0 +1,54 @@
+//! Property-based agreement between the static verifier and the dynamic
+//! instrumented runs: over random valid configs, the closed-form event
+//! counts must equal flushed `EmuEvents` *bitwise*, and the static
+//! verdict must agree with the dynamic sanitizer (clean ⇒ clean;
+//! seeded fixtures stay flagged — covered exhaustively in
+//! `static_verify.rs`).
+
+use enprop_gpusim::emulator::{EmuDgemm, GlobalMem};
+use enprop_gpusim::{GpuArch, TiledDgemmConfig};
+use enprop_sanitize::sanitize_dgemm;
+use enprop_staticcheck::DgemmStaticModel;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn model() -> &'static DgemmStaticModel {
+    static MODEL: OnceLock<DgemmStaticModel> = OnceLock::new();
+    MODEL.get_or_init(|| DgemmStaticModel::learn().expect("DGEMM family must be summarizable"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Closed-form counts equal flushed events exactly on random
+    /// executable configs (probe- and validation-set overlap is fine:
+    /// the property is exact equality, not novelty).
+    #[test]
+    fn counts_agree_bitwise(bs in 2usize..9, t in 2usize..6, g in 1usize..5, r in 1usize..4) {
+        let cfg = TiledDgemmConfig { n: bs * t, bs, g, r };
+        let zeros = vec![0.0; cfg.n * cfg.n];
+        let a = GlobalMem::from_slice(&zeros);
+        let b = GlobalMem::from_slice(&zeros);
+        let c = GlobalMem::from_slice(&zeros);
+        let dynamic = EmuDgemm::new(cfg).run(&a, &b, &c);
+        prop_assert_eq!(model().counts(&cfg), dynamic, "{}", cfg);
+    }
+
+    /// Static verdicts agree with dynamic findings on the clean family:
+    /// the dynamic sanitizer reports nothing, and the static verifier
+    /// *proves* nothing can be reported.
+    #[test]
+    fn clean_family_verdicts_agree(bs in 2usize..9, t in 2usize..6, g in 1usize..5, r in 1usize..4) {
+        let cfg = TiledDgemmConfig { n: bs * t, bs, g, r };
+        let report = model().verify_config(&cfg);
+        prop_assert!(
+            report.proven_clean(),
+            "{} not proven clean: {:?} / {:?}", cfg, report.findings, report.fallbacks
+        );
+        let dynamic = sanitize_dgemm(cfg, &GpuArch::k40c());
+        prop_assert!(
+            dynamic.findings.is_empty(),
+            "{} dynamically dirty: {:?}", cfg, dynamic.findings
+        );
+    }
+}
